@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(Table III, Fig. 6, Fig. 7) or one of the ablations listed in DESIGN.md.
+Benchmarks are sized so that the whole suite finishes in a few minutes;
+each module documents how to scale it up to the paper's full workload.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.attacktree import catalog
+from repro.attacktree.random_gen import RandomSuiteSpec, generate_suite
+
+
+@pytest.fixture(scope="session")
+def factory_model():
+    """Fig. 1 running example."""
+    return catalog.factory()
+
+
+@pytest.fixture(scope="session")
+def panda_model():
+    """Fig. 4 panda IoT cdp-AT (22 BASs, treelike)."""
+    return catalog.panda_iot()
+
+
+@pytest.fixture(scope="session")
+def panda_deterministic(panda_model):
+    """Deterministic projection of the panda model."""
+    return panda_model.deterministic()
+
+
+@pytest.fixture(scope="session")
+def data_server_model():
+    """Fig. 5 data-server cd-AT (12 BASs, DAG-like)."""
+    return catalog.data_server()
+
+
+@pytest.fixture(scope="session")
+def small_tree_suite():
+    """A scaled-down T_tree: treelike random ATs up to ~40 nodes."""
+    spec = RandomSuiteSpec(max_target_size=40, trees_per_size=1, treelike=True, seed=71)
+    return generate_suite(spec)
+
+
+@pytest.fixture(scope="session")
+def small_dag_suite():
+    """A scaled-down T_DAG: DAG-like random ATs up to ~40 nodes."""
+    spec = RandomSuiteSpec(max_target_size=40, trees_per_size=1, treelike=False, seed=72)
+    return generate_suite(spec)

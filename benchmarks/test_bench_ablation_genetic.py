@@ -1,0 +1,39 @@
+"""A-ABL4: exact methods vs NSGA-II approximation (the paper's future work).
+
+The conclusion of the paper asks "to what extent the performance gain (if
+any) from using genetic algorithms comes at an accuracy cost".  This
+benchmark answers it on the panda case study: the exact bottom-up front
+versus NSGA-II at two effort levels, with the recovered hypervolume as the
+accuracy metric.
+"""
+
+from repro.core.bottom_up import pareto_front_treelike
+from repro.extensions.genetic import GeneticConfig, approximate_pareto_front
+
+
+def _hypervolume_ratio(approximate, exact):
+    bound = max(exact.costs())
+    return approximate.hypervolume(bound) / exact.hypervolume(bound)
+
+
+def test_ablation_genetic_exact_reference(benchmark, panda_deterministic):
+    front = benchmark(pareto_front_treelike, panda_deterministic)
+    assert front.max_damage_given_cost(30) == 100
+
+
+def test_ablation_genetic_small_budget(benchmark, panda_deterministic):
+    exact = pareto_front_treelike(panda_deterministic)
+    config = GeneticConfig(population_size=32, generations=20, seed=11)
+    approximate = benchmark(approximate_pareto_front, panda_deterministic, config)
+    ratio = _hypervolume_ratio(approximate, exact)
+    assert 0.5 <= ratio <= 1.0 + 1e-9  # approximation never exceeds the exact front
+
+
+def test_ablation_genetic_large_budget(benchmark, panda_deterministic):
+    exact = pareto_front_treelike(panda_deterministic)
+    config = GeneticConfig(population_size=64, generations=60, seed=11)
+    approximate = benchmark.pedantic(
+        approximate_pareto_front, args=(panda_deterministic, config), rounds=1, iterations=1
+    )
+    ratio = _hypervolume_ratio(approximate, exact)
+    assert ratio >= 0.85

@@ -1,0 +1,83 @@
+"""A-ABL5: probabilistic-DAG methods (the paper's open problem).
+
+Compares the three ways this library attacks the open problem on a
+probabilistic version of the Fig. 5 data-server DAG (uniform success
+probability 0.8 on all 12 BASs):
+
+* exact CEDPF via actualization enumeration (doubly exponential),
+  restricted to the 5-BAS FTP sub-DAG to stay tractable;
+* exact CEDPF via multilinear reach polynomials (the conclusion's
+  "polynomial ring" idea) on the full 12-BAS DAG;
+* Monte-Carlo estimation of a single attack's expected damage.
+
+All three agree where they overlap; the benchmark quantifies the speed
+difference that makes the polynomial method the practical choice.
+"""
+
+import pytest
+
+from repro.attacktree.catalog import data_server
+from repro.extensions.polynomial import (
+    expected_damage_polynomial,
+    pareto_front_probabilistic_polynomial,
+    reach_polynomials,
+)
+from repro.extensions.prob_dag import pareto_front_probabilistic_exact
+from repro.probability.montecarlo import estimate_expected_damage
+
+
+@pytest.fixture(scope="module")
+def probabilistic_server():
+    base = data_server()
+    return base.with_probabilities({b: 0.8 for b in base.tree.basic_attack_steps})
+
+
+@pytest.fixture(scope="module")
+def probabilistic_server_subdag(probabilistic_server):
+    """The FTP-server sub-DAG (5 BASs, containing the shared connection step)
+    where the doubly exponential exact enumeration is still feasible."""
+    sub = probabilistic_server.restricted_to("user_access_ftp")
+    assert len(sub.tree.basic_attack_steps) == 5
+    assert not sub.tree.is_treelike
+    return sub
+
+
+def test_prob_dag_polynomial_full_front(benchmark, probabilistic_server):
+    front = benchmark(pareto_front_probabilistic_polynomial, probabilistic_server)
+    assert front.is_consistent()
+    assert len(front) >= 5
+
+
+def test_prob_dag_polynomial_subdag_front(benchmark, probabilistic_server_subdag):
+    front = benchmark(pareto_front_probabilistic_polynomial, probabilistic_server_subdag)
+    assert front.is_consistent()
+
+
+def test_prob_dag_enumerative_subdag_front(benchmark, probabilistic_server_subdag):
+    front = benchmark.pedantic(
+        pareto_front_probabilistic_exact, args=(probabilistic_server_subdag,),
+        rounds=1, iterations=1,
+    )
+    fast = pareto_front_probabilistic_polynomial(probabilistic_server_subdag)
+    assert len(front) == len(fast)
+    for a, b in zip(front.values(), fast.values()):
+        assert a == pytest.approx(b)
+
+
+def test_prob_dag_single_attack_polynomial(benchmark, probabilistic_server):
+    polynomials = reach_polynomials(probabilistic_server.tree)
+    attack = frozenset({"b6", "b8", "b11", "b12"})
+    value = benchmark(
+        expected_damage_polynomial, probabilistic_server, attack, polynomials
+    )
+    assert 0 < value < 60
+
+
+def test_prob_dag_single_attack_montecarlo(benchmark, probabilistic_server):
+    attack = frozenset({"b6", "b8", "b11", "b12"})
+    exact = expected_damage_polynomial(probabilistic_server, attack)
+    estimate = benchmark.pedantic(
+        estimate_expected_damage, args=(probabilistic_server, attack, 5000),
+        rounds=1, iterations=1,
+    )
+    assert estimate.within(exact, z=4.0)

@@ -1,0 +1,50 @@
+"""A-ABL2: ablation of cost-budget pruning in the bottom-up DgC solver.
+
+Section VI.B explains that DgC can prune partial attacks exceeding the
+budget *during* the bottom-up pass (the ``min_U`` filter), whereas CgD
+cannot prune at all and must compute the full front.  This ablation
+quantifies the speedup of budget pruning by solving DgC on the panda AT
+
+* with the budget threaded through the recursion (the paper's approach), and
+* by first computing the unconstrained front and then querying it
+  (Equation (1) — correct but slower when the budget is small).
+"""
+
+import pytest
+
+from repro.core.bottom_up import (
+    max_damage_given_cost_treelike,
+    pareto_front_treelike,
+)
+from repro.core.bottom_up_prob import (
+    max_expected_damage_given_cost_treelike,
+    pareto_front_treelike_probabilistic,
+)
+
+BUDGET = 7  # the case-study budget: internal leakage + base-station compromise
+
+
+def test_ablation_dgc_with_budget_pruning(benchmark, panda_deterministic):
+    value, _ = benchmark(max_damage_given_cost_treelike, panda_deterministic, BUDGET)
+    assert value == 65
+
+
+def test_ablation_dgc_via_full_front(benchmark, panda_deterministic):
+    def run():
+        return pareto_front_treelike(panda_deterministic).max_damage_given_cost(BUDGET)
+
+    value = benchmark(run)
+    assert value == 65
+
+
+def test_ablation_edgc_with_budget_pruning(benchmark, panda_model):
+    value, _ = benchmark(max_expected_damage_given_cost_treelike, panda_model, BUDGET)
+    assert value == pytest.approx(27.555)
+
+
+def test_ablation_edgc_via_full_front(benchmark, panda_model):
+    def run():
+        return pareto_front_treelike_probabilistic(panda_model).max_damage_given_cost(BUDGET)
+
+    value = benchmark(run)
+    assert value == pytest.approx(27.555)

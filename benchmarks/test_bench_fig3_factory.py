@@ -1,0 +1,27 @@
+"""E-FIG3: the Pareto front of the factory running example (Fig. 3).
+
+Regenerates the CDPF of Fig. 1 / Example 2 with all three methods and
+checks that each reproduces the published front
+``{(0,0), (1,200), (3,210), (5,310)}``.
+"""
+
+from repro.core.bilp import pareto_front_bilp
+from repro.core.bottom_up import pareto_front_treelike
+from repro.core.enumerative import enumerate_pareto_front
+
+PAPER_FRONT = [(0, 0), (1, 200), (3, 210), (5, 310)]
+
+
+def test_fig3_bottom_up(benchmark, factory_model):
+    front = benchmark(pareto_front_treelike, factory_model)
+    assert front.values() == PAPER_FRONT
+
+
+def test_fig3_bilp(benchmark, factory_model):
+    front = benchmark(pareto_front_bilp, factory_model)
+    assert front.values() == PAPER_FRONT
+
+
+def test_fig3_enumerative(benchmark, factory_model):
+    front = benchmark(enumerate_pareto_front, factory_model)
+    assert front.values() == PAPER_FRONT

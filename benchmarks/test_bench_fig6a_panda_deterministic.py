@@ -1,0 +1,35 @@
+"""E-FIG6A: deterministic cost-damage Pareto front of the panda IoT AT.
+
+Fig. 6a of the paper: 8 nonzero Pareto-optimal attacks, anchored by
+internal leakage (b18) and base-station compromise.  The bottom-up method
+(Theorem 4) is the paper's method of choice for this treelike AT; the BILP
+method is benchmarked on the same instance for comparison (Table III row 1).
+"""
+
+from repro.core.bilp import pareto_front_bilp
+from repro.core.bottom_up import (
+    max_damage_given_cost_treelike,
+    pareto_front_treelike,
+)
+
+PAPER_FRONT = [
+    (0, 0), (3, 20), (4, 50), (7, 65), (11, 75), (13, 80), (17, 90), (22, 95), (30, 100),
+]
+
+
+def test_fig6a_bottom_up(benchmark, panda_deterministic):
+    front = benchmark(pareto_front_treelike, panda_deterministic)
+    assert front.values() == PAPER_FRONT
+
+
+def test_fig6a_bilp(benchmark, panda_deterministic):
+    front = benchmark(pareto_front_bilp, panda_deterministic)
+    assert front.values() == PAPER_FRONT
+
+
+def test_fig6a_dgc_budget7(benchmark, panda_deterministic):
+    """The DgC query used in the case-study discussion: budget 7 yields the
+    combination of internal leakage and base-station compromise (damage 65)."""
+    value, attack = benchmark(max_damage_given_cost_treelike, panda_deterministic, 7)
+    assert value == 65
+    assert "b18" in attack

@@ -1,0 +1,31 @@
+"""E-FIG6B: cost-expected-damage Pareto front of the panda IoT AT.
+
+Fig. 6b of the paper: the probabilistic front has ~31 Pareto-optimal
+attacks (vs 8 deterministically); its published prefix is
+(3, 18.0), (7, 27.6), (11, 30.8), (13, 37.0), (16, 39.8) and {b18} appears
+in every optimal attack.
+"""
+
+import pytest
+
+from repro.core.bottom_up_prob import (
+    max_expected_damage_given_cost_treelike,
+    pareto_front_treelike_probabilistic,
+)
+
+PAPER_PREFIX = [(3, 18.0), (7, 27.6), (11, 30.8), (13, 37.0), (16, 39.8)]
+
+
+def test_fig6b_bottom_up(benchmark, panda_model):
+    front = benchmark(pareto_front_treelike_probabilistic, panda_model)
+    rounded = {(round(c), round(d, 1)) for c, d in front.values()}
+    for point in PAPER_PREFIX:
+        assert point in rounded
+    assert len(front) >= 25  # the paper reports 31 Pareto-optimal attacks
+
+
+def test_fig6b_edgc_budget3(benchmark, panda_model):
+    """EDgC with budget 3: internal leakage alone, expected damage 18.0."""
+    value, attack = benchmark(max_expected_damage_given_cost_treelike, panda_model, 3)
+    assert value == pytest.approx(18.0)
+    assert attack == frozenset({"b18"})

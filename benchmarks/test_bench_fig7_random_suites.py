@@ -1,0 +1,123 @@
+"""E-FIG7A/B/C/D: scaling on randomly generated AT suites.
+
+Fig. 7 of the paper times the methods on 500 random treelike and 500 random
+DAG-like ATs with up to ~120 nodes, grouped by ⌊|N|/10⌋.  The benchmarks
+below time each method over a scaled-down suite (ATs up to ~40 nodes, one
+per size target) as a single aggregated workload; the module's ``__main__``
+prints the Fig. 7a/7b/7c series and the Fig. 7d statistics table from the
+same harness, and can be dialled up to the paper's full suite sizes.
+
+The reproduced claims are the orderings: bottom-up ≪ BILP ≪ enumerative on
+treelike ATs, BILP ≪ enumerative on DAGs, and probabilistic bottom-up slower
+than deterministic bottom-up.
+"""
+
+import pytest
+
+from repro.core.bilp import pareto_front_bilp
+from repro.core.bottom_up import pareto_front_treelike
+from repro.core.bottom_up_prob import pareto_front_treelike_probabilistic
+from repro.core.enumerative import enumerate_pareto_front
+
+
+def _deterministic_models(suite):
+    return [model.deterministic() for model in suite]
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 7a — treelike, deterministic: Enum vs BU vs BILP
+# --------------------------------------------------------------------------- #
+def test_fig7a_tree_det_bottom_up(benchmark, small_tree_suite):
+    models = _deterministic_models(small_tree_suite)
+
+    def run():
+        return [pareto_front_treelike(model) for model in models]
+
+    fronts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(front.is_consistent() for front in fronts)
+
+
+def test_fig7a_tree_det_bilp(benchmark, small_tree_suite):
+    models = _deterministic_models(small_tree_suite)
+
+    def run():
+        return [pareto_front_bilp(model) for model in models]
+
+    fronts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(front.is_consistent() for front in fronts)
+
+
+def test_fig7a_tree_det_enumerative_small(benchmark, small_tree_suite):
+    models = [
+        model.deterministic()
+        for model in small_tree_suite
+        if len(model.tree.basic_attack_steps) <= 10
+    ]
+
+    def run():
+        return [enumerate_pareto_front(model) for model in models]
+
+    fronts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(fronts) == len(models)
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 7b — treelike, probabilistic: BU (enumerative skipped above |B| = 10)
+# --------------------------------------------------------------------------- #
+def test_fig7b_tree_prob_bottom_up(benchmark, small_tree_suite):
+    def run():
+        return [pareto_front_treelike_probabilistic(model) for model in small_tree_suite]
+
+    fronts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(front.is_consistent() for front in fronts)
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 7c — DAG-like, deterministic: BILP (enumerative limited to small |B|)
+# --------------------------------------------------------------------------- #
+def test_fig7c_dag_det_bilp(benchmark, small_dag_suite):
+    models = _deterministic_models(small_dag_suite)
+
+    def run():
+        return [pareto_front_bilp(model) for model in models]
+
+    fronts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(front.is_consistent() for front in fronts)
+
+
+def test_fig7c_dag_det_enumerative_small(benchmark, small_dag_suite):
+    models = [
+        model.deterministic()
+        for model in small_dag_suite
+        if len(model.tree.basic_attack_steps) <= 10
+    ]
+
+    def run():
+        return [enumerate_pareto_front(model) for model in models]
+
+    fronts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(fronts) == len(models)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual reporting entry point
+    from repro.attacktree.random_gen import RandomSuiteSpec
+    from repro.experiments.random_suite import (
+        render_fig7_series,
+        render_fig7d_statistics,
+        run_suite_timings,
+        summarize,
+    )
+
+    tree_spec = RandomSuiteSpec(max_target_size=100, trees_per_size=5, treelike=True)
+    dag_spec = RandomSuiteSpec(max_target_size=100, trees_per_size=5, treelike=False)
+    tree_det = run_suite_timings(tree_spec, probabilistic=False)
+    tree_prob = run_suite_timings(tree_spec, probabilistic=True, include_bilp=False)
+    dag_det = run_suite_timings(dag_spec, probabilistic=False)
+    print(render_fig7_series(tree_det, "Fig. 7a — T_tree deterministic"))
+    print()
+    print(render_fig7_series(tree_prob, "Fig. 7b — T_tree probabilistic"))
+    print()
+    print(render_fig7_series(dag_det, "Fig. 7c — T_DAG deterministic"))
+    print()
+    print(render_fig7d_statistics(summarize(tree_det + tree_prob + dag_det),
+                                  "Fig. 7d — overall statistics"))

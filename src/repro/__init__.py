@@ -1,0 +1,69 @@
+"""Cost-damage analysis of attack trees.
+
+A Python reproduction of *"Cost-damage analysis of attack trees"*
+(Lopuhaä-Zwakenberg & Stoelinga, DSN 2023): exact algorithms for the
+cost-damage Pareto front and the derived single-objective problems on
+attack trees, in both deterministic and probabilistic settings, together
+with the substrates the paper depends on (attack-tree data structures, an
+ILP stack, case-study models, random workload generation) and the full
+experiment harness of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import AttackTreeBuilder, CostDamageAnalyzer
+>>> builder = AttackTreeBuilder()
+>>> _ = builder.bas("ca", cost=1, label="cyberattack")
+>>> _ = builder.bas("pb", cost=3, label="place bomb")
+>>> _ = builder.bas("fd", cost=2, damage=10, label="force door")
+>>> _ = builder.and_gate("dr", ["pb", "fd"], damage=100)
+>>> _ = builder.or_gate("ps", ["ca", "dr"], damage=200)
+>>> analyzer = CostDamageAnalyzer(builder.build_cd(root="ps"))
+>>> analyzer.pareto_front().values()
+[(0.0, 0.0), (1.0, 200.0), (3.0, 210.0), (5.0, 310.0)]
+"""
+
+from .attacktree import (
+    AttackTree,
+    AttackTreeBuilder,
+    AttackTreeError,
+    CostDamageAT,
+    CostDamageProbAT,
+    Node,
+    NodeType,
+)
+from .attacktree import catalog
+from .core import (
+    CostDamageAnalyzer,
+    Method,
+    Problem,
+    SolveResult,
+    attack_cost,
+    attack_damage,
+    capability_matrix,
+    solve,
+)
+from .pareto import ParetoFront, ParetoPoint
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackTree",
+    "AttackTreeBuilder",
+    "AttackTreeError",
+    "CostDamageAT",
+    "CostDamageAnalyzer",
+    "CostDamageProbAT",
+    "Method",
+    "Node",
+    "NodeType",
+    "ParetoFront",
+    "ParetoPoint",
+    "Problem",
+    "SolveResult",
+    "attack_cost",
+    "attack_damage",
+    "capability_matrix",
+    "catalog",
+    "solve",
+    "__version__",
+]

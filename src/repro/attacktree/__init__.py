@@ -1,0 +1,47 @@
+"""Attack-tree substrate: data structures, decorations, catalogues, generators.
+
+This subpackage implements everything the cost-damage algorithms need from
+the attack-tree formalism itself (Definitions 1–5 of the paper): the rooted
+DAG of OR/AND gates over basic attack steps, the cost/damage/probability
+decorations, binarisation and other rewrites, serialization, the case-study
+trees from the literature, and the random-AT generator used in the
+evaluation.
+"""
+
+from .attributes import (
+    AttributeError_,
+    CostDamageAT,
+    CostDamageProbAT,
+    validate_cost_map,
+    validate_damage_map,
+    validate_probability_map,
+)
+from .binarize import binarize_cd, binarize_cdp, binarize_tree, is_binary
+from .builder import AttackTreeBuilder
+from .node import Node, NodeType
+from .tree import AttackTree, AttackTreeError
+from . import catalog, interop, metrics, random_gen, serialization, transform
+
+__all__ = [
+    "AttackTree",
+    "AttackTreeError",
+    "AttackTreeBuilder",
+    "AttributeError_",
+    "CostDamageAT",
+    "CostDamageProbAT",
+    "Node",
+    "NodeType",
+    "binarize_cd",
+    "binarize_cdp",
+    "binarize_tree",
+    "is_binary",
+    "catalog",
+    "interop",
+    "metrics",
+    "random_gen",
+    "serialization",
+    "transform",
+    "validate_cost_map",
+    "validate_damage_map",
+    "validate_probability_map",
+]

@@ -1,0 +1,275 @@
+"""Attribute decorations: cd-ATs and cdp-ATs.
+
+The paper attaches a *damage* value ``d(v) ≥ 0`` to every node, a *cost*
+value ``c(v) ≥ 0`` to every BAS, and — in the probabilistic setting — a
+success probability ``p(v) ∈ [0, 1]`` to every BAS (Definitions 4 and 5).
+
+:class:`CostDamageAT` bundles an :class:`~repro.attacktree.tree.AttackTree`
+with cost and damage maps (a *cd-AT*); :class:`CostDamageProbAT` adds the
+probability map (a *cdp-AT*).  Both validate their decorations eagerly so
+that algorithms can assume totality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from .tree import AttackTree
+
+__all__ = ["CostDamageAT", "CostDamageProbAT", "AttributeError_", "validate_cost_map",
+           "validate_damage_map", "validate_probability_map"]
+
+
+class AttributeError_(ValueError):
+    """Raised when a cost/damage/probability decoration is invalid.
+
+    The trailing underscore avoids shadowing the built-in ``AttributeError``.
+    """
+
+
+def validate_cost_map(tree: AttackTree, cost: Mapping[str, float]) -> Dict[str, float]:
+    """Validate a cost map ``c : B -> R≥0`` and return a defensive copy.
+
+    Every BAS must be assigned a finite non-negative cost; non-BAS keys are
+    rejected (the paper explicitly restricts costs to BASs — internal costs
+    are modelled via dummy BASs, see :mod:`repro.attacktree.transform`).
+    """
+    result: Dict[str, float] = {}
+    bas = tree.basic_attack_steps
+    extra = set(cost) - set(bas)
+    if extra:
+        raise AttributeError_(
+            f"cost map assigns costs to non-BAS nodes: {sorted(extra)!r}; "
+            "use transform.push_internal_costs to model internal costs"
+        )
+    missing = set(bas) - set(cost)
+    if missing:
+        raise AttributeError_(f"cost map is missing BASs: {sorted(missing)!r}")
+    for name in bas:
+        value = float(cost[name])
+        if not math.isfinite(value) or value < 0:
+            raise AttributeError_(
+                f"cost of BAS {name!r} must be a finite non-negative number, got {value!r}"
+            )
+        result[name] = value
+    return result
+
+
+def validate_damage_map(tree: AttackTree, damage: Mapping[str, float]) -> Dict[str, float]:
+    """Validate a damage map ``d : N -> R≥0`` and return a total copy.
+
+    Nodes missing from the map default to damage ``0``; unknown keys are an
+    error, negative or non-finite values are an error.
+    """
+    unknown = set(damage) - set(tree.nodes)
+    if unknown:
+        raise AttributeError_(f"damage map references unknown nodes: {sorted(unknown)!r}")
+    result: Dict[str, float] = {}
+    for name in tree.node_names:
+        value = float(damage.get(name, 0.0))
+        if not math.isfinite(value) or value < 0:
+            raise AttributeError_(
+                f"damage of node {name!r} must be a finite non-negative number, got {value!r}"
+            )
+        result[name] = value
+    return result
+
+
+def validate_probability_map(
+    tree: AttackTree, probability: Mapping[str, float]
+) -> Dict[str, float]:
+    """Validate a probability map ``p : B -> [0, 1]`` and return a copy."""
+    bas = tree.basic_attack_steps
+    extra = set(probability) - set(bas)
+    if extra:
+        raise AttributeError_(
+            f"probability map assigns values to non-BAS nodes: {sorted(extra)!r}"
+        )
+    missing = set(bas) - set(probability)
+    if missing:
+        raise AttributeError_(f"probability map is missing BASs: {sorted(missing)!r}")
+    result: Dict[str, float] = {}
+    for name in bas:
+        value = float(probability[name])
+        if not (0.0 <= value <= 1.0):
+            raise AttributeError_(
+                f"success probability of BAS {name!r} must lie in [0, 1], got {value!r}"
+            )
+        result[name] = value
+    return result
+
+
+@dataclass(frozen=True)
+class CostDamageAT:
+    """A cd-AT: an attack tree with cost and damage decorations.
+
+    Attributes
+    ----------
+    tree:
+        The underlying attack tree.
+    cost:
+        Cost map over the BASs (``c`` in the paper).
+    damage:
+        Damage map over all nodes (``d`` in the paper); nodes absent from the
+        constructor argument carry damage ``0``.
+    """
+
+    tree: AttackTree
+    cost: Mapping[str, float]
+    damage: Mapping[str, float]
+
+    def __init__(
+        self,
+        tree: AttackTree,
+        cost: Mapping[str, float],
+        damage: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        object.__setattr__(self, "tree", tree)
+        object.__setattr__(self, "cost", validate_cost_map(tree, cost))
+        object.__setattr__(self, "damage", validate_damage_map(tree, damage or {}))
+
+    # -- convenience accessors ----------------------------------------- #
+    @property
+    def basic_attack_steps(self) -> FrozenSet[str]:
+        """The BAS set ``B`` of the underlying tree."""
+        return self.tree.basic_attack_steps
+
+    @property
+    def root(self) -> str:
+        """The root node name ``R_T``."""
+        return self.tree.root
+
+    def cost_of(self, bas: str) -> float:
+        """Return ``c(v)`` for a BAS."""
+        try:
+            return self.cost[bas]
+        except KeyError:
+            raise KeyError(f"{bas!r} is not a BAS of this cd-AT") from None
+
+    def damage_of(self, node: str) -> float:
+        """Return ``d(v)`` for any node."""
+        try:
+            return self.damage[node]
+        except KeyError:
+            raise KeyError(f"{node!r} is not a node of this cd-AT") from None
+
+    def total_cost_upper_bound(self) -> float:
+        """Return the cost of activating every BAS (an upper bound on ĉ)."""
+        return sum(self.cost.values())
+
+    def total_damage_upper_bound(self) -> float:
+        """Return the sum of all damage values (an upper bound on d̂)."""
+        return sum(self.damage.values())
+
+    def with_probabilities(self, probability: Mapping[str, float]) -> "CostDamageProbAT":
+        """Extend this cd-AT into a cdp-AT with the given success probabilities."""
+        return CostDamageProbAT(self.tree, self.cost, self.damage, probability)
+
+    def restricted_to(self, node: str) -> "CostDamageAT":
+        """Return the cd-AT induced on the sub-DAG rooted at ``node``.
+
+        Costs and damages are restricted to the nodes of the sub-DAG; this is
+        the decorated version of ``T_v`` used throughout the bottom-up proofs.
+        """
+        subtree = self.tree.subtree(node)
+        sub_cost = {b: self.cost[b] for b in subtree.basic_attack_steps}
+        sub_damage = {n: self.damage[n] for n in subtree.node_names}
+        return CostDamageAT(subtree, sub_cost, sub_damage)
+
+    def describe(self) -> str:
+        """Return a multi-line summary of the decoration."""
+        lines = [repr(self.tree)]
+        for name in self.tree.topological_order(reverse=True):
+            node = self.tree.node(name)
+            parts = [node.describe(), f"d={self.damage[name]:g}"]
+            if node.is_bas:
+                parts.append(f"c={self.cost[name]:g}")
+            lines.append("  " + "  ".join(parts))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CostDamageProbAT:
+    """A cdp-AT: a cd-AT whose BASs additionally carry success probabilities."""
+
+    tree: AttackTree
+    cost: Mapping[str, float]
+    damage: Mapping[str, float]
+    probability: Mapping[str, float]
+
+    def __init__(
+        self,
+        tree: AttackTree,
+        cost: Mapping[str, float],
+        damage: Optional[Mapping[str, float]] = None,
+        probability: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        object.__setattr__(self, "tree", tree)
+        object.__setattr__(self, "cost", validate_cost_map(tree, cost))
+        object.__setattr__(self, "damage", validate_damage_map(tree, damage or {}))
+        if probability is None:
+            probability = {b: 1.0 for b in tree.basic_attack_steps}
+        object.__setattr__(
+            self, "probability", validate_probability_map(tree, probability)
+        )
+
+    @property
+    def basic_attack_steps(self) -> FrozenSet[str]:
+        """The BAS set ``B`` of the underlying tree."""
+        return self.tree.basic_attack_steps
+
+    @property
+    def root(self) -> str:
+        """The root node name ``R_T``."""
+        return self.tree.root
+
+    def cost_of(self, bas: str) -> float:
+        """Return ``c(v)`` for a BAS."""
+        try:
+            return self.cost[bas]
+        except KeyError:
+            raise KeyError(f"{bas!r} is not a BAS of this cdp-AT") from None
+
+    def damage_of(self, node: str) -> float:
+        """Return ``d(v)`` for any node."""
+        try:
+            return self.damage[node]
+        except KeyError:
+            raise KeyError(f"{node!r} is not a node of this cdp-AT") from None
+
+    def probability_of(self, bas: str) -> float:
+        """Return ``p(v)`` for a BAS."""
+        try:
+            return self.probability[bas]
+        except KeyError:
+            raise KeyError(f"{bas!r} is not a BAS of this cdp-AT") from None
+
+    def deterministic(self) -> CostDamageAT:
+        """Drop the probability decoration, returning the underlying cd-AT."""
+        return CostDamageAT(self.tree, self.cost, self.damage)
+
+    def is_effectively_deterministic(self, tolerance: float = 0.0) -> bool:
+        """Return ``True`` when every BAS succeeds with probability ≈ 1."""
+        return all(p >= 1.0 - tolerance for p in self.probability.values())
+
+    def restricted_to(self, node: str) -> "CostDamageProbAT":
+        """Return the cdp-AT induced on the sub-DAG rooted at ``node``."""
+        subtree = self.tree.subtree(node)
+        sub_cost = {b: self.cost[b] for b in subtree.basic_attack_steps}
+        sub_damage = {n: self.damage[n] for n in subtree.node_names}
+        sub_prob = {b: self.probability[b] for b in subtree.basic_attack_steps}
+        return CostDamageProbAT(subtree, sub_cost, sub_damage, sub_prob)
+
+    def describe(self) -> str:
+        """Return a multi-line summary of the decoration."""
+        lines = [repr(self.tree)]
+        for name in self.tree.topological_order(reverse=True):
+            node = self.tree.node(name)
+            parts = [node.describe(), f"d={self.damage[name]:g}"]
+            if node.is_bas:
+                parts.append(f"c={self.cost[name]:g}")
+                parts.append(f"p={self.probability[name]:g}")
+            lines.append("  " + "  ".join(parts))
+        return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Binarisation of attack trees.
+
+The bottom-up recursions of the paper (Sections VI and IX) are stated for
+*binary* ATs — every gate has exactly two children — "purely to simplify
+notation": any AT can be rewritten into an equivalent binary one by chaining
+gates.  Our solvers handle arbitrary arity directly, but this module provides
+the explicit rewrite so that tests can confirm the two formulations agree and
+so that users can normalise trees when interfacing with other tools.
+
+The rewrite replaces a gate ``g = OP(v1, ..., vk)`` (k > 2) with a right-deep
+chain ``OP(v1, OP(v2, OP(..., OP(v_{k-1}, v_k))))``.  The freshly introduced
+helper gates carry zero damage so that the cost/damage semantics of every
+*original* node — and hence ĉ, d̂ and d̂_E — are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .attributes import CostDamageAT, CostDamageProbAT
+from .node import Node, NodeType
+from .tree import AttackTree
+
+__all__ = ["binarize_tree", "binarize_cd", "binarize_cdp", "is_binary"]
+
+_HELPER_SUFFIX = "__bin"
+
+
+def is_binary(tree: AttackTree) -> bool:
+    """Return ``True`` when every gate of the tree has exactly two children.
+
+    Unary gates are also rejected: the paper's binary normal form has
+    ``|Ch(v)| ∈ {0, 2}``.
+    """
+    return all(
+        tree.node(name).arity == 2 for name in tree.gates
+    )
+
+
+def _fresh_name(base: str, index: int, existing: set) -> str:
+    """Return a helper-gate name that does not clash with existing nodes."""
+    candidate = f"{base}{_HELPER_SUFFIX}{index}"
+    while candidate in existing:
+        candidate = candidate + "_"
+    return candidate
+
+
+def binarize_tree(tree: AttackTree) -> Tuple[AttackTree, Dict[str, str]]:
+    """Rewrite an attack tree so that every gate has exactly two children.
+
+    Gates with a single child are left untouched (they are already handled
+    by the fold-based solvers and cannot be split further).
+
+    Returns
+    -------
+    (binary_tree, helper_origin):
+        ``binary_tree`` is the rewritten tree; ``helper_origin`` maps each
+        freshly introduced helper-gate name to the original gate it was
+        split from (useful for mapping results back).
+    """
+    existing = set(tree.nodes)
+    new_nodes: List[Node] = []
+    helper_origin: Dict[str, str] = {}
+
+    for name in tree.node_names:
+        node = tree.node(name)
+        if node.is_bas or node.arity <= 2:
+            new_nodes.append(node)
+            continue
+        # Split an n-ary gate into a right-deep chain of binary gates.
+        children = list(node.children)
+        # Build helpers bottom-up: the last helper pairs the final two children.
+        previous = children[-1]
+        helper_count = 0
+        for child in reversed(children[1:-1]):
+            helper_count += 1
+            helper_name = _fresh_name(node.name, helper_count, existing)
+            existing.add(helper_name)
+            helper_origin[helper_name] = node.name
+            new_nodes.append(
+                Node(
+                    name=helper_name,
+                    type=node.type,
+                    children=(child, previous),
+                    label=f"binarisation helper for {node.name}",
+                )
+            )
+            previous = helper_name
+        new_nodes.append(node.with_children((children[0], previous)))
+
+    return AttackTree(new_nodes, root=tree.root), helper_origin
+
+
+def binarize_cd(cdat: CostDamageAT) -> Tuple[CostDamageAT, Dict[str, str]]:
+    """Binarise a cd-AT; helper gates carry zero damage.
+
+    The BAS set, the costs and the damage of every original node are
+    preserved, so every attack has the same cost and damage in the original
+    and in the binarised cd-AT.
+    """
+    binary_tree, helper_origin = binarize_tree(cdat.tree)
+    damage = {n: cdat.damage.get(n, 0.0) for n in cdat.tree.node_names}
+    return CostDamageAT(binary_tree, dict(cdat.cost), damage), helper_origin
+
+
+def binarize_cdp(cdpat: CostDamageProbAT) -> Tuple[CostDamageProbAT, Dict[str, str]]:
+    """Binarise a cdp-AT; helper gates carry zero damage."""
+    binary_tree, helper_origin = binarize_tree(cdpat.tree)
+    damage = {n: cdpat.damage.get(n, 0.0) for n in cdpat.tree.node_names}
+    return (
+        CostDamageProbAT(binary_tree, dict(cdpat.cost), damage, dict(cdpat.probability)),
+        helper_origin,
+    )

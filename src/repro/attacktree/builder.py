@@ -1,0 +1,182 @@
+"""Fluent construction of (decorated) attack trees.
+
+:class:`AttackTreeBuilder` lets callers declare nodes one by one — in any
+order — together with their cost/damage/probability decorations, and then
+produce an immutable :class:`~repro.attacktree.tree.AttackTree`,
+:class:`~repro.attacktree.attributes.CostDamageAT` or
+:class:`~repro.attacktree.attributes.CostDamageProbAT`.
+
+Example
+-------
+The running example of the paper (Fig. 1) is written as::
+
+    builder = AttackTreeBuilder()
+    builder.bas("ca", cost=1, label="cyberattack")
+    builder.bas("pb", cost=3, label="place bomb")
+    builder.bas("fd", cost=2, damage=10, label="force door")
+    builder.and_gate("dr", ["pb", "fd"], damage=100, label="destroy robot")
+    builder.or_gate("ps", ["ca", "dr"], damage=200, label="production shutdown")
+    cdat = builder.build_cd(root="ps")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .attributes import CostDamageAT, CostDamageProbAT
+from .node import Node, NodeType
+from .tree import AttackTree, AttackTreeError
+
+__all__ = ["AttackTreeBuilder"]
+
+
+class AttackTreeBuilder:
+    """Incrementally assemble an attack tree and its decorations."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, Node] = {}
+        self._cost: Dict[str, float] = {}
+        self._damage: Dict[str, float] = {}
+        self._probability: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # node declaration
+    # ------------------------------------------------------------------ #
+    def bas(
+        self,
+        name: str,
+        *,
+        cost: float = 0.0,
+        damage: float = 0.0,
+        probability: Optional[float] = None,
+        label: str = "",
+    ) -> "AttackTreeBuilder":
+        """Declare a basic attack step.
+
+        Parameters
+        ----------
+        name:
+            Unique node name.
+        cost:
+            Activation cost ``c(v)`` (defaults to 0).
+        damage:
+            Damage ``d(v)`` done when the BAS itself is reached (defaults to 0).
+        probability:
+            Success probability ``p(v)``; only meaningful when building a
+            cdp-AT.  ``None`` means "not specified" and defaults to 1 at
+            build time.
+        label:
+            Optional human-readable description.
+        """
+        self._register(Node(name=name, type=NodeType.BAS, label=label))
+        self._cost[name] = float(cost)
+        if damage:
+            self._damage[name] = float(damage)
+        if probability is not None:
+            self._probability[name] = float(probability)
+        return self
+
+    def or_gate(
+        self,
+        name: str,
+        children: Sequence[str],
+        *,
+        damage: float = 0.0,
+        label: str = "",
+    ) -> "AttackTreeBuilder":
+        """Declare an OR gate over the given children."""
+        self._register(
+            Node(name=name, type=NodeType.OR, children=tuple(children), label=label)
+        )
+        if damage:
+            self._damage[name] = float(damage)
+        return self
+
+    def and_gate(
+        self,
+        name: str,
+        children: Sequence[str],
+        *,
+        damage: float = 0.0,
+        label: str = "",
+    ) -> "AttackTreeBuilder":
+        """Declare an AND gate over the given children."""
+        self._register(
+            Node(name=name, type=NodeType.AND, children=tuple(children), label=label)
+        )
+        if damage:
+            self._damage[name] = float(damage)
+        return self
+
+    def gate(
+        self,
+        name: str,
+        type_: NodeType,
+        children: Sequence[str],
+        *,
+        damage: float = 0.0,
+        label: str = "",
+    ) -> "AttackTreeBuilder":
+        """Declare a gate whose type is chosen at run time."""
+        if type_ is NodeType.OR:
+            return self.or_gate(name, children, damage=damage, label=label)
+        if type_ is NodeType.AND:
+            return self.and_gate(name, children, damage=damage, label=label)
+        raise ValueError(f"gate type must be OR or AND, got {type_!r}")
+
+    def set_damage(self, name: str, damage: float) -> "AttackTreeBuilder":
+        """Assign (or overwrite) the damage of an already-declared node."""
+        if name not in self._nodes:
+            raise KeyError(f"node {name!r} has not been declared")
+        self._damage[name] = float(damage)
+        return self
+
+    def set_cost(self, name: str, cost: float) -> "AttackTreeBuilder":
+        """Assign (or overwrite) the cost of an already-declared BAS."""
+        if name not in self._nodes:
+            raise KeyError(f"node {name!r} has not been declared")
+        if not self._nodes[name].is_bas:
+            raise ValueError(f"node {name!r} is not a BAS; only BASs carry costs")
+        self._cost[name] = float(cost)
+        return self
+
+    def set_probability(self, name: str, probability: float) -> "AttackTreeBuilder":
+        """Assign (or overwrite) the success probability of a declared BAS."""
+        if name not in self._nodes:
+            raise KeyError(f"node {name!r} has not been declared")
+        if not self._nodes[name].is_bas:
+            raise ValueError(f"node {name!r} is not a BAS; only BASs carry probabilities")
+        self._probability[name] = float(probability)
+        return self
+
+    def _register(self, node: Node) -> None:
+        if node.name in self._nodes:
+            raise AttackTreeError(f"node {node.name!r} declared twice")
+        self._nodes[node.name] = node
+
+    # ------------------------------------------------------------------ #
+    # building
+    # ------------------------------------------------------------------ #
+    @property
+    def declared_nodes(self) -> List[str]:
+        """Names declared so far (in declaration order)."""
+        return list(self._nodes)
+
+    def build_tree(self, root: Optional[str] = None) -> AttackTree:
+        """Build the bare :class:`AttackTree` (no decorations)."""
+        return AttackTree(self._nodes.values(), root=root)
+
+    def build_cd(self, root: Optional[str] = None) -> CostDamageAT:
+        """Build a cd-AT from the declared nodes, costs and damages."""
+        tree = self.build_tree(root)
+        cost = {b: self._cost.get(b, 0.0) for b in tree.basic_attack_steps}
+        return CostDamageAT(tree, cost, dict(self._damage))
+
+    def build_cdp(self, root: Optional[str] = None) -> CostDamageProbAT:
+        """Build a cdp-AT; BASs without an explicit probability default to 1."""
+        tree = self.build_tree(root)
+        cost = {b: self._cost.get(b, 0.0) for b in tree.basic_attack_steps}
+        probability = {
+            b: self._probability.get(b, 1.0) for b in tree.basic_attack_steps
+        }
+        return CostDamageProbAT(tree, cost, dict(self._damage), probability)

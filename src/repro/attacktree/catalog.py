@@ -1,0 +1,355 @@
+"""Catalogue of attack trees used in the paper's evaluation.
+
+The paper's experiments (Section X) run on:
+
+* the **factory** running example (Fig. 1) — 6 nodes, treelike;
+* the **giant-panda IoT sensor network** (Fig. 4, from Jiang et al. [22]) —
+  22 BASs, treelike;
+* the **data server behind a firewall** (Fig. 5, from Dewri et al. [23]) —
+  12 BASs, DAG-like;
+* a set of **literature building-block ATs** (Table IV) that the random-AT
+  generator of Section X.D combines into larger trees.
+
+The Fig. 4 and Fig. 5 trees are reconstructed from the published figures and,
+where the figure scan is ambiguous, from the published Pareto fronts of
+Fig. 6: the decorations below reproduce the cost/damage coordinates of every
+Pareto-optimal attack reported in the paper (see ``EXPERIMENTS.md``).  The
+Table IV building blocks are not reproduced node-for-node (the original
+papers' figures are not part of this artifact); instead
+:func:`building_blocks` returns synthetic ATs with the same sizes and
+treelike-ness, which is all the random-generation procedure uses.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from .attributes import CostDamageAT, CostDamageProbAT
+from .builder import AttackTreeBuilder
+from .node import NodeType
+from .tree import AttackTree
+
+__all__ = [
+    "factory",
+    "factory_probabilistic",
+    "panda_iot",
+    "data_server",
+    "building_blocks",
+    "example10_or_pair",
+    "knapsack_like_chain",
+]
+
+
+def factory() -> CostDamageAT:
+    """The running example of the paper (Fig. 1).
+
+    Production can be shut down by a cyberattack or by destroying the
+    production robot (forcing the door and placing a bomb).  Damage values
+    are in 1000 USD.
+
+    The cost-damage Pareto front is
+    ``{(0, 0), (1, 200), (3, 210), (5, 310)}`` (Example 2 / Fig. 3).
+    """
+    builder = AttackTreeBuilder()
+    builder.bas("ca", cost=1, label="cyberattack")
+    builder.bas("pb", cost=3, label="place bomb")
+    builder.bas("fd", cost=2, damage=10, label="force door")
+    builder.and_gate("dr", ["pb", "fd"], damage=100, label="destroy robot")
+    builder.or_gate("ps", ["ca", "dr"], damage=200, label="production shutdown")
+    return builder.build_cd(root="ps")
+
+
+def factory_probabilistic() -> CostDamageProbAT:
+    """The factory example extended with the probabilities of Example 8.
+
+    ``p(ca) = 0.2``, ``p(pb) = 0.4``, ``p(fd) = 0.9``; Example 9 computes
+    ``d̂_E(0, 1, 1) = 112``.
+    """
+    return factory().with_probabilities({"ca": 0.2, "pb": 0.4, "fd": 0.9})
+
+
+def panda_iot() -> CostDamageProbAT:
+    """Privacy attacks on a giant-panda IoT monitoring system (Fig. 4).
+
+    22 BASs, 16 gates, treelike.  Costs are unitless 1–5 values; success
+    probabilities 0.1–0.9; damages in million USD concentrate on internal
+    nodes (location info purchased, base station compromised, …) while the
+    top event carries only 5.
+
+    The deterministic Pareto front of this decoration is exactly the one of
+    Fig. 6a:
+
+    ==========  =====  =======
+    attack      cost   damage
+    ==========  =====  =======
+    {b18}          3      20
+    {b19,b20}      4      50
+    A1 ∪ A2        7      65
+    + {b1,b3}     11      75
+    + {b7,b8}     13      80
+    A4 ∪ A5       17      90
+    + {b4,b5}     22      95
+    + {b11..13}   30     100
+    ==========  =====  =======
+    """
+    builder = AttackTreeBuilder()
+    # --- basic attack steps (number, cost, success probability) ---------- #
+    builder.bas("b1", cost=1, probability=0.5, label="obtain messages")
+    builder.bas("b2", cost=4, probability=0.5, label="analytical reasoning")
+    builder.bas("b3", cost=3, probability=0.3, label="brute force")
+    builder.bas("b4", cost=2, probability=0.5, label="look for nodes")
+    builder.bas("b5", cost=3, probability=0.5, label="crack security")
+    builder.bas("b6", cost=2, probability=0.7, label="search information")
+    builder.bas("b7", cost=4, probability=0.9, label="high-monitor equipment")
+    builder.bas("b8", cost=2, probability=0.7, label="physical layer")
+    builder.bas("b9", cost=3, probability=0.7, label="MAC layer")
+    builder.bas("b10", cost=3, probability=0.7, label="appliance layer")
+    builder.bas("b11", cost=2, probability=0.9, label="compute local location info")
+    builder.bas("b12", cost=3, probability=0.9, label="group monitor equipment")
+    builder.bas("b13", cost=3, probability=0.9, label="traffic information collection")
+    builder.bas("b14", cost=2, probability=0.7, label="analyze collected information")
+    builder.bas("b15", cost=1, probability=0.7, label="find base station")
+    builder.bas("b16", cost=3, probability=0.5, label="follow hop-by-hop")
+    builder.bas("b17", cost=4, probability=0.1, label="purchase from 3rd party")
+    builder.bas("b18", cost=3, probability=0.9, label="internal leakage")
+    builder.bas("b19", cost=1, probability=0.7, label="look for base station")
+    builder.bas("b20", cost=3, probability=0.3, label="crack password")
+    builder.bas("b21", cost=1, probability=0.3, label="send malicious codes to base station")
+    builder.bas("b22", cost=3, probability=0.3, label="malicious codes ran")
+
+    # --- message-deciphering branch -------------------------------------- #
+    builder.or_gate("password_cracked", ["b2", "b3"], label="password cracked")
+    builder.and_gate("messages_deciphered", ["b1", "password_cracked"], damage=10,
+                     label="messages deciphered")
+    # --- node-compromise branch ------------------------------------------ #
+    builder.and_gate("node_compromised", ["b4", "b5"], damage=5,
+                     label="node compromised")
+    builder.and_gate("info_through_node", ["node_compromised", "b6"],
+                     label="info obtained through node")
+    builder.or_gate("location_info_captured", ["messages_deciphered", "info_through_node"],
+                    label="location info captured")
+    # --- global eavesdropping branch -------------------------------------- #
+    builder.or_gate("global_traffic_collection", ["b8", "b9", "b10"],
+                    label="global traffic info collection")
+    builder.and_gate("global_info_compromised", ["b7", "global_traffic_collection"],
+                     damage=15, label="global info compromised")
+    builder.and_gate("global_eavesdropping", ["global_info_compromised", "b14"],
+                     label="global eavesdropping")
+    # --- group and local eavesdropping ------------------------------------ #
+    builder.and_gate("group_eavesdropping", ["b11", "b12", "b13"], damage=5,
+                     label="group eavesdropping")
+    builder.and_gate("local_eavesdropping", ["b15", "b16"],
+                     label="local eavesdropping")
+    builder.or_gate(
+        "location_info_eavesdropped",
+        ["location_info_captured", "global_eavesdropping",
+         "group_eavesdropping", "local_eavesdropping"],
+        label="location info eavesdropped",
+    )
+    # --- base-station compromise ------------------------------------------ #
+    builder.and_gate("physical_theft", ["b19", "b20"], label="physical theft")
+    builder.and_gate("code_theft", ["b21", "b22"], label="code theft")
+    builder.or_gate("base_station_compromised", ["physical_theft", "code_theft"],
+                    damage=45, label="base station compromised")
+    # --- purchased information --------------------------------------------- #
+    builder.or_gate("location_info_purchased", ["b17", "b18"], damage=15,
+                    label="location info purchased")
+    # --- top event ---------------------------------------------------------- #
+    builder.or_gate(
+        "location_privacy_leakage",
+        ["location_info_eavesdropped", "base_station_compromised",
+         "location_info_purchased"],
+        damage=5,
+        label="location privacy leakage",
+    )
+    return builder.build_cdp(root="location_privacy_leakage")
+
+
+def data_server() -> CostDamageAT:
+    """Attacks on a data server on a network behind a firewall (Fig. 5).
+
+    12 BASs, DAG-like (the FTP-server connection BAS is shared by three
+    gates).  Damage values are unitless composites from Dewri et al.; costs
+    are attack durations in seconds.  Only the deterministic setting applies
+    (the paper leaves probabilistic DAG analysis open).
+
+    The cost-damage Pareto front of this decoration is exactly Fig. 6c:
+    ``(250, 24), (568, 60), (976, 70.8), (1131, 75.8), (1281, 82.8)`` plus
+    the empty attack.
+    """
+    builder = AttackTreeBuilder()
+    builder.bas("b1", cost=100, label="internet connection to SMTP server")
+    builder.bas("b2", cost=161, label="FTP rhost attack on SMTP server")
+    builder.bas("b3", cost=147, label="RSH login to SMTP server")
+    builder.bas("b4", cost=155, label="LICQ remote-to-user attack (terminal)")
+    builder.bas("b5", cost=150, label='local buffer overflow at "at" daemon')
+    builder.bas("b6", cost=100, label="internet connection to FTP server")
+    builder.bas("b7", cost=155, label="attack via SSH")
+    builder.bas("b8", cost=150, label="attack via FTP")
+    builder.bas("b9", cost=161, label="FTP rhost attack on FTP server")
+    builder.bas("b10", cost=147, label="RSH login to FTP server")
+    builder.bas("b11", cost=155, label="LICQ remote-to-user attack (data server)")
+    builder.bas("b12", cost=163, label="suid buffer overflow")
+
+    # --- SMTP server / terminal chain -------------------------------------- #
+    builder.and_gate("smtp_auth_bypassed", ["b2", "b3"],
+                     label="SMTP authentication bypassed")
+    builder.and_gate("user_access_smtp", ["b1", "smtp_auth_bypassed"], damage=10.8,
+                     label="user access to SMTP server")
+    builder.and_gate("user_access_terminal", ["user_access_smtp", "b4"], damage=5.0,
+                     label="user access to terminal")
+    builder.and_gate("root_access_terminal", ["user_access_terminal", "b5"], damage=7.0,
+                     label="root access to terminal")
+    # --- FTP server (b6 is shared: the DAG part) ---------------------------- #
+    builder.and_gate("ftp_auth_bypassed", ["b6", "b9"],
+                     label="FTP authentication bypassed")
+    builder.and_gate("ssh_buffer_overflow", ["b6", "b7"], label="SSH buffer overflow")
+    builder.and_gate("ftp_buffer_overflow", ["b6", "b8"], label="FTP buffer overflow")
+    builder.or_gate("root_access_ftp", ["ssh_buffer_overflow", "ftp_buffer_overflow"],
+                    damage=10.5, label="root access to FTP server")
+    builder.and_gate("login_ftp_server", ["ftp_auth_bypassed", "b10"],
+                     label="login to FTP server")
+    builder.or_gate("user_access_ftp", ["login_ftp_server", "root_access_ftp"],
+                    damage=13.5, label="user access to FTP server")
+    # --- data server --------------------------------------------------------- #
+    builder.or_gate("connect_data_server", ["user_access_ftp", "root_access_terminal"],
+                    label="connect to data server")
+    builder.and_gate("user_access_data_server", ["connect_data_server", "b11"],
+                     label="user access to data server")
+    builder.and_gate("root_access_data_server", ["user_access_data_server", "b12"],
+                     damage=36.0, label="root access to data server")
+    return builder.build_cd(root="root_access_data_server")
+
+
+def example10_or_pair() -> CostDamageProbAT:
+    """The two-BAS OR example of Example 10.
+
+    ``w = OR(v1, v2)`` with ``c(v_i) = 1``, ``d(v_i) = 0``, ``p(v_i) = 0.5``,
+    ``d(w) = 1``.  Deterministically activating one child suffices; in the
+    probabilistic case also attempting the second child is Pareto optimal.
+    """
+    builder = AttackTreeBuilder()
+    builder.bas("v1", cost=1, probability=0.5)
+    builder.bas("v2", cost=1, probability=0.5)
+    builder.or_gate("w", ["v1", "v2"], damage=1)
+    return builder.build_cdp(root="w")
+
+
+def knapsack_like_chain(n: int) -> CostDamageAT:
+    """The exponential-Pareto-front construction of Example 6.
+
+    ``R_T = OR(v_0, ..., v_{n-1})`` with ``c(v_i) = d(v_i) = 2^i`` and
+    ``d(R_T) = 0``.  Every one of the ``2^n`` attacks is Pareto optimal,
+    which shows the exponential lower bound of Theorem 5.
+    """
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    builder = AttackTreeBuilder()
+    names = []
+    for index in range(n):
+        name = f"v{index}"
+        builder.bas(name, cost=float(2 ** index), damage=float(2 ** index))
+        names.append(name)
+    builder.or_gate("root", names, damage=0.0)
+    return builder.build_cd(root="root")
+
+
+# ---------------------------------------------------------------------------- #
+# Table IV building blocks (synthetic stand-ins with matching size/shape)
+# ---------------------------------------------------------------------------- #
+
+_BLOCK_SPECS: Tuple[Tuple[str, int, bool], ...] = (
+    # (name, |N|, treelike) as listed in Table IV of the paper.
+    ("kumar2015_fig1", 12, False),
+    ("kumar2015_fig8", 20, False),
+    ("kumar2015_fig9", 12, False),
+    ("arnold2015_fig1", 16, False),
+    ("kordy2018_fig1", 15, True),
+    ("arnold2014_fig3", 8, True),
+    ("arnold2014_fig5", 21, True),
+    ("arnold2014_fig7", 25, True),
+    ("fraile2016_fig2", 20, True),
+)
+
+
+def _synthetic_block(name: str, size: int, treelike: bool, seed: int) -> AttackTree:
+    """Generate a deterministic synthetic AT with the requested size/shape.
+
+    The tree starts as a root gate over two BASs and grows by repeatedly
+    expanding a random BAS into a gate with two fresh BAS children (each
+    expansion adds two nodes) until at least ``size`` nodes exist.  Gate
+    types alternate between OR and AND by depth parity of the expansion
+    order.  For DAG-shaped blocks, one BAS is finally given a second parent.
+    Generation is deterministic in ``seed`` so the catalogue is stable.
+    """
+    rng = random.Random(seed)
+    counter = {"n": 0}
+
+    def next_name(prefix: str) -> str:
+        counter["n"] += 1
+        return f"{name}_{prefix}{counter['n']}"
+
+    root_name = f"{name}_g0"
+    gate_children: Dict[str, List[str]] = {}
+    gate_type: Dict[str, NodeType] = {}
+    bas_names: List[str] = []
+
+    def new_bas() -> str:
+        bas = next_name("b")
+        bas_names.append(bas)
+        return bas
+
+    gate_type[root_name] = rng.choice([NodeType.OR, NodeType.AND])
+    gate_children[root_name] = [new_bas(), new_bas()]
+    node_count = 3
+
+    while node_count < size and bas_names:
+        # Expand a random BAS into a gate with two fresh BAS children.
+        victim = bas_names.pop(rng.randrange(len(bas_names)))
+        gate_type[victim] = rng.choice([NodeType.OR, NodeType.AND])
+        gate_children[victim] = [new_bas(), new_bas()]
+        node_count += 2
+
+    builder = AttackTreeBuilder()
+    for bas in bas_names:
+        builder.bas(bas)
+    for gate, children in gate_children.items():
+        builder.gate(gate, gate_type[gate], children)
+    tree = builder.build_tree(root=root_name)
+
+    if not treelike and len(bas_names) >= 2:
+        # Give one BAS a second parent to make the block a genuine DAG.
+        donor = bas_names[0]
+        receiver_gate = next(
+            (gate for gate, children in gate_children.items() if donor not in children),
+            None,
+        )
+        if receiver_gate is not None:
+            from .node import Node  # local import to avoid a cycle at module load
+
+            nodes = dict(tree.nodes)
+            original = nodes[receiver_gate]
+            nodes[receiver_gate] = original.with_children(
+                original.children + (donor,)
+            )
+            tree = AttackTree(nodes.values(), root=root_name)
+    return tree
+
+
+def building_blocks(treelike_only: bool = False) -> List[AttackTree]:
+    """Return the Table IV building-block ATs (synthetic stand-ins).
+
+    Parameters
+    ----------
+    treelike_only:
+        When ``True``, return only the treelike blocks — this is the subset
+        the paper uses to generate its treelike random suite ``T_tree``.
+    """
+    blocks = []
+    for index, (name, size, treelike) in enumerate(_BLOCK_SPECS):
+        if treelike_only and not treelike:
+            continue
+        block = _synthetic_block(name, size, treelike, seed=1000 + index)
+        blocks.append(block)
+    return blocks

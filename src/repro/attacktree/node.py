@@ -1,0 +1,113 @@
+"""Node types for attack trees.
+
+An attack tree (AT) is a rooted directed acyclic graph whose leaves are
+*basic attack steps* (BASs) and whose internal nodes are OR- or AND-gates
+(Definition 1 of the paper).  This module defines the node-level vocabulary:
+the :class:`NodeType` enumeration and the :class:`Node` record stored by
+:class:`repro.attacktree.tree.AttackTree`.
+
+Nodes are identified by a string name that is unique within a tree.  The
+:class:`Node` object itself is an immutable value object; all structural
+information (children, parents) lives in the tree so that nodes can be shared
+between trees without aliasing surprises.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["NodeType", "Node"]
+
+
+class NodeType(enum.Enum):
+    """The type ``γ(v)`` of an attack-tree node.
+
+    ``BAS`` nodes are the leaves (basic attack steps); ``OR`` and ``AND``
+    gates are internal nodes whose activation is the disjunction respectively
+    conjunction of their children's activation.
+    """
+
+    BAS = "BAS"
+    OR = "OR"
+    AND = "AND"
+
+    @property
+    def is_gate(self) -> bool:
+        """Return ``True`` for OR/AND gates, ``False`` for BAS leaves."""
+        return self is not NodeType.BAS
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Node:
+    """A single attack-tree node.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the node within its tree.
+    type:
+        The node type ``γ(v)``.
+    children:
+        Names of the node's children, in declaration order.  Empty for BASs.
+    label:
+        Optional human-readable description (e.g. ``"force door"``).  Not
+        used by any algorithm; preserved by serialization.
+    """
+
+    name: str
+    type: NodeType
+    children: Tuple[str, ...] = field(default_factory=tuple)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError("node name must be a non-empty string")
+        if not isinstance(self.type, NodeType):
+            raise TypeError(f"type must be a NodeType, got {self.type!r}")
+        if self.type is NodeType.BAS and self.children:
+            raise ValueError(
+                f"BAS node {self.name!r} cannot have children {self.children!r}"
+            )
+        if self.type.is_gate and len(self.children) == 0:
+            raise ValueError(f"gate node {self.name!r} must have at least one child")
+        if len(set(self.children)) != len(self.children):
+            raise ValueError(
+                f"node {self.name!r} has duplicate children {self.children!r}"
+            )
+        if self.name in self.children:
+            raise ValueError(f"node {self.name!r} cannot be its own child")
+
+    @property
+    def is_bas(self) -> bool:
+        """Return ``True`` if this node is a basic attack step (leaf)."""
+        return self.type is NodeType.BAS
+
+    @property
+    def is_gate(self) -> bool:
+        """Return ``True`` if this node is an OR or AND gate."""
+        return self.type.is_gate
+
+    @property
+    def arity(self) -> int:
+        """Number of children."""
+        return len(self.children)
+
+    def with_children(self, children: Tuple[str, ...]) -> "Node":
+        """Return a copy of this node with a different child tuple."""
+        return Node(name=self.name, type=self.type, children=tuple(children),
+                    label=self.label)
+
+    def describe(self) -> str:
+        """Return a one-line human-readable description of the node."""
+        if self.is_bas:
+            core = f"BAS {self.name}"
+        else:
+            core = f"{self.type.value}({', '.join(self.children)}) -> {self.name}"
+        if self.label:
+            core += f"  [{self.label}]"
+        return core

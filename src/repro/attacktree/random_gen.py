@@ -1,0 +1,221 @@
+"""Random attack-tree generation (Section X.C–D of the paper).
+
+The paper evaluates computation time on 500 randomly generated ATs.  The
+generation procedure (adapted from [39]) combines literature building blocks
+(Table IV) using three operations:
+
+1. replace a random BAS of the first AT by the root of the second AT;
+2. give the roots of the two ATs a common fresh parent of random type;
+3. as (2), but additionally identify one randomly chosen BAS of each AT
+   (which creates sharing, i.e. a DAG).
+
+Combination continues until the result has at least ``n`` nodes; this is
+repeated for every ``1 ≤ n ≤ 100`` (five trees per ``n``), giving the DAG
+suite ``T_DAG``.  The treelike suite ``T_tree`` uses only treelike blocks and
+only the first two operations... (operation 1 keeps trees treelike only if
+the replaced BAS had a single parent, which is guaranteed for treelike
+hosts; operation 3 always produces a DAG.)
+
+Decorations are drawn uniformly: ``c(v) ∈ {1, …, 10}``,
+``d(v) ∈ {0, …, 10}`` and ``p(v) ∈ {0.1, 0.2, …, 1.0}`` (Section X.C).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .attributes import CostDamageAT, CostDamageProbAT
+from .catalog import building_blocks
+from .node import Node, NodeType
+from .transform import replace_bas_with_tree
+from .tree import AttackTree
+
+__all__ = [
+    "combine_replace_bas",
+    "combine_common_parent",
+    "combine_shared_bas",
+    "random_attack_tree",
+    "random_decoration",
+    "random_cd_at",
+    "random_cdp_at",
+    "generate_suite",
+    "RandomSuiteSpec",
+]
+
+
+def _prefixed(tree: AttackTree, prefix: str) -> AttackTree:
+    """Return a copy of ``tree`` with every node name prefixed."""
+    nodes = [
+        Node(
+            name=prefix + node.name,
+            type=node.type,
+            children=tuple(prefix + child for child in node.children),
+            label=node.label,
+        )
+        for node in tree.nodes.values()
+    ]
+    return AttackTree(nodes, root=prefix + tree.root)
+
+
+def combine_replace_bas(
+    first: AttackTree, second: AttackTree, rng: random.Random, prefix: str
+) -> AttackTree:
+    """Combination operation 1: replace a random BAS of ``first`` by ``second``."""
+    bas = rng.choice(sorted(first.basic_attack_steps))
+    return replace_bas_with_tree(first, bas, second, prefix=prefix)
+
+
+def combine_common_parent(
+    first: AttackTree, second: AttackTree, rng: random.Random, prefix: str
+) -> AttackTree:
+    """Combination operation 2: join the two roots under a fresh random gate."""
+    second = _prefixed(second, prefix)
+    gate_type = rng.choice([NodeType.OR, NodeType.AND])
+    root_name = prefix + "root"
+    nodes = list(first.nodes.values()) + list(second.nodes.values())
+    nodes.append(
+        Node(name=root_name, type=gate_type, children=(first.root, second.root))
+    )
+    return AttackTree(nodes, root=root_name)
+
+
+def combine_shared_bas(
+    first: AttackTree, second: AttackTree, rng: random.Random, prefix: str
+) -> AttackTree:
+    """Combination operation 3: common parent plus one identified BAS pair.
+
+    A random BAS of the second tree is replaced (in the second tree) by a
+    random BAS of the first tree, so the resulting AT shares that BAS between
+    both halves and is therefore DAG-like.
+    """
+    second = _prefixed(second, prefix)
+    shared_of_first = rng.choice(sorted(first.basic_attack_steps))
+    removed_of_second = rng.choice(sorted(second.basic_attack_steps))
+
+    nodes: Dict[str, Node] = {}
+    for node in first.nodes.values():
+        nodes[node.name] = node
+    for node in second.nodes.values():
+        if node.name == removed_of_second:
+            continue
+        children = tuple(
+            shared_of_first if child == removed_of_second else child
+            for child in node.children
+        )
+        nodes[node.name] = node.with_children(children) if node.is_gate else node
+
+    gate_type = rng.choice([NodeType.OR, NodeType.AND])
+    root_name = prefix + "root"
+    nodes[root_name] = Node(
+        name=root_name, type=gate_type, children=(first.root, second.root)
+    )
+    return AttackTree(nodes.values(), root=root_name)
+
+
+def random_attack_tree(
+    min_nodes: int,
+    rng: random.Random,
+    treelike: bool = False,
+    blocks: Optional[Sequence[AttackTree]] = None,
+) -> AttackTree:
+    """Generate a random AT with at least ``min_nodes`` nodes.
+
+    Parameters
+    ----------
+    min_nodes:
+        Combination stops as soon as the tree reaches this many nodes.
+    rng:
+        Source of randomness (callers pass a seeded ``random.Random``).
+    treelike:
+        When ``True``, only treelike building blocks and the first two
+        combination operations are used, so the result is treelike.
+    blocks:
+        Building blocks to draw from; defaults to the Table IV stand-ins.
+    """
+    if min_nodes < 1:
+        raise ValueError("min_nodes must be positive")
+    if blocks is None:
+        blocks = building_blocks(treelike_only=treelike)
+    if not blocks:
+        raise ValueError("no building blocks available")
+
+    current = rng.choice(list(blocks))
+    step = 0
+    while len(current) < min_nodes:
+        step += 1
+        other = rng.choice(list(blocks))
+        prefix = f"m{step}_"
+        if treelike:
+            operation = rng.choice([combine_replace_bas, combine_common_parent])
+        else:
+            operation = rng.choice(
+                [combine_replace_bas, combine_common_parent, combine_shared_bas]
+            )
+        current = operation(current, other, rng, prefix)
+    return current
+
+
+def random_decoration(
+    tree: AttackTree,
+    rng: random.Random,
+    cost_choices: Sequence[int] = tuple(range(1, 11)),
+    damage_choices: Sequence[int] = tuple(range(0, 11)),
+    probability_choices: Sequence[float] = tuple(round(0.1 * k, 1) for k in range(1, 11)),
+) -> Tuple[Dict[str, float], Dict[str, float], Dict[str, float]]:
+    """Draw random cost/damage/probability maps for a tree (Section X.C).
+
+    Returns ``(cost, damage, probability)`` where costs and probabilities
+    cover the BASs and damage covers every node.
+    """
+    cost = {b: float(rng.choice(list(cost_choices))) for b in sorted(tree.basic_attack_steps)}
+    damage = {n: float(rng.choice(list(damage_choices))) for n in sorted(tree.nodes)}
+    probability = {
+        b: float(rng.choice(list(probability_choices)))
+        for b in sorted(tree.basic_attack_steps)
+    }
+    return cost, damage, probability
+
+
+def random_cd_at(tree: AttackTree, rng: random.Random) -> CostDamageAT:
+    """Decorate a tree with random costs and damages."""
+    cost, damage, _ = random_decoration(tree, rng)
+    return CostDamageAT(tree, cost, damage)
+
+
+def random_cdp_at(tree: AttackTree, rng: random.Random) -> CostDamageProbAT:
+    """Decorate a tree with random costs, damages and probabilities."""
+    cost, damage, probability = random_decoration(tree, rng)
+    return CostDamageProbAT(tree, cost, damage, probability)
+
+
+@dataclass(frozen=True)
+class RandomSuiteSpec:
+    """Parameters of a random evaluation suite (Section X.D).
+
+    The paper uses ``max_target_size=100`` and ``trees_per_size=5`` for a
+    total of 500 ATs per suite; tests and quick benchmarks use smaller specs.
+    """
+
+    max_target_size: int = 100
+    trees_per_size: int = 5
+    treelike: bool = False
+    seed: int = 2023
+
+
+def generate_suite(spec: RandomSuiteSpec) -> List[CostDamageProbAT]:
+    """Generate a full random suite of decorated ATs.
+
+    For every target size ``1 ≤ n ≤ max_target_size`` we generate
+    ``trees_per_size`` ATs with at least ``n`` nodes and random decorations.
+    Generation is deterministic in ``spec.seed``.
+    """
+    rng = random.Random(spec.seed)
+    blocks = building_blocks(treelike_only=spec.treelike)
+    suite: List[CostDamageProbAT] = []
+    for target in range(1, spec.max_target_size + 1):
+        for _ in range(spec.trees_per_size):
+            tree = random_attack_tree(target, rng, treelike=spec.treelike, blocks=blocks)
+            suite.append(random_cdp_at(tree, rng))
+    return suite

@@ -1,0 +1,175 @@
+"""Serialization of (decorated) attack trees.
+
+Two formats are supported:
+
+* **JSON** — a faithful round-trippable representation of
+  :class:`~repro.attacktree.attributes.CostDamageProbAT` /
+  :class:`~repro.attacktree.attributes.CostDamageAT` / bare trees.  This is
+  the format consumed by the command-line interface and produced by the
+  experiment harness when it archives generated workloads.
+* **DOT (Graphviz)** — a write-only rendering for visual inspection of the
+  case-study trees.
+
+The JSON schema is intentionally simple::
+
+    {
+      "root": "ps",
+      "nodes": [
+        {"name": "ca", "type": "BAS", "cost": 1.0, "damage": 0.0,
+         "probability": 0.2, "label": "cyberattack"},
+        {"name": "ps", "type": "OR", "children": ["ca", "dr"],
+         "damage": 200.0, "label": "production shutdown"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from .attributes import CostDamageAT, CostDamageProbAT
+from .node import Node, NodeType
+from .tree import AttackTree, AttackTreeError
+
+__all__ = [
+    "to_dict",
+    "from_dict",
+    "to_json",
+    "from_json",
+    "save_json",
+    "load_json",
+    "to_dot",
+]
+
+Decorated = Union[AttackTree, CostDamageAT, CostDamageProbAT]
+
+
+def _components(model: Decorated):
+    """Split any supported model into (tree, cost, damage, probability)."""
+    if isinstance(model, CostDamageProbAT):
+        return model.tree, model.cost, model.damage, model.probability
+    if isinstance(model, CostDamageAT):
+        return model.tree, model.cost, model.damage, None
+    if isinstance(model, AttackTree):
+        return model, None, None, None
+    raise TypeError(f"cannot serialize object of type {type(model).__name__}")
+
+
+def to_dict(model: Decorated) -> Dict[str, Any]:
+    """Convert an attack tree (optionally decorated) to a JSON-ready dict."""
+    tree, cost, damage, probability = _components(model)
+    nodes: List[Dict[str, Any]] = []
+    for name in tree.topological_order(reverse=True):
+        node = tree.node(name)
+        entry: Dict[str, Any] = {"name": name, "type": node.type.value}
+        if node.label:
+            entry["label"] = node.label
+        if node.is_gate:
+            entry["children"] = list(node.children)
+        if cost is not None and node.is_bas:
+            entry["cost"] = cost[name]
+        if damage is not None and damage.get(name, 0.0) != 0.0:
+            entry["damage"] = damage[name]
+        if probability is not None and node.is_bas:
+            entry["probability"] = probability[name]
+        nodes.append(entry)
+    return {"root": tree.root, "nodes": nodes}
+
+
+def from_dict(data: Mapping[str, Any]) -> Decorated:
+    """Reconstruct a tree / cd-AT / cdp-AT from :func:`to_dict` output.
+
+    The returned type depends on which decorations are present: if any node
+    has a ``probability`` a cdp-AT is returned; otherwise if any node has a
+    ``cost`` or ``damage`` a cd-AT is returned; otherwise a bare tree.
+    """
+    if "nodes" not in data:
+        raise AttackTreeError("serialized attack tree must contain a 'nodes' list")
+    nodes: List[Node] = []
+    cost: Dict[str, float] = {}
+    damage: Dict[str, float] = {}
+    probability: Dict[str, float] = {}
+    has_cost = has_damage = has_probability = False
+
+    for entry in data["nodes"]:
+        try:
+            name = entry["name"]
+            type_ = NodeType(entry["type"])
+        except (KeyError, ValueError) as exc:
+            raise AttackTreeError(f"malformed node entry {entry!r}: {exc}") from exc
+        children = tuple(entry.get("children", ()))
+        nodes.append(Node(name=name, type=type_, children=children,
+                          label=entry.get("label", "")))
+        if "cost" in entry:
+            cost[name] = float(entry["cost"])
+            has_cost = True
+        if "damage" in entry:
+            damage[name] = float(entry["damage"])
+            has_damage = True
+        if "probability" in entry:
+            probability[name] = float(entry["probability"])
+            has_probability = True
+
+    tree = AttackTree(nodes, root=data.get("root"))
+    if has_probability:
+        full_cost = {b: cost.get(b, 0.0) for b in tree.basic_attack_steps}
+        full_prob = {b: probability.get(b, 1.0) for b in tree.basic_attack_steps}
+        return CostDamageProbAT(tree, full_cost, damage, full_prob)
+    if has_cost or has_damage:
+        full_cost = {b: cost.get(b, 0.0) for b in tree.basic_attack_steps}
+        return CostDamageAT(tree, full_cost, damage)
+    return tree
+
+
+def to_json(model: Decorated, indent: int = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(to_dict(model), indent=indent)
+
+
+def from_json(text: str) -> Decorated:
+    """Deserialize from a JSON string."""
+    return from_dict(json.loads(text))
+
+
+def save_json(model: Decorated, path: str, indent: int = 2) -> None:
+    """Write the JSON serialization to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json(model, indent=indent))
+
+
+def load_json(path: str) -> Decorated:
+    """Read a tree / cd-AT / cdp-AT from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return from_json(handle.read())
+
+
+def to_dot(model: Decorated, graph_name: str = "attack_tree") -> str:
+    """Render the tree in Graphviz DOT format.
+
+    BASs are drawn as boxes with their cost (and probability), gates as
+    ellipses labelled ``OR``/``AND``; nonzero damages are appended to labels.
+    """
+    tree, cost, damage, probability = _components(model)
+    lines = [f"digraph {graph_name} {{", "  rankdir=TB;"]
+    for name in tree.topological_order(reverse=True):
+        node = tree.node(name)
+        title = node.label or name
+        extras: List[str] = []
+        if damage is not None and damage.get(name, 0.0):
+            extras.append(f"d={damage[name]:g}")
+        if node.is_bas:
+            if cost is not None:
+                extras.append(f"c={cost[name]:g}")
+            if probability is not None:
+                extras.append(f"p={probability[name]:g}")
+            shape = "box"
+        else:
+            title = f"{node.type.value}: {title}"
+            shape = "ellipse"
+        label = title if not extras else f"{title}\\n{', '.join(extras)}"
+        lines.append(f'  "{name}" [shape={shape}, label="{label}"];')
+    for parent, child in tree.edges():
+        lines.append(f'  "{parent}" -> "{child}";')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,249 @@
+"""Structure-preserving transformations of decorated attack trees.
+
+The paper (Section IV, Fig. 2) argues that *cost values on internal nodes*
+can be simulated by adding a dummy BAS child that carries the cost, whereas
+*damage values on internal nodes cannot* be pushed down without changing the
+semantics.  :func:`push_internal_costs` implements the former rewrite, so
+that models authored with internal costs can be analysed with this library's
+(paper-faithful) "costs only on BASs" convention.
+
+Other transformations provided here are conveniences used by the experiment
+harness and by tests:
+
+* :func:`relabel` — renames nodes consistently across tree and decorations;
+* :func:`merge_trees` — the three random-AT combination operations of
+  Section X.D live in :mod:`repro.attacktree.random_gen`, but the low-level
+  "graft one tree onto another" splice is implemented here;
+* :func:`strip_probabilities` / :func:`with_unit_probabilities` — move
+  between the deterministic and probabilistic views.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from .attributes import CostDamageAT, CostDamageProbAT
+from .node import Node, NodeType
+from .tree import AttackTree, AttackTreeError
+
+__all__ = [
+    "push_internal_costs",
+    "relabel",
+    "replace_bas_with_tree",
+    "strip_probabilities",
+    "with_unit_probabilities",
+]
+
+_DUMMY_SUFFIX = "__cost"
+
+
+def push_internal_costs(
+    tree: AttackTree,
+    cost: Mapping[str, float],
+    damage: Mapping[str, float],
+    probability: Optional[Mapping[str, float]] = None,
+) -> CostDamageProbAT:
+    """Rewrite internal-node costs into dummy BAS children (Fig. 2, middle).
+
+    Parameters
+    ----------
+    tree:
+        The attack tree.  Unlike :class:`CostDamageAT`, the ``cost`` mapping
+        here *may* assign costs to internal nodes; this function removes them.
+    cost:
+        Cost map that may include internal nodes.
+    damage:
+        Damage map over any subset of nodes.
+    probability:
+        Optional success probabilities for the original BASs.  Dummy BASs
+        introduced by the rewrite succeed with probability 1 (they model a
+        resource payment, not an uncertain action).
+
+    Returns
+    -------
+    CostDamageProbAT
+        A cdp-AT in which only BASs carry costs.  An internal node ``v``
+        with cost ``k`` becomes ``AND(v_orig, v__cost)`` where ``v__cost``
+        is a fresh BAS with cost ``k``... more precisely, since the paper's
+        convention is that the internal node is only activated if its cost
+        is paid, we add the dummy BAS as an extra child of the gate itself
+        (an AND gate gets one more conjunct; an OR gate ``v`` is wrapped as
+        ``AND(v_inner, dummy)`` so the payment is still required).
+    """
+    internal_costs = {
+        name: float(value)
+        for name, value in cost.items()
+        if name in tree.nodes and tree.node(name).is_gate and float(value) > 0
+    }
+    bas_costs = {
+        name: float(value)
+        for name, value in cost.items()
+        if name in tree.basic_attack_steps
+    }
+    unknown = set(cost) - set(tree.nodes)
+    if unknown:
+        raise AttackTreeError(f"cost map references unknown nodes: {sorted(unknown)!r}")
+
+    existing = set(tree.nodes)
+    new_nodes: Dict[str, Node] = {}
+    new_damage: Dict[str, float] = {
+        n: float(damage.get(n, 0.0)) for n in tree.node_names
+    }
+    new_probability: Dict[str, float] = {}
+    if probability is not None:
+        new_probability.update({b: float(p) for b, p in probability.items()})
+
+    for name in tree.node_names:
+        node = tree.node(name)
+        if name not in internal_costs:
+            new_nodes[name] = node
+            continue
+        dummy = name + _DUMMY_SUFFIX
+        while dummy in existing:
+            dummy += "_"
+        existing.add(dummy)
+        bas_costs[dummy] = internal_costs[name]
+        new_probability[dummy] = 1.0
+        new_nodes[dummy] = Node(
+            name=dummy,
+            type=NodeType.BAS,
+            label=f"cost payment for {name}",
+        )
+        if node.type is NodeType.AND:
+            # The payment is just one more conjunct of the AND gate.
+            new_nodes[name] = node.with_children(node.children + (dummy,))
+        else:
+            # Wrap the OR gate: v = AND(v__inner, dummy).  The inner OR keeps
+            # the original children; the outer AND inherits the name and
+            # damage so that parents and the damage semantics are unchanged.
+            inner = name + "__inner"
+            while inner in existing:
+                inner += "_"
+            existing.add(inner)
+            new_nodes[inner] = Node(
+                name=inner,
+                type=NodeType.OR,
+                children=node.children,
+                label=f"disjunction of {name}",
+            )
+            new_damage[inner] = 0.0
+            new_nodes[name] = Node(
+                name=name,
+                type=NodeType.AND,
+                children=(inner, dummy),
+                label=node.label,
+            )
+
+    new_tree = AttackTree(new_nodes.values(), root=tree.root)
+    full_probability = {
+        b: new_probability.get(b, 1.0) for b in new_tree.basic_attack_steps
+    }
+    full_cost = {b: bas_costs.get(b, 0.0) for b in new_tree.basic_attack_steps}
+    return CostDamageProbAT(new_tree, full_cost, new_damage, full_probability)
+
+
+def relabel(cdat: CostDamageAT, mapping: Mapping[str, str]) -> CostDamageAT:
+    """Rename nodes of a cd-AT according to ``mapping``.
+
+    Names not present in ``mapping`` are kept; the mapping must be injective
+    on the tree's node set.
+    """
+    def rename(name: str) -> str:
+        return mapping.get(name, name)
+
+    new_names = [rename(n) for n in cdat.tree.node_names]
+    if len(set(new_names)) != len(new_names):
+        raise AttackTreeError("relabelling is not injective on the node set")
+
+    nodes = [
+        Node(
+            name=rename(node.name),
+            type=node.type,
+            children=tuple(rename(c) for c in node.children),
+            label=node.label,
+        )
+        for node in cdat.tree.nodes.values()
+    ]
+    tree = AttackTree(nodes, root=rename(cdat.tree.root))
+    cost = {rename(b): v for b, v in cdat.cost.items()}
+    damage = {rename(n): v for n, v in cdat.damage.items()}
+    return CostDamageAT(tree, cost, damage)
+
+
+def replace_bas_with_tree(
+    host: AttackTree,
+    bas: str,
+    guest: AttackTree,
+    prefix: str = "",
+) -> AttackTree:
+    """Replace a BAS of ``host`` by the root of ``guest`` (combination op. 1).
+
+    This is the splice underlying the first random-AT combination method of
+    Section X.D: "take a random BAS from the first AT and replace it with
+    the root of the second AT, thus joining the two ATs".
+
+    Parameters
+    ----------
+    host:
+        Tree containing the BAS to replace.
+    bas:
+        Name of the BAS to replace.
+    guest:
+        Tree whose root takes the BAS's place.
+    prefix:
+        Prefix applied to every guest node name to avoid clashes with host
+        names.  If a prefixed guest name still clashes, an error is raised.
+
+    Returns
+    -------
+    AttackTree
+        The combined tree.  The replaced BAS name disappears; parents that
+        referenced it now reference ``prefix + guest.root``.
+    """
+    if bas not in host.basic_attack_steps:
+        raise AttackTreeError(f"{bas!r} is not a BAS of the host tree")
+
+    guest_names = {n: prefix + n for n in guest.nodes}
+    clashes = set(guest_names.values()) & (set(host.nodes) - {bas})
+    if clashes:
+        raise AttackTreeError(
+            f"guest node names clash with host names: {sorted(clashes)!r}; "
+            "pass a distinguishing prefix"
+        )
+
+    new_nodes: Dict[str, Node] = {}
+    guest_root = guest_names[guest.root]
+    for node in host.nodes.values():
+        if node.name == bas:
+            continue  # the BAS is replaced by the guest root
+        children = tuple(guest_root if c == bas else c for c in node.children)
+        new_nodes[node.name] = node.with_children(children) if node.is_gate else node
+    for node in guest.nodes.values():
+        renamed = Node(
+            name=guest_names[node.name],
+            type=node.type,
+            children=tuple(guest_names[c] for c in node.children),
+            label=node.label,
+        )
+        new_nodes[renamed.name] = renamed
+
+    return AttackTree(new_nodes.values(), root=host.root)
+
+
+def strip_probabilities(cdpat: CostDamageProbAT) -> CostDamageAT:
+    """Return the deterministic cd-AT underlying a cdp-AT."""
+    return cdpat.deterministic()
+
+
+def with_unit_probabilities(cdat: CostDamageAT) -> CostDamageProbAT:
+    """View a cd-AT as a cdp-AT in which every BAS succeeds surely.
+
+    The paper's appendix uses exactly this embedding to derive the
+    deterministic theorems from the probabilistic ones.
+    """
+    return CostDamageProbAT(
+        cdat.tree,
+        dict(cdat.cost),
+        dict(cdat.damage),
+        {b: 1.0 for b in cdat.tree.basic_attack_steps},
+    )

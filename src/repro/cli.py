@@ -1,0 +1,181 @@
+"""Command-line interface for cost-damage analysis of attack trees.
+
+Installed as the ``atcd`` console script.  Sub-commands:
+
+``atcd analyze MODEL.json``
+    Print the model summary, the Pareto front and the critical-BAS report.
+``atcd pareto MODEL.json [--probabilistic] [--method ...]``
+    Print only the Pareto front (CDPF or CEDPF).
+``atcd dgc MODEL.json --budget U`` / ``atcd cgd MODEL.json --threshold L``
+    Solve the single-objective problems.
+``atcd catalog NAME [--out FILE]``
+    Export one of the built-in case-study models (factory, panda-iot,
+    data-server) as JSON, for use as a starting point.
+``atcd experiments [--quick]``
+    Run the paper's case-study experiments and print the comparison against
+    the published fronts.
+
+Models are the JSON documents produced by
+:mod:`repro.attacktree.serialization`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .attacktree import catalog, serialization
+from .attacktree.attributes import CostDamageAT, CostDamageProbAT
+from .core.analysis import CostDamageAnalyzer
+from .core.problems import Method, Problem, solve
+from .experiments import casestudies
+from .experiments.report import format_pareto_front
+
+__all__ = ["main", "build_parser"]
+
+_CATALOG = {
+    "factory": catalog.factory,
+    "factory-probabilistic": catalog.factory_probabilistic,
+    "panda-iot": catalog.panda_iot,
+    "data-server": catalog.data_server,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="atcd",
+        description="Cost-damage analysis of attack trees (DSN 2023 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="full report for a model")
+    analyze.add_argument("model", help="path to a JSON attack-tree model")
+    analyze.add_argument("--probabilistic", action="store_true",
+                         help="use expected damage (requires probabilities)")
+
+    pareto = subparsers.add_parser("pareto", help="print the Pareto front")
+    pareto.add_argument("model", help="path to a JSON attack-tree model")
+    pareto.add_argument("--probabilistic", action="store_true")
+    pareto.add_argument("--method", choices=[m.value for m in Method],
+                        default=Method.AUTO.value)
+    pareto.add_argument("--plot", action="store_true",
+                        help="also render the front as an ASCII plot")
+
+    dgc = subparsers.add_parser("dgc", help="max damage given a cost budget")
+    dgc.add_argument("model")
+    dgc.add_argument("--budget", type=float, required=True)
+    dgc.add_argument("--probabilistic", action="store_true")
+
+    cgd = subparsers.add_parser("cgd", help="min cost given a damage threshold")
+    cgd.add_argument("model")
+    cgd.add_argument("--threshold", type=float, required=True)
+    cgd.add_argument("--probabilistic", action="store_true")
+
+    catalog_cmd = subparsers.add_parser("catalog", help="export a built-in model")
+    catalog_cmd.add_argument("name", choices=sorted(_CATALOG))
+    catalog_cmd.add_argument("--out", default=None, help="output path (default: stdout)")
+
+    experiments = subparsers.add_parser(
+        "experiments", help="run the paper's case-study experiments"
+    )
+    experiments.add_argument("--quick", action="store_true",
+                             help="skip nothing here; accepted for symmetry")
+    return parser
+
+
+def _load_model(path: str):
+    model = serialization.load_json(path)
+    if not isinstance(model, (CostDamageAT, CostDamageProbAT)):
+        raise SystemExit(
+            f"{path} describes a bare attack tree without cost/damage decorations"
+        )
+    return model
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    model = _load_model(args.model)
+    analyzer = CostDamageAnalyzer(model)
+    print(analyzer.report(probabilistic=args.probabilistic))
+    return 0
+
+
+def _command_pareto(args: argparse.Namespace) -> int:
+    model = _load_model(args.model)
+    problem = Problem.CEDPF if args.probabilistic else Problem.CDPF
+    result = solve(model, problem, method=Method(args.method))
+    print(format_pareto_front(result.front))
+    if args.plot:
+        from .pareto.plot import ascii_front
+
+        print()
+        label = "cost-expected-damage" if args.probabilistic else "cost-damage"
+        print(ascii_front(result.front, title=f"{label} Pareto front"))
+    return 0
+
+
+def _command_dgc(args: argparse.Namespace) -> int:
+    model = _load_model(args.model)
+    problem = Problem.EDGC if args.probabilistic else Problem.DGC
+    result = solve(model, problem, budget=args.budget)
+    witness = "{}" if not result.witness else "{" + ", ".join(sorted(result.witness)) + "}"
+    label = "expected damage" if args.probabilistic else "damage"
+    print(f"max {label} within budget {args.budget:g}: {result.value:g}")
+    print(f"witness attack: {witness}")
+    return 0
+
+
+def _command_cgd(args: argparse.Namespace) -> int:
+    model = _load_model(args.model)
+    problem = Problem.CGED if args.probabilistic else Problem.CGD
+    result = solve(model, problem, threshold=args.threshold)
+    if result.value is None:
+        print(f"no attack reaches damage {args.threshold:g}")
+        return 1
+    witness = "{}" if not result.witness else "{" + ", ".join(sorted(result.witness)) + "}"
+    print(f"min cost reaching damage {args.threshold:g}: {result.value:g}")
+    print(f"witness attack: {witness}")
+    return 0
+
+
+def _command_catalog(args: argparse.Namespace) -> int:
+    model = _CATALOG[args.name]()
+    text = serialization.to_json(model)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.name} to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    results = casestudies.run_all_case_studies()
+    all_match = True
+    for key, result in results.items():
+        print(result.render())
+        print()
+        all_match = all_match and result.exact_match
+    print(f"all published points reproduced: {all_match}")
+    return 0 if all_match else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "analyze": _command_analyze,
+        "pareto": _command_pareto,
+        "dgc": _command_dgc,
+        "cgd": _command_cgd,
+        "catalog": _command_catalog,
+        "experiments": _command_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

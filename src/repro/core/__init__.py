@@ -1,0 +1,46 @@
+"""Core cost-damage algorithms: the paper's primary contribution.
+
+Submodules
+----------
+``semantics``
+    Attacks, structure function, cost and damage evaluation (Definitions 2–4).
+``enumerative``
+    The naive exhaustive baseline used for comparison and as a test oracle.
+``bottom_up`` / ``bottom_up_prob``
+    Bottom-up Pareto propagation for treelike ATs — deterministic
+    (Theorems 3–4) and probabilistic (Theorems 8–9).
+``bilp``
+    The integer-linear-programming translation for DAG-like ATs
+    (Theorems 6–7).
+``knapsack``
+    The NP-completeness and expressivity constructions of Section V.
+``problems`` / ``analysis``
+    Problem taxonomy, uniform dispatch, and the high-level analyzer facade.
+"""
+
+from .analysis import CostDamageAnalyzer, CriticalBasReport
+from .problems import Method, Problem, SolveResult, capability_matrix, solve
+from .semantics import (
+    Attack,
+    all_attacks,
+    attack_cost,
+    attack_damage,
+    evaluate_attack,
+    normalize_attack,
+)
+
+__all__ = [
+    "Attack",
+    "CostDamageAnalyzer",
+    "CriticalBasReport",
+    "Method",
+    "Problem",
+    "SolveResult",
+    "all_attacks",
+    "attack_cost",
+    "attack_damage",
+    "capability_matrix",
+    "evaluate_attack",
+    "normalize_attack",
+    "solve",
+]

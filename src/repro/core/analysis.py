@@ -1,0 +1,194 @@
+"""High-level analyzer facade.
+
+:class:`CostDamageAnalyzer` is the recommended entry point of the library:
+wrap a cd-AT or cdp-AT once, then ask security questions in domain terms —
+"what is the worst damage an attacker with budget 10 can do?", "which attacks
+are Pareto-optimal?", "which BASs appear in every optimal attack?" — without
+having to pick an algorithm.  Algorithm selection follows Table I of the
+paper and can be overridden per call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+from ..attacktree.attributes import CostDamageAT, CostDamageProbAT
+from ..pareto.front import ParetoFront, ParetoPoint
+from .problems import Method, Problem, SolveResult, solve
+
+__all__ = ["CostDamageAnalyzer", "CriticalBasReport"]
+
+
+@dataclass(frozen=True)
+class CriticalBasReport:
+    """Which BASs matter most according to the Pareto front.
+
+    Attributes
+    ----------
+    in_every_optimal_attack:
+        BASs contained in every nonzero Pareto-optimal attack — the paper's
+        case studies use this to prioritise defenses (e.g. ``b18`` internal
+        leakage in the panda AT, Section X.A).
+    in_some_optimal_attack:
+        BASs appearing in at least one Pareto-optimal attack.
+    unused:
+        BASs appearing in no Pareto-optimal attack.
+    """
+
+    in_every_optimal_attack: FrozenSet[str]
+    in_some_optimal_attack: FrozenSet[str]
+    unused: FrozenSet[str]
+
+
+class CostDamageAnalyzer:
+    """Uniform, cached access to every cost-damage analysis of one model.
+
+    Parameters
+    ----------
+    model:
+        The decorated attack tree.  A plain cd-AT only supports the
+        deterministic problems; a cdp-AT supports all six.
+    method:
+        Default solution method (``Method.AUTO`` follows Table I).
+    """
+
+    def __init__(self, model: Union[CostDamageAT, CostDamageProbAT],
+                 method: Method = Method.AUTO) -> None:
+        self.model = model
+        self.method = method
+        self._deterministic_front: Optional[ParetoFront] = None
+        self._probabilistic_front: Optional[ParetoFront] = None
+
+    # ------------------------------------------------------------------ #
+    # model facts
+    # ------------------------------------------------------------------ #
+    @property
+    def is_treelike(self) -> bool:
+        """Whether the underlying AT is treelike."""
+        return self.model.tree.is_treelike
+
+    @property
+    def is_probabilistic(self) -> bool:
+        """Whether the model carries success probabilities."""
+        return isinstance(self.model, CostDamageProbAT)
+
+    def describe(self) -> str:
+        """A one-paragraph summary of the model and applicable algorithms."""
+        tree = self.model.tree
+        shape = "treelike" if tree.is_treelike else "DAG-like"
+        setting = "probabilistic (cdp-AT)" if self.is_probabilistic else "deterministic (cd-AT)"
+        if tree.is_treelike:
+            algorithm = "bottom-up Pareto propagation (Theorems 4 and 9)"
+        elif self.is_probabilistic:
+            algorithm = (
+                "BILP for the deterministic projection (Theorem 6); the "
+                "probabilistic DAG case is the paper's open problem"
+            )
+        else:
+            algorithm = "bi-objective integer linear programming (Theorem 6)"
+        return (
+            f"{setting} attack tree with {len(tree)} nodes "
+            f"({len(tree.basic_attack_steps)} BASs), {shape}; "
+            f"applicable exact method: {algorithm}."
+        )
+
+    # ------------------------------------------------------------------ #
+    # deterministic analyses
+    # ------------------------------------------------------------------ #
+    def pareto_front(self, method: Optional[Method] = None) -> ParetoFront:
+        """The cost-damage Pareto front (problem CDPF)."""
+        chosen = method or self.method
+        if chosen is self.method and self._deterministic_front is not None:
+            return self._deterministic_front
+        result = solve(self.model, Problem.CDPF, method=chosen)
+        if chosen is self.method:
+            self._deterministic_front = result.front
+        return result.front
+
+    def max_damage(self, budget: float, method: Optional[Method] = None) -> SolveResult:
+        """Problem DgC: the most damaging attack within a cost budget."""
+        return solve(self.model, Problem.DGC, method=method or self.method, budget=budget)
+
+    def min_cost(self, threshold: float, method: Optional[Method] = None) -> SolveResult:
+        """Problem CgD: the cheapest attack reaching a damage threshold."""
+        return solve(self.model, Problem.CGD, method=method or self.method,
+                     threshold=threshold)
+
+    # ------------------------------------------------------------------ #
+    # probabilistic analyses
+    # ------------------------------------------------------------------ #
+    def expected_pareto_front(self, method: Optional[Method] = None) -> ParetoFront:
+        """The cost-expected-damage Pareto front (problem CEDPF)."""
+        chosen = method or self.method
+        if chosen is self.method and self._probabilistic_front is not None:
+            return self._probabilistic_front
+        result = solve(self.model, Problem.CEDPF, method=chosen)
+        if chosen is self.method:
+            self._probabilistic_front = result.front
+        return result.front
+
+    def max_expected_damage(
+        self, budget: float, method: Optional[Method] = None
+    ) -> SolveResult:
+        """Problem EDgC: the attack maximising expected damage within budget."""
+        return solve(self.model, Problem.EDGC, method=method or self.method, budget=budget)
+
+    def min_cost_expected(
+        self, threshold: float, method: Optional[Method] = None
+    ) -> SolveResult:
+        """Problem CgED: the cheapest attack with expected damage ≥ threshold."""
+        return solve(self.model, Problem.CGED, method=method or self.method,
+                     threshold=threshold)
+
+    # ------------------------------------------------------------------ #
+    # derived security insights
+    # ------------------------------------------------------------------ #
+    def critical_basic_attack_steps(
+        self, probabilistic: bool = False
+    ) -> CriticalBasReport:
+        """Classify BASs by their participation in Pareto-optimal attacks.
+
+        The paper's case-study discussion (Section X.A–B) reads defence
+        priorities off exactly this classification.
+        """
+        front = self.expected_pareto_front() if probabilistic else self.pareto_front()
+        optimal_attacks = [
+            p.attack for p in front if p.attack is not None and len(p.attack) > 0
+        ]
+        all_bas = self.model.tree.basic_attack_steps
+        if not optimal_attacks:
+            return CriticalBasReport(frozenset(), frozenset(), all_bas)
+        in_every = frozenset.intersection(*optimal_attacks)
+        in_some = frozenset.union(*optimal_attacks)
+        return CriticalBasReport(
+            in_every_optimal_attack=in_every,
+            in_some_optimal_attack=in_some,
+            unused=all_bas - in_some,
+        )
+
+    def damage_budget_curve(
+        self, budgets: List[float], probabilistic: bool = False
+    ) -> List[Tuple[float, float]]:
+        """Evaluate "max damage vs budget" at the given budgets via Eq. (1)."""
+        front = self.expected_pareto_front() if probabilistic else self.pareto_front()
+        curve = []
+        for budget in budgets:
+            damage = front.max_damage_given_cost(budget)
+            curve.append((budget, 0.0 if damage is None else damage))
+        return curve
+
+    def report(self, probabilistic: bool = False) -> str:
+        """A plain-text report: model summary, Pareto table, critical BASs."""
+        front = self.expected_pareto_front() if probabilistic else self.pareto_front()
+        critical = self.critical_basic_attack_steps(probabilistic=probabilistic)
+        lines = [self.describe(), "", "Pareto front:", front.table(), ""]
+        lines.append(
+            "BASs in every optimal attack: "
+            + (", ".join(sorted(critical.in_every_optimal_attack)) or "(none)")
+        )
+        lines.append(
+            "BASs in no optimal attack:    "
+            + (", ".join(sorted(critical.unused)) or "(none)")
+        )
+        return "\n".join(lines)

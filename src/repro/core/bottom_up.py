@@ -1,0 +1,261 @@
+"""Bottom-up cost-damage analysis for treelike ATs (deterministic setting).
+
+This module implements Section VI of the paper.  The key idea is to perform
+Pareto analysis not on ``(cost, damage)`` pairs but in the extended
+*deterministic attribute-triple domain*
+``DTrip = R≥0 × R≥0 × B``: each partial attack on the sub-tree ``T_v`` is
+summarised by ``(ĉ, d̂, S(x, v))``.  The third component records whether the
+current node is reached; an attack that is more expensive but reaches the
+node must be kept because it may unlock damage at ancestors (Example 4).
+
+For every node ``v`` the algorithm computes the *incomplete Pareto front*
+``C^D_U(v)`` by combining the fronts of the children (Equations (4)–(5)) and
+discarding triples that exceed the cost budget ``U`` or are dominated in the
+``(DTrip, ⊑)`` order.  Theorem 4 states that projecting ``C^D_∞(R_T)`` to
+its first two components and minimising yields the CDPF; Theorem 3 reads the
+DgC optimum off ``C^D_U(R_T)``.
+
+The paper presents the recursion for binary trees "purely to simplify
+notation"; here gates of any arity are folded child by child, which is
+equivalent because the combination operators are associative and preserve
+the DTrip order (Lemma 3), so intermediate pruning remains sound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..attacktree.attributes import CostDamageAT
+from ..attacktree.node import NodeType
+from ..attacktree.tree import AttackTree
+from ..pareto.front import ParetoFront, ParetoPoint
+from ..pareto.poset import EPSILON, pareto_minimal_pairs, pareto_minimal_triples
+
+__all__ = [
+    "AttributedAttack",
+    "node_pareto_front",
+    "pareto_front_treelike",
+    "max_damage_given_cost_treelike",
+    "min_cost_given_damage_treelike",
+]
+
+
+@dataclass(frozen=True)
+class AttributedAttack:
+    """A partial attack on a sub-tree together with its DTrip attributes.
+
+    Attributes
+    ----------
+    cost:
+        ``ĉ_v(x)`` — cost of the partial attack.
+    damage:
+        ``d̂_v(x)`` — damage done inside the sub-tree.
+    reached:
+        ``S(x, v)`` — whether the sub-tree's root is reached.
+    attack:
+        Witness: the activated BASs of the partial attack.
+    """
+
+    cost: float
+    damage: float
+    reached: bool
+    attack: FrozenSet[str]
+
+    @property
+    def triple(self) -> Tuple[float, float, float]:
+        """The DTrip value ``(c, d, b)`` with the bit as 0.0/1.0."""
+        return (self.cost, self.damage, 1.0 if self.reached else 0.0)
+
+
+def _prune(
+    candidates: Iterable[AttributedAttack],
+    budget: float,
+    track_reachability: bool,
+) -> List[AttributedAttack]:
+    """The paper's ``min_U``: budget filter plus Pareto filter on DTrip.
+
+    ``track_reachability=False`` drops the third dimension from the order —
+    this reproduces the *incorrect* naive propagation that the paper warns
+    about (Example 4) and is exposed only for the ablation study.
+    """
+    affordable = [c for c in candidates if c.cost <= budget + EPSILON]
+    if track_reachability:
+        return pareto_minimal_triples(affordable, key=lambda a: a.triple)
+    return pareto_minimal_pairs(affordable, key=lambda a: (a.cost, a.damage))
+
+
+def _bas_front(
+    cdat: CostDamageAT, name: str, budget: float
+) -> List[AttributedAttack]:
+    """``C^D_U`` at a BAS: not attacking, and attacking if affordable."""
+    idle = AttributedAttack(cost=0.0, damage=0.0, reached=False, attack=frozenset())
+    cost = cdat.cost[name]
+    if cost > budget + EPSILON:
+        return [idle]
+    active = AttributedAttack(
+        cost=cost, damage=cdat.damage[name], reached=True, attack=frozenset({name})
+    )
+    return [idle, active]
+
+
+def _combine_gate(
+    accumulated: List[AttributedAttack],
+    child_front: List[AttributedAttack],
+    gate_type: NodeType,
+    budget: float,
+    track_reachability: bool,
+) -> List[AttributedAttack]:
+    """Fold one more child into the running combination for a gate.
+
+    The damage contribution ``d(v)`` of the gate itself is *not* added here;
+    it is applied once after all children have been folded (see
+    :func:`node_pareto_front`), which keeps the fold associative.
+    """
+    combined: List[AttributedAttack] = []
+    for left in accumulated:
+        for right in child_front:
+            if gate_type is NodeType.AND:
+                reached = left.reached and right.reached
+            else:
+                reached = left.reached or right.reached
+            combined.append(
+                AttributedAttack(
+                    cost=left.cost + right.cost,
+                    damage=left.damage + right.damage,
+                    reached=reached,
+                    attack=left.attack | right.attack,
+                )
+            )
+    return _prune(combined, budget, track_reachability)
+
+
+def node_pareto_front(
+    cdat: CostDamageAT,
+    node: Optional[str] = None,
+    budget: float = math.inf,
+    track_reachability: bool = True,
+) -> List[AttributedAttack]:
+    """Compute the incomplete Pareto front ``C^D_U(v)`` for every node.
+
+    Parameters
+    ----------
+    cdat:
+        A treelike cd-AT.
+    node:
+        The node whose front to return; defaults to the root.
+    budget:
+        The cost budget ``U``; ``inf`` for the unconstrained CDPF case.
+    track_reachability:
+        Keep the third (reached) dimension in the Pareto order, as the paper
+        requires.  Setting this to ``False`` reproduces the naive two
+        dimensional propagation that loses optimal attacks (ablation only).
+
+    Returns
+    -------
+    list of :class:`AttributedAttack`
+        The non-dominated attribute triples (with witness attacks) for the
+        requested node.
+
+    Raises
+    ------
+    ValueError
+        If the underlying tree is DAG-like — shared subtrees would be double
+        counted by this recursion (Section VII); use the BILP solver instead.
+    """
+    tree = cdat.tree
+    if not tree.is_treelike:
+        raise ValueError(
+            "the bottom-up method requires a treelike AT; "
+            "use repro.core.bilp for DAG-like ATs (Theorem 6)"
+        )
+    if budget < 0:
+        raise ValueError("the cost budget must be non-negative")
+    target = node if node is not None else tree.root
+    if target not in tree.nodes:
+        raise KeyError(f"no node named {target!r} in this attack tree")
+
+    fronts: Dict[str, List[AttributedAttack]] = {}
+    for name in tree.node_names:  # children before parents
+        current = tree.node(name)
+        if current.is_bas:
+            fronts[name] = _bas_front(cdat, name, budget)
+            continue
+        accumulated = fronts[current.children[0]]
+        for child in current.children[1:]:
+            accumulated = _combine_gate(
+                accumulated, fronts[child], current.type, budget, track_reachability
+            )
+        if len(current.children) == 1:
+            # A unary gate behaves as the identity on its child's front.
+            accumulated = list(accumulated)
+        gate_damage = cdat.damage[name]
+        with_gate_damage = [
+            AttributedAttack(
+                cost=item.cost,
+                damage=item.damage + (gate_damage if item.reached else 0.0),
+                reached=item.reached,
+                attack=item.attack,
+            )
+            for item in accumulated
+        ]
+        fronts[name] = _prune(with_gate_damage, budget, track_reachability)
+
+    return fronts[target]
+
+
+def pareto_front_treelike(
+    cdat: CostDamageAT,
+    budget: float = math.inf,
+    track_reachability: bool = True,
+) -> ParetoFront:
+    """Solve CDPF for a treelike cd-AT bottom-up (Theorem 4).
+
+    The incomplete front at the root is projected onto ``(cost, damage)``
+    and minimised.  With a finite ``budget`` this instead yields the Pareto
+    front restricted to affordable attacks, from which DgC can be read off
+    (Theorem 3).
+    """
+    root_front = node_pareto_front(
+        cdat, cdat.tree.root, budget=budget, track_reachability=track_reachability
+    )
+    points = [
+        ParetoPoint(cost=item.cost, damage=item.damage, attack=item.attack,
+                    reaches_root=item.reached)
+        for item in root_front
+    ]
+    return ParetoFront(points)
+
+
+def max_damage_given_cost_treelike(
+    cdat: CostDamageAT, budget: float
+) -> Tuple[float, Optional[FrozenSet[str]]]:
+    """Solve DgC for a treelike cd-AT (Theorem 3).
+
+    Propagates the budget ``U`` through the bottom-up recursion so that
+    partial attacks exceeding the budget are discarded early, then returns
+    the most damaging affordable triple at the root.
+    """
+    if budget < 0:
+        return 0.0, None
+    root_front = node_pareto_front(cdat, cdat.tree.root, budget=budget)
+    best = max(root_front, key=lambda item: item.damage)
+    return best.damage, best.attack
+
+
+def min_cost_given_damage_treelike(
+    cdat: CostDamageAT, threshold: float
+) -> Tuple[Optional[float], Optional[FrozenSet[str]]]:
+    """Solve CgD for a treelike cd-AT.
+
+    As the paper notes (Section VI.B), the damage threshold cannot be used
+    to prune partial attacks — an attack below the threshold at ``v`` may
+    still exceed it at an ancestor — so the full Pareto front is computed
+    and the answer read off via Equation (2).
+    """
+    front = pareto_front_treelike(cdat)
+    point = front.cheapest_attack_given_damage(threshold)
+    if point is None:
+        return None, None
+    return point.cost, point.attack

@@ -1,0 +1,229 @@
+"""Bottom-up cost-damage analysis for treelike ATs (probabilistic setting).
+
+This module implements Section IX of the paper.  The recursion mirrors the
+deterministic one (:mod:`repro.core.bottom_up`) but works in the
+*probabilistic attribute-triple domain* ``PTrip = R≥0 × R≥0 × [0, 1]``:
+each partial attack on ``T_v`` is summarised by
+``(ĉ(x), d̂_E(x), PS(x, v))`` — its cost, its expected damage within the
+sub-tree, and the probability that the sub-tree's root is reached.
+
+When folding children into a gate (Equations (11)–(13)):
+
+* an AND gate multiplies the children's reach probabilities
+  (``p₁·p₂``, Equation (9));
+* an OR gate combines them with ``p₁ ⋆ p₂ = p₁ + p₂ − p₁p₂`` (Equation (8));
+* the gate's own damage contributes ``PS(x, v)·d(v)`` to the expected damage
+  (Equation (10)).
+
+Both rules rely on the independence of sibling sub-trees, which holds
+exactly because the AT is treelike.  Theorems 8 and 9 read EDgC and CEDPF
+off the root front, exactly as in the deterministic case.
+
+A notable practical difference (Example 10): in the probabilistic setting it
+can be Pareto-optimal to attempt *more* BASs than strictly necessary, because
+redundant attempts raise the reach probability; root fronts are therefore
+typically larger than their deterministic counterparts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..attacktree.attributes import CostDamageProbAT
+from ..attacktree.node import NodeType
+from ..pareto.front import ParetoFront, ParetoPoint
+from ..pareto.poset import EPSILON, pareto_minimal_pairs, pareto_minimal_triples
+
+__all__ = [
+    "ProbabilisticAttributedAttack",
+    "node_pareto_front_probabilistic",
+    "pareto_front_treelike_probabilistic",
+    "max_expected_damage_given_cost_treelike",
+    "min_cost_given_expected_damage_treelike",
+]
+
+
+def probabilistic_or(p1: float, p2: float) -> float:
+    """The ``⋆`` operator: probability that at least one of two independent
+    events with probabilities ``p1`` and ``p2`` occurs."""
+    return p1 + p2 - p1 * p2
+
+
+@dataclass(frozen=True)
+class ProbabilisticAttributedAttack:
+    """A partial attack with its PTrip attributes and witness.
+
+    Attributes
+    ----------
+    cost:
+        ``ĉ_v(x)`` — cost of the attempted BASs.
+    expected_damage:
+        ``d̂_{E,v}(x)`` — expected damage within the sub-tree.
+    reach_probability:
+        ``PS(x, v)`` — probability that the sub-tree's root is reached.
+    attack:
+        Witness: the attempted BASs.
+    """
+
+    cost: float
+    expected_damage: float
+    reach_probability: float
+    attack: FrozenSet[str]
+
+    @property
+    def triple(self) -> Tuple[float, float, float]:
+        """The PTrip value ``(c, d, p)``."""
+        return (self.cost, self.expected_damage, self.reach_probability)
+
+
+def _prune(
+    candidates: Iterable[ProbabilisticAttributedAttack],
+    budget: float,
+) -> List[ProbabilisticAttributedAttack]:
+    """The paper's ``min_U`` on PTrip: budget filter plus Pareto filter."""
+    affordable = [c for c in candidates if c.cost <= budget + EPSILON]
+    return pareto_minimal_triples(affordable, key=lambda a: a.triple)
+
+
+def _bas_front(
+    cdpat: CostDamageProbAT, name: str, budget: float
+) -> List[ProbabilisticAttributedAttack]:
+    """``C^P_U`` at a BAS (Equation (11)).
+
+    Attempting the BAS reaches it with probability ``p(v)`` and therefore
+    contributes ``p(v)·d(v)`` expected damage.
+    """
+    idle = ProbabilisticAttributedAttack(
+        cost=0.0, expected_damage=0.0, reach_probability=0.0, attack=frozenset()
+    )
+    cost = cdpat.cost[name]
+    if cost > budget + EPSILON:
+        return [idle]
+    probability = cdpat.probability[name]
+    active = ProbabilisticAttributedAttack(
+        cost=cost,
+        expected_damage=probability * cdpat.damage[name],
+        reach_probability=probability,
+        attack=frozenset({name}),
+    )
+    return [idle, active]
+
+
+def _combine_gate(
+    accumulated: List[ProbabilisticAttributedAttack],
+    child_front: List[ProbabilisticAttributedAttack],
+    gate_type: NodeType,
+    budget: float,
+) -> List[ProbabilisticAttributedAttack]:
+    """Fold one more child into the running combination for a gate.
+
+    As in the deterministic solver, the gate's own damage is applied after
+    the last child has been folded, keeping the fold associative (the ⋆ and
+    product operators are associative on [0, 1]).
+    """
+    combined: List[ProbabilisticAttributedAttack] = []
+    for left in accumulated:
+        for right in child_front:
+            if gate_type is NodeType.AND:
+                reach = left.reach_probability * right.reach_probability
+            else:
+                reach = probabilistic_or(left.reach_probability, right.reach_probability)
+            combined.append(
+                ProbabilisticAttributedAttack(
+                    cost=left.cost + right.cost,
+                    expected_damage=left.expected_damage + right.expected_damage,
+                    reach_probability=reach,
+                    attack=left.attack | right.attack,
+                )
+            )
+    return _prune(combined, budget)
+
+
+def node_pareto_front_probabilistic(
+    cdpat: CostDamageProbAT,
+    node: Optional[str] = None,
+    budget: float = math.inf,
+) -> List[ProbabilisticAttributedAttack]:
+    """Compute the incomplete probabilistic Pareto front ``C^P_U(v)``.
+
+    Parameters and behaviour mirror
+    :func:`repro.core.bottom_up.node_pareto_front`; the computation follows
+    Equations (11)–(13) and Theorem 10 of the paper.
+    """
+    tree = cdpat.tree
+    if not tree.is_treelike:
+        raise ValueError(
+            "the probabilistic bottom-up method requires a treelike AT; "
+            "probabilistic DAG-like analysis is an open problem in the paper "
+            "(see repro.extensions.prob_dag for approximate support)"
+        )
+    if budget < 0:
+        raise ValueError("the cost budget must be non-negative")
+    target = node if node is not None else tree.root
+    if target not in tree.nodes:
+        raise KeyError(f"no node named {target!r} in this attack tree")
+
+    fronts: Dict[str, List[ProbabilisticAttributedAttack]] = {}
+    for name in tree.node_names:  # children before parents
+        current = tree.node(name)
+        if current.is_bas:
+            fronts[name] = _bas_front(cdpat, name, budget)
+            continue
+        accumulated = fronts[current.children[0]]
+        for child in current.children[1:]:
+            accumulated = _combine_gate(accumulated, fronts[child], current.type, budget)
+        gate_damage = cdpat.damage[name]
+        with_gate_damage = [
+            ProbabilisticAttributedAttack(
+                cost=item.cost,
+                expected_damage=item.expected_damage
+                + item.reach_probability * gate_damage,
+                reach_probability=item.reach_probability,
+                attack=item.attack,
+            )
+            for item in accumulated
+        ]
+        fronts[name] = _prune(with_gate_damage, budget)
+
+    return fronts[target]
+
+
+def pareto_front_treelike_probabilistic(
+    cdpat: CostDamageProbAT, budget: float = math.inf
+) -> ParetoFront:
+    """Solve CEDPF for a treelike cdp-AT bottom-up (Theorem 9)."""
+    root_front = node_pareto_front_probabilistic(cdpat, cdpat.tree.root, budget=budget)
+    points = [
+        ParetoPoint(
+            cost=item.cost,
+            damage=item.expected_damage,
+            attack=item.attack,
+            reaches_root=item.reach_probability > 0.0,
+        )
+        for item in root_front
+    ]
+    return ParetoFront(points)
+
+
+def max_expected_damage_given_cost_treelike(
+    cdpat: CostDamageProbAT, budget: float
+) -> Tuple[float, Optional[FrozenSet[str]]]:
+    """Solve EDgC for a treelike cdp-AT (Theorem 8)."""
+    if budget < 0:
+        return 0.0, None
+    root_front = node_pareto_front_probabilistic(cdpat, cdpat.tree.root, budget=budget)
+    best = max(root_front, key=lambda item: item.expected_damage)
+    return best.expected_damage, best.attack
+
+
+def min_cost_given_expected_damage_treelike(
+    cdpat: CostDamageProbAT, threshold: float
+) -> Tuple[Optional[float], Optional[FrozenSet[str]]]:
+    """Solve CgED for a treelike cdp-AT via the full front (Equation (2))."""
+    front = pareto_front_treelike_probabilistic(cdpat)
+    point = front.cheapest_attack_given_damage(threshold)
+    if point is None:
+        return None, None
+    return point.cost, point.attack

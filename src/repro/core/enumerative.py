@@ -1,0 +1,143 @@
+"""The enumerative baseline.
+
+The paper compares its bottom-up and BILP methods against "an enumerative
+method that goes through all attacks to find the Pareto optimal ones"
+(Section X).  This module implements that baseline faithfully — evaluate
+``ĉ`` and ``d̂`` (or ``d̂_E``) for every one of the ``2^|B|`` attacks and
+keep the non-dominated ones — for both the deterministic and probabilistic
+settings and for the single-objective problems DgC/CgD/EDgC/CgED.
+
+It is exponential by construction; it exists as the correctness oracle for
+tests and as the comparison baseline in the timing experiments (Table III
+and Fig. 7).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..attacktree.attributes import CostDamageAT, CostDamageProbAT
+from ..pareto.front import ParetoFront, ParetoPoint
+from ..probability.actualization import expected_damage
+from .semantics import Attack, all_attacks, attack_cost, evaluate_attack
+
+__all__ = [
+    "enumerate_pareto_front",
+    "enumerate_pareto_front_probabilistic",
+    "enumerate_max_damage_given_cost",
+    "enumerate_min_cost_given_damage",
+    "enumerate_max_expected_damage_given_cost",
+    "enumerate_min_cost_given_expected_damage",
+]
+
+
+def enumerate_pareto_front(cdat: CostDamageAT) -> ParetoFront:
+    """Solve CDPF by full enumeration of all attacks.
+
+    Every attack is evaluated; the :class:`ParetoFront` constructor keeps
+    the non-dominated ``(cost, damage)`` values together with a witness
+    attack each.
+    """
+    points = []
+    for attack in all_attacks(cdat):
+        cost, damage, reaches_root = evaluate_attack(cdat, attack)
+        points.append(
+            ParetoPoint(cost=cost, damage=damage, attack=attack,
+                        reaches_root=reaches_root)
+        )
+    return ParetoFront(points)
+
+
+def enumerate_pareto_front_probabilistic(cdpat: CostDamageProbAT) -> ParetoFront:
+    """Solve CEDPF by full enumeration (doubly exponential for DAGs).
+
+    For every attack the exact expected damage is computed; for treelike
+    trees that inner computation is linear, for DAG-like trees it enumerates
+    actualizations, matching the naive approach the paper compares against.
+    """
+    points = []
+    for attack in all_attacks(cdpat):
+        cost = attack_cost(cdpat, attack)
+        damage = expected_damage(cdpat, attack)
+        reaches_root = cdpat.tree.is_successful(attack)
+        points.append(
+            ParetoPoint(cost=cost, damage=damage, attack=attack,
+                        reaches_root=reaches_root)
+        )
+    return ParetoFront(points)
+
+
+def enumerate_max_damage_given_cost(
+    cdat: CostDamageAT, budget: float
+) -> Tuple[float, Optional[Attack]]:
+    """Solve DgC by enumeration: the most damaging attack with ``ĉ(x) ≤ U``.
+
+    Returns ``(d_opt, witness)``.  The empty attack is always feasible, so
+    ``d_opt ≥ 0`` and the witness is never ``None`` for non-negative budgets;
+    a negative budget returns ``(0.0, None)`` for robustness.
+    """
+    best_damage = 0.0
+    best_attack: Optional[Attack] = frozenset() if budget >= 0 else None
+    if best_attack is None:
+        return 0.0, None
+    for attack in all_attacks(cdat):
+        cost, damage, _ = evaluate_attack(cdat, attack)
+        if cost <= budget + 1e-9 and damage > best_damage + 1e-9:
+            best_damage = damage
+            best_attack = attack
+    return best_damage, best_attack
+
+
+def enumerate_min_cost_given_damage(
+    cdat: CostDamageAT, threshold: float
+) -> Tuple[Optional[float], Optional[Attack]]:
+    """Solve CgD by enumeration: the cheapest attack with ``d̂(x) ≥ L``.
+
+    Returns ``(c_opt, witness)`` or ``(None, None)`` when the threshold is
+    unachievable even by activating every BAS.
+    """
+    best_cost: Optional[float] = None
+    best_attack: Optional[Attack] = None
+    for attack in all_attacks(cdat):
+        cost, damage, _ = evaluate_attack(cdat, attack)
+        if damage + 1e-9 >= threshold and (best_cost is None or cost < best_cost - 1e-9):
+            best_cost = cost
+            best_attack = attack
+    return best_cost, best_attack
+
+
+def enumerate_max_expected_damage_given_cost(
+    cdpat: CostDamageProbAT, budget: float
+) -> Tuple[float, Optional[Attack]]:
+    """Solve EDgC by enumeration: max expected damage under a cost budget."""
+    best_damage = 0.0
+    best_attack: Optional[Attack] = frozenset() if budget >= 0 else None
+    if best_attack is None:
+        return 0.0, None
+    for attack in all_attacks(cdpat):
+        cost = attack_cost(cdpat, attack)
+        if cost > budget + 1e-9:
+            continue
+        damage = expected_damage(cdpat, attack)
+        if damage > best_damage + 1e-9:
+            best_damage = damage
+            best_attack = attack
+    return best_damage, best_attack
+
+
+def enumerate_min_cost_given_expected_damage(
+    cdpat: CostDamageProbAT, threshold: float
+) -> Tuple[Optional[float], Optional[Attack]]:
+    """Solve CgED by enumeration: min cost achieving expected damage ≥ L."""
+    best_cost: Optional[float] = None
+    best_attack: Optional[Attack] = None
+    for attack in all_attacks(cdpat):
+        damage = expected_damage(cdpat, attack)
+        if damage + 1e-9 < threshold:
+            continue
+        cost = attack_cost(cdpat, attack)
+        if best_cost is None or cost < best_cost - 1e-9:
+            best_cost = cost
+            best_attack = attack
+    return best_cost, best_attack

@@ -1,0 +1,225 @@
+"""Knapsack bridges: the hardness and expressivity constructions of Section V.
+
+Two constructions from the paper's negative results are implemented here so
+that they can be tested and reused:
+
+* **Theorem 1** (NP-completeness).  Every binary-knapsack decision problem
+  "is there ``x`` with value ``f(x) ≥ L`` and weight ``g(x) ≤ U``" reduces
+  to a cost-damage decision problem on a *flat* treelike AT: one BAS per
+  item with cost = weight and damage = value, an AND root with damage 0.
+  :func:`knapsack_to_cdat` builds that AT;
+  :func:`cost_damage_decision` solves the cost-damage decision problem
+  (via any of the library's solvers), completing the reduction.
+
+* **Theorem 2** (expressivity).  For *any* nondecreasing function
+  ``f : 2^X → R≥0`` there is a cd-AT whose damage function equals ``f``.
+  :func:`nondecreasing_function_to_cdat` implements the explicit
+  construction from the paper's appendix (AND gates ``A_i`` for each
+  subset, OR gates ``O_j`` over suffixes, damages set to consecutive
+  differences of ``f``).  The construction is exponential in ``|X|`` — it
+  is an expressivity witness, not an efficient encoding — and is therefore
+  restricted to small ``X``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ..attacktree.attributes import CostDamageAT
+from ..attacktree.builder import AttackTreeBuilder
+from ..pareto.front import ParetoFront
+from .bottom_up import pareto_front_treelike
+from .semantics import attack_cost, attack_damage
+
+__all__ = [
+    "KnapsackInstance",
+    "knapsack_to_cdat",
+    "cost_damage_decision",
+    "solve_knapsack_via_cdat",
+    "nondecreasing_function_to_cdat",
+]
+
+
+@dataclass(frozen=True)
+class KnapsackInstance:
+    """A 0/1 knapsack instance: item values, item weights, capacity.
+
+    The associated decision problem asks for a subset with total value at
+    least ``target`` and total weight at most ``capacity``.
+    """
+
+    values: Tuple[float, ...]
+    weights: Tuple[float, ...]
+    capacity: float
+    target: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.weights):
+            raise ValueError("values and weights must have the same length")
+        if any(v < 0 for v in self.values) or any(w < 0 for w in self.weights):
+            raise ValueError("knapsack values and weights must be non-negative")
+
+    @property
+    def size(self) -> int:
+        """Number of items."""
+        return len(self.values)
+
+
+def knapsack_to_cdat(instance: KnapsackInstance) -> CostDamageAT:
+    """The Theorem 1 reduction: knapsack instance → flat treelike cd-AT.
+
+    Item ``i`` becomes BAS ``item_i`` with cost ``weights[i]`` and damage
+    ``values[i]``; the root is an AND gate over all items with damage 0
+    (its only purpose is to give the AT a root — it does not influence
+    ``ĉ`` or ``d̂``).
+    """
+    builder = AttackTreeBuilder()
+    names = []
+    for index in range(instance.size):
+        name = f"item_{index}"
+        builder.bas(name, cost=instance.weights[index], damage=instance.values[index])
+        names.append(name)
+    if not names:
+        raise ValueError("a knapsack instance must have at least one item")
+    builder.and_gate("root", names, damage=0.0)
+    return builder.build_cd(root="root")
+
+
+def cost_damage_decision(
+    cdat: CostDamageAT, cost_bound: float, damage_bound: float
+) -> Tuple[bool, Optional[FrozenSet[str]]]:
+    """Solve the cost-damage decision problem (CDDP).
+
+    "Is there an attack ``x`` with ``ĉ(x) ≤ U`` and ``d̂(x) ≥ L``?"  The
+    answer is read off the Pareto front restricted to the budget: such an
+    attack exists iff the most damaging affordable attack reaches ``L``.
+    """
+    front = pareto_front_treelike(cdat, budget=cost_bound) if cdat.tree.is_treelike else None
+    if front is None:
+        from .bilp import max_damage_given_cost_bilp
+
+        damage, witness = max_damage_given_cost_bilp(cdat, cost_bound)
+        return damage + 1e-9 >= damage_bound, witness if damage + 1e-9 >= damage_bound else None
+    point = front.best_attack_given_cost(cost_bound)
+    if point is None:
+        return False, None
+    if point.damage + 1e-9 >= damage_bound:
+        return True, point.attack
+    return False, None
+
+
+def solve_knapsack_via_cdat(instance: KnapsackInstance) -> Tuple[float, FrozenSet[int]]:
+    """Solve the optimisation version of a knapsack instance through the AT.
+
+    Returns ``(best_value, chosen_item_indices)``.  This demonstrates that
+    DgC generalises binary knapsack: the reduction of Theorem 1 followed by
+    a DgC query yields the optimal packing.
+    """
+    cdat = knapsack_to_cdat(instance)
+    front = pareto_front_treelike(cdat, budget=instance.capacity)
+    point = front.best_attack_given_cost(instance.capacity)
+    if point is None or point.attack is None:
+        return 0.0, frozenset()
+    chosen = frozenset(int(name.split("_", 1)[1]) for name in point.attack)
+    return point.damage, chosen
+
+
+def nondecreasing_function_to_cdat(
+    ground_set: Sequence[str],
+    function: Callable[[FrozenSet[str]], float],
+) -> CostDamageAT:
+    """The Theorem 2 construction: any nondecreasing set function as a d̂.
+
+    Parameters
+    ----------
+    ground_set:
+        The set ``X`` of BAS names (at most 12 elements — the construction
+        creates ``O(2^|X|)`` gates).
+    function:
+        A nondecreasing, non-negative set function ``f``; nondecreasing
+        means ``f(S) ≤ f(T)`` whenever ``S ⊆ T``.  Violations raise
+        ``ValueError``.
+
+    Returns
+    -------
+    CostDamageAT
+        A cd-AT with BAS set ``X``, all costs 0, whose damage function
+        satisfies ``d̂(x) = f(x)`` for every attack ``x``.
+    """
+    elements = list(ground_set)
+    if len(set(elements)) != len(elements):
+        raise ValueError("ground set contains duplicates")
+    if len(elements) > 12:
+        raise ValueError(
+            "the Theorem 2 construction is exponential; restrict X to ≤ 12 elements"
+        )
+
+    subsets: List[FrozenSet[str]] = [
+        frozenset(combo)
+        for size in range(len(elements) + 1)
+        for combo in itertools.combinations(elements, size)
+    ]
+    values: Dict[FrozenSet[str], float] = {}
+    for subset in subsets:
+        value = float(function(subset))
+        if value < 0:
+            raise ValueError(f"f({sorted(subset)!r}) = {value} is negative")
+        values[subset] = value
+    for small in subsets:
+        for large in subsets:
+            if small <= large and values[small] > values[large] + 1e-9:
+                raise ValueError(
+                    "function is not nondecreasing: "
+                    f"f({sorted(small)!r}) > f({sorted(large)!r})"
+                )
+
+    # Every cd-AT satisfies d̂(∅) = 0 (the empty attack reaches no node), so
+    # the construction — like the theorem — requires f(∅) = 0.
+    if values[frozenset()] > 1e-12:
+        raise ValueError(
+            "the damage function of a cd-AT always maps the empty attack to 0; "
+            "shift the function so that f(∅) = 0"
+        )
+
+    # Order x^1, …, x^{2^n}: by function value, ties broken so that subsets
+    # precede supersets (sorting by (value, |x|, lexicographic) achieves both
+    # requirements of the proof: values nondecreasing along the order, and
+    # x^i ⪯ x^j implies i ≤ j).  The empty set is necessarily x^1.
+    ordered = sorted(subsets, key=lambda s: (values[s], len(s), tuple(sorted(s))))
+
+    builder = AttackTreeBuilder()
+    for element in elements:
+        builder.bas(element, cost=0.0, damage=0.0)
+
+    and_names: List[str] = []
+    for index, subset in enumerate(ordered, start=1):
+        name = f"A{index}"
+        if subset:
+            builder.and_gate(name, sorted(subset), damage=0.0)
+        else:
+            # The paper's A_1 = AND(∅) is an always-true constant.  Because
+            # f(∅) = 0, A_1 only matters through O_1, whose damage is
+            # f(x^1) = 0 anyway; encoding A_1 as an OR over all elements
+            # (reached by every non-empty attack) therefore preserves d̂.
+            builder.or_gate(name, sorted(elements), damage=0.0)
+        and_names.append(name)
+
+    or_names: List[str] = []
+    for j in range(1, len(ordered) + 1):
+        name = f"O{j}"
+        children = and_names[j - 1:]
+        builder.or_gate(name, children, damage=0.0)
+        or_names.append(name)
+
+    builder.and_gate("root", or_names, damage=0.0)
+
+    # Damages: d(O_1) = f(x^1), d(O_{j+1}) = f(x^{j+1}) − f(x^j) ≥ 0.
+    builder.set_damage(or_names[0], values[ordered[0]])
+    for j in range(1, len(ordered)):
+        difference = max(0.0, values[ordered[j]] - values[ordered[j - 1]])
+        builder.set_damage(or_names[j], difference)
+
+    return builder.build_cd(root="root")

@@ -1,0 +1,230 @@
+"""Problem definitions and a uniform solver dispatch.
+
+The paper states six problems (Sections IV and VIII).  This module gives
+each a first-class identifier, records which algorithm of the paper applies
+to which problem/shape combination (Table I), and exposes a single
+:func:`solve` entry point that dispatches to the bottom-up, BILP or
+enumerative implementation.
+
+==========  ==========================================  ===================
+problem     meaning                                      parameter
+==========  ==========================================  ===================
+``CDPF``    cost-damage Pareto front                     —
+``DGC``     max damage given a cost budget               ``budget``
+``CGD``     min cost given a damage threshold            ``threshold``
+``CEDPF``   cost-expected-damage Pareto front            —
+``EDGC``    max expected damage given a cost budget      ``budget``
+``CGED``    min cost given an expected-damage threshold  ``threshold``
+==========  ==========================================  ===================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Union
+
+from ..attacktree.attributes import CostDamageAT, CostDamageProbAT
+from ..pareto.front import ParetoFront
+from . import bilp, bottom_up, bottom_up_prob, enumerative
+
+__all__ = ["Problem", "Method", "SolveResult", "solve", "capability_matrix"]
+
+
+class Problem(enum.Enum):
+    """The six cost-damage problems of the paper."""
+
+    CDPF = "cdpf"
+    DGC = "dgc"
+    CGD = "cgd"
+    CEDPF = "cedpf"
+    EDGC = "edgc"
+    CGED = "cged"
+
+    @property
+    def is_probabilistic(self) -> bool:
+        """``True`` for the expected-damage problems."""
+        return self in {Problem.CEDPF, Problem.EDGC, Problem.CGED}
+
+    @property
+    def is_front(self) -> bool:
+        """``True`` for the Pareto-front problems."""
+        return self in {Problem.CDPF, Problem.CEDPF}
+
+
+class Method(enum.Enum):
+    """Available solution methods."""
+
+    AUTO = "auto"
+    BOTTOM_UP = "bottom-up"
+    BILP = "bilp"
+    ENUMERATIVE = "enumerative"
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Result of :func:`solve`.
+
+    Exactly one of :attr:`front` or :attr:`value` is populated, depending on
+    whether the problem is a Pareto-front problem or a single-objective one.
+    """
+
+    problem: Problem
+    method: Method
+    front: Optional[ParetoFront] = None
+    value: Optional[float] = None
+    witness: Optional[FrozenSet[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.problem.is_front and self.front is None:
+            raise ValueError(f"{self.problem} results must carry a Pareto front")
+
+
+Model = Union[CostDamageAT, CostDamageProbAT]
+
+
+def _require_probabilistic(model: Model, problem: Problem) -> CostDamageProbAT:
+    if not isinstance(model, CostDamageProbAT):
+        raise TypeError(
+            f"problem {problem.value} needs a cdp-AT (with success probabilities); "
+            "got a deterministic cd-AT"
+        )
+    return model
+
+
+def _as_deterministic(model: Model) -> CostDamageAT:
+    if isinstance(model, CostDamageProbAT):
+        return model.deterministic()
+    return model
+
+
+def _pick_method(model: Model, problem: Problem, method: Method) -> Method:
+    """Resolve ``AUTO`` following Table I of the paper."""
+    if method is not Method.AUTO:
+        return method
+    treelike = model.tree.is_treelike
+    if problem.is_probabilistic:
+        if treelike:
+            return Method.BOTTOM_UP
+        # Probabilistic DAG analysis is the paper's open problem; the exact
+        # fallback is enumeration (see repro.extensions.prob_dag for more).
+        return Method.ENUMERATIVE
+    return Method.BOTTOM_UP if treelike else Method.BILP
+
+
+def solve(
+    model: Model,
+    problem: Problem,
+    method: Method = Method.AUTO,
+    budget: Optional[float] = None,
+    threshold: Optional[float] = None,
+) -> SolveResult:
+    """Solve one of the six cost-damage problems.
+
+    Parameters
+    ----------
+    model:
+        A cd-AT (deterministic problems) or cdp-AT (either kind; the
+        probability map is ignored by deterministic problems).
+    problem:
+        Which problem to solve.
+    method:
+        Force a specific algorithm, or ``AUTO`` to follow Table I.
+    budget:
+        Required for ``DGC``/``EDGC``.
+    threshold:
+        Required for ``CGD``/``CGED``.
+    """
+    chosen = _pick_method(model, problem, method)
+
+    if problem in {Problem.DGC, Problem.EDGC} and budget is None:
+        raise ValueError(f"problem {problem.value} requires a cost budget")
+    if problem in {Problem.CGD, Problem.CGED} and threshold is None:
+        raise ValueError(f"problem {problem.value} requires a damage threshold")
+
+    if problem is Problem.CDPF:
+        cdat = _as_deterministic(model)
+        if chosen is Method.BOTTOM_UP:
+            front = bottom_up.pareto_front_treelike(cdat)
+        elif chosen is Method.BILP:
+            front = bilp.pareto_front_bilp(cdat)
+        else:
+            front = enumerative.enumerate_pareto_front(cdat)
+        return SolveResult(problem=problem, method=chosen, front=front)
+
+    if problem is Problem.DGC:
+        cdat = _as_deterministic(model)
+        if chosen is Method.BOTTOM_UP:
+            value, witness = bottom_up.max_damage_given_cost_treelike(cdat, budget)
+        elif chosen is Method.BILP:
+            value, witness = bilp.max_damage_given_cost_bilp(cdat, budget)
+        else:
+            value, witness = enumerative.enumerate_max_damage_given_cost(cdat, budget)
+        return SolveResult(problem=problem, method=chosen, value=value, witness=witness)
+
+    if problem is Problem.CGD:
+        cdat = _as_deterministic(model)
+        if chosen is Method.BOTTOM_UP:
+            value, witness = bottom_up.min_cost_given_damage_treelike(cdat, threshold)
+        elif chosen is Method.BILP:
+            value, witness = bilp.min_cost_given_damage_bilp(cdat, threshold)
+        else:
+            value, witness = enumerative.enumerate_min_cost_given_damage(cdat, threshold)
+        return SolveResult(problem=problem, method=chosen, value=value, witness=witness)
+
+    if problem is Problem.CEDPF:
+        cdpat = _require_probabilistic(model, problem)
+        if chosen is Method.BOTTOM_UP:
+            front = bottom_up_prob.pareto_front_treelike_probabilistic(cdpat)
+        elif chosen is Method.ENUMERATIVE:
+            front = enumerative.enumerate_pareto_front_probabilistic(cdpat)
+        else:
+            raise ValueError(
+                "CEDPF has no BILP formulation (the constraints become nonlinear); "
+                "use BOTTOM_UP for treelike ATs or ENUMERATIVE"
+            )
+        return SolveResult(problem=problem, method=chosen, front=front)
+
+    if problem is Problem.EDGC:
+        cdpat = _require_probabilistic(model, problem)
+        if chosen is Method.BOTTOM_UP:
+            value, witness = bottom_up_prob.max_expected_damage_given_cost_treelike(
+                cdpat, budget
+            )
+        elif chosen is Method.ENUMERATIVE:
+            value, witness = enumerative.enumerate_max_expected_damage_given_cost(
+                cdpat, budget
+            )
+        else:
+            raise ValueError("EDgC has no BILP formulation; use BOTTOM_UP or ENUMERATIVE")
+        return SolveResult(problem=problem, method=chosen, value=value, witness=witness)
+
+    # Problem.CGED
+    cdpat = _require_probabilistic(model, problem)
+    if chosen is Method.BOTTOM_UP:
+        value, witness = bottom_up_prob.min_cost_given_expected_damage_treelike(
+            cdpat, threshold
+        )
+    elif chosen is Method.ENUMERATIVE:
+        value, witness = enumerative.enumerate_min_cost_given_expected_damage(
+            cdpat, threshold
+        )
+    else:
+        raise ValueError("CgED has no BILP formulation; use BOTTOM_UP or ENUMERATIVE")
+    return SolveResult(problem=problem, method=chosen, value=value, witness=witness)
+
+
+def capability_matrix() -> dict:
+    """Table I of the paper: which exact method covers which setting.
+
+    Keys are ``(setting, shape)`` pairs; values name the algorithm (or mark
+    the open problem).  The library additionally offers enumerative and
+    Monte-Carlo fallbacks for the open cell (see
+    :mod:`repro.extensions.prob_dag`).
+    """
+    return {
+        ("deterministic", "tree"): "bottom-up (Theorem 4)",
+        ("deterministic", "dag"): "BILP (Theorem 6)",
+        ("probabilistic", "tree"): "bottom-up (Theorem 9)",
+        ("probabilistic", "dag"): "open problem (enumerative / Monte-Carlo extension)",
+    }

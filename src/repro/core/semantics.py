@@ -1,0 +1,167 @@
+"""Attack semantics: cost, damage, and the structure function.
+
+This module implements Definitions 2–4 of the paper for the deterministic
+setting:
+
+* an **attack** ``x`` is a subset of the BASs (equivalently a status vector
+  in ``B^B``);
+* the **structure function** ``S(x, v)`` says whether node ``v`` is reached
+  by attack ``x`` (delegated to :meth:`AttackTree.structure_function`);
+* the **cost** ``ĉ(x) = Σ_{v∈B} x_v c(v)`` and the **damage**
+  ``d̂(x) = Σ_{v∈N} S(x, v) d(v)``.
+
+The probabilistic counterparts (``PS``, ``d̂_E``) live in
+:mod:`repro.probability.actualization`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Set, Tuple
+
+from ..attacktree.attributes import CostDamageAT, CostDamageProbAT
+from ..attacktree.tree import AttackTree
+
+__all__ = [
+    "Attack",
+    "normalize_attack",
+    "attack_cost",
+    "attack_damage",
+    "evaluate_attack",
+    "all_attacks",
+    "attacks_within_budget",
+    "successful_attacks",
+    "dominated_by",
+    "is_nondecreasing_damage",
+]
+
+#: An attack is a frozenset of activated BAS names (Definition 2).
+Attack = FrozenSet[str]
+
+
+def normalize_attack(model: CostDamageAT | CostDamageProbAT | AttackTree,
+                     attack: Iterable[str]) -> Attack:
+    """Validate an attack against a model and return it as a frozenset.
+
+    Raises ``KeyError`` if the attack references names that are not BASs of
+    the model's tree.
+    """
+    tree = model if isinstance(model, AttackTree) else model.tree
+    result = frozenset(attack)
+    unknown = result - tree.basic_attack_steps
+    if unknown:
+        raise KeyError(
+            f"attack references names that are not BASs: {sorted(unknown)!r}"
+        )
+    return result
+
+
+def attack_cost(cdat: CostDamageAT | CostDamageProbAT, attack: Iterable[str]) -> float:
+    """Total cost ``ĉ(x)``: the sum of the costs of the activated BASs."""
+    normalized = normalize_attack(cdat, attack)
+    return sum(cdat.cost[bas] for bas in normalized)
+
+
+def attack_damage(cdat: CostDamageAT | CostDamageProbAT, attack: Iterable[str]) -> float:
+    """Total damage ``d̂(x)``: the summed damage of every node reached by ``x``.
+
+    Note that *all* reached nodes contribute, not only the root — this is the
+    paper's central modelling point (Section IV): attacks that fail to reach
+    the top node can still do damage on intermediate nodes.
+    """
+    normalized = normalize_attack(cdat, attack)
+    reached = cdat.tree.structure_function(normalized)
+    return sum(cdat.damage[node] for node, hit in reached.items() if hit)
+
+
+def evaluate_attack(
+    cdat: CostDamageAT | CostDamageProbAT, attack: Iterable[str]
+) -> Tuple[float, float, bool]:
+    """Return ``(ĉ(x), d̂(x), S(x, R_T))`` for an attack in one pass."""
+    normalized = normalize_attack(cdat, attack)
+    reached = cdat.tree.structure_function(normalized)
+    cost = sum(cdat.cost[bas] for bas in normalized)
+    damage = sum(cdat.damage[node] for node, hit in reached.items() if hit)
+    return cost, damage, reached[cdat.tree.root]
+
+
+def all_attacks(model: CostDamageAT | CostDamageProbAT | AttackTree) -> Iterator[Attack]:
+    """Iterate over all ``2^|B|`` attacks, smallest first.
+
+    The iteration order (by attack size, then lexicographic) is deterministic
+    so that enumerative results are reproducible.
+    """
+    tree = model if isinstance(model, AttackTree) else model.tree
+    bas = sorted(tree.basic_attack_steps)
+    for size in range(len(bas) + 1):
+        for combo in itertools.combinations(bas, size):
+            yield frozenset(combo)
+
+
+def attacks_within_budget(
+    cdat: CostDamageAT | CostDamageProbAT, budget: float
+) -> Iterator[Attack]:
+    """Iterate over attacks whose cost does not exceed ``budget``.
+
+    The enumeration prunes supersets implicitly only in the trivial sense
+    (cost is monotone, so once a combination exceeds the budget adding BASs
+    cannot help); it is still exponential in the worst case and is intended
+    for the enumerative baseline and for tests.
+    """
+    for attack in all_attacks(cdat):
+        if attack_cost(cdat, attack) <= budget + 1e-12:
+            yield attack
+
+
+def successful_attacks(cdat: CostDamageAT | CostDamageProbAT) -> Iterator[Attack]:
+    """Iterate over attacks that reach the root node (``S(x, R_T) = 1``)."""
+    for attack in all_attacks(cdat):
+        if cdat.tree.is_successful(attack):
+            yield attack
+
+
+def dominated_by(
+    cdat: CostDamageAT, candidate: Iterable[str], other: Iterable[str]
+) -> bool:
+    """Return ``True`` when ``other`` dominates ``candidate``.
+
+    ``other`` dominates ``candidate`` when it costs at most as much and does
+    at least as much damage, and the two are not value-equivalent.
+    """
+    candidate_cost, candidate_damage, _ = evaluate_attack(cdat, candidate)
+    other_cost, other_damage, _ = evaluate_attack(cdat, other)
+    if other_cost > candidate_cost or other_damage < candidate_damage:
+        return False
+    return (other_cost, other_damage) != (candidate_cost, candidate_damage)
+
+
+def is_nondecreasing_damage(cdat: CostDamageAT, sample_limit: int = 4096) -> bool:
+    """Check that ``d̂`` is nondecreasing w.r.t. attack inclusion.
+
+    Theorem 2 of the paper states that cd-AT damage functions are exactly
+    the nondecreasing functions; this check verifies the easy direction on a
+    concrete cd-AT by comparing every attack with its single-BAS extensions.
+    For trees with more than ``log2(sample_limit)`` BASs the check walks a
+    deterministic subsample of attacks instead of all of them.
+    """
+    bas = sorted(cdat.tree.basic_attack_steps)
+    attacks: Iterable[Attack]
+    if 2 ** len(bas) <= sample_limit:
+        attacks = all_attacks(cdat)
+    else:
+        # Deterministic subsample: prefixes and suffixes of the sorted BAS list
+        # plus alternating patterns; enough to catch implementation errors.
+        attacks = (
+            [frozenset(bas[:k]) for k in range(len(bas) + 1)]
+            + [frozenset(bas[k:]) for k in range(len(bas) + 1)]
+            + [frozenset(bas[::2]), frozenset(bas[1::2])]
+        )
+    for attack in attacks:
+        base_damage = attack_damage(cdat, attack)
+        for extra in bas:
+            if extra in attack:
+                continue
+            extended = attack | {extra}
+            if attack_damage(cdat, extended) + 1e-9 < base_damage:
+                return False
+    return True

@@ -1,0 +1,189 @@
+"""Random-suite scaling experiments: Figure 7 of the paper.
+
+The paper times its methods on two suites of 500 randomly generated ATs
+(treelike ``T_tree`` and DAG-like ``T_DAG``), groups the results by
+``⌊|N|/10⌋`` and plots mean computation time per group:
+
+* Fig. 7a — ``T_tree``, deterministic: enumerative vs bottom-up vs BILP;
+* Fig. 7b — ``T_tree``, probabilistic: enumerative vs bottom-up;
+* Fig. 7c — ``T_DAG``, deterministic: enumerative vs BILP;
+* Fig. 7d — overall min/mean/max statistics.
+
+The same experiment is reproduced here, parameterised by suite size so that
+quick runs finish in seconds while a full run matches the paper's 500-tree
+suites.  The enumerative baseline is only executed on ATs with at most
+``enumerative_bas_limit`` BASs (the paper likewise restricts it to the first
+three size groups / ``N < 30``).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..attacktree.attributes import CostDamageProbAT
+from ..attacktree.random_gen import RandomSuiteSpec, generate_suite
+from ..core.bilp import pareto_front_bilp
+from ..core.bottom_up import pareto_front_treelike
+from ..core.bottom_up_prob import pareto_front_treelike_probabilistic
+from ..core.enumerative import (
+    enumerate_pareto_front,
+    enumerate_pareto_front_probabilistic,
+)
+from .report import format_scaling_series, format_table
+
+__all__ = [
+    "SuiteTiming",
+    "SuiteSummary",
+    "run_suite_timings",
+    "group_means",
+    "summarize",
+    "render_fig7_series",
+    "render_fig7d_statistics",
+]
+
+
+@dataclass(frozen=True)
+class SuiteTiming:
+    """Per-AT timing record."""
+
+    nodes: int
+    method: str
+    seconds: float
+
+
+@dataclass(frozen=True)
+class SuiteSummary:
+    """Min / mean / max seconds for one method over a suite (Fig. 7d)."""
+
+    method: str
+    minimum: float
+    mean: float
+    maximum: float
+    samples: int
+
+
+def _time(function: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    function()
+    return time.perf_counter() - start
+
+
+def run_suite_timings(
+    spec: RandomSuiteSpec,
+    probabilistic: bool = False,
+    include_enumerative: bool = True,
+    enumerative_bas_limit: int = 12,
+    include_bilp: bool = True,
+) -> List[SuiteTiming]:
+    """Time every applicable method on every AT of a random suite.
+
+    Parameters
+    ----------
+    spec:
+        Suite generation parameters (size, treelike-ness, seed).
+    probabilistic:
+        Time the probabilistic problems (Fig. 7b) instead of the
+        deterministic ones (Fig. 7a / 7c).
+    include_enumerative / enumerative_bas_limit:
+        Whether and up to which number of BASs to run the exponential
+        baseline.
+    include_bilp:
+        Whether to run the BILP method (not applicable in the probabilistic
+        setting, ignored there).
+    """
+    suite = generate_suite(spec)
+    records: List[SuiteTiming] = []
+    for model in suite:
+        nodes = len(model.tree)
+        bas_count = len(model.tree.basic_attack_steps)
+        if probabilistic:
+            if model.tree.is_treelike:
+                records.append(
+                    SuiteTiming(nodes, "bottom-up",
+                                _time(lambda m=model: pareto_front_treelike_probabilistic(m)))
+                )
+            if include_enumerative and bas_count <= enumerative_bas_limit:
+                records.append(
+                    SuiteTiming(nodes, "enumerative",
+                                _time(lambda m=model: enumerate_pareto_front_probabilistic(m)))
+                )
+            continue
+        deterministic = model.deterministic()
+        if model.tree.is_treelike:
+            records.append(
+                SuiteTiming(nodes, "bottom-up",
+                            _time(lambda m=deterministic: pareto_front_treelike(m)))
+            )
+        if include_bilp:
+            records.append(
+                SuiteTiming(nodes, "bilp",
+                            _time(lambda m=deterministic: pareto_front_bilp(m)))
+            )
+        if include_enumerative and bas_count <= enumerative_bas_limit:
+            records.append(
+                SuiteTiming(nodes, "enumerative",
+                            _time(lambda m=deterministic: enumerate_pareto_front(m)))
+            )
+    return records
+
+
+def group_means(
+    records: Sequence[SuiteTiming], group_width: int = 10
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Group records by ``⌊|N| / group_width⌋`` and average per method.
+
+    Returns method → sorted list of (group index, mean seconds), i.e. the
+    series plotted in Fig. 7a–c.
+    """
+    buckets: Dict[Tuple[str, int], List[float]] = {}
+    for record in records:
+        key = (record.method, record.nodes // group_width)
+        buckets.setdefault(key, []).append(record.seconds)
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for (method, group), values in buckets.items():
+        series.setdefault(method, []).append((group, statistics.mean(values)))
+    for method in series:
+        series[method].sort()
+    return series
+
+
+def summarize(records: Sequence[SuiteTiming]) -> List[SuiteSummary]:
+    """Fig. 7d: overall min/mean/max per method."""
+    by_method: Dict[str, List[float]] = {}
+    for record in records:
+        by_method.setdefault(record.method, []).append(record.seconds)
+    return [
+        SuiteSummary(
+            method=method,
+            minimum=min(values),
+            mean=statistics.mean(values),
+            maximum=max(values),
+            samples=len(values),
+        )
+        for method, values in sorted(by_method.items())
+    ]
+
+
+def render_fig7_series(
+    records: Sequence[SuiteTiming], title: str, group_width: int = 10
+) -> str:
+    """Render the Fig. 7a/b/c series as a text table."""
+    series = {
+        method: [(float(group), mean) for group, mean in points]
+        for method, points in group_means(records, group_width).items()
+    }
+    return format_scaling_series(series, x_label=f"|N|/{group_width}", title=title)
+
+
+def render_fig7d_statistics(summaries: Sequence[SuiteSummary], title: str) -> str:
+    """Render the Fig. 7d statistics table as text."""
+    rows = [
+        [s.method, f"{s.minimum:.4f}", f"{s.mean:.4f}", f"{s.maximum:.4f}", s.samples]
+        for s in summaries
+    ]
+    return format_table(["method", "min (s)", "mean (s)", "max (s)", "ATs"], rows,
+                        title=title)

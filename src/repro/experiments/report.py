@@ -1,0 +1,109 @@
+"""Plain-text rendering of experiment results.
+
+The paper reports its evaluation as figures (Pareto scatter plots, timing
+curves) and tables.  Offline we regenerate the *data* behind each artifact
+and render it as aligned plain-text tables — the same rows/series the paper
+plots — so results can be diffed, archived, and quoted in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..pareto.front import ParetoFront
+
+__all__ = [
+    "format_table",
+    "format_pareto_front",
+    "format_named_attacks",
+    "format_timing_rows",
+    "format_scaling_series",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width text table."""
+    columns = len(headers)
+    normalised = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in normalised:
+        for index in range(columns):
+            widths[index] = max(widths[index], len(row[index]) if index < len(row) else 0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in normalised:
+        padded = list(row) + [""] * (columns - len(row))
+        lines.append("  ".join(padded[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "n/a"
+        return f"{value:g}"
+    return str(value)
+
+
+def format_pareto_front(front: ParetoFront, title: str = "Pareto front") -> str:
+    """Render a Pareto front as the cost/damage/top/attack table of Fig. 6."""
+    rows = []
+    for index, point in enumerate(front, start=0):
+        label = f"A{index}" if point.cost > 0 else "∅"
+        reaches = "-" if point.reaches_root is None else ("y" if point.reaches_root else "n")
+        attack = "" if point.attack is None else "{" + ", ".join(sorted(point.attack)) + "}"
+        rows.append([label, point.cost, point.damage, reaches, attack])
+    return format_table(["attack", "cost", "damage", "top", "BASs"], rows, title=title)
+
+
+def format_named_attacks(
+    entries: Sequence[Tuple[str, float, float, bool]], title: str = ""
+) -> str:
+    """Render (name, cost, damage, reaches-top) rows — the Fig. 6 side tables."""
+    rows = [
+        [name, cost, damage, "y" if reaches else "n"]
+        for name, cost, damage, reaches in entries
+    ]
+    return format_table(["attack", "cost", "damage", "top"], rows, title=title)
+
+
+def format_timing_rows(
+    rows: Mapping[str, Mapping[str, Optional[float]]],
+    title: str = "Computation time (seconds)",
+) -> str:
+    """Render a Table III-style timing matrix: row label → method → seconds."""
+    methods = sorted({method for timings in rows.values() for method in timings})
+    table_rows = []
+    for label, timings in rows.items():
+        row: List[object] = [label]
+        for method in methods:
+            value = timings.get(method)
+            row.append("n/a" if value is None else f"{value:.4f}")
+        table_rows.append(row)
+    return format_table(["case"] + methods, table_rows, title=title)
+
+
+def format_scaling_series(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    x_label: str = "|N| group",
+    title: str = "",
+) -> str:
+    """Render Fig. 7-style series: method → [(group, mean seconds)]."""
+    groups = sorted({x for points in series.values() for x, _ in points})
+    headers = [x_label] + list(series)
+    rows: List[List[object]] = []
+    for group in groups:
+        row: List[object] = [group]
+        for method, points in series.items():
+            match = next((y for x, y in points if x == group), None)
+            row.append("n/a" if match is None else f"{match:.4f}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)

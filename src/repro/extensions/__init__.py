@@ -1,0 +1,51 @@
+"""Extensions beyond the paper's claims.
+
+These modules implement the directions the paper explicitly lists as future
+work: probabilistic analysis of DAG-like ATs (via exact enumeration and
+Monte-Carlo estimation), genetic approximation of the Pareto front
+(NSGA-II), and robust analysis under interval-valued costs and damages.
+They are clearly separated from :mod:`repro.core`, which only contains the
+algorithms the paper proves correct.
+"""
+
+from .genetic import GeneticConfig, approximate_pareto_front
+from .hardening import (
+    Countermeasure,
+    HardeningResult,
+    apply_countermeasures,
+    optimal_hardening,
+)
+from .polynomial import (
+    MultilinearPolynomial,
+    expected_damage_polynomial,
+    pareto_front_probabilistic_polynomial,
+    reach_polynomials,
+)
+from .prob_dag import (
+    ApproximateFrontPoint,
+    max_expected_damage_exact,
+    pareto_front_probabilistic_exact,
+    pareto_front_probabilistic_montecarlo,
+)
+from .robust import Interval, IntervalCostDamageAT, RobustFront, robust_pareto_front
+
+__all__ = [
+    "ApproximateFrontPoint",
+    "Countermeasure",
+    "GeneticConfig",
+    "HardeningResult",
+    "Interval",
+    "MultilinearPolynomial",
+    "apply_countermeasures",
+    "expected_damage_polynomial",
+    "optimal_hardening",
+    "pareto_front_probabilistic_polynomial",
+    "reach_polynomials",
+    "IntervalCostDamageAT",
+    "RobustFront",
+    "approximate_pareto_front",
+    "max_expected_damage_exact",
+    "pareto_front_probabilistic_exact",
+    "pareto_front_probabilistic_montecarlo",
+    "robust_pareto_front",
+]

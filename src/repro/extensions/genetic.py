@@ -1,0 +1,212 @@
+"""NSGA-II-style genetic approximation of the cost-damage Pareto front.
+
+The paper's conclusion lists comparing its exact methods against a genetic
+multi-objective optimiser (NSGA-II [31]) as future work.  This extension
+implements a compact NSGA-II over attack bit-vectors so that exactly this
+comparison can be run (see ``benchmarks/test_bench_ablation_genetic.py``):
+
+* individuals are attacks (subsets of the BASs);
+* objectives are (cost, −damage) for cd-ATs or (cost, −expected damage) for
+  treelike cdp-ATs;
+* standard fast non-dominated sorting, crowding distance, binary tournament
+  selection, uniform crossover and bit-flip mutation.
+
+The result is an *approximation*: the benchmark measures how much of the
+exact front's hypervolume it recovers and how long it takes, mirroring the
+"performance gain vs accuracy cost" question raised in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from ..attacktree.attributes import CostDamageAT, CostDamageProbAT
+from ..core.semantics import attack_cost, attack_damage
+from ..pareto.front import ParetoFront, ParetoPoint
+from ..probability.actualization import expected_damage
+
+__all__ = ["GeneticConfig", "approximate_pareto_front"]
+
+
+@dataclass(frozen=True)
+class GeneticConfig:
+    """Hyper-parameters of the NSGA-II approximation."""
+
+    population_size: int = 64
+    generations: int = 60
+    crossover_probability: float = 0.9
+    mutation_probability: float = 0.02
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.population_size < 4 or self.population_size % 2:
+            raise ValueError("population_size must be an even number ≥ 4")
+        if self.generations < 1:
+            raise ValueError("generations must be positive")
+
+
+Model = Union[CostDamageAT, CostDamageProbAT]
+
+
+def _objectives(model: Model, probabilistic: bool) -> Callable[[FrozenSet[str]], Tuple[float, float]]:
+    """Return a function mapping an attack to (cost, −damage)."""
+    if probabilistic:
+        if not isinstance(model, CostDamageProbAT):
+            raise TypeError("probabilistic approximation needs a cdp-AT")
+
+        def evaluate(attack: FrozenSet[str]) -> Tuple[float, float]:
+            return attack_cost(model, attack), -expected_damage(model, attack)
+
+        return evaluate
+
+    deterministic = model.deterministic() if isinstance(model, CostDamageProbAT) else model
+
+    def evaluate(attack: FrozenSet[str]) -> Tuple[float, float]:
+        return attack_cost(deterministic, attack), -attack_damage(deterministic, attack)
+
+    return evaluate
+
+
+def _dominates(a: Tuple[float, float], b: Tuple[float, float]) -> bool:
+    """Minimisation domination on (cost, −damage)."""
+    return a[0] <= b[0] and a[1] <= b[1] and a != b
+
+
+def _fast_non_dominated_sort(values: List[Tuple[float, float]]) -> List[List[int]]:
+    """Return indices grouped into non-domination fronts (NSGA-II step 1)."""
+    size = len(values)
+    dominated_by: List[List[int]] = [[] for _ in range(size)]
+    domination_count = [0] * size
+    fronts: List[List[int]] = [[]]
+    for i in range(size):
+        for j in range(size):
+            if i == j:
+                continue
+            if _dominates(values[i], values[j]):
+                dominated_by[i].append(j)
+            elif _dominates(values[j], values[i]):
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            fronts[0].append(i)
+    current = 0
+    while fronts[current]:
+        next_front: List[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    next_front.append(j)
+        current += 1
+        fronts.append(next_front)
+    return [front for front in fronts if front]
+
+
+def _crowding_distance(values: List[Tuple[float, float]], front: List[int]) -> Dict[int, float]:
+    """Crowding distance of the individuals of one front (NSGA-II step 2)."""
+    distance = {i: 0.0 for i in front}
+    if len(front) <= 2:
+        return {i: float("inf") for i in front}
+    for objective in range(2):
+        ordered = sorted(front, key=lambda i: values[i][objective])
+        low = values[ordered[0]][objective]
+        high = values[ordered[-1]][objective]
+        distance[ordered[0]] = distance[ordered[-1]] = float("inf")
+        span = high - low
+        if span <= 0:
+            continue
+        for position in range(1, len(ordered) - 1):
+            previous = values[ordered[position - 1]][objective]
+            following = values[ordered[position + 1]][objective]
+            distance[ordered[position]] += (following - previous) / span
+    return distance
+
+
+def approximate_pareto_front(
+    model: Model,
+    config: Optional[GeneticConfig] = None,
+    probabilistic: bool = False,
+) -> ParetoFront:
+    """Approximate CDPF (or CEDPF) with NSGA-II.
+
+    Returns a :class:`ParetoFront` built from the final population's
+    non-dominated individuals; every point carries its witness attack, so the
+    result can be compared directly against the exact solvers.
+    """
+    config = config or GeneticConfig()
+    rng = random.Random(config.seed)
+    bas = sorted(model.tree.basic_attack_steps)
+    evaluate = _objectives(model, probabilistic)
+
+    def random_individual() -> Tuple[bool, ...]:
+        return tuple(rng.random() < 0.5 for _ in bas)
+
+    def to_attack(individual: Sequence[bool]) -> FrozenSet[str]:
+        return frozenset(name for name, active in zip(bas, individual) if active)
+
+    population: List[Tuple[bool, ...]] = [random_individual() for _ in range(config.population_size)]
+    # Seed the extremes: the empty attack and the full attack are always useful.
+    population[0] = tuple(False for _ in bas)
+    population[1] = tuple(True for _ in bas)
+
+    def evaluate_population(pop: List[Tuple[bool, ...]]) -> List[Tuple[float, float]]:
+        return [evaluate(to_attack(individual)) for individual in pop]
+
+    def tournament(values: List[Tuple[float, float]], ranks: Dict[int, int],
+                   crowding: Dict[int, float]) -> int:
+        a, b = rng.randrange(len(values)), rng.randrange(len(values))
+        if ranks[a] != ranks[b]:
+            return a if ranks[a] < ranks[b] else b
+        return a if crowding.get(a, 0.0) >= crowding.get(b, 0.0) else b
+
+    def crossover(left: Tuple[bool, ...], right: Tuple[bool, ...]) -> Tuple[bool, ...]:
+        if rng.random() > config.crossover_probability:
+            return left
+        return tuple(l if rng.random() < 0.5 else r for l, r in zip(left, right))
+
+    def mutate(individual: Tuple[bool, ...]) -> Tuple[bool, ...]:
+        return tuple(
+            (not bit) if rng.random() < config.mutation_probability else bit
+            for bit in individual
+        )
+
+    for _ in range(config.generations):
+        values = evaluate_population(population)
+        fronts = _fast_non_dominated_sort(values)
+        ranks: Dict[int, int] = {}
+        crowding: Dict[int, float] = {}
+        for rank, front in enumerate(fronts):
+            for index in front:
+                ranks[index] = rank
+            crowding.update(_crowding_distance(values, front))
+        offspring: List[Tuple[bool, ...]] = []
+        while len(offspring) < config.population_size:
+            parent_a = population[tournament(values, ranks, crowding)]
+            parent_b = population[tournament(values, ranks, crowding)]
+            offspring.append(mutate(crossover(parent_a, parent_b)))
+        # Elitist environmental selection over parents + offspring.
+        combined = population + offspring
+        combined_values = evaluate_population(combined)
+        combined_fronts = _fast_non_dominated_sort(combined_values)
+        next_population: List[Tuple[bool, ...]] = []
+        for front in combined_fronts:
+            if len(next_population) + len(front) <= config.population_size:
+                next_population.extend(combined[i] for i in front)
+                continue
+            crowd = _crowding_distance(combined_values, front)
+            chosen = sorted(front, key=lambda i: crowd[i], reverse=True)
+            remaining = config.population_size - len(next_population)
+            next_population.extend(combined[i] for i in chosen[:remaining])
+            break
+        population = next_population
+
+    final_values = evaluate_population(population)
+    points = []
+    for individual, (cost, negated_damage) in zip(population, final_values):
+        attack = to_attack(individual)
+        points.append(
+            ParetoPoint(cost=cost, damage=-negated_damage, attack=attack,
+                        reaches_root=model.tree.is_successful(attack))
+        )
+    return ParetoFront(points)

@@ -1,0 +1,131 @@
+"""Probabilistic analysis of DAG-like ATs (the paper's open problem).
+
+Section IX of the paper ends by leaving CEDPF / EDgC / CgED for DAG-like ATs
+open: the bottom-up recursion is unsound (shared subtrees break the
+independence assumption) and the BILP constraints become nonlinear
+(``y_v = y_{v₁}·y_{v₂}`` for AND gates over probabilities).
+
+This extension module goes beyond the paper and offers two pragmatic tools:
+
+* an **exact enumerative** solver — evaluate the exact expected damage (via
+  actualization enumeration, correct also for DAGs) for every attack and
+  Pareto-minimise.  Doubly exponential, usable only for small models, but an
+  exact reference;
+* a **Monte-Carlo** solver — estimate each attack's expected damage by
+  sampling actualizations.  Still exponential in the number of BASs (one
+  estimate per attack) but with controllable per-attack effort; returns an
+  *approximate* front together with the per-point standard errors so callers
+  can judge the resolution.
+
+Both carry explicit warnings in their docstrings: they are extensions, not
+reproductions of a paper claim.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..attacktree.attributes import CostDamageProbAT
+from ..core.semantics import all_attacks, attack_cost
+from ..pareto.front import ParetoFront, ParetoPoint
+from ..pareto.poset import pareto_minimal_pairs
+from ..probability.actualization import expected_damage
+from ..probability.montecarlo import MonteCarloEstimate, estimate_expected_damage
+
+__all__ = [
+    "ApproximateFrontPoint",
+    "pareto_front_probabilistic_exact",
+    "max_expected_damage_exact",
+    "pareto_front_probabilistic_montecarlo",
+]
+
+
+def pareto_front_probabilistic_exact(
+    cdpat: CostDamageProbAT, max_bas: int = 18
+) -> ParetoFront:
+    """Exact CEDPF for an arbitrary (DAG-like) cdp-AT by enumeration.
+
+    Raises ``ValueError`` when the model has more than ``max_bas`` BASs —
+    beyond that the doubly exponential enumeration is hopeless and the
+    Monte-Carlo variant should be used instead.
+    """
+    bas_count = len(cdpat.tree.basic_attack_steps)
+    if bas_count > max_bas:
+        raise ValueError(
+            f"exact probabilistic DAG analysis enumerates 2^{bas_count} attacks; "
+            f"the limit is 2^{max_bas} — use pareto_front_probabilistic_montecarlo"
+        )
+    points = []
+    for attack in all_attacks(cdpat):
+        cost = attack_cost(cdpat, attack)
+        damage = expected_damage(cdpat, attack)
+        points.append(
+            ParetoPoint(cost=cost, damage=damage, attack=attack,
+                        reaches_root=cdpat.tree.is_successful(attack))
+        )
+    return ParetoFront(points)
+
+
+def max_expected_damage_exact(
+    cdpat: CostDamageProbAT, budget: float, max_bas: int = 18
+) -> Tuple[float, Optional[FrozenSet[str]]]:
+    """Exact EDgC for an arbitrary cdp-AT by enumeration (small models only)."""
+    front = pareto_front_probabilistic_exact(cdpat, max_bas=max_bas)
+    point = front.best_attack_given_cost(budget)
+    if point is None:
+        return 0.0, None
+    return point.damage, point.attack
+
+
+@dataclass(frozen=True)
+class ApproximateFrontPoint:
+    """A point of a Monte-Carlo-estimated Pareto front."""
+
+    cost: float
+    estimate: MonteCarloEstimate
+    attack: FrozenSet[str]
+
+    @property
+    def expected_damage(self) -> float:
+        """The estimated expected damage."""
+        return self.estimate.mean
+
+
+def pareto_front_probabilistic_montecarlo(
+    cdpat: CostDamageProbAT,
+    samples_per_attack: int = 2000,
+    seed: int = 0,
+    max_bas: int = 22,
+) -> List[ApproximateFrontPoint]:
+    """Approximate CEDPF for a DAG-like cdp-AT via Monte-Carlo estimation.
+
+    Every attack's expected damage is estimated with
+    ``samples_per_attack`` actualization samples; the Pareto filter is then
+    applied to the estimates.  Points whose estimates are within one
+    standard error of each other may be mis-ordered — the returned standard
+    errors quantify that resolution.
+
+    Returns the approximate front ordered by cost.
+    """
+    bas_count = len(cdpat.tree.basic_attack_steps)
+    if bas_count > max_bas:
+        raise ValueError(
+            f"the Monte-Carlo front still enumerates 2^{bas_count} attacks; "
+            f"the limit is 2^{max_bas}"
+        )
+    rng = random.Random(seed)
+    candidates: List[ApproximateFrontPoint] = []
+    for attack in all_attacks(cdpat):
+        cost = attack_cost(cdpat, attack)
+        estimate = estimate_expected_damage(
+            cdpat, attack, samples=samples_per_attack, rng=rng
+        )
+        candidates.append(
+            ApproximateFrontPoint(cost=cost, estimate=estimate, attack=attack)
+        )
+    minimal = pareto_minimal_pairs(
+        candidates, key=lambda point: (point.cost, point.expected_damage)
+    )
+    return sorted(minimal, key=lambda point: point.cost)

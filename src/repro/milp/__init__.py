@@ -1,0 +1,52 @@
+"""Integer-linear-programming substrate.
+
+Replaces the paper's Gurobi + YALMIP stack: a small model layer, a HiGHS
+backend (via SciPy), a from-scratch branch-and-bound ILP solver with an
+optional pure-Python simplex engine, and an ε-constraint bi-objective
+driver.
+"""
+
+from .biobjective import (
+    BiobjectivePoint,
+    BiobjectiveResult,
+    EpsilonConstraintSolver,
+    infer_step,
+)
+from .branch_bound import BranchAndBoundSolver
+from .highs import HighsSolver, default_solver
+from .model import (
+    Constraint,
+    ConstraintSense,
+    IntegerProgram,
+    LinearExpression,
+    ModelError,
+    Objective,
+    ObjectiveSense,
+    Variable,
+    VariableKind,
+)
+from .simplex import SimplexResult, solve_linear_program
+from .solution import MilpSolution, SolveStatus
+
+__all__ = [
+    "BiobjectivePoint",
+    "BiobjectiveResult",
+    "BranchAndBoundSolver",
+    "Constraint",
+    "ConstraintSense",
+    "EpsilonConstraintSolver",
+    "HighsSolver",
+    "IntegerProgram",
+    "LinearExpression",
+    "MilpSolution",
+    "ModelError",
+    "Objective",
+    "ObjectiveSense",
+    "SimplexResult",
+    "SolveStatus",
+    "Variable",
+    "VariableKind",
+    "default_solver",
+    "infer_step",
+    "solve_linear_program",
+]

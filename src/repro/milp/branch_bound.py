@@ -1,0 +1,237 @@
+"""A pure-Python branch-and-bound solver for 0/1 integer linear programs.
+
+This is the fallback / reference ILP engine of the MILP substrate: it solves
+the single-objective programs produced by the Theorem 6/7 translation using
+classical LP-based branch and bound.
+
+* The LP relaxation of each node is solved either with SciPy's HiGHS
+  ``linprog`` (fast, default) or with the from-scratch simplex of
+  :mod:`repro.milp.simplex` (``lp_engine="simplex"``), which makes the whole
+  stack independent of external solvers when desired.
+* Branching picks the most fractional variable; exploration is best-first on
+  the relaxation bound, which keeps the incumbent close to optimal early and
+  lets the bound prune aggressively.
+* Because the programs derived from attack trees have the down-closure
+  property (setting variables to zero stays feasible), the solver also seeds
+  the incumbent with the all-zero solution when it is feasible, providing an
+  immediate finite bound.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .model import IntegerProgram, Objective
+from .simplex import solve_linear_program
+from .solution import MilpSolution, SolveStatus
+
+try:  # SciPy is a hard dependency of the package, but keep the import local.
+    from scipy.optimize import linprog as _scipy_linprog
+except ImportError:  # pragma: no cover - exercised only without SciPy
+    _scipy_linprog = None
+
+__all__ = ["BranchAndBoundSolver"]
+
+_INTEGRALITY_TOLERANCE = 1e-6
+_BOUND_TOLERANCE = 1e-9
+
+
+@dataclass(order=True)
+class _Node:
+    """A branch-and-bound node ordered by its relaxation bound."""
+
+    bound: float
+    sequence: int
+    fixed_lower: np.ndarray = None  # type: ignore[assignment]
+    fixed_upper: np.ndarray = None  # type: ignore[assignment]
+
+
+class BranchAndBoundSolver:
+    """LP-based best-first branch and bound for (mostly binary) ILPs.
+
+    Parameters
+    ----------
+    lp_engine:
+        ``"scipy"`` (default) to solve relaxations with HiGHS via
+        ``scipy.optimize.linprog``, or ``"simplex"`` to use the built-in
+        dense simplex.
+    node_limit:
+        Safety valve on the number of explored nodes; exceeding it returns
+        an ``ERROR`` status rather than looping forever.
+    """
+
+    def __init__(self, lp_engine: str = "scipy", node_limit: int = 200_000) -> None:
+        if lp_engine not in {"scipy", "simplex"}:
+            raise ValueError("lp_engine must be 'scipy' or 'simplex'")
+        if lp_engine == "scipy" and _scipy_linprog is None:
+            lp_engine = "simplex"
+        self.lp_engine = lp_engine
+        self.node_limit = node_limit
+
+    # ------------------------------------------------------------------ #
+    # LP relaxation
+    # ------------------------------------------------------------------ #
+    def _solve_relaxation(
+        self,
+        c: np.ndarray,
+        a_ub: np.ndarray,
+        b_ub: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+    ) -> Tuple[SolveStatus, Optional[float], Optional[np.ndarray]]:
+        if self.lp_engine == "scipy":
+            bounds = list(zip(lower, upper))
+            result = _scipy_linprog(
+                c,
+                A_ub=a_ub if a_ub.size else None,
+                b_ub=b_ub if b_ub.size else None,
+                bounds=bounds,
+                method="highs",
+            )
+            if result.status == 0:
+                return SolveStatus.OPTIMAL, float(result.fun), np.asarray(result.x)
+            if result.status == 2:
+                return SolveStatus.INFEASIBLE, None, None
+            if result.status == 3:
+                return SolveStatus.UNBOUNDED, None, None
+            return SolveStatus.ERROR, None, None
+        outcome = solve_linear_program(c, a_ub, b_ub, lower, upper)
+        return outcome.status, outcome.objective_value, outcome.x
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def solve(
+        self, program: IntegerProgram, objective: Optional[Objective] = None
+    ) -> MilpSolution:
+        """Solve the program (or the given objective of it) to optimality."""
+        if objective is None:
+            objective = program.objective
+        c, a_ub, b_ub, lower, upper, integrality = program.dense_arrays(objective)
+        order = program.variable_order
+        integral_indices = np.where(integrality > 0.5)[0]
+
+        counter = itertools.count()
+        best_value = math.inf
+        best_x: Optional[np.ndarray] = None
+
+        # Seed the incumbent with the all-zero point when feasible (always
+        # true for the attack-tree formulations: not attacking is allowed).
+        zero = np.clip(np.zeros_like(c), lower, upper)
+        if self._is_integral_feasible(zero, a_ub, b_ub, lower, upper, integral_indices):
+            best_value = float(c @ zero)
+            best_x = zero
+
+        status, bound, relaxed = self._solve_relaxation(c, a_ub, b_ub, lower, upper)
+        if status is SolveStatus.INFEASIBLE:
+            return MilpSolution(status=SolveStatus.INFEASIBLE, backend=self._backend_name())
+        if status is SolveStatus.UNBOUNDED:
+            return MilpSolution(status=SolveStatus.UNBOUNDED, backend=self._backend_name())
+        if status is not SolveStatus.OPTIMAL:
+            return MilpSolution(status=SolveStatus.ERROR, backend=self._backend_name())
+
+        heap: List[_Node] = []
+        root = _Node(bound=bound, sequence=next(counter))
+        root.fixed_lower = lower.copy()
+        root.fixed_upper = upper.copy()
+        heapq.heappush(heap, root)
+
+        explored = 0
+        while heap:
+            node = heapq.heappop(heap)
+            if node.bound >= best_value - _BOUND_TOLERANCE:
+                continue  # cannot improve on the incumbent
+            explored += 1
+            if explored > self.node_limit:
+                return MilpSolution(status=SolveStatus.ERROR, backend=self._backend_name(),
+                                    nodes_explored=explored)
+            status, value, x = self._solve_relaxation(
+                c, a_ub, b_ub, node.fixed_lower, node.fixed_upper
+            )
+            if status is not SolveStatus.OPTIMAL or value is None or x is None:
+                continue
+            if value >= best_value - _BOUND_TOLERANCE:
+                continue
+            branch_index = self._most_fractional(x, integral_indices)
+            if branch_index is None:
+                # Integral solution: new incumbent.
+                best_value = value
+                best_x = x
+                continue
+            floor_value = math.floor(x[branch_index] + _INTEGRALITY_TOLERANCE)
+            # Down branch: x_i ≤ floor.
+            down_upper = node.fixed_upper.copy()
+            down_upper[branch_index] = floor_value
+            down = _Node(bound=value, sequence=next(counter))
+            down.fixed_lower = node.fixed_lower.copy()
+            down.fixed_upper = down_upper
+            heapq.heappush(heap, down)
+            # Up branch: x_i ≥ floor + 1.
+            up_lower = node.fixed_lower.copy()
+            up_lower[branch_index] = floor_value + 1
+            if up_lower[branch_index] <= node.fixed_upper[branch_index] + _BOUND_TOLERANCE:
+                up = _Node(bound=value, sequence=next(counter))
+                up.fixed_lower = up_lower
+                up.fixed_upper = node.fixed_upper.copy()
+                heapq.heappush(heap, up)
+
+        if best_x is None:
+            return MilpSolution(status=SolveStatus.INFEASIBLE, backend=self._backend_name(),
+                                nodes_explored=explored)
+        # Snap integral variables to the integers they are (within tolerance)
+        # so reported assignments and objective values are exact.
+        snapped = best_x.copy()
+        for index in integral_indices:
+            snapped[index] = round(snapped[index])
+        assignment = {name: float(snapped[i]) for i, name in enumerate(order)}
+        # Report the objective in its declared sense.
+        reported = objective.value(assignment)
+        return MilpSolution(
+            status=SolveStatus.OPTIMAL,
+            objective_value=reported,
+            assignment=assignment,
+            nodes_explored=explored,
+            backend=self._backend_name(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _backend_name(self) -> str:
+        return f"branch-and-bound[{self.lp_engine}]"
+
+    @staticmethod
+    def _most_fractional(x: np.ndarray, integral_indices: np.ndarray) -> Optional[int]:
+        """Index of the integral variable furthest from an integer, or None."""
+        if integral_indices.size == 0:
+            return None
+        fractional = np.abs(x[integral_indices] - np.round(x[integral_indices]))
+        worst = int(np.argmax(fractional))
+        if fractional[worst] <= _INTEGRALITY_TOLERANCE:
+            return None
+        return int(integral_indices[worst])
+
+    @staticmethod
+    def _is_integral_feasible(
+        x: np.ndarray,
+        a_ub: np.ndarray,
+        b_ub: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        integral_indices: np.ndarray,
+    ) -> bool:
+        if np.any(x < lower - 1e-9) or np.any(x > upper + 1e-9):
+            return False
+        if a_ub.size and np.any(a_ub @ x > b_ub + 1e-9):
+            return False
+        if integral_indices.size:
+            deviations = np.abs(x[integral_indices] - np.round(x[integral_indices]))
+            if np.any(deviations > _INTEGRALITY_TOLERANCE):
+                return False
+        return True

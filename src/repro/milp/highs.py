@@ -1,0 +1,95 @@
+"""HiGHS backend: solve :class:`IntegerProgram` via ``scipy.optimize.milp``.
+
+The paper uses Gurobi (through YALMIP) to solve the ILP formulations of
+Theorems 6 and 7.  Gurobi is not available offline, so the primary backend
+here is the HiGHS mixed-integer solver bundled with SciPy, which solves the
+identical formulations to proven optimality; only wall-clock constants
+differ.  The pure-Python branch-and-bound solver
+(:mod:`repro.milp.branch_bound`) is the always-available fallback and the
+cross-check oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .model import IntegerProgram, Objective
+from .solution import MilpSolution, SolveStatus
+
+try:
+    from scipy.optimize import LinearConstraint, milp as _scipy_milp
+    from scipy.optimize import Bounds
+except ImportError:  # pragma: no cover - SciPy is a declared dependency
+    _scipy_milp = None
+
+__all__ = ["HighsSolver", "default_solver"]
+
+
+class HighsSolver:
+    """Solve integer programs with SciPy's HiGHS MILP interface."""
+
+    def __init__(self, time_limit: Optional[float] = None, mip_gap: float = 0.0) -> None:
+        if _scipy_milp is None:  # pragma: no cover
+            raise RuntimeError(
+                "scipy.optimize.milp is unavailable; use BranchAndBoundSolver instead"
+            )
+        self.time_limit = time_limit
+        self.mip_gap = mip_gap
+
+    def solve(
+        self, program: IntegerProgram, objective: Optional[Objective] = None
+    ) -> MilpSolution:
+        """Solve the program (or one chosen objective of it) to optimality."""
+        if objective is None:
+            objective = program.objective
+        c, a_ub, b_ub, lower, upper, integrality = program.dense_arrays(objective)
+
+        constraints = []
+        if a_ub.size:
+            constraints.append(LinearConstraint(a_ub, ub=b_ub))
+        options = {"mip_rel_gap": self.mip_gap}
+        if self.time_limit is not None:
+            options["time_limit"] = self.time_limit
+
+        result = _scipy_milp(
+            c=c,
+            constraints=constraints,
+            bounds=Bounds(lb=lower, ub=upper),
+            integrality=integrality,
+            options=options,
+        )
+
+        if result.status == 0 and result.x is not None:
+            assignment = {
+                name: float(result.x[i]) for i, name in enumerate(program.variable_order)
+            }
+            return MilpSolution(
+                status=SolveStatus.OPTIMAL,
+                objective_value=objective.value(assignment),
+                assignment=assignment,
+                backend="highs",
+            )
+        if result.status == 2:
+            return MilpSolution(status=SolveStatus.INFEASIBLE, backend="highs")
+        if result.status == 3:
+            return MilpSolution(status=SolveStatus.UNBOUNDED, backend="highs")
+        return MilpSolution(status=SolveStatus.ERROR, backend="highs")
+
+
+def default_solver(prefer: str = "highs"):
+    """Return the preferred available single-objective ILP solver.
+
+    Parameters
+    ----------
+    prefer:
+        ``"highs"`` (default) or ``"branch-and-bound"``.  When HiGHS is
+        requested but SciPy's MILP interface is missing, the pure-Python
+        branch-and-bound solver is returned instead.
+    """
+    if prefer == "highs" and _scipy_milp is not None:
+        return HighsSolver()
+    from .branch_bound import BranchAndBoundSolver
+
+    return BranchAndBoundSolver()

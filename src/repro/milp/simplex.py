@@ -1,0 +1,199 @@
+"""A self-contained dense two-phase simplex solver for LP relaxations.
+
+The branch-and-bound solver (:mod:`repro.milp.branch_bound`) needs to solve
+linear-programming relaxations.  Its default engine is SciPy's HiGHS
+``linprog``; this module provides a from-scratch alternative so that the
+whole ILP stack can run — and be understood, and be tested — without any
+external solver.  It also serves as an independent oracle: the test-suite
+cross-checks HiGHS against this implementation on random programs.
+
+The solver handles problems of the form::
+
+    minimise    c·x
+    subject to  A_ub·x ≤ b_ub
+                lower ≤ x ≤ upper   (finite bounds)
+
+via the classical reduction to standard form (shift by the lower bounds,
+slack variables for the ≤ rows and for the upper bounds, artificial
+variables for phase 1).  Pivoting uses Dantzig's rule with an automatic
+switch to Bland's rule to guarantee termination in the presence of
+degeneracy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .solution import SolveStatus
+
+__all__ = ["SimplexResult", "solve_linear_program"]
+
+_TOLERANCE = 1e-9
+#: After this many Dantzig pivots the solver switches to Bland's rule,
+#: which cannot cycle.
+_BLAND_SWITCH = 2000
+_MAX_ITERATIONS = 20000
+
+
+@dataclass(frozen=True)
+class SimplexResult:
+    """Result of an LP solve: status, objective value and primal point."""
+
+    status: SolveStatus
+    objective_value: Optional[float]
+    x: Optional[np.ndarray]
+
+
+def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, column: int) -> None:
+    """Perform one tableau pivot: make ``column`` basic in ``row``."""
+    tableau[row] /= tableau[row, column]
+    for other in range(tableau.shape[0]):
+        if other != row and abs(tableau[other, column]) > _TOLERANCE:
+            tableau[other] -= tableau[other, column] * tableau[row]
+    basis[row] = column
+
+
+def _choose_entering(objective_row: np.ndarray, allowed: int, use_bland: bool) -> Optional[int]:
+    """Pick the entering column (negative reduced cost) or ``None`` if optimal."""
+    candidates = np.where(objective_row[:allowed] < -_TOLERANCE)[0]
+    if candidates.size == 0:
+        return None
+    if use_bland:
+        return int(candidates[0])
+    return int(candidates[np.argmin(objective_row[candidates])])
+
+
+def _choose_leaving(
+    tableau: np.ndarray, column: int, use_bland: bool, basis: np.ndarray
+) -> Optional[int]:
+    """Minimum-ratio test; ``None`` means the LP is unbounded."""
+    rows = tableau.shape[0] - 1
+    ratios = np.full(rows, np.inf)
+    for row in range(rows):
+        coefficient = tableau[row, column]
+        if coefficient > _TOLERANCE:
+            ratios[row] = tableau[row, -1] / coefficient
+    if not np.isfinite(ratios).any():
+        return None
+    best = np.min(ratios)
+    ties = np.where(np.abs(ratios - best) <= _TOLERANCE)[0]
+    if use_bland and ties.size > 1:
+        # Bland's rule: among ties pick the row whose basic variable has the
+        # smallest index, preventing cycling.
+        return int(ties[np.argmin(basis[ties])])
+    return int(ties[0])
+
+
+def _run_simplex(tableau: np.ndarray, basis: np.ndarray, allowed: int) -> SolveStatus:
+    """Run primal simplex iterations on a tableau in canonical form."""
+    for iteration in range(_MAX_ITERATIONS):
+        use_bland = iteration >= _BLAND_SWITCH
+        column = _choose_entering(tableau[-1], allowed, use_bland)
+        if column is None:
+            return SolveStatus.OPTIMAL
+        row = _choose_leaving(tableau, column, use_bland, basis)
+        if row is None:
+            return SolveStatus.UNBOUNDED
+        _pivot(tableau, basis, row, column)
+    return SolveStatus.ERROR
+
+
+def solve_linear_program(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> SimplexResult:
+    """Solve ``min c·x  s.t.  A_ub·x ≤ b_ub, lower ≤ x ≤ upper``.
+
+    All bounds must be finite (the AT formulations only use binaries, whose
+    bounds are [0, 1]); ``ValueError`` is raised otherwise.
+    """
+    c = np.asarray(c, dtype=float)
+    a_ub = np.asarray(a_ub, dtype=float).reshape(-1, c.size) if a_ub is not None else np.zeros((0, c.size))
+    b_ub = np.asarray(b_ub, dtype=float).reshape(-1)
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    if not (np.isfinite(lower).all() and np.isfinite(upper).all()):
+        raise ValueError("the simplex backend requires finite variable bounds")
+    if np.any(lower > upper + _TOLERANCE):
+        return SimplexResult(SolveStatus.INFEASIBLE, None, None)
+
+    n = c.size
+    # Shift x = lower + y with 0 ≤ y ≤ upper − lower.
+    span = upper - lower
+    shifted_b = b_ub - a_ub @ lower if a_ub.size else b_ub
+
+    # Rows: original ≤ constraints, then upper bounds y_i ≤ span_i.
+    bound_rows = np.eye(n)
+    a_full = np.vstack([a_ub, bound_rows]) if a_ub.size else bound_rows
+    b_full = np.concatenate([shifted_b, span])
+
+    m = a_full.shape[0]
+    # Normalise rows so every right-hand side is non-negative.
+    negative = b_full < 0
+    a_full[negative] *= -1.0
+    b_full[negative] *= -1.0
+    # Slack coefficient is +1 for untouched rows, −1 for flipped rows.
+    slack = np.eye(m)
+    slack[negative, negative] = -1.0
+
+    artificial = np.eye(m)
+    total_columns = n + m + m  # structural + slack + artificial
+
+    tableau = np.zeros((m + 1, total_columns + 1))
+    tableau[:m, :n] = a_full
+    tableau[:m, n:n + m] = slack
+    tableau[:m, n + m:n + 2 * m] = artificial
+    tableau[:m, -1] = b_full
+
+    basis = np.arange(n + m, n + 2 * m)
+
+    # ---- Phase 1: minimise the sum of artificial variables. ---------------- #
+    tableau[-1, n + m:n + 2 * m] = 1.0
+    # Canonicalise: subtract artificial rows from the objective row.
+    tableau[-1] -= tableau[:m].sum(axis=0)
+    status = _run_simplex(tableau, basis, allowed=total_columns)
+    if status is not SolveStatus.OPTIMAL:
+        return SimplexResult(SolveStatus.ERROR, None, None)
+    if -tableau[-1, -1] > 1e-7:
+        return SimplexResult(SolveStatus.INFEASIBLE, None, None)
+
+    # Drive any artificial variable remaining in the basis out of it.
+    for row in range(m):
+        if basis[row] >= n + m:
+            pivot_column = None
+            for column in range(n + m):
+                if abs(tableau[row, column]) > _TOLERANCE:
+                    pivot_column = column
+                    break
+            if pivot_column is not None:
+                _pivot(tableau, basis, row, pivot_column)
+            # If the row is entirely zero it is redundant; leaving the
+            # artificial basic at value 0 is harmless.
+
+    # ---- Phase 2: original objective over structural + slack columns. ------ #
+    tableau[-1, :] = 0.0
+    tableau[-1, :n] = c
+    # Canonicalise with respect to the current basis.
+    for row in range(m):
+        column = basis[row]
+        if column < n + m and abs(tableau[-1, column]) > _TOLERANCE:
+            tableau[-1] -= tableau[-1, column] * tableau[row]
+    status = _run_simplex(tableau, basis, allowed=n + m)
+    if status is SolveStatus.UNBOUNDED:
+        return SimplexResult(SolveStatus.UNBOUNDED, None, None)
+    if status is not SolveStatus.OPTIMAL:
+        return SimplexResult(SolveStatus.ERROR, None, None)
+
+    y = np.zeros(total_columns)
+    for row in range(m):
+        y[basis[row]] = tableau[row, -1]
+    x = lower + y[:n]
+    objective_value = float(c @ x)
+    return SimplexResult(SolveStatus.OPTIMAL, objective_value, x)

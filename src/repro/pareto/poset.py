@@ -1,0 +1,205 @@
+"""Partial orders and Pareto minimisation.
+
+The paper works in three ordered domains:
+
+* the **attribute-pair domain** ``(R²≥0, ⊑)`` with
+  ``(c, d) ⊑ (c', d')  iff  c ≤ c' and d ≥ d'`` — lower cost, higher damage
+  is better (Section IV.A);
+* the **deterministic attribute-triple domain** ``DTrip = R≥0 × R≥0 × B``
+  ordered by ``(c, d, b) ⊑ (c', d', b') iff c ≤ c', d ≥ d', b ≥ b'``
+  (Section VI);
+* the **probabilistic attribute-triple domain**
+  ``PTrip = R≥0 × R≥0 × [0, 1]`` with the same componentwise order
+  (Section IX).
+
+This module provides the orders and a generic ``pareto_minimal`` filter used
+by every solver.  ``pareto_minimal`` corresponds to the paper's
+``min_⪯ X = {x ∈ X | ∀x'. x' ⊀ x}``; :func:`min_with_budget` additionally
+applies the cost-budget filter ``min_U``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = [
+    "dominates_pair",
+    "dominates_triple",
+    "strictly_dominates_pair",
+    "strictly_dominates_triple",
+    "pareto_minimal_pairs",
+    "pareto_minimal_triples",
+    "min_with_budget",
+    "is_antichain_pairs",
+    "merge_pair_sets",
+]
+
+T = TypeVar("T")
+
+CostDamage = Tuple[float, float]
+Triple = Tuple[float, float, float]
+
+#: Tolerance for floating-point comparisons throughout the Pareto machinery.
+#: The paper works with exact rationals conceptually; a small symmetric
+#: tolerance keeps the implementation robust against accumulation error.
+EPSILON = 1e-9
+
+
+def _leq(a: float, b: float) -> bool:
+    """Return ``a ≤ b`` up to :data:`EPSILON`."""
+    return a <= b + EPSILON
+
+
+def _geq(a: float, b: float) -> bool:
+    """Return ``a ≥ b`` up to :data:`EPSILON`."""
+    return a + EPSILON >= b
+
+
+def _eq(a: float, b: float) -> bool:
+    """Return ``a ≈ b`` up to :data:`EPSILON`."""
+    return math.isclose(a, b, rel_tol=0.0, abs_tol=EPSILON)
+
+
+def dominates_pair(left: CostDamage, right: CostDamage) -> bool:
+    """Return ``left ⊑ right`` in the attribute-pair order (weak domination).
+
+    ``(c, d) ⊑ (c', d')`` iff ``c ≤ c'`` and ``d ≥ d'``: ``left`` is at most
+    as expensive and at least as damaging.
+    """
+    return _leq(left[0], right[0]) and _geq(left[1], right[1])
+
+
+def strictly_dominates_pair(left: CostDamage, right: CostDamage) -> bool:
+    """Return ``left ⊏ right``: weak domination that is not equality."""
+    return dominates_pair(left, right) and not (
+        _eq(left[0], right[0]) and _eq(left[1], right[1])
+    )
+
+
+def dominates_triple(left: Triple, right: Triple) -> bool:
+    """Return ``left ⊑ right`` in the DTrip/PTrip order.
+
+    ``(c, d, p) ⊑ (c', d', p')`` iff ``c ≤ c'``, ``d ≥ d'`` and ``p ≥ p'``.
+    The third component is the activation bit (deterministic) or activation
+    probability (probabilistic) of the current node: an attack with greater
+    activation "potential" must be kept even if it costs more, because it may
+    unlock damage higher up in the tree (Example 4).
+    """
+    return (
+        _leq(left[0], right[0])
+        and _geq(left[1], right[1])
+        and _geq(left[2], right[2])
+    )
+
+
+def strictly_dominates_triple(left: Triple, right: Triple) -> bool:
+    """Return ``left ⊏ right`` in the DTrip/PTrip order."""
+    return dominates_triple(left, right) and not (
+        _eq(left[0], right[0])
+        and _eq(left[1], right[1])
+        and _eq(left[2], right[2])
+    )
+
+
+def pareto_minimal_pairs(
+    items: Iterable[T],
+    key: Callable[[T], CostDamage],
+) -> List[T]:
+    """Return the Pareto-minimal items under the attribute-pair order.
+
+    Among items whose key is equal (up to tolerance) a single representative
+    is kept — the first one encountered — matching the paper's treatment of
+    the Pareto front as a set of attribute values.
+
+    The implementation sorts by (cost asc, damage desc) and sweeps once,
+    which is ``O(k log k)`` for ``k`` items instead of the naive ``O(k²)``.
+    """
+    indexed = [(key(item), item) for item in items]
+    indexed.sort(key=lambda pair: (pair[0][0], -pair[0][1]))
+    result: List[T] = []
+    kept_values: List[CostDamage] = []
+    best_damage = -math.inf
+    for value, item in indexed:
+        if kept_values and _eq(value[0], kept_values[-1][0]) and _eq(value[1], kept_values[-1][1]):
+            continue  # duplicate attribute value
+        if value[1] > best_damage + EPSILON:
+            if kept_values and _leq(value[0], kept_values[-1][0]):
+                # Same cost (up to tolerance) but strictly more damage: the
+                # previously kept point is dominated — replace it.
+                kept_values.pop()
+                result.pop()
+            result.append(item)
+            kept_values.append(value)
+            best_damage = value[1]
+    return result
+
+
+def pareto_minimal_triples(
+    items: Iterable[T],
+    key: Callable[[T], Triple],
+) -> List[T]:
+    """Return the Pareto-minimal items under the DTrip/PTrip order.
+
+    With three objectives a single sweep no longer suffices; we sort by cost
+    and keep a staircase of undominated (damage, activation) pairs.  This is
+    ``O(k·f)`` where ``f`` is the front size — the dominant cost in practice
+    is ``f ≪ k``.
+    """
+    indexed = [(key(item), item) for item in items]
+    # Sort by cost ascending, then damage descending, then activation descending
+    # so that earlier items can only dominate later ones.
+    indexed.sort(key=lambda pair: (pair[0][0], -pair[0][1], -pair[0][2]))
+    kept_values: List[Triple] = []
+    result: List[T] = []
+    for value, item in indexed:
+        dominated = False
+        for kept in kept_values:
+            if dominates_triple(kept, value):
+                dominated = True
+                break
+        if not dominated:
+            kept_values.append(value)
+            result.append(item)
+    return result
+
+
+def min_with_budget(
+    items: Iterable[T],
+    key: Callable[[T], Triple],
+    budget: float = math.inf,
+) -> List[T]:
+    """The paper's ``min_U``: drop items over the cost budget, then Pareto-filter.
+
+    Parameters
+    ----------
+    items:
+        Candidate items (attacks with attribute triples).
+    key:
+        Maps an item to its ``(cost, damage, activation)`` triple.
+    budget:
+        The cost budget ``U``; ``math.inf`` disables the filter (the CDPF
+        case).
+    """
+    affordable = [item for item in items if key(item)[0] <= budget + EPSILON]
+    return pareto_minimal_triples(affordable, key)
+
+
+def is_antichain_pairs(values: Sequence[CostDamage]) -> bool:
+    """Return ``True`` when no value strictly dominates another.
+
+    Used by tests and by :class:`repro.pareto.front.ParetoFront` validation.
+    """
+    for i, left in enumerate(values):
+        for j, right in enumerate(values):
+            if i != j and strictly_dominates_pair(left, right):
+                return False
+    return True
+
+
+def merge_pair_sets(*sets: Iterable[CostDamage]) -> List[CostDamage]:
+    """Merge several cost-damage point sets into one Pareto-minimal set."""
+    combined: List[CostDamage] = []
+    for group in sets:
+        combined.extend(group)
+    return pareto_minimal_pairs(combined, key=lambda value: value)

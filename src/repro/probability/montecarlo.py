@@ -1,0 +1,103 @@
+"""Monte-Carlo estimation of expected damage.
+
+The exact probabilistic semantics (:mod:`repro.probability.actualization`)
+is linear-time for treelike ATs but exponential for DAG-like ATs.  This
+module provides a simple unbiased Monte-Carlo estimator of ``d̂_E(x)`` that
+works for *any* AT: sample actualized attacks by flipping an independent
+coin per attempted BAS, evaluate the deterministic damage of each sample,
+and average.
+
+The estimator is used (a) to cross-validate the exact treelike recursion in
+tests, and (b) by the probabilistic-DAG extension
+(:mod:`repro.extensions.prob_dag`) where no exact polynomial method is known
+(the paper leaves that case open).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from ..attacktree.attributes import CostDamageProbAT
+from ..core.semantics import Attack, attack_damage, normalize_attack
+
+__all__ = ["MonteCarloEstimate", "sample_actualization", "estimate_expected_damage"]
+
+
+@dataclass(frozen=True)
+class MonteCarloEstimate:
+    """Result of a Monte-Carlo expected-damage estimation.
+
+    Attributes
+    ----------
+    mean:
+        The sample mean (the estimate of ``d̂_E(x)``).
+    standard_error:
+        The standard error of the mean (sample std / sqrt(n)).
+    samples:
+        Number of samples drawn.
+    """
+
+    mean: float
+    standard_error: float
+    samples: int
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Return the ``mean ± z·SE`` interval (default 95%)."""
+        return (self.mean - z * self.standard_error, self.mean + z * self.standard_error)
+
+    def within(self, value: float, z: float = 3.0) -> bool:
+        """Return ``True`` when ``value`` lies within ``z`` standard errors."""
+        if self.standard_error == 0.0:
+            return math.isclose(self.mean, value, rel_tol=1e-9, abs_tol=1e-9)
+        return abs(self.mean - value) <= z * self.standard_error
+
+
+def sample_actualization(
+    cdpat: CostDamageProbAT, attack: Iterable[str], rng: random.Random
+) -> Attack:
+    """Draw one actualized attack ``Y_x`` by flipping a coin per attempted BAS."""
+    attempted = normalize_attack(cdpat, attack)
+    return frozenset(
+        bas for bas in attempted if rng.random() < cdpat.probability[bas]
+    )
+
+
+def estimate_expected_damage(
+    cdpat: CostDamageProbAT,
+    attack: Iterable[str],
+    samples: int = 10_000,
+    rng: Optional[random.Random] = None,
+) -> MonteCarloEstimate:
+    """Estimate ``d̂_E(x)`` by Monte-Carlo sampling.
+
+    Parameters
+    ----------
+    cdpat:
+        The probabilistic model.
+    attack:
+        Attempted BASs.
+    samples:
+        Number of actualizations to draw.
+    rng:
+        Random source; defaults to a fixed-seed ``random.Random(0)`` so that
+        results are reproducible unless the caller opts into fresh entropy.
+    """
+    if samples < 1:
+        raise ValueError("samples must be positive")
+    if rng is None:
+        rng = random.Random(0)
+    deterministic = cdpat.deterministic()
+    total = 0.0
+    total_squared = 0.0
+    for _ in range(samples):
+        outcome = sample_actualization(cdpat, attack, rng)
+        damage = attack_damage(deterministic, outcome)
+        total += damage
+        total_squared += damage * damage
+    mean = total / samples
+    variance = max(total_squared / samples - mean * mean, 0.0)
+    standard_error = math.sqrt(variance / samples)
+    return MonteCarloEstimate(mean=mean, standard_error=standard_error, samples=samples)

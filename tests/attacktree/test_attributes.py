@@ -1,0 +1,154 @@
+"""Unit tests for cd-AT / cdp-AT decorations and their validation."""
+
+import pytest
+
+from repro.attacktree.attributes import (
+    AttributeError_,
+    CostDamageAT,
+    CostDamageProbAT,
+    validate_cost_map,
+    validate_damage_map,
+    validate_probability_map,
+)
+from repro.attacktree.builder import AttackTreeBuilder
+from repro.attacktree.catalog import factory, factory_probabilistic
+
+
+def bare_tree():
+    builder = AttackTreeBuilder()
+    builder.bas("a")
+    builder.bas("b")
+    builder.and_gate("g", ["a", "b"])
+    return builder.build_tree(root="g")
+
+
+class TestValidation:
+    def test_cost_map_requires_every_bas(self):
+        tree = bare_tree()
+        with pytest.raises(AttributeError_, match="missing BASs"):
+            validate_cost_map(tree, {"a": 1.0})
+
+    def test_cost_map_rejects_internal_nodes(self):
+        tree = bare_tree()
+        with pytest.raises(AttributeError_, match="non-BAS"):
+            validate_cost_map(tree, {"a": 1.0, "b": 1.0, "g": 2.0})
+
+    def test_cost_map_rejects_negative(self):
+        tree = bare_tree()
+        with pytest.raises(AttributeError_, match="non-negative"):
+            validate_cost_map(tree, {"a": -1.0, "b": 1.0})
+
+    def test_cost_map_rejects_nan(self):
+        tree = bare_tree()
+        with pytest.raises(AttributeError_):
+            validate_cost_map(tree, {"a": float("nan"), "b": 1.0})
+
+    def test_damage_map_defaults_missing_to_zero(self):
+        tree = bare_tree()
+        damage = validate_damage_map(tree, {"g": 5.0})
+        assert damage["a"] == 0.0
+        assert damage["g"] == 5.0
+
+    def test_damage_map_rejects_unknown_nodes(self):
+        tree = bare_tree()
+        with pytest.raises(AttributeError_, match="unknown nodes"):
+            validate_damage_map(tree, {"nope": 1.0})
+
+    def test_damage_map_rejects_negative(self):
+        tree = bare_tree()
+        with pytest.raises(AttributeError_):
+            validate_damage_map(tree, {"g": -0.5})
+
+    def test_probability_map_bounds(self):
+        tree = bare_tree()
+        with pytest.raises(AttributeError_, match=r"\[0, 1\]"):
+            validate_probability_map(tree, {"a": 1.5, "b": 0.5})
+
+    def test_probability_map_requires_every_bas(self):
+        tree = bare_tree()
+        with pytest.raises(AttributeError_, match="missing BASs"):
+            validate_probability_map(tree, {"a": 0.5})
+
+
+class TestCostDamageAT:
+    def test_factory_values(self):
+        model = factory()
+        assert model.cost_of("ca") == 1
+        assert model.cost_of("pb") == 3
+        assert model.damage_of("ps") == 200
+        assert model.damage_of("ca") == 0  # defaulted
+        assert model.root == "ps"
+        assert model.basic_attack_steps == frozenset({"ca", "pb", "fd"})
+
+    def test_unknown_lookups_raise(self):
+        model = factory()
+        with pytest.raises(KeyError):
+            model.cost_of("ps")  # not a BAS
+        with pytest.raises(KeyError):
+            model.damage_of("nope")
+
+    def test_upper_bounds(self):
+        model = factory()
+        assert model.total_cost_upper_bound() == 6
+        assert model.total_damage_upper_bound() == 310
+
+    def test_with_probabilities(self):
+        model = factory().with_probabilities({"ca": 0.2, "pb": 0.4, "fd": 0.9})
+        assert isinstance(model, CostDamageProbAT)
+        assert model.probability_of("fd") == 0.9
+
+    def test_restricted_to_subtree(self):
+        model = factory()
+        sub = model.restricted_to("dr")
+        assert sub.root == "dr"
+        assert sub.basic_attack_steps == frozenset({"pb", "fd"})
+        assert sub.damage_of("dr") == 100
+        assert sub.cost_of("fd") == 2
+
+    def test_describe_lists_every_node(self):
+        text = factory().describe()
+        for name in ["ca", "pb", "fd", "dr", "ps"]:
+            assert name in text
+
+    def test_immutability(self):
+        model = factory()
+        with pytest.raises(AttributeError):
+            model.cost = {}  # type: ignore[misc]
+
+
+class TestCostDamageProbAT:
+    def test_probability_defaults_to_one(self):
+        builder = AttackTreeBuilder()
+        builder.bas("a", cost=1)
+        builder.bas("b", cost=1)
+        builder.or_gate("g", ["a", "b"], damage=1)
+        model = builder.build_cdp(root="g")
+        assert model.probability_of("a") == 1.0
+        assert model.is_effectively_deterministic()
+
+    def test_example8_probabilities(self):
+        model = factory_probabilistic()
+        assert model.probability_of("ca") == 0.2
+        assert model.probability_of("pb") == 0.4
+        assert model.probability_of("fd") == 0.9
+        assert not model.is_effectively_deterministic()
+
+    def test_deterministic_projection(self):
+        model = factory_probabilistic()
+        projected = model.deterministic()
+        assert isinstance(projected, CostDamageAT)
+        assert projected.cost == model.cost
+        assert projected.damage == model.damage
+
+    def test_restricted_to_keeps_probabilities(self):
+        model = factory_probabilistic()
+        sub = model.restricted_to("dr")
+        assert sub.probability_of("pb") == 0.4
+        assert "ca" not in sub.basic_attack_steps
+
+    def test_describe_mentions_probabilities(self):
+        assert "p=0.9" in factory_probabilistic().describe()
+
+    def test_unknown_probability_lookup(self):
+        with pytest.raises(KeyError):
+            factory_probabilistic().probability_of("dr")

@@ -1,0 +1,106 @@
+"""Unit and property tests for binarisation.
+
+Key invariant: binarisation must not change ĉ, d̂ or d̂_E of any attack —
+the paper uses the binary assumption "purely to simplify notation", so the
+rewrite must be semantics-preserving.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacktree.binarize import binarize_cd, binarize_cdp, binarize_tree, is_binary
+from repro.attacktree.builder import AttackTreeBuilder
+from repro.attacktree.catalog import panda_iot
+from repro.core.semantics import all_attacks, attack_cost, attack_damage
+from repro.probability.actualization import expected_damage
+
+from ..conftest import make_random_tree
+
+
+def wide_model():
+    """A gate with four children and one with three."""
+    builder = AttackTreeBuilder()
+    for index in range(4):
+        builder.bas(f"a{index}", cost=index + 1, damage=index)
+    builder.bas("b0", cost=2)
+    builder.bas("b1", cost=3)
+    builder.bas("b2", cost=4)
+    builder.or_gate("wide_or", ["a0", "a1", "a2", "a3"], damage=7)
+    builder.and_gate("wide_and", ["b0", "b1", "b2"], damage=11)
+    builder.and_gate("root", ["wide_or", "wide_and"], damage=13)
+    return builder.build_cd(root="root")
+
+
+class TestIsBinary:
+    def test_wide_tree_is_not_binary(self):
+        assert not is_binary(wide_model().tree)
+
+    def test_factory_is_binary(self):
+        from repro.attacktree.catalog import factory
+
+        assert is_binary(factory().tree)
+
+
+class TestBinarizeTree:
+    def test_result_is_binary(self):
+        binary, _ = binarize_tree(wide_model().tree)
+        assert is_binary(binary)
+
+    def test_original_nodes_preserved(self):
+        original = wide_model().tree
+        binary, helpers = binarize_tree(original)
+        assert set(original.nodes) <= set(binary.nodes)
+        assert set(helpers) == set(binary.nodes) - set(original.nodes)
+
+    def test_helper_origin_points_to_split_gate(self):
+        _, helpers = binarize_tree(wide_model().tree)
+        assert all(origin in {"wide_or", "wide_and"} for origin in helpers.values())
+
+    def test_bas_set_unchanged(self):
+        original = wide_model().tree
+        binary, _ = binarize_tree(original)
+        assert binary.basic_attack_steps == original.basic_attack_steps
+
+    def test_already_binary_tree_unchanged(self):
+        from repro.attacktree.catalog import factory
+
+        tree = factory().tree
+        binary, helpers = binarize_tree(tree)
+        assert helpers == {}
+        assert set(binary.nodes) == set(tree.nodes)
+
+
+class TestSemanticsPreservation:
+    def test_cd_semantics_preserved_on_wide_model(self):
+        model = wide_model()
+        binary, _ = binarize_cd(model)
+        for attack in all_attacks(model):
+            assert attack_cost(model, attack) == attack_cost(binary, attack)
+            assert attack_damage(model, attack) == pytest.approx(
+                attack_damage(binary, attack)
+            )
+
+    def test_cdp_semantics_preserved(self):
+        model = make_random_tree(3, max_bas=5)
+        binary, _ = binarize_cdp(model)
+        for attack in all_attacks(model):
+            assert expected_damage(model, attack) == pytest.approx(
+                expected_damage(binary, attack)
+            )
+
+    def test_panda_binarisation_preserves_structure_function(self):
+        model = panda_iot().deterministic()
+        binary, _ = binarize_cd(model)
+        attack = frozenset({"b18", "b19", "b20"})
+        assert attack_damage(model, attack) == attack_damage(binary, attack)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_binarisation_preserves_damage_random(self, seed):
+        model = make_random_tree(seed, max_bas=5).deterministic()
+        binary, _ = binarize_cd(model)
+        for attack in all_attacks(model):
+            assert attack_damage(model, attack) == pytest.approx(
+                attack_damage(binary, attack)
+            )

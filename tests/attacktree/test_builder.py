@@ -1,0 +1,102 @@
+"""Unit tests for the fluent attack-tree builder."""
+
+import pytest
+
+from repro.attacktree.builder import AttackTreeBuilder
+from repro.attacktree.node import NodeType
+from repro.attacktree.tree import AttackTreeError
+
+
+class TestBuilder:
+    def test_builds_factory_shape(self):
+        builder = AttackTreeBuilder()
+        builder.bas("ca", cost=1)
+        builder.bas("pb", cost=3)
+        builder.bas("fd", cost=2, damage=10)
+        builder.and_gate("dr", ["pb", "fd"], damage=100)
+        builder.or_gate("ps", ["ca", "dr"], damage=200)
+        model = builder.build_cd(root="ps")
+        assert model.tree.root == "ps"
+        assert model.tree.node_type("dr") is NodeType.AND
+        assert model.damage_of("dr") == 100
+        assert model.cost_of("fd") == 2
+
+    def test_declaration_order_is_free(self):
+        builder = AttackTreeBuilder()
+        builder.or_gate("root", ["x", "y"])
+        builder.bas("x")
+        builder.bas("y")
+        tree = builder.build_tree(root="root")
+        assert set(tree.basic_attack_steps) == {"x", "y"}
+
+    def test_duplicate_declaration_rejected(self):
+        builder = AttackTreeBuilder()
+        builder.bas("a")
+        with pytest.raises(AttackTreeError, match="declared twice"):
+            builder.bas("a")
+
+    def test_generic_gate_dispatch(self):
+        builder = AttackTreeBuilder()
+        builder.bas("a")
+        builder.bas("b")
+        builder.gate("g", NodeType.AND, ["a", "b"])
+        assert builder.build_tree(root="g").node_type("g") is NodeType.AND
+
+    def test_generic_gate_rejects_bas_type(self):
+        builder = AttackTreeBuilder()
+        with pytest.raises(ValueError, match="OR or AND"):
+            builder.gate("g", NodeType.BAS, ["a"])
+
+    def test_set_damage_and_cost_overwrite(self):
+        builder = AttackTreeBuilder()
+        builder.bas("a", cost=1)
+        builder.or_gate("g", ["a"], damage=5)
+        builder.set_damage("g", 7)
+        builder.set_cost("a", 4)
+        model = builder.build_cd(root="g")
+        assert model.damage_of("g") == 7
+        assert model.cost_of("a") == 4
+
+    def test_set_cost_rejects_gate(self):
+        builder = AttackTreeBuilder()
+        builder.bas("a")
+        builder.or_gate("g", ["a"])
+        with pytest.raises(ValueError, match="not a BAS"):
+            builder.set_cost("g", 1)
+
+    def test_set_probability_rejects_gate(self):
+        builder = AttackTreeBuilder()
+        builder.bas("a")
+        builder.or_gate("g", ["a"])
+        with pytest.raises(ValueError, match="not a BAS"):
+            builder.set_probability("g", 0.5)
+
+    def test_set_on_undeclared_node(self):
+        builder = AttackTreeBuilder()
+        with pytest.raises(KeyError):
+            builder.set_damage("nope", 1)
+        with pytest.raises(KeyError):
+            builder.set_cost("nope", 1)
+        with pytest.raises(KeyError):
+            builder.set_probability("nope", 0.5)
+
+    def test_build_cdp_defaults_probability(self):
+        builder = AttackTreeBuilder()
+        builder.bas("a", cost=1, probability=0.3)
+        builder.bas("b", cost=1)
+        builder.or_gate("g", ["a", "b"])
+        model = builder.build_cdp(root="g")
+        assert model.probability_of("a") == 0.3
+        assert model.probability_of("b") == 1.0
+
+    def test_declared_nodes_lists_in_order(self):
+        builder = AttackTreeBuilder()
+        builder.bas("a")
+        builder.bas("b")
+        builder.or_gate("g", ["a", "b"])
+        assert builder.declared_nodes == ["a", "b", "g"]
+
+    def test_chaining_returns_builder(self):
+        builder = AttackTreeBuilder()
+        result = builder.bas("a").bas("b").or_gate("g", ["a", "b"])
+        assert result is builder

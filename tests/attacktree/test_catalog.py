@@ -1,0 +1,128 @@
+"""Unit tests for the literature catalogue.
+
+These check the structural facts the paper states about its case-study ATs
+(size, shape, decoration ranges); the reproduction of the published Pareto
+fronts themselves is covered by ``tests/paper`` and
+``tests/experiments/test_casestudies.py``.
+"""
+
+import pytest
+
+from repro.attacktree import catalog
+from repro.attacktree.tree import AttackTree
+
+
+class TestFactory:
+    def test_shape(self):
+        model = catalog.factory()
+        assert len(model.tree) == 5
+        assert model.tree.is_treelike
+        assert model.tree.root == "ps"
+
+    def test_example1_costs_and_damages(self):
+        model = catalog.factory()
+        assert model.cost == {"ca": 1, "pb": 3, "fd": 2}
+        assert model.damage_of("ps") == 200
+        assert model.damage_of("dr") == 100
+        assert model.damage_of("fd") == 10
+
+    def test_probabilistic_variant(self):
+        model = catalog.factory_probabilistic()
+        assert model.probability == {"ca": 0.2, "pb": 0.4, "fd": 0.9}
+
+
+class TestPandaIot:
+    def test_size_and_shape(self):
+        model = catalog.panda_iot()
+        assert len(model.tree.basic_attack_steps) == 22
+        assert model.tree.is_treelike
+        # The paper's case study has |N| = 38 nodes.
+        assert len(model.tree) == 38
+
+    def test_costs_in_paper_range(self):
+        model = catalog.panda_iot()
+        assert all(1 <= model.cost[b] <= 5 for b in model.basic_attack_steps)
+
+    def test_probabilities_in_paper_range(self):
+        model = catalog.panda_iot()
+        assert all(0.1 <= model.probability[b] <= 0.9 for b in model.basic_attack_steps)
+
+    def test_total_damage_is_100(self):
+        model = catalog.panda_iot()
+        assert sum(model.damage.values()) == pytest.approx(100.0)
+
+    def test_top_event_carries_minor_damage(self):
+        """The paper stresses that the top event does minor damage compared
+        to internal nodes such as the base station."""
+        model = catalog.panda_iot()
+        top_damage = model.damage_of(model.root)
+        assert top_damage == 5
+        assert model.damage_of("base_station_compromised") > top_damage
+
+    def test_internal_leakage_decoration(self):
+        model = catalog.panda_iot()
+        assert model.cost_of("b18") == 3
+        assert model.probability_of("b18") == 0.9
+
+
+class TestDataServer:
+    def test_size_and_shape(self):
+        model = catalog.data_server()
+        assert len(model.tree.basic_attack_steps) == 12
+        assert not model.tree.is_treelike
+
+    def test_shared_node_is_ftp_connection(self):
+        model = catalog.data_server()
+        assert "b6" in model.tree.shared_nodes()
+
+    def test_damage_values_from_paper(self):
+        model = catalog.data_server()
+        assert model.damage_of("root_access_data_server") == 36.0
+        assert model.damage_of("user_access_ftp") == 13.5
+        assert model.damage_of("user_access_smtp") == 10.8
+
+    def test_total_damage(self):
+        model = catalog.data_server()
+        assert sum(model.damage.values()) == pytest.approx(82.8)
+
+
+class TestAuxiliaryModels:
+    def test_example10_or_pair(self):
+        model = catalog.example10_or_pair()
+        assert model.damage_of("w") == 1
+        assert model.probability_of("v1") == 0.5
+
+    def test_knapsack_like_chain_sizes(self):
+        model = catalog.knapsack_like_chain(4)
+        assert len(model.tree.basic_attack_steps) == 4
+        assert model.cost_of("v3") == 8
+        assert model.damage_of("v3") == 8
+
+    def test_knapsack_like_chain_rejects_zero(self):
+        with pytest.raises(ValueError):
+            catalog.knapsack_like_chain(0)
+
+
+class TestBuildingBlocks:
+    def test_all_blocks_are_valid_trees(self):
+        blocks = catalog.building_blocks()
+        assert len(blocks) == 9
+        for block in blocks:
+            assert isinstance(block, AttackTree)
+            assert len(block) >= 5
+
+    def test_treelike_only_filter(self):
+        blocks = catalog.building_blocks(treelike_only=True)
+        assert len(blocks) == 5
+        assert all(block.is_treelike for block in blocks)
+
+    def test_non_treelike_blocks_are_dags(self):
+        all_blocks = {len(b): b for b in catalog.building_blocks()}
+        dag_blocks = [b for b in catalog.building_blocks() if not b.is_treelike]
+        assert dag_blocks, "the catalogue must contain DAG building blocks"
+
+    def test_blocks_are_deterministic(self):
+        first = catalog.building_blocks()
+        second = catalog.building_blocks()
+        for a, b in zip(first, second):
+            assert a.structurally_equal(b)

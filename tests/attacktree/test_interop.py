@@ -1,0 +1,90 @@
+"""Tests for the networkx interoperability layer."""
+
+import networkx as nx
+import pytest
+
+from repro.attacktree.attributes import CostDamageAT, CostDamageProbAT
+from repro.attacktree.catalog import data_server, factory, factory_probabilistic
+from repro.attacktree.interop import from_networkx, to_networkx
+from repro.attacktree.tree import AttackTree, AttackTreeError
+from repro.core.bottom_up import pareto_front_treelike
+
+
+class TestToNetworkx:
+    def test_nodes_edges_and_root(self):
+        graph = to_networkx(factory())
+        assert set(graph.nodes) == {"ca", "pb", "fd", "dr", "ps"}
+        assert ("dr", "pb") in graph.edges
+        assert graph.graph["root"] == "ps"
+
+    def test_attributes(self):
+        graph = to_networkx(factory_probabilistic())
+        assert graph.nodes["fd"]["cost"] == 2
+        assert graph.nodes["fd"]["probability"] == 0.9
+        assert graph.nodes["ps"]["damage"] == 200
+        assert graph.nodes["dr"]["type"] == "AND"
+        assert graph.nodes["fd"]["label"] == "force door"
+
+    def test_bare_tree(self):
+        graph = to_networkx(factory().tree)
+        assert "cost" not in graph.nodes["ca"]
+
+    def test_is_dag(self):
+        graph = to_networkx(data_server())
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            to_networkx(42)
+
+
+class TestFromNetworkx:
+    def test_round_trip_cd(self):
+        model = factory()
+        restored = from_networkx(to_networkx(model))
+        assert isinstance(restored, CostDamageAT)
+        assert restored.tree.structurally_equal(model.tree)
+        assert restored.cost == model.cost
+        assert restored.damage == model.damage
+
+    def test_round_trip_cdp(self):
+        model = factory_probabilistic()
+        restored = from_networkx(to_networkx(model))
+        assert isinstance(restored, CostDamageProbAT)
+        assert restored.probability == model.probability
+
+    def test_round_trip_bare_tree(self):
+        tree = factory().tree
+        restored = from_networkx(to_networkx(tree))
+        assert isinstance(restored, AttackTree)
+        assert restored.structurally_equal(tree)
+
+    def test_round_trip_preserves_analysis(self):
+        model = factory()
+        restored = from_networkx(to_networkx(model))
+        assert pareto_front_treelike(restored).values() == \
+            pareto_front_treelike(model).values()
+
+    def test_explicit_root_override(self):
+        graph = to_networkx(factory().tree)
+        del graph.graph["root"]
+        restored = from_networkx(graph, root="ps")
+        assert restored.root == "ps"
+
+    def test_missing_type_rejected(self):
+        graph = nx.DiGraph(root="a")
+        graph.add_node("a")
+        with pytest.raises(AttackTreeError, match="type"):
+            from_networkx(graph)
+
+    def test_hand_built_graph(self):
+        graph = nx.DiGraph(root="top")
+        graph.add_node("x", type="BAS", cost=2.0)
+        graph.add_node("y", type="BAS", cost=3.0)
+        graph.add_node("top", type="OR", damage=7.0)
+        graph.add_edge("top", "x")
+        graph.add_edge("top", "y")
+        model = from_networkx(graph)
+        assert isinstance(model, CostDamageAT)
+        front = pareto_front_treelike(model)
+        assert front.values() == [(0.0, 0.0), (2.0, 7.0)]

@@ -1,0 +1,137 @@
+"""Tests for the classic single-metric AT analyses."""
+
+import math
+
+import pytest
+
+from repro.attacktree.catalog import data_server, factory, factory_probabilistic, panda_iot
+from repro.attacktree.metrics import (
+    count_successful_attacks,
+    is_minimal_attack,
+    max_probability_of_success,
+    min_cost_of_successful_attack,
+    minimal_attacks,
+    success_probability_all_attempted,
+)
+
+
+class TestMinimalAttacks:
+    def test_factory_minimal_attacks(self):
+        attacks = minimal_attacks(factory().tree)
+        assert attacks == [frozenset({"ca"}), frozenset({"pb", "fd"})]
+
+    def test_panda_minimal_attacks_include_known_ones(self):
+        attacks = set(minimal_attacks(panda_iot().tree))
+        assert frozenset({"b18"}) in attacks
+        assert frozenset({"b17"}) in attacks
+        assert frozenset({"b19", "b20"}) in attacks
+        assert frozenset({"b21", "b22"}) in attacks
+
+    def test_data_server_minimal_attacks_are_minimal_and_successful(self):
+        tree = data_server().tree
+        attacks = minimal_attacks(tree)
+        assert attacks
+        for attack in attacks:
+            assert is_minimal_attack(tree, attack)
+
+    def test_section_xb_claim_a2_is_minimal_like(self):
+        """Section X.B: of the Pareto-optimal attacks only A2 would have been
+        found by a minimal attack analysis — i.e. A2 = {b6,b8,b11,b12} is a
+        minimal successful attack and the other optimal attacks are not."""
+        tree = data_server().tree
+        attacks = set(minimal_attacks(tree))
+        assert frozenset({"b6", "b8", "b11", "b12"}) in attacks
+        # A3 adds the SMTP chain: not minimal.
+        assert frozenset({"b6", "b8", "b11", "b12", "b1", "b2", "b3"}) not in attacks
+
+    def test_max_count_guard(self):
+        with pytest.raises(ValueError, match="more than"):
+            minimal_attacks(panda_iot().tree, max_count=2)
+
+    def test_is_minimal_attack_rejects_unsuccessful_and_redundant(self):
+        tree = factory().tree
+        assert not is_minimal_attack(tree, frozenset({"pb"}))           # unsuccessful
+        assert not is_minimal_attack(tree, frozenset({"ca", "fd"}))      # redundant
+        assert is_minimal_attack(tree, frozenset({"ca"}))
+
+
+class TestMinCostOfSuccess:
+    def test_factory(self):
+        cost, attack = min_cost_of_successful_attack(factory())
+        assert cost == 1
+        assert attack == frozenset({"ca"})
+
+    def test_data_server(self):
+        cost, attack = min_cost_of_successful_attack(data_server())
+        # Cheapest path to the data server: FTP buffer overflow + LICQ + suid.
+        assert cost == 568
+        assert attack == frozenset({"b6", "b8", "b11", "b12"})
+
+    def test_panda(self):
+        cost, attack = min_cost_of_successful_attack(panda_iot())
+        assert cost == 3
+        assert attack == frozenset({"b18"})
+
+    def test_agrees_with_minimal_attack_enumeration(self):
+        model = panda_iot().deterministic()
+        cost, _ = min_cost_of_successful_attack(model)
+        cheapest_by_enumeration = min(
+            sum(model.cost[b] for b in attack)
+            for attack in minimal_attacks(model.tree)
+        )
+        assert cost == cheapest_by_enumeration
+
+
+class TestSuccessProbability:
+    def test_factory_all_attempted(self):
+        model = factory_probabilistic()
+        # P(ps) = p(ca) ⋆ (p(pb)·p(fd)) = 0.2 + 0.36 − 0.072.
+        assert success_probability_all_attempted(model) == pytest.approx(0.488)
+
+    def test_unit_probabilities_give_certainty(self):
+        from repro.attacktree.transform import with_unit_probabilities
+
+        assert success_probability_all_attempted(
+            with_unit_probabilities(factory())
+        ) == pytest.approx(1.0)
+
+    def test_max_probability_unbounded_budget(self):
+        model = factory_probabilistic()
+        probability, attack = max_probability_of_success(model)
+        assert probability == pytest.approx(0.488)
+        assert attack == frozenset({"ca", "pb", "fd"})
+
+    def test_max_probability_with_budget(self):
+        model = factory_probabilistic()
+        probability, attack = max_probability_of_success(model, budget=1)
+        assert probability == pytest.approx(0.2)
+        assert attack == frozenset({"ca"})
+        probability, attack = max_probability_of_success(model, budget=5)
+        # Budget 5 allows {pb, fd} (0.36) or {ca, fd} (0.2): best is 0.36.
+        assert probability == pytest.approx(0.36)
+
+    def test_max_probability_on_small_dag(self):
+        from repro.attacktree.builder import AttackTreeBuilder
+
+        builder = AttackTreeBuilder()
+        builder.bas("s", cost=1, probability=0.5)
+        builder.bas("a", cost=1, probability=0.8)
+        builder.bas("b", cost=1, probability=0.5)
+        builder.and_gate("g1", ["s", "a"])
+        builder.and_gate("g2", ["s", "b"])
+        builder.or_gate("root", ["g1", "g2"])
+        model = builder.build_cdp(root="root")
+        probability, _ = max_probability_of_success(model, budget=3)
+        # Correlated via the shared s: P = 0.5·(1 − 0.2·0.5) = 0.45.
+        assert probability == pytest.approx(0.45)
+
+
+class TestCounting:
+    def test_factory_successful_attack_count(self):
+        # Successful: any superset of {ca} (4) plus {pb,fd} and {pb,fd,ca}
+        # (already counted) -> {ca},{ca,pb},{ca,fd},{ca,pb,fd},{pb,fd} = 5.
+        assert count_successful_attacks(factory().tree) == 5
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError, match="2\\^22"):
+            count_successful_attacks(panda_iot().tree, max_bas=20)

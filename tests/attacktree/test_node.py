@@ -1,0 +1,83 @@
+"""Unit tests for the node vocabulary."""
+
+import pytest
+
+from repro.attacktree.node import Node, NodeType
+
+
+class TestNodeType:
+    def test_bas_is_not_gate(self):
+        assert not NodeType.BAS.is_gate
+
+    def test_or_and_are_gates(self):
+        assert NodeType.OR.is_gate
+        assert NodeType.AND.is_gate
+
+    def test_str_is_value(self):
+        assert str(NodeType.AND) == "AND"
+
+
+class TestNodeConstruction:
+    def test_bas_without_children(self):
+        node = Node(name="a", type=NodeType.BAS)
+        assert node.is_bas
+        assert not node.is_gate
+        assert node.arity == 0
+
+    def test_gate_with_children(self):
+        node = Node(name="g", type=NodeType.OR, children=("a", "b"))
+        assert node.is_gate
+        assert node.arity == 2
+        assert node.children == ("a", "b")
+
+    def test_bas_with_children_rejected(self):
+        with pytest.raises(ValueError, match="cannot have children"):
+            Node(name="a", type=NodeType.BAS, children=("b",))
+
+    def test_gate_without_children_rejected(self):
+        with pytest.raises(ValueError, match="at least one child"):
+            Node(name="g", type=NodeType.AND, children=())
+
+    def test_duplicate_children_rejected(self):
+        with pytest.raises(ValueError, match="duplicate children"):
+            Node(name="g", type=NodeType.OR, children=("a", "a"))
+
+    def test_self_child_rejected(self):
+        with pytest.raises(ValueError, match="own child"):
+            Node(name="g", type=NodeType.OR, children=("g", "a"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Node(name="", type=NodeType.BAS)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            Node(name="a", type="BAS")  # type: ignore[arg-type]
+
+
+class TestNodeBehaviour:
+    def test_with_children_returns_new_node(self):
+        original = Node(name="g", type=NodeType.AND, children=("a", "b"))
+        updated = original.with_children(("a", "b", "c"))
+        assert updated.children == ("a", "b", "c")
+        assert original.children == ("a", "b")
+        assert updated.name == original.name
+        assert updated.type == original.type
+
+    def test_describe_bas(self):
+        node = Node(name="fd", type=NodeType.BAS, label="force door")
+        assert "BAS fd" in node.describe()
+        assert "force door" in node.describe()
+
+    def test_describe_gate(self):
+        node = Node(name="dr", type=NodeType.AND, children=("pb", "fd"))
+        description = node.describe()
+        assert "AND" in description
+        assert "pb" in description and "fd" in description
+
+    def test_nodes_are_hashable_and_comparable(self):
+        a = Node(name="a", type=NodeType.BAS)
+        b = Node(name="a", type=NodeType.BAS)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Node(name="c", type=NodeType.BAS)

@@ -1,0 +1,120 @@
+"""Unit tests for the random AT generator (Section X.D workloads)."""
+
+import random
+
+import pytest
+
+from repro.attacktree import catalog
+from repro.attacktree.random_gen import (
+    RandomSuiteSpec,
+    combine_common_parent,
+    combine_replace_bas,
+    combine_shared_bas,
+    generate_suite,
+    random_attack_tree,
+    random_cd_at,
+    random_cdp_at,
+    random_decoration,
+)
+
+
+class TestCombinationOperations:
+    def setup_method(self):
+        self.first = catalog.factory().tree
+        self.second = catalog.factory().tree
+        self.rng = random.Random(0)
+
+    def test_replace_bas_keeps_root(self):
+        combined = combine_replace_bas(self.first, self.second, self.rng, prefix="x_")
+        assert combined.root == self.first.root
+        assert len(combined) == len(self.first) + len(self.second) - 1
+
+    def test_common_parent_adds_fresh_root(self):
+        combined = combine_common_parent(self.first, self.second, self.rng, prefix="x_")
+        assert combined.root == "x_root"
+        assert len(combined) == len(self.first) + len(self.second) + 1
+
+    def test_common_parent_keeps_treelike(self):
+        combined = combine_common_parent(self.first, self.second, self.rng, prefix="x_")
+        assert combined.is_treelike
+
+    def test_shared_bas_creates_dag(self):
+        combined = combine_shared_bas(self.first, self.second, self.rng, prefix="x_")
+        assert not combined.is_treelike
+        assert combined.shared_nodes()
+
+    def test_replace_bas_preserves_treelike_for_treelike_inputs(self):
+        combined = combine_replace_bas(self.first, self.second, self.rng, prefix="x_")
+        assert combined.is_treelike
+
+
+class TestRandomAttackTree:
+    def test_reaches_requested_size(self):
+        rng = random.Random(1)
+        tree = random_attack_tree(60, rng)
+        assert len(tree) >= 60
+
+    def test_treelike_flag_respected(self):
+        rng = random.Random(2)
+        for _ in range(5):
+            tree = random_attack_tree(40, rng, treelike=True)
+            assert tree.is_treelike
+
+    def test_deterministic_in_seed(self):
+        first = random_attack_tree(30, random.Random(7))
+        second = random_attack_tree(30, random.Random(7))
+        assert first.structurally_equal(second)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            random_attack_tree(0, random.Random(0))
+
+    def test_empty_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            random_attack_tree(5, random.Random(0), blocks=[])
+
+
+class TestRandomDecoration:
+    def test_ranges_follow_paper(self):
+        tree = catalog.panda_iot().tree
+        cost, damage, probability = random_decoration(tree, random.Random(3))
+        assert all(1 <= c <= 10 for c in cost.values())
+        assert all(0 <= d <= 10 for d in damage.values())
+        assert all(0.1 <= p <= 1.0 for p in probability.values())
+        assert set(cost) == set(tree.basic_attack_steps)
+        assert set(damage) == set(tree.nodes)
+
+    def test_random_cd_and_cdp_wrappers(self):
+        tree = catalog.factory().tree
+        cd = random_cd_at(tree, random.Random(4))
+        cdp = random_cdp_at(tree, random.Random(4))
+        assert cd.tree is tree
+        assert set(cdp.probability) == set(tree.basic_attack_steps)
+
+    def test_decoration_deterministic_in_seed(self):
+        tree = catalog.factory().tree
+        first = random_decoration(tree, random.Random(9))
+        second = random_decoration(tree, random.Random(9))
+        assert first == second
+
+
+class TestSuiteGeneration:
+    def test_suite_size(self):
+        spec = RandomSuiteSpec(max_target_size=6, trees_per_size=2, treelike=True, seed=1)
+        suite = generate_suite(spec)
+        assert len(suite) == 12
+
+    def test_treelike_suite_is_treelike(self):
+        spec = RandomSuiteSpec(max_target_size=5, trees_per_size=1, treelike=True, seed=2)
+        assert all(model.tree.is_treelike for model in generate_suite(spec))
+
+    def test_dag_suite_contains_dags(self):
+        spec = RandomSuiteSpec(max_target_size=40, trees_per_size=1, treelike=False, seed=3)
+        suite = generate_suite(spec)
+        assert any(not model.tree.is_treelike for model in suite)
+
+    def test_suite_reproducible(self):
+        spec = RandomSuiteSpec(max_target_size=4, trees_per_size=1, treelike=True, seed=5)
+        first = generate_suite(spec)
+        second = generate_suite(spec)
+        assert [m.cost for m in first] == [m.cost for m in second]

@@ -1,0 +1,107 @@
+"""Unit tests for JSON / DOT serialization."""
+
+import json
+
+import pytest
+
+from repro.attacktree.attributes import CostDamageAT, CostDamageProbAT
+from repro.attacktree.catalog import data_server, factory, factory_probabilistic, panda_iot
+from repro.attacktree.serialization import (
+    from_dict,
+    from_json,
+    load_json,
+    save_json,
+    to_dict,
+    to_dot,
+    to_json,
+)
+from repro.attacktree.tree import AttackTree, AttackTreeError
+from repro.core.bottom_up import pareto_front_treelike
+
+
+class TestJsonRoundTrip:
+    def test_cd_at_round_trip(self):
+        model = factory()
+        restored = from_json(to_json(model))
+        assert isinstance(restored, CostDamageAT)
+        assert restored.tree.structurally_equal(model.tree)
+        assert restored.cost == model.cost
+        assert restored.damage == model.damage
+
+    def test_cdp_at_round_trip(self):
+        model = factory_probabilistic()
+        restored = from_json(to_json(model))
+        assert isinstance(restored, CostDamageProbAT)
+        assert restored.probability == model.probability
+
+    def test_bare_tree_round_trip(self):
+        tree = factory().tree
+        restored = from_json(to_json(tree))
+        assert isinstance(restored, AttackTree)
+        assert restored.structurally_equal(tree)
+
+    def test_dag_round_trip(self):
+        model = data_server()
+        restored = from_json(to_json(model))
+        assert not restored.tree.is_treelike
+        assert restored.damage == model.damage
+
+    def test_round_trip_preserves_analysis_result(self):
+        model = panda_iot().deterministic()
+        restored = from_json(to_json(model))
+        assert pareto_front_treelike(restored).values() == pareto_front_treelike(model).values()
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "factory.json"
+        save_json(factory(), str(path))
+        restored = load_json(str(path))
+        assert isinstance(restored, CostDamageAT)
+        assert restored.cost_of("pb") == 3
+
+    def test_labels_preserved(self):
+        model = factory()
+        restored = from_json(to_json(model))
+        assert restored.tree.node("fd").label == "force door"
+
+
+class TestJsonFormat:
+    def test_zero_damage_omitted(self):
+        data = to_dict(factory())
+        ca_entry = next(n for n in data["nodes"] if n["name"] == "ca")
+        assert "damage" not in ca_entry
+        assert ca_entry["cost"] == 1.0
+
+    def test_json_is_valid(self):
+        parsed = json.loads(to_json(factory()))
+        assert parsed["root"] == "ps"
+
+    def test_missing_nodes_key_rejected(self):
+        with pytest.raises(AttackTreeError, match="'nodes'"):
+            from_dict({"root": "x"})
+
+    def test_malformed_node_rejected(self):
+        with pytest.raises(AttackTreeError, match="malformed"):
+            from_dict({"root": "x", "nodes": [{"name": "x", "type": "NOPE"}]})
+
+    def test_unsupported_object_rejected(self):
+        with pytest.raises(TypeError):
+            to_dict(42)  # type: ignore[arg-type]
+
+
+class TestDot:
+    def test_dot_contains_every_node_and_edge(self):
+        model = factory()
+        dot = to_dot(model)
+        assert dot.startswith("digraph")
+        for name in model.tree.nodes:
+            assert f'"{name}"' in dot
+        assert '"dr" -> "pb"' in dot
+
+    def test_dot_mentions_costs_and_damages(self):
+        dot = to_dot(factory())
+        assert "c=3" in dot
+        assert "d=200" in dot
+
+    def test_dot_for_probabilistic_model(self):
+        dot = to_dot(factory_probabilistic())
+        assert "p=0.4" in dot

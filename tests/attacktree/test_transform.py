@@ -1,0 +1,123 @@
+"""Unit tests for decorated-tree transformations (Fig. 2 rewrite and helpers)."""
+
+import pytest
+
+from repro.attacktree.attributes import CostDamageAT
+from repro.attacktree.builder import AttackTreeBuilder
+from repro.attacktree.catalog import factory
+from repro.attacktree.transform import (
+    push_internal_costs,
+    relabel,
+    replace_bas_with_tree,
+    strip_probabilities,
+    with_unit_probabilities,
+)
+from repro.attacktree.tree import AttackTreeError
+from repro.core.bottom_up import pareto_front_treelike
+from repro.core.semantics import attack_cost, attack_damage
+
+
+def internal_cost_model():
+    """The Fig. 2 left AT: root AND over two BASs, with cost 1 on the root."""
+    builder = AttackTreeBuilder()
+    builder.bas("a", cost=1)
+    builder.bas("b", cost=1)
+    builder.and_gate("root", ["a", "b"], damage=1)
+    tree = builder.build_tree(root="root")
+    cost = {"a": 1.0, "b": 1.0, "root": 1.0}
+    damage = {"root": 1.0}
+    return tree, cost, damage
+
+
+class TestPushInternalCosts:
+    def test_and_gate_gets_dummy_conjunct(self):
+        tree, cost, damage = internal_cost_model()
+        rewritten = push_internal_costs(tree, cost, damage)
+        # Only BASs carry costs afterwards.
+        assert set(rewritten.cost) == rewritten.tree.basic_attack_steps
+        dummy = [b for b in rewritten.tree.basic_attack_steps if b.startswith("root__cost")]
+        assert len(dummy) == 1
+        assert rewritten.cost_of(dummy[0]) == 1.0
+
+    def test_fig2_equivalence_cost_2_for_damage_1(self):
+        """Both the original (internal cost) and the rewrite need cost 2+1
+        to do 1 damage: the dummy BAS must be paid in addition to a child."""
+        tree, cost, damage = internal_cost_model()
+        rewritten = push_internal_costs(tree, cost, damage).deterministic()
+        front = pareto_front_treelike(rewritten)
+        # Reaching the root (damage 1) requires a and b and the payment: cost 3.
+        assert front.min_cost_given_damage(1.0) == 3.0
+
+    def test_or_gate_is_wrapped_in_and(self):
+        builder = AttackTreeBuilder()
+        builder.bas("a", cost=1)
+        builder.bas("b", cost=2)
+        builder.or_gate("root", ["a", "b"], damage=5)
+        tree = builder.build_tree(root="root")
+        rewritten = push_internal_costs(tree, {"a": 1, "b": 2, "root": 4}, {"root": 5})
+        det = rewritten.deterministic()
+        # Cheapest way to do the 5 damage: a (1) + the payment (4) = 5.
+        front = pareto_front_treelike(det)
+        assert front.min_cost_given_damage(5.0) == 5.0
+        # Without paying, no damage at all.
+        assert attack_damage(det, {"a"}) == 0.0
+
+    def test_no_internal_costs_is_identity_up_to_type(self):
+        model = factory()
+        rewritten = push_internal_costs(model.tree, dict(model.cost), dict(model.damage))
+        assert rewritten.tree.basic_attack_steps == model.tree.basic_attack_steps
+        assert rewritten.cost == model.cost
+
+    def test_unknown_node_rejected(self):
+        tree, cost, damage = internal_cost_model()
+        cost["ghost"] = 3.0
+        with pytest.raises(AttackTreeError, match="unknown nodes"):
+            push_internal_costs(tree, cost, damage)
+
+
+class TestRelabel:
+    def test_relabel_preserves_semantics(self):
+        model = factory()
+        renamed = relabel(model, {"ca": "cyber", "ps": "shutdown"})
+        assert "cyber" in renamed.tree.basic_attack_steps
+        assert renamed.tree.root == "shutdown"
+        assert attack_cost(renamed, {"cyber"}) == 1
+        assert attack_damage(renamed, {"cyber"}) == 200
+
+    def test_non_injective_relabel_rejected(self):
+        model = factory()
+        with pytest.raises(AttackTreeError, match="injective"):
+            relabel(model, {"ca": "pb"})
+
+
+class TestReplaceBasWithTree:
+    def test_graft_replaces_bas(self):
+        host = factory().tree
+        guest = factory().tree
+        combined = replace_bas_with_tree(host, "ca", guest, prefix="g_")
+        assert "ca" not in combined.nodes
+        assert "g_ps" in combined.nodes
+        assert combined.root == "ps"
+        # The guest root took ca's place as a child of ps.
+        assert "g_ps" in combined.children("ps")
+
+    def test_graft_rejects_non_bas(self):
+        host = factory().tree
+        with pytest.raises(AttackTreeError, match="not a BAS"):
+            replace_bas_with_tree(host, "dr", factory().tree, prefix="g_")
+
+    def test_graft_rejects_name_clash(self):
+        host = factory().tree
+        with pytest.raises(AttackTreeError, match="clash"):
+            replace_bas_with_tree(host, "ca", factory().tree, prefix="")
+
+
+class TestProbabilityViews:
+    def test_unit_probabilities_round_trip(self):
+        model = factory()
+        probabilistic = with_unit_probabilities(model)
+        assert probabilistic.is_effectively_deterministic()
+        back = strip_probabilities(probabilistic)
+        assert isinstance(back, CostDamageAT)
+        assert back.cost == model.cost
+        assert back.damage == model.damage

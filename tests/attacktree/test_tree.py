@@ -1,0 +1,240 @@
+"""Unit tests for the AttackTree data structure."""
+
+import pytest
+
+from repro.attacktree.node import Node, NodeType
+from repro.attacktree.tree import AttackTree, AttackTreeError
+
+
+def simple_tree() -> AttackTree:
+    """ps = OR(ca, dr), dr = AND(pb, fd) — the Fig. 1 shape."""
+    return AttackTree(
+        [
+            Node("ca", NodeType.BAS),
+            Node("pb", NodeType.BAS),
+            Node("fd", NodeType.BAS),
+            Node("dr", NodeType.AND, ("pb", "fd")),
+            Node("ps", NodeType.OR, ("ca", "dr")),
+        ]
+    )
+
+
+def shared_dag() -> AttackTree:
+    """root = AND(g1, g2) where both gates share BAS ``s``."""
+    return AttackTree(
+        [
+            Node("s", NodeType.BAS),
+            Node("a", NodeType.BAS),
+            Node("b", NodeType.BAS),
+            Node("g1", NodeType.OR, ("s", "a")),
+            Node("g2", NodeType.AND, ("s", "b")),
+            Node("root", NodeType.AND, ("g1", "g2")),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_root_inferred(self):
+        tree = simple_tree()
+        assert tree.root == "ps"
+
+    def test_explicit_root(self):
+        tree = AttackTree(
+            [Node("a", NodeType.BAS), Node("g", NodeType.OR, ("a",))], root="g"
+        )
+        assert tree.root == "g"
+
+    def test_unknown_child_rejected(self):
+        with pytest.raises(AttackTreeError, match="unknown child"):
+            AttackTree([Node("g", NodeType.OR, ("missing",))])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(AttackTreeError, match="duplicate node name"):
+            AttackTree([Node("a", NodeType.BAS), Node("a", NodeType.BAS),
+                        Node("g", NodeType.OR, ("a",))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(AttackTreeError, match="cycle"):
+            AttackTree(
+                [
+                    Node("a", NodeType.BAS),
+                    Node("g1", NodeType.OR, ("g2", "a")),
+                    Node("g2", NodeType.OR, ("g1", "a")),
+                ],
+                root="g1",
+            )
+
+    def test_unreachable_node_rejected(self):
+        with pytest.raises(AttackTreeError, match="not reachable"):
+            AttackTree(
+                [
+                    Node("a", NodeType.BAS),
+                    Node("b", NodeType.BAS),
+                    Node("g", NodeType.OR, ("a",)),
+                    Node("h", NodeType.OR, ("b",)),
+                ],
+                root="g",
+            )
+
+    def test_ambiguous_root_rejected(self):
+        with pytest.raises(AttackTreeError, match="ambiguous"):
+            AttackTree(
+                [
+                    Node("a", NodeType.BAS),
+                    Node("b", NodeType.BAS),
+                    Node("g", NodeType.OR, ("a", "b")),
+                    Node("h", NodeType.OR, ("a", "b")),
+                ]
+            )
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(AttackTreeError, match="at least one node"):
+            AttackTree([])
+
+    def test_single_bas_tree(self):
+        tree = AttackTree([Node("a", NodeType.BAS)])
+        assert tree.root == "a"
+        assert tree.basic_attack_steps == frozenset({"a"})
+
+
+class TestAccessors:
+    def test_len_contains_iter(self):
+        tree = simple_tree()
+        assert len(tree) == 5
+        assert "dr" in tree
+        assert "nope" not in tree
+        assert set(iter(tree)) == {"ca", "pb", "fd", "dr", "ps"}
+
+    def test_children_and_parents(self):
+        tree = simple_tree()
+        assert tree.children("dr") == ("pb", "fd")
+        assert tree.parents("pb") == ("dr",)
+        assert tree.parents("ps") == ()
+
+    def test_unknown_node_raises_keyerror(self):
+        tree = simple_tree()
+        with pytest.raises(KeyError):
+            tree.node("nope")
+        with pytest.raises(KeyError):
+            tree.children("nope")
+        with pytest.raises(KeyError):
+            tree.parents("nope")
+
+    def test_edges(self):
+        tree = simple_tree()
+        assert set(tree.edges()) == {
+            ("dr", "pb"), ("dr", "fd"), ("ps", "ca"), ("ps", "dr"),
+        }
+
+    def test_bas_set_and_gates(self):
+        tree = simple_tree()
+        assert tree.basic_attack_steps == frozenset({"ca", "pb", "fd"})
+        assert set(tree.gates) == {"dr", "ps"}
+
+    def test_max_arity_and_depth(self):
+        tree = simple_tree()
+        assert tree.max_arity() == 2
+        assert tree.depth() == 2
+
+
+class TestTreelikeDetection:
+    def test_tree_is_treelike(self):
+        assert simple_tree().is_treelike
+
+    def test_shared_bas_is_dag(self):
+        dag = shared_dag()
+        assert not dag.is_treelike
+        assert dag.shared_nodes() == frozenset({"s"})
+
+    def test_treelike_has_no_shared_nodes(self):
+        assert simple_tree().shared_nodes() == frozenset()
+
+
+class TestTopologyQueries:
+    def test_topological_order_children_first(self):
+        tree = simple_tree()
+        order = tree.topological_order()
+        assert order.index("pb") < order.index("dr")
+        assert order.index("dr") < order.index("ps")
+        assert order.index("ca") < order.index("ps")
+
+    def test_reverse_topological_order(self):
+        tree = simple_tree()
+        assert tree.topological_order(reverse=True)[0] == "ps"
+
+    def test_descendants_and_ancestors(self):
+        tree = simple_tree()
+        assert tree.descendants("dr") == frozenset({"pb", "fd"})
+        assert tree.descendants("ps") == frozenset({"ca", "pb", "fd", "dr"})
+        assert tree.ancestors("pb") == frozenset({"dr", "ps"})
+        assert tree.ancestors("ps") == frozenset()
+
+    def test_bas_descendants(self):
+        tree = simple_tree()
+        assert tree.bas_descendants("dr") == frozenset({"pb", "fd"})
+        assert tree.bas_descendants("ca") == frozenset({"ca"})
+
+    def test_subtree(self):
+        tree = simple_tree()
+        sub = tree.subtree("dr")
+        assert sub.root == "dr"
+        assert set(sub.nodes) == {"dr", "pb", "fd"}
+        assert sub.is_treelike
+
+    def test_subtree_of_dag_keeps_sharing_below(self):
+        dag = shared_dag()
+        sub = dag.subtree("g1")
+        assert set(sub.nodes) == {"g1", "s", "a"}
+
+
+class TestStructureFunction:
+    def test_empty_attack_reaches_nothing(self):
+        tree = simple_tree()
+        reached = tree.structure_function([])
+        assert not any(reached.values())
+
+    def test_or_gate_any_child(self):
+        tree = simple_tree()
+        assert tree.structure_function(["ca"])["ps"] is True
+
+    def test_and_gate_needs_all_children(self):
+        tree = simple_tree()
+        assert tree.structure_function(["pb"])["dr"] is False
+        assert tree.structure_function(["pb", "fd"])["dr"] is True
+
+    def test_full_attack_reaches_everything(self):
+        tree = simple_tree()
+        reached = tree.structure_function(["ca", "pb", "fd"])
+        assert all(reached.values())
+
+    def test_is_successful(self):
+        tree = simple_tree()
+        assert tree.is_successful(["ca"])
+        assert not tree.is_successful(["pb"])
+
+    def test_unknown_bas_rejected(self):
+        tree = simple_tree()
+        with pytest.raises(KeyError, match="non-BAS"):
+            tree.structure_function(["dr"])
+
+    def test_dag_structure_function(self):
+        dag = shared_dag()
+        reached = dag.structure_function(["s", "b"])
+        assert reached["g1"] and reached["g2"] and reached["root"]
+        reached = dag.structure_function(["a", "b"])
+        assert reached["g1"] and not reached["g2"] and not reached["root"]
+
+
+class TestDisplay:
+    def test_repr_mentions_shape(self):
+        assert "treelike" in repr(simple_tree())
+        assert "DAG" in repr(shared_dag())
+
+    def test_pretty_contains_every_node(self):
+        rendered = simple_tree().pretty()
+        for name in ["ca", "pb", "fd", "dr", "ps"]:
+            assert name in rendered
+
+    def test_structurally_equal(self):
+        assert simple_tree().structurally_equal(simple_tree())
+        assert not simple_tree().structurally_equal(shared_dag())

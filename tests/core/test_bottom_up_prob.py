@@ -1,0 +1,188 @@
+"""Tests for the probabilistic bottom-up solver (Section IX, Theorems 8–9)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacktree.binarize import binarize_cdp
+from repro.attacktree.catalog import (
+    example10_or_pair,
+    factory,
+    factory_probabilistic,
+    panda_iot,
+)
+from repro.attacktree.transform import with_unit_probabilities
+from repro.core.bottom_up import pareto_front_treelike
+from repro.core.bottom_up_prob import (
+    max_expected_damage_given_cost_treelike,
+    min_cost_given_expected_damage_treelike,
+    node_pareto_front_probabilistic,
+    pareto_front_treelike_probabilistic,
+    probabilistic_or,
+)
+from repro.core.enumerative import (
+    enumerate_max_expected_damage_given_cost,
+    enumerate_pareto_front_probabilistic,
+)
+from repro.core.semantics import attack_cost
+from repro.probability.actualization import expected_damage
+
+from ..conftest import make_random_tree
+
+
+class TestStarOperator:
+    def test_basic_values(self):
+        assert probabilistic_or(0.0, 0.0) == 0.0
+        assert probabilistic_or(1.0, 0.3) == 1.0
+        assert probabilistic_or(0.5, 0.5) == 0.75
+
+    def test_commutative_and_associative(self):
+        a, b, c = 0.3, 0.6, 0.9
+        assert probabilistic_or(a, b) == pytest.approx(probabilistic_or(b, a))
+        assert probabilistic_or(a, probabilistic_or(b, c)) == pytest.approx(
+            probabilistic_or(probabilistic_or(a, b), c)
+        )
+
+
+class TestExample10:
+    def test_node_fronts_match_paper_table(self):
+        model = example10_or_pair()
+        v1 = node_pareto_front_probabilistic(model, "v1")
+        assert sorted(item.triple for item in v1) == [(0, 0, 0), (1, 0, 0.5)]
+        w = node_pareto_front_probabilistic(model, "w")
+        assert sorted(item.triple for item in w) == [
+            (0, 0, 0), (1, 0.5, 0.5), (2, 0.75, 0.75),
+        ]
+
+    def test_cedpf_contains_redundant_attempt(self):
+        """Probabilistically, attempting both children of the OR gate is
+        Pareto-optimal even though deterministically it is not."""
+        front = pareto_front_treelike_probabilistic(example10_or_pair())
+        assert front.values() == [(0, 0), (1, 0.5), (2, 0.75)]
+        deterministic_front = pareto_front_treelike(example10_or_pair().deterministic())
+        assert len(front) > len(deterministic_front) or \
+            front.values() != deterministic_front.values()
+
+
+class TestFactoryProbabilistic:
+    def test_example9_expected_damage_reachable(self):
+        """The attack (0,1,1) = {pb, fd} has cost 5 and expected damage 112."""
+        model = factory_probabilistic()
+        front = pareto_front_treelike_probabilistic(model)
+        assert front.max_damage_given_cost(5) >= 112 - 1e-9
+
+    def test_front_matches_enumeration(self):
+        model = factory_probabilistic()
+        mine = pareto_front_treelike_probabilistic(model).values()
+        oracle = enumerate_pareto_front_probabilistic(model).values()
+        assert len(mine) == len(oracle)
+        for (c1, d1), (c2, d2) in zip(mine, oracle):
+            assert c1 == pytest.approx(c2)
+            assert d1 == pytest.approx(d2)
+
+    def test_witnesses_achieve_reported_values(self):
+        model = factory_probabilistic()
+        for point in pareto_front_treelike_probabilistic(model):
+            assert attack_cost(model, point.attack) == pytest.approx(point.cost)
+            assert expected_damage(model, point.attack) == pytest.approx(point.damage)
+
+
+class TestSingleObjective:
+    def test_edgc_example10(self):
+        value, witness = max_expected_damage_given_cost_treelike(example10_or_pair(), 2)
+        assert value == pytest.approx(0.75)
+        assert witness == frozenset({"v1", "v2"})
+
+    def test_edgc_budget_zero(self):
+        value, witness = max_expected_damage_given_cost_treelike(example10_or_pair(), 0)
+        assert value == 0.0 and witness == frozenset()
+
+    def test_edgc_negative_budget(self):
+        value, witness = max_expected_damage_given_cost_treelike(example10_or_pair(), -3)
+        assert value == 0.0 and witness is None
+
+    def test_cged(self):
+        cost, witness = min_cost_given_expected_damage_treelike(example10_or_pair(), 0.7)
+        assert cost == 2 and witness == frozenset({"v1", "v2"})
+
+    def test_cged_unachievable(self):
+        cost, witness = min_cost_given_expected_damage_treelike(example10_or_pair(), 2.0)
+        assert cost is None and witness is None
+
+
+class TestReductionToDeterministic:
+    """With unit probabilities the probabilistic solver must reproduce the
+    deterministic one — the paper's appendix derives Theorems 3–4 from 8–9
+    exactly this way."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_unit_probability_reduction(self, seed):
+        deterministic = make_random_tree(seed, treelike=True).deterministic()
+        probabilistic = with_unit_probabilities(deterministic)
+        mine = pareto_front_treelike_probabilistic(probabilistic).values()
+        oracle = pareto_front_treelike(deterministic).values()
+        assert len(mine) == len(oracle)
+        for a, b in zip(mine, oracle):
+            assert a == pytest.approx(b)
+
+    def test_unit_probability_reduction_factory(self):
+        probabilistic = with_unit_probabilities(factory())
+        assert pareto_front_treelike_probabilistic(probabilistic).values() == \
+            pareto_front_treelike(factory()).values()
+
+
+class TestAgreementWithEnumeration:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_front_matches_enumeration_on_random_trees(self, seed):
+        model = make_random_tree(seed, max_bas=5, treelike=True)
+        mine = pareto_front_treelike_probabilistic(model).values()
+        oracle = enumerate_pareto_front_probabilistic(model).values()
+        assert len(mine) == len(oracle)
+        for a, b in zip(mine, oracle):
+            assert a == pytest.approx(b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2000),
+           budget=st.floats(min_value=0, max_value=20, allow_nan=False))
+    def test_edgc_matches_enumeration(self, seed, budget):
+        model = make_random_tree(seed, max_bas=4, treelike=True)
+        mine = max_expected_damage_given_cost_treelike(model, budget)[0]
+        oracle = enumerate_max_expected_damage_given_cost(model, budget)[0]
+        assert mine == pytest.approx(oracle)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_binarisation_preserves_probabilistic_front(self, seed):
+        model = make_random_tree(seed, max_bas=5, treelike=True)
+        binary, _ = binarize_cdp(model)
+        mine = pareto_front_treelike_probabilistic(model).values()
+        other = pareto_front_treelike_probabilistic(binary).values()
+        assert len(mine) == len(other)
+        for a, b in zip(mine, other):
+            assert a == pytest.approx(b)
+
+
+class TestPandaProbabilistic:
+    def test_dag_rejected(self):
+        from repro.attacktree.catalog import data_server
+        from repro.attacktree.transform import with_unit_probabilities as unit
+
+        with pytest.raises(ValueError, match="treelike"):
+            pareto_front_treelike_probabilistic(unit(data_server()))
+
+    def test_front_larger_than_deterministic(self):
+        """Fig. 6: the probabilistic panda front has more points (31) than
+        the deterministic one (8) because redundant attempts pay off."""
+        model = panda_iot()
+        probabilistic = pareto_front_treelike_probabilistic(model)
+        deterministic = pareto_front_treelike(model.deterministic())
+        assert len(probabilistic) > len(deterministic)
+
+    def test_first_point_is_internal_leakage(self):
+        """Fig. 6b: {b18} at (3, 18.0) is the first nonzero Pareto point."""
+        front = pareto_front_treelike_probabilistic(panda_iot())
+        nonzero = [p for p in front if p.cost > 0]
+        assert nonzero[0].cost == 3
+        assert nonzero[0].damage == pytest.approx(18.0)
+        assert nonzero[0].attack == frozenset({"b18"})

@@ -1,0 +1,93 @@
+"""Unit tests for the enumerative baseline (the paper's comparison method)."""
+
+import pytest
+
+from repro.attacktree.catalog import factory, factory_probabilistic, example10_or_pair
+from repro.core.enumerative import (
+    enumerate_max_damage_given_cost,
+    enumerate_max_expected_damage_given_cost,
+    enumerate_min_cost_given_damage,
+    enumerate_min_cost_given_expected_damage,
+    enumerate_pareto_front,
+    enumerate_pareto_front_probabilistic,
+)
+
+
+class TestDeterministicFront:
+    def test_factory_front_matches_example2(self):
+        front = enumerate_pareto_front(factory())
+        assert front.values() == [(0, 0), (1, 200), (3, 210), (5, 310)]
+
+    def test_front_carries_witness_attacks(self):
+        front = enumerate_pareto_front(factory())
+        witnesses = {point.attack for point in front}
+        assert frozenset({"ca"}) in witnesses
+        assert frozenset({"pb", "fd"}) in witnesses
+
+    def test_front_records_top_reachability(self):
+        front = enumerate_pareto_front(factory())
+        by_cost = {point.cost: point for point in front}
+        assert by_cost[0].reaches_root is False
+        assert by_cost[1].reaches_root is True
+
+
+class TestDeterministicSingleObjective:
+    def test_dgc_example2(self):
+        value, witness = enumerate_max_damage_given_cost(factory(), 2)
+        assert value == 200
+        assert witness == frozenset({"ca"})
+
+    def test_dgc_zero_budget(self):
+        value, witness = enumerate_max_damage_given_cost(factory(), 0)
+        assert value == 0
+        assert witness == frozenset()
+
+    def test_dgc_negative_budget(self):
+        value, witness = enumerate_max_damage_given_cost(factory(), -1)
+        assert value == 0 and witness is None
+
+    def test_cgd(self):
+        cost, witness = enumerate_min_cost_given_damage(factory(), 300)
+        assert cost == 5
+        assert witness == frozenset({"pb", "fd"})
+
+    def test_cgd_unachievable(self):
+        cost, witness = enumerate_min_cost_given_damage(factory(), 1000)
+        assert cost is None and witness is None
+
+    def test_cgd_zero_threshold(self):
+        cost, witness = enumerate_min_cost_given_damage(factory(), 0)
+        assert cost == 0 and witness == frozenset()
+
+
+class TestProbabilistic:
+    def test_example10_front(self):
+        front = enumerate_pareto_front_probabilistic(example10_or_pair())
+        assert front.values() == [(0, 0), (1, 0.5), (2, 0.75)]
+
+    def test_factory_probabilistic_front_contains_known_point(self):
+        """Example 9: d̂_E(0,1,1) = 112 — that attack costs 5."""
+        front = enumerate_pareto_front_probabilistic(factory_probabilistic())
+        assert any(
+            point.cost == 5 and point.damage == pytest.approx(112.0)
+            for point in front
+        ) or front.max_damage_given_cost(5) >= 112
+
+    def test_edgc(self):
+        value, witness = enumerate_max_expected_damage_given_cost(example10_or_pair(), 1)
+        assert value == pytest.approx(0.5)
+        assert witness in {frozenset({"v1"}), frozenset({"v2"})}
+
+    def test_edgc_prefers_both_children(self):
+        value, witness = enumerate_max_expected_damage_given_cost(example10_or_pair(), 2)
+        assert value == pytest.approx(0.75)
+        assert witness == frozenset({"v1", "v2"})
+
+    def test_cged(self):
+        cost, witness = enumerate_min_cost_given_expected_damage(example10_or_pair(), 0.6)
+        assert cost == 2
+        assert witness == frozenset({"v1", "v2"})
+
+    def test_cged_unachievable(self):
+        cost, witness = enumerate_min_cost_given_expected_damage(example10_or_pair(), 0.9)
+        assert cost is None and witness is None

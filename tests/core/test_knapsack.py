@@ -1,0 +1,170 @@
+"""Tests for the Section V constructions (Theorems 1 and 2)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.knapsack import (
+    KnapsackInstance,
+    cost_damage_decision,
+    knapsack_to_cdat,
+    nondecreasing_function_to_cdat,
+    solve_knapsack_via_cdat,
+)
+from repro.core.semantics import all_attacks, attack_damage
+
+
+def brute_force_knapsack(instance: KnapsackInstance) -> float:
+    """Direct optimal knapsack value for cross-checking."""
+    best = 0.0
+    n = instance.size
+    for mask in range(2 ** n):
+        weight = sum(instance.weights[i] for i in range(n) if mask >> i & 1)
+        if weight > instance.capacity:
+            continue
+        value = sum(instance.values[i] for i in range(n) if mask >> i & 1)
+        best = max(best, value)
+    return best
+
+
+class TestKnapsackInstance:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="same length"):
+            KnapsackInstance(values=(1,), weights=(1, 2), capacity=3)
+        with pytest.raises(ValueError, match="non-negative"):
+            KnapsackInstance(values=(-1,), weights=(1,), capacity=3)
+
+    def test_size(self):
+        assert KnapsackInstance(values=(1, 2), weights=(1, 1), capacity=2).size == 2
+
+
+class TestTheorem1Reduction:
+    def test_reduction_structure(self):
+        instance = KnapsackInstance(values=(10, 7), weights=(4, 3), capacity=5)
+        cdat = knapsack_to_cdat(instance)
+        assert cdat.tree.is_treelike
+        assert len(cdat.tree.basic_attack_steps) == 2
+        assert cdat.damage_of("root") == 0.0
+        assert cdat.cost_of("item_0") == 4
+        assert cdat.damage_of("item_0") == 10
+
+    def test_empty_instance_rejected(self):
+        with pytest.raises(ValueError, match="at least one item"):
+            knapsack_to_cdat(KnapsackInstance(values=(), weights=(), capacity=1))
+
+    def test_decision_problem_yes_instance(self):
+        instance = KnapsackInstance(values=(10, 7, 5), weights=(4, 3, 2), capacity=5)
+        cdat = knapsack_to_cdat(instance)
+        feasible, witness = cost_damage_decision(cdat, cost_bound=5, damage_bound=12)
+        assert feasible
+        assert witness is not None and attack_damage(cdat, witness) >= 12
+
+    def test_decision_problem_no_instance(self):
+        instance = KnapsackInstance(values=(10, 7, 5), weights=(4, 3, 2), capacity=5)
+        cdat = knapsack_to_cdat(instance)
+        feasible, witness = cost_damage_decision(cdat, cost_bound=5, damage_bound=13)
+        assert not feasible and witness is None
+
+    def test_decision_problem_on_dag(self):
+        """The decision helper also works for DAG-like ATs (via BILP)."""
+        from repro.attacktree.catalog import data_server
+
+        feasible, witness = cost_damage_decision(data_server(), 600, 60)
+        assert feasible
+        feasible, _ = cost_damage_decision(data_server(), 600, 61)
+        assert not feasible
+
+    def test_optimisation_matches_brute_force(self):
+        instance = KnapsackInstance(values=(10, 7, 5, 9), weights=(4, 3, 2, 5),
+                                    capacity=8)
+        value, chosen = solve_knapsack_via_cdat(instance)
+        assert value == brute_force_knapsack(instance)
+        assert sum(instance.weights[i] for i in chosen) <= instance.capacity
+        assert sum(instance.values[i] for i in chosen) == value
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=6),
+        weights=st.lists(st.integers(min_value=1, max_value=10), min_size=1, max_size=6),
+        capacity=st.integers(min_value=0, max_value=25),
+    )
+    def test_random_instances_match_brute_force(self, values, weights, capacity):
+        size = min(len(values), len(weights))
+        instance = KnapsackInstance(
+            values=tuple(float(v) for v in values[:size]),
+            weights=tuple(float(w) for w in weights[:size]),
+            capacity=float(capacity),
+        )
+        value, _ = solve_knapsack_via_cdat(instance)
+        assert value == pytest.approx(brute_force_knapsack(instance))
+
+
+class TestTheorem2Construction:
+    def evaluate_everywhere(self, cdat, ground_set, function):
+        for size in range(len(ground_set) + 1):
+            for combo in itertools.combinations(ground_set, size):
+                attack = frozenset(combo)
+                assert attack_damage(cdat, attack) == pytest.approx(function(attack)), combo
+
+    def test_cardinality_function(self):
+        ground = ["a", "b", "c"]
+        cdat = nondecreasing_function_to_cdat(ground, lambda s: float(len(s)))
+        self.evaluate_everywhere(cdat, ground, lambda s: float(len(s)))
+
+    def test_threshold_function(self):
+        """A non-submodular, non-modular monotone function."""
+        ground = ["a", "b", "c"]
+        function = lambda s: 5.0 if len(s) >= 2 else 0.0
+        cdat = nondecreasing_function_to_cdat(ground, function)
+        self.evaluate_everywhere(cdat, ground, function)
+
+    def test_specific_element_weighting(self):
+        ground = ["a", "b"]
+        weights = {"a": 2.0, "b": 7.0}
+        function = lambda s: sum(weights[e] for e in s) ** 1.0
+        cdat = nondecreasing_function_to_cdat(ground, function)
+        self.evaluate_everywhere(cdat, ground, function)
+
+    def test_bas_set_is_ground_set(self):
+        ground = ["x", "y", "z"]
+        cdat = nondecreasing_function_to_cdat(ground, lambda s: float(len(s)))
+        assert cdat.tree.basic_attack_steps == frozenset(ground)
+        assert all(cdat.cost[b] == 0.0 for b in ground)
+
+    def test_decreasing_function_rejected(self):
+        with pytest.raises(ValueError, match="nondecreasing"):
+            nondecreasing_function_to_cdat(["a", "b"], lambda s: 2.0 - len(s))
+
+    def test_negative_function_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            nondecreasing_function_to_cdat(["a"], lambda s: -1.0 if not s else 1.0)
+
+    def test_nonzero_empty_value_rejected(self):
+        with pytest.raises(ValueError, match="empty attack"):
+            nondecreasing_function_to_cdat(["a"], lambda s: 1.0)
+
+    def test_large_ground_set_rejected(self):
+        with pytest.raises(ValueError, match="exponential"):
+            nondecreasing_function_to_cdat([f"e{i}" for i in range(13)], lambda s: 0.0)
+
+    def test_duplicate_ground_set_rejected(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            nondecreasing_function_to_cdat(["a", "a"], lambda s: 0.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(weights=st.lists(st.integers(min_value=0, max_value=9), min_size=2, max_size=4),
+           offset=st.integers(min_value=0, max_value=3))
+    def test_random_monotone_functions(self, weights, offset):
+        """Random coverage-style monotone functions are represented exactly."""
+        ground = [f"e{i}" for i in range(len(weights))]
+        table = dict(zip(ground, weights))
+
+        def function(subset):
+            if not subset:
+                return 0.0
+            return float(sum(table[e] for e in subset) + offset)
+
+        cdat = nondecreasing_function_to_cdat(ground, function)
+        self.evaluate_everywhere(cdat, ground, function)

@@ -1,0 +1,120 @@
+"""Unit tests for the deterministic attack semantics (Definitions 2–4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacktree.catalog import factory, data_server
+from repro.core.semantics import (
+    all_attacks,
+    attack_cost,
+    attack_damage,
+    attacks_within_budget,
+    dominated_by,
+    evaluate_attack,
+    is_nondecreasing_damage,
+    normalize_attack,
+    successful_attacks,
+)
+
+from ..conftest import make_random_tree
+
+#: The complete ĉ / d̂ table of Example 1, keyed by the activated BASs.
+EXAMPLE1_TABLE = {
+    frozenset(): (0, 0),
+    frozenset({"fd"}): (2, 10),
+    frozenset({"pb"}): (3, 0),
+    frozenset({"pb", "fd"}): (5, 310),
+    frozenset({"ca"}): (1, 200),
+    frozenset({"ca", "fd"}): (3, 210),
+    frozenset({"ca", "pb"}): (4, 200),
+    frozenset({"ca", "pb", "fd"}): (6, 310),
+}
+
+
+class TestExample1:
+    def test_costs_and_damages_match_paper_table(self):
+        model = factory()
+        for attack, (expected_cost, expected_damage) in EXAMPLE1_TABLE.items():
+            assert attack_cost(model, attack) == expected_cost
+            assert attack_damage(model, attack) == expected_damage
+
+    def test_evaluate_attack_bundles_all_three(self):
+        model = factory()
+        cost, damage, success = evaluate_attack(model, {"pb", "fd"})
+        assert (cost, damage) == (5, 310)
+        assert success is True
+        cost, damage, success = evaluate_attack(model, {"pb"})
+        assert (cost, damage) == (3, 0)
+        assert success is False
+
+
+class TestNormalization:
+    def test_unknown_bas_rejected(self):
+        with pytest.raises(KeyError, match="not BASs"):
+            normalize_attack(factory(), {"dr"})
+
+    def test_accepts_any_iterable(self):
+        assert normalize_attack(factory(), ["ca", "ca"]) == frozenset({"ca"})
+
+    def test_works_on_bare_tree(self):
+        assert normalize_attack(factory().tree, {"ca"}) == frozenset({"ca"})
+
+
+class TestEnumerationHelpers:
+    def test_all_attacks_count(self):
+        assert len(list(all_attacks(factory()))) == 8
+
+    def test_all_attacks_orders_by_size(self):
+        attacks = list(all_attacks(factory()))
+        sizes = [len(a) for a in attacks]
+        assert sizes == sorted(sizes)
+        assert attacks[0] == frozenset()
+
+    def test_attacks_within_budget(self):
+        model = factory()
+        affordable = list(attacks_within_budget(model, 2))
+        assert frozenset({"ca"}) in affordable
+        assert frozenset({"fd"}) in affordable
+        assert frozenset({"pb"}) not in affordable
+        assert all(attack_cost(model, a) <= 2 for a in affordable)
+
+    def test_successful_attacks(self):
+        successful = set(successful_attacks(factory()))
+        assert frozenset({"ca"}) in successful
+        assert frozenset({"pb", "fd"}) in successful
+        assert frozenset({"pb"}) not in successful
+        assert frozenset() not in successful
+
+
+class TestDomination:
+    def test_dominated_by(self):
+        model = factory()
+        assert dominated_by(model, {"pb"}, {"ca"})           # (3,0) vs (1,200)
+        assert not dominated_by(model, {"ca"}, {"pb"})
+        assert not dominated_by(model, {"ca"}, {"ca"})        # equal values
+
+    def test_domination_on_dag(self):
+        model = data_server()
+        assert dominated_by(model, {"b7"}, set())  # paying 155 for zero damage
+
+
+class TestMonotonicity:
+    def test_factory_damage_is_nondecreasing(self):
+        assert is_nondecreasing_damage(factory())
+
+    def test_data_server_damage_is_nondecreasing(self):
+        assert is_nondecreasing_damage(data_server())
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000), treelike=st.booleans())
+    def test_random_models_have_nondecreasing_damage(self, seed, treelike):
+        """The 'easy direction' of Theorem 2: every cd-AT damage function is
+        nondecreasing with respect to attack inclusion."""
+        model = make_random_tree(seed, max_bas=5, treelike=treelike).deterministic()
+        assert is_nondecreasing_damage(model)
+
+    def test_empty_attack_has_zero_cost_and_damage(self):
+        model = factory()
+        assert attack_cost(model, set()) == 0
+        assert attack_damage(model, set()) == 0

@@ -1,0 +1,86 @@
+"""Tests for the case-study experiment drivers (Figures 3 and 6)."""
+
+import pytest
+
+from repro.experiments.casestudies import (
+    PAPER_FIG3_FRONT,
+    PAPER_FIG6A_FRONT,
+    PAPER_FIG6B_PREFIX,
+    PAPER_FIG6C_FRONT,
+    run_all_case_studies,
+    run_fig3_factory,
+    run_fig6a_panda_deterministic,
+    run_fig6b_panda_probabilistic,
+    run_fig6c_data_server,
+)
+
+
+class TestIndividualExperiments:
+    def test_fig3_reproduced_exactly(self):
+        result = run_fig3_factory()
+        assert result.exact_match
+        assert result.front.values() == [(0, 0), (1, 200), (3, 210), (5, 310)]
+
+    def test_fig6a_reproduced_exactly(self):
+        result = run_fig6a_panda_deterministic()
+        assert result.exact_match
+        assert result.front.values() == [
+            (0, 0), (3, 20), (4, 50), (7, 65), (11, 75), (13, 80),
+            (17, 90), (22, 95), (30, 100),
+        ]
+
+    def test_fig6a_has_eight_nonzero_attacks(self):
+        result = run_fig6a_panda_deterministic()
+        assert len([p for p in result.front if p.cost > 0]) == 8
+
+    def test_fig6b_published_prefix_reproduced(self):
+        result = run_fig6b_panda_probabilistic()
+        assert result.exact_match
+        values = {(round(c), round(d, 1)) for c, d in result.front.values()}
+        for cost, damage in PAPER_FIG6B_PREFIX:
+            assert (cost, damage) in values
+
+    def test_fig6b_front_is_larger_than_deterministic(self):
+        """The paper reports 31 probabilistic Pareto attacks vs 8 deterministic."""
+        probabilistic = run_fig6b_panda_probabilistic().front
+        deterministic = run_fig6a_panda_deterministic().front
+        assert len(probabilistic) >= 25
+        assert len(probabilistic) > len(deterministic)
+
+    def test_fig6c_reproduced_exactly(self):
+        result = run_fig6c_data_server()
+        assert result.exact_match
+        assert result.front.values() == [
+            (0, 0), (250, 24), (568, 60), (976, 70.8), (1131, 75.8), (1281, 82.8),
+        ]
+
+    def test_fig6c_only_first_attack_misses_top(self):
+        """Fig. 6c: except for A1 all optimal attacks reach the top node."""
+        result = run_fig6c_data_server()
+        nonzero = [p for p in result.front if p.cost > 0]
+        assert nonzero[0].reaches_root is False
+        assert all(p.reaches_root for p in nonzero[1:])
+
+    def test_every_optimal_attack_contains_previous_one_fig6c(self):
+        """Section X.B: every Pareto-optimal attack contains the previous one."""
+        result = run_fig6c_data_server()
+        nonzero = [p for p in result.front if p.cost > 0]
+        for smaller, larger in zip(nonzero, nonzero[1:]):
+            assert smaller.attack <= larger.attack
+
+
+class TestRunAll:
+    def test_all_experiments_match(self):
+        results = run_all_case_studies()
+        assert set(results) == {"fig3", "fig6a", "fig6b", "fig6c"}
+        assert all(result.exact_match for result in results.values())
+
+    def test_render_includes_comparison(self):
+        text = run_fig3_factory().render()
+        assert "computed front" in text
+        assert "paper front" in text
+
+    def test_published_constants_are_self_consistent(self):
+        assert PAPER_FIG3_FRONT[0] == (0, 0)
+        assert PAPER_FIG6A_FRONT[-1] == (30, 100)
+        assert PAPER_FIG6C_FRONT[-1] == (1281, 82.8)

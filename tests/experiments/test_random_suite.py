@@ -1,0 +1,100 @@
+"""Tests for the Fig. 7 random-suite scaling harness (scaled down)."""
+
+import pytest
+
+from repro.attacktree.random_gen import RandomSuiteSpec
+from repro.experiments.random_suite import (
+    SuiteTiming,
+    group_means,
+    render_fig7_series,
+    render_fig7d_statistics,
+    run_suite_timings,
+    summarize,
+)
+
+
+@pytest.fixture(scope="module")
+def small_tree_records():
+    spec = RandomSuiteSpec(max_target_size=25, trees_per_size=1, treelike=True, seed=11)
+    return run_suite_timings(spec, probabilistic=False, include_enumerative=True,
+                             enumerative_bas_limit=10)
+
+
+@pytest.fixture(scope="module")
+def small_dag_records():
+    spec = RandomSuiteSpec(max_target_size=20, trees_per_size=1, treelike=False, seed=12)
+    return run_suite_timings(spec, probabilistic=False, include_enumerative=False)
+
+
+class TestRunSuiteTimings:
+    def test_treelike_suite_times_bottom_up_and_bilp(self, small_tree_records):
+        methods = {record.method for record in small_tree_records}
+        assert "bottom-up" in methods
+        assert "bilp" in methods
+
+    def test_dag_suite_times_bilp(self, small_dag_records):
+        methods = {record.method for record in small_dag_records}
+        assert "bilp" in methods
+
+    def test_enumerative_limited_to_small_models(self, small_tree_records):
+        # Enumerative records exist only for ATs whose BAS count was within the
+        # limit; their node counts are therefore comparatively small.
+        enumerative = [r for r in small_tree_records if r.method == "enumerative"]
+        assert all(record.nodes <= 25 for record in enumerative)
+
+    def test_probabilistic_suite(self):
+        spec = RandomSuiteSpec(max_target_size=12, trees_per_size=1, treelike=True, seed=13)
+        records = run_suite_timings(spec, probabilistic=True, include_enumerative=True,
+                                    enumerative_bas_limit=8)
+        methods = {record.method for record in records}
+        assert "bottom-up" in methods
+        assert "bilp" not in methods  # not applicable probabilistically
+
+    def test_all_durations_positive(self, small_tree_records):
+        assert all(record.seconds >= 0 for record in small_tree_records)
+
+
+class TestAggregation:
+    def test_group_means_structure(self, small_tree_records):
+        series = group_means(small_tree_records, group_width=10)
+        for method, points in series.items():
+            groups = [group for group, _ in points]
+            assert groups == sorted(groups)
+            assert all(mean >= 0 for _, mean in points)
+
+    def test_group_means_synthetic(self):
+        records = [
+            SuiteTiming(nodes=8, method="bu", seconds=1.0),
+            SuiteTiming(nodes=9, method="bu", seconds=3.0),
+            SuiteTiming(nodes=25, method="bu", seconds=5.0),
+        ]
+        series = group_means(records)
+        assert series["bu"] == [(0, 2.0), (2, 5.0)]
+
+    def test_summary_statistics(self):
+        records = [
+            SuiteTiming(nodes=8, method="bu", seconds=1.0),
+            SuiteTiming(nodes=9, method="bu", seconds=3.0),
+        ]
+        summaries = summarize(records)
+        assert len(summaries) == 1
+        assert summaries[0].minimum == 1.0
+        assert summaries[0].maximum == 3.0
+        assert summaries[0].mean == 2.0
+        assert summaries[0].samples == 2
+
+    def test_bottom_up_faster_than_bilp_on_average(self, small_tree_records):
+        """The Fig. 7a headline: BU is faster than BILP on treelike ATs."""
+        summaries = {s.method: s for s in summarize(small_tree_records)}
+        assert summaries["bottom-up"].mean < summaries["bilp"].mean
+
+
+class TestRendering:
+    def test_render_series(self, small_tree_records):
+        text = render_fig7_series(small_tree_records, title="Fig. 7a (scaled down)")
+        assert "Fig. 7a" in text
+        assert "bottom-up" in text
+
+    def test_render_statistics(self, small_tree_records):
+        text = render_fig7d_statistics(summarize(small_tree_records), title="Fig. 7d")
+        assert "min (s)" in text and "max (s)" in text

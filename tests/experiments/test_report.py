@@ -1,0 +1,57 @@
+"""Tests for the plain-text report renderers."""
+
+import math
+
+from repro.experiments.report import (
+    format_named_attacks,
+    format_pareto_front,
+    format_scaling_series,
+    format_table,
+    format_timing_rows,
+)
+from repro.pareto.front import ParetoFront, ParetoPoint
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bbbb"], [[1, 2], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbbb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+
+    def test_nan_rendered_as_na(self):
+        text = format_table(["x"], [[math.nan]])
+        assert "n/a" in text
+
+    def test_ragged_rows_padded(self):
+        text = format_table(["a", "b"], [[1], [1, 2]])
+        assert len(text.splitlines()) == 4
+
+
+class TestFormatParetoFront:
+    def test_front_rendering(self):
+        front = ParetoFront([
+            ParetoPoint(0, 0, frozenset(), False),
+            ParetoPoint(1, 200, frozenset({"ca"}), True),
+        ])
+        text = format_pareto_front(front, title="front")
+        assert "front" in text
+        assert "{ca}" in text
+        assert " y" in text and " n" in text
+
+
+class TestOtherRenderers:
+    def test_named_attacks(self):
+        text = format_named_attacks([("A1", 3, 20, True), ("A2", 4, 50, False)])
+        assert "A1" in text and "A2" in text
+
+    def test_timing_rows_with_none(self):
+        text = format_timing_rows({"case": {"bu": 0.1, "bilp": None}})
+        assert "n/a" in text
+        assert "0.1000" in text
+
+    def test_scaling_series(self):
+        text = format_scaling_series({"bu": [(0, 0.01), (1, 0.02)], "enum": [(0, 1.0)]})
+        assert "bu" in text and "enum" in text
+        assert "n/a" in text  # enum has no group-1 entry

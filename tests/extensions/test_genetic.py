@@ -1,0 +1,79 @@
+"""Tests for the NSGA-II approximation extension."""
+
+import pytest
+
+from repro.attacktree.catalog import data_server, example10_or_pair, factory, panda_iot
+from repro.core.bilp import pareto_front_bilp
+from repro.core.bottom_up import pareto_front_treelike
+from repro.extensions.genetic import GeneticConfig, approximate_pareto_front
+
+
+class TestConfig:
+    def test_invalid_population(self):
+        with pytest.raises(ValueError, match="even number"):
+            GeneticConfig(population_size=5)
+        with pytest.raises(ValueError, match="even number"):
+            GeneticConfig(population_size=2)
+
+    def test_invalid_generations(self):
+        with pytest.raises(ValueError, match="generations"):
+            GeneticConfig(generations=0)
+
+
+class TestApproximation:
+    def test_recovers_exact_front_on_factory(self):
+        """The search space has 8 attacks; NSGA-II must find the whole front."""
+        exact = pareto_front_treelike(factory())
+        approximate = approximate_pareto_front(factory(), GeneticConfig(seed=1))
+        assert approximate.values() == exact.values()
+
+    def test_never_reports_infeasible_points(self):
+        """Every approximate point must be dominated-or-equal w.r.t. the exact
+        front (the GA can only under-approximate, never invent better points)."""
+        exact = pareto_front_treelike(panda_iot().deterministic())
+        approximate = approximate_pareto_front(
+            panda_iot().deterministic(),
+            GeneticConfig(population_size=32, generations=20, seed=2),
+        )
+        for cost, damage in approximate.values():
+            assert exact.dominates_point(cost, damage)
+
+    def test_hypervolume_close_to_exact_on_panda(self):
+        model = panda_iot().deterministic()
+        exact = pareto_front_treelike(model)
+        approximate = approximate_pareto_front(
+            model, GeneticConfig(population_size=64, generations=60, seed=3)
+        )
+        bound = max(exact.costs())
+        ratio = approximate.hypervolume(bound) / exact.hypervolume(bound)
+        assert 0.85 <= ratio <= 1.0 + 1e-9
+
+    def test_works_on_dag(self):
+        model = data_server()
+        exact = pareto_front_bilp(model)
+        approximate = approximate_pareto_front(
+            model, GeneticConfig(population_size=32, generations=30, seed=4)
+        )
+        for cost, damage in approximate.values():
+            assert exact.dominates_point(cost, damage)
+
+    def test_probabilistic_objective(self):
+        approximate = approximate_pareto_front(
+            example10_or_pair(),
+            GeneticConfig(population_size=8, generations=10, seed=5),
+            probabilistic=True,
+        )
+        assert approximate.values() == [(0, 0), (1, 0.5), (2, 0.75)]
+
+    def test_probabilistic_requires_cdp(self):
+        with pytest.raises(TypeError, match="cdp-AT"):
+            approximate_pareto_front(factory(), probabilistic=True)
+
+    def test_deterministic_given_seed(self):
+        first = approximate_pareto_front(factory(), GeneticConfig(seed=9))
+        second = approximate_pareto_front(factory(), GeneticConfig(seed=9))
+        assert first.values() == second.values()
+
+    def test_witnesses_attached(self):
+        approximate = approximate_pareto_front(factory(), GeneticConfig(seed=1))
+        assert all(point.attack is not None for point in approximate)

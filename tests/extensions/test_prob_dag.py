@@ -1,0 +1,108 @@
+"""Tests for the probabilistic-DAG extension (the paper's open problem)."""
+
+import pytest
+
+from repro.attacktree.builder import AttackTreeBuilder
+from repro.attacktree.catalog import example10_or_pair, panda_iot
+from repro.core.bottom_up_prob import pareto_front_treelike_probabilistic
+from repro.extensions.prob_dag import (
+    max_expected_damage_exact,
+    pareto_front_probabilistic_exact,
+    pareto_front_probabilistic_montecarlo,
+)
+
+
+def small_probabilistic_dag():
+    """A 4-BAS DAG: the shared BAS ``s`` feeds two AND gates."""
+    builder = AttackTreeBuilder()
+    builder.bas("s", cost=2, probability=0.5)
+    builder.bas("a", cost=1, probability=0.8)
+    builder.bas("b", cost=3, probability=0.6)
+    builder.bas("c", cost=2, probability=0.9)
+    builder.and_gate("g1", ["s", "a"], damage=10)
+    builder.and_gate("g2", ["s", "b"], damage=20)
+    builder.or_gate("extra", ["c"], damage=5)
+    builder.or_gate("root", ["g1", "g2", "extra"], damage=8)
+    return builder.build_cdp(root="root")
+
+
+class TestExactEnumerative:
+    def test_agrees_with_bottom_up_on_treelike_models(self):
+        model = example10_or_pair()
+        exact = pareto_front_probabilistic_exact(model)
+        bottom_up = pareto_front_treelike_probabilistic(model)
+        assert exact.values() == pytest.approx(bottom_up.values())
+
+    def test_small_dag_front_is_consistent(self):
+        model = small_probabilistic_dag()
+        front = pareto_front_probabilistic_exact(model)
+        assert front.is_consistent()
+        assert len(front) >= 3
+        # Shared-BAS correlation: the most expensive point attempts everything.
+        assert front.values()[-1][0] == pytest.approx(8.0)
+
+    def test_shared_bas_correlation_handled(self):
+        """With a shared BAS the naive independence recursion would be wrong;
+        the exact enumeration accounts for the correlation.  Attack {s, a, b}
+        reaches g1 and g2 only when the *same* s succeeds."""
+        from repro.probability.actualization import expected_damage
+
+        model = small_probabilistic_dag()
+        # P(g1) = 0.5*0.8 = 0.4, P(g2) = 0.5*0.6 = 0.3,
+        # P(root) = P(g1 or g2) with shared s = 0.5*(1 - 0.2*0.4) = 0.46.
+        expected = 10 * 0.4 + 20 * 0.3 + 8 * 0.46
+        assert expected_damage(model, {"s", "a", "b"}) == pytest.approx(expected)
+        # The naive independence formula would instead give
+        # P(root) = 1 - (1-0.4)(1-0.3) = 0.58 — strictly larger.
+        naive_root = 1 - (1 - 0.4) * (1 - 0.3)
+        assert expected < 10 * 0.4 + 20 * 0.3 + 8 * naive_root
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError, match="2\\^22"):
+            pareto_front_probabilistic_exact(panda_iot(), max_bas=18)
+
+    def test_max_expected_damage_exact(self):
+        model = small_probabilistic_dag()
+        value, witness = max_expected_damage_exact(model, budget=3)
+        # Within budget 3: {s, a} (cost 3) gives 0.4*10 + 0.4*8 = 7.2;
+        # {c} (cost 2) gives 0.9*5 + 0.9*8 = 11.7; {a,c} adds nothing to c.
+        assert value == pytest.approx(11.7)
+        assert witness == frozenset({"c"})
+
+    def test_max_expected_damage_zero_budget(self):
+        value, witness = max_expected_damage_exact(small_probabilistic_dag(), budget=0)
+        assert value == 0.0
+        assert witness == frozenset()
+
+
+class TestMonteCarloFront:
+    def test_approximates_exact_front(self):
+        model = small_probabilistic_dag()
+        exact = pareto_front_probabilistic_exact(model)
+        approximate = pareto_front_probabilistic_montecarlo(
+            model, samples_per_attack=4000, seed=3
+        )
+        exact_by_cost = {p.cost: p.damage for p in exact}
+        for point in approximate:
+            if point.cost in exact_by_cost:
+                assert point.expected_damage == pytest.approx(
+                    exact_by_cost[point.cost], abs=3 * point.estimate.standard_error + 0.3
+                )
+
+    def test_points_sorted_by_cost(self):
+        approximate = pareto_front_probabilistic_montecarlo(
+            small_probabilistic_dag(), samples_per_attack=200, seed=1
+        )
+        costs = [p.cost for p in approximate]
+        assert costs == sorted(costs)
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError, match="limit"):
+            pareto_front_probabilistic_montecarlo(panda_iot(), max_bas=10)
+
+    def test_point_accessor(self):
+        approximate = pareto_front_probabilistic_montecarlo(
+            small_probabilistic_dag(), samples_per_attack=100, seed=1
+        )
+        point = approximate[-1]
+        assert point.expected_damage == point.estimate.mean

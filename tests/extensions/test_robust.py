@@ -1,0 +1,100 @@
+"""Tests for the interval-valued (robust) cost-damage extension."""
+
+import pytest
+
+from repro.attacktree.catalog import data_server, factory
+from repro.extensions.robust import (
+    Interval,
+    IntervalCostDamageAT,
+    robust_pareto_front,
+)
+
+
+class TestInterval:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Interval(2, 1)
+        with pytest.raises(ValueError):
+            Interval(-1, 2)
+
+    def test_exact_and_width(self):
+        interval = Interval.exact(3.0)
+        assert interval.lo == interval.hi == 3.0
+        assert interval.width == 0.0
+        assert Interval(1, 4).width == 3.0
+
+
+class TestIntervalModel:
+    def make_model(self) -> IntervalCostDamageAT:
+        base = factory()
+        return IntervalCostDamageAT(
+            base.tree,
+            cost={"ca": (1, 2), "pb": 3, "fd": 2},
+            damage={"ps": (150, 250), "dr": 100, "fd": 10},
+        )
+
+    def test_scalar_and_tuple_inputs_coerced(self):
+        model = self.make_model()
+        assert model.cost["pb"].lo == model.cost["pb"].hi == 3
+        assert model.cost["ca"].lo == 1 and model.cost["ca"].hi == 2
+
+    def test_missing_cost_rejected(self):
+        base = factory()
+        with pytest.raises(ValueError, match="missing"):
+            IntervalCostDamageAT(base.tree, cost={"ca": 1})
+
+    def test_scenarios(self):
+        model = self.make_model()
+        attacker = model.scenario(attacker_favourable=True)
+        defender = model.scenario(attacker_favourable=False)
+        assert attacker.cost_of("ca") == 1 and defender.cost_of("ca") == 2
+        assert attacker.damage_of("ps") == 250 and defender.damage_of("ps") == 150
+
+
+class TestRobustFront:
+    def test_exact_intervals_reduce_to_plain_front(self):
+        base = factory()
+        model = IntervalCostDamageAT(
+            base.tree,
+            cost={b: base.cost[b] for b in base.basic_attack_steps},
+            damage=dict(base.damage),
+        )
+        robust = robust_pareto_front(model)
+        assert robust.pessimistic.values() == robust.optimistic.values()
+        assert len(robust.robust_attacks) == len(robust.pessimistic)
+
+    def test_band_ordering(self):
+        model = IntervalCostDamageAT(
+            factory().tree,
+            cost={"ca": (1, 2), "pb": 3, "fd": 2},
+            damage={"ps": (150, 250), "dr": 100, "fd": 10},
+        )
+        robust = robust_pareto_front(model)
+        low, high = robust.damage_band(3)
+        assert low <= high
+        assert high >= 250  # attacker-favourable: ca costs 1 and ps yields 250
+
+    def test_robust_attacks_are_on_both_fronts(self):
+        model = IntervalCostDamageAT(
+            factory().tree,
+            cost={"ca": (1, 2), "pb": 3, "fd": 2},
+            damage={"ps": (150, 250), "dr": 100, "fd": 10},
+        )
+        robust = robust_pareto_front(model)
+        pessimistic_attacks = {p.attack for p in robust.pessimistic}
+        optimistic_attacks = {p.attack for p in robust.optimistic}
+        for attack in robust.robust_attacks:
+            assert attack in pessimistic_attacks
+            assert attack in optimistic_attacks
+
+    def test_works_on_dag(self):
+        base = data_server()
+        model = IntervalCostDamageAT(
+            base.tree,
+            cost={b: (base.cost[b] * 0.9, base.cost[b] * 1.1)
+                  for b in base.basic_attack_steps},
+            damage=dict(base.damage),
+        )
+        robust = robust_pareto_front(model)
+        low, high = robust.damage_band(300)
+        assert low <= 24.0 <= high

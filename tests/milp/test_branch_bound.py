@@ -1,0 +1,121 @@
+"""Tests for the pure-Python branch-and-bound ILP solver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.milp.branch_bound import BranchAndBoundSolver
+from repro.milp.highs import HighsSolver
+from repro.milp.model import (
+    ConstraintSense,
+    IntegerProgram,
+    LinearExpression,
+    ObjectiveSense,
+    VariableKind,
+)
+from repro.milp.solution import SolveStatus
+
+
+def knapsack_program(values, weights, capacity) -> IntegerProgram:
+    program = IntegerProgram("knapsack")
+    for index in range(len(values)):
+        program.add_binary(f"x{index}")
+    program.add_less_equal(
+        LinearExpression({f"x{i}": float(w) for i, w in enumerate(weights)}), capacity
+    )
+    program.add_objective(
+        LinearExpression({f"x{i}": float(v) for i, v in enumerate(values)}),
+        ObjectiveSense.MAXIMIZE,
+    )
+    return program
+
+
+def brute_force_knapsack(values, weights, capacity) -> float:
+    best = 0.0
+    n = len(values)
+    for mask in range(2 ** n):
+        weight = sum(weights[i] for i in range(n) if mask >> i & 1)
+        if weight <= capacity:
+            best = max(best, sum(values[i] for i in range(n) if mask >> i & 1))
+    return best
+
+
+class TestBranchAndBound:
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="scipy.*simplex|'scipy' or 'simplex'"):
+            BranchAndBoundSolver(lp_engine="gurobi")
+
+    def test_small_knapsack(self):
+        program = knapsack_program([10, 7, 5], [4, 3, 2], 5)
+        solution = BranchAndBoundSolver().solve(program)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective_value == pytest.approx(12.0)
+        chosen = solution.rounded_assignment()
+        assert chosen == {"x0": 0, "x1": 1, "x2": 1}
+
+    def test_simplex_engine_agrees(self):
+        program = knapsack_program([10, 7, 5, 9], [4, 3, 2, 5], 8)
+        fast = BranchAndBoundSolver(lp_engine="scipy").solve(program)
+        pure = BranchAndBoundSolver(lp_engine="simplex").solve(program)
+        assert fast.objective_value == pytest.approx(pure.objective_value)
+
+    def test_infeasible_program(self):
+        program = IntegerProgram()
+        program.add_binary("x")
+        program.add_constraint(LinearExpression.term("x"), ConstraintSense.GREATER_EQUAL, 2.0)
+        program.add_objective(LinearExpression.term("x"))
+        solution = BranchAndBoundSolver().solve(program)
+        assert solution.status is SolveStatus.INFEASIBLE
+
+    def test_reports_nodes_explored(self):
+        program = knapsack_program([3, 5, 7, 9, 11], [2, 3, 4, 5, 6], 9)
+        solution = BranchAndBoundSolver().solve(program)
+        assert solution.nodes_explored >= 1
+        assert "branch-and-bound" in solution.backend
+
+    def test_integer_variables_beyond_binary(self):
+        # max x + y s.t. x + y <= 3.5 with x integer in [0, 3], y continuous in [0, 1].
+        program = IntegerProgram()
+        program.add_variable("x", VariableKind.INTEGER, 0, 3)
+        program.add_variable("y", VariableKind.CONTINUOUS, 0, 1)
+        program.add_less_equal(LinearExpression({"x": 1.0, "y": 1.0}), 3.5)
+        program.add_objective(LinearExpression({"x": 1.0, "y": 1.0}), ObjectiveSense.MAXIMIZE)
+        solution = BranchAndBoundSolver().solve(program)
+        assert solution.objective_value == pytest.approx(3.5)
+        assert solution.value("x") == pytest.approx(3.0)
+
+    def test_agreement_with_highs_on_factory_program(self):
+        from repro.attacktree.catalog import factory
+        from repro.core.bilp import build_structure_program, cost_objective, damage_objective
+
+        model = factory()
+        program = build_structure_program(model)
+        program.add_less_equal(cost_objective(model).expression, 2.0)
+        objective = damage_objective(model)
+        mine = BranchAndBoundSolver().solve(program, objective)
+        reference = HighsSolver().solve(program, objective)
+        assert mine.objective_value == pytest.approx(reference.objective_value)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=6),
+        weights=st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=6),
+        capacity=st.integers(min_value=0, max_value=20),
+    )
+    def test_random_knapsacks_optimal(self, values, weights, capacity):
+        size = min(len(values), len(weights))
+        values, weights = values[:size], weights[:size]
+        program = knapsack_program(values, weights, capacity)
+        solution = BranchAndBoundSolver().solve(program)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective_value == pytest.approx(
+            brute_force_knapsack(values, weights, capacity)
+        )
+
+    def test_rounded_assignment_rejects_fractional(self):
+        from repro.milp.solution import MilpSolution
+
+        solution = MilpSolution(status=SolveStatus.OPTIMAL, objective_value=1.0,
+                                assignment={"x": 0.4})
+        with pytest.raises(ValueError, match="non-integral"):
+            solution.rounded_assignment()

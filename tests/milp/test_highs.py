@@ -1,0 +1,73 @@
+"""Tests for the HiGHS (scipy.optimize.milp) backend."""
+
+import pytest
+
+from repro.milp.branch_bound import BranchAndBoundSolver
+from repro.milp.highs import HighsSolver, default_solver
+from repro.milp.model import (
+    ConstraintSense,
+    IntegerProgram,
+    LinearExpression,
+    ObjectiveSense,
+)
+from repro.milp.solution import SolveStatus
+
+
+def simple_program() -> IntegerProgram:
+    program = IntegerProgram()
+    program.add_binary("x")
+    program.add_binary("y")
+    program.add_less_equal(LinearExpression({"x": 2.0, "y": 3.0}), 4.0)
+    program.add_objective(LinearExpression({"x": 3.0, "y": 5.0}), ObjectiveSense.MAXIMIZE)
+    return program
+
+
+class TestHighsSolver:
+    def test_optimal_solution(self):
+        solution = HighsSolver().solve(simple_program())
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective_value == pytest.approx(5.0)
+        assert solution.rounded_assignment() == {"x": 0, "y": 1}
+        assert solution.backend == "highs"
+
+    def test_infeasible(self):
+        program = IntegerProgram()
+        program.add_binary("x")
+        program.add_constraint(LinearExpression.term("x"), ConstraintSense.GREATER_EQUAL, 2.0)
+        program.add_objective(LinearExpression.term("x"))
+        assert HighsSolver().solve(program).status is SolveStatus.INFEASIBLE
+
+    def test_explicit_objective_choice(self):
+        program = simple_program()
+        extra = program.add_objective(
+            LinearExpression({"x": 1.0, "y": 1.0}), ObjectiveSense.MINIMIZE, name="count"
+        )
+        solution = HighsSolver().solve(program, extra)
+        assert solution.objective_value == pytest.approx(0.0)
+
+    def test_agreement_with_branch_and_bound(self):
+        program = simple_program()
+        highs = HighsSolver().solve(program)
+        bnb = BranchAndBoundSolver().solve(program)
+        assert highs.objective_value == pytest.approx(bnb.objective_value)
+
+    def test_program_without_constraints(self):
+        program = IntegerProgram()
+        program.add_binary("x")
+        program.add_objective(LinearExpression.term("x"), ObjectiveSense.MAXIMIZE)
+        solution = HighsSolver().solve(program)
+        assert solution.objective_value == pytest.approx(1.0)
+
+
+class TestDefaultSolver:
+    def test_prefers_highs(self):
+        assert isinstance(default_solver(), HighsSolver)
+
+    def test_can_request_branch_and_bound(self):
+        assert isinstance(default_solver(prefer="branch-and-bound"), BranchAndBoundSolver)
+
+
+class TestSolveStatus:
+    def test_is_optimal_flag(self):
+        assert SolveStatus.OPTIMAL.is_optimal
+        assert not SolveStatus.INFEASIBLE.is_optimal

@@ -1,0 +1,146 @@
+"""Unit tests for the ILP model layer."""
+
+import numpy as np
+import pytest
+
+from repro.milp.model import (
+    Constraint,
+    ConstraintSense,
+    IntegerProgram,
+    LinearExpression,
+    ModelError,
+    Objective,
+    ObjectiveSense,
+    Variable,
+    VariableKind,
+)
+
+
+class TestVariable:
+    def test_binary_bounds_clamped(self):
+        variable = Variable("x", VariableKind.BINARY, lower=-5, upper=10)
+        assert variable.bounds == (0.0, 1.0)
+
+    def test_continuous_bounds_kept(self):
+        variable = Variable("x", VariableKind.CONTINUOUS, lower=-2, upper=3)
+        assert variable.bounds == (-2, 3)
+
+    def test_integrality_flag(self):
+        assert Variable("x", VariableKind.INTEGER, 0, 5).is_integral
+        assert not Variable("x", VariableKind.CONTINUOUS, 0, 5).is_integral
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ModelError):
+            Variable("x", VariableKind.CONTINUOUS, lower=2, upper=1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Variable("", VariableKind.BINARY)
+
+
+class TestLinearExpression:
+    def test_term_and_sum(self):
+        expr = LinearExpression.term("x", 2.0) + LinearExpression.term("y", 3.0)
+        assert expr.coefficients == {"x": 2.0, "y": 3.0}
+
+    def test_zero_coefficients_dropped(self):
+        expr = LinearExpression({"x": 0.0, "y": 1.0})
+        assert expr.coefficients == {"y": 1.0}
+
+    def test_scalar_arithmetic(self):
+        expr = (LinearExpression.term("x") + 1.0) * 2.0
+        assert expr.coefficients == {"x": 2.0}
+        assert expr.constant == 2.0
+
+    def test_subtraction(self):
+        expr = LinearExpression.term("x", 5.0) - LinearExpression.term("x", 2.0)
+        assert expr.coefficients == {"x": 3.0}
+
+    def test_evaluate(self):
+        expr = LinearExpression({"x": 2.0, "y": -1.0}, constant=4.0)
+        assert expr.evaluate({"x": 3.0, "y": 1.0}) == 9.0
+        assert expr.evaluate({}) == 4.0  # missing variables count as zero
+
+    def test_repr_mentions_terms(self):
+        assert "x" in repr(LinearExpression.term("x", 1.5))
+
+
+class TestConstraint:
+    def test_less_equal_normalisation(self):
+        constraint = Constraint(LinearExpression.term("x"), ConstraintSense.GREATER_EQUAL, 2.0)
+        rows = constraint.as_less_equal()
+        assert len(rows) == 1
+        expr, rhs = rows[0]
+        assert expr.coefficients == {"x": -1.0}
+        assert rhs == -2.0
+
+    def test_equality_gives_two_rows(self):
+        constraint = Constraint(LinearExpression.term("x"), ConstraintSense.EQUAL, 1.0)
+        assert len(constraint.as_less_equal()) == 2
+
+    def test_is_satisfied(self):
+        constraint = Constraint(LinearExpression.term("x"), ConstraintSense.LESS_EQUAL, 2.0)
+        assert constraint.is_satisfied({"x": 2.0})
+        assert not constraint.is_satisfied({"x": 3.0})
+
+
+class TestObjective:
+    def test_maximisation_negated_for_minimisation(self):
+        objective = Objective(LinearExpression.term("x", 2.0), ObjectiveSense.MAXIMIZE)
+        assert objective.as_minimization().coefficients == {"x": -2.0}
+        assert objective.value({"x": 3.0}) == 6.0
+
+
+class TestIntegerProgram:
+    def build_simple(self) -> IntegerProgram:
+        program = IntegerProgram("test")
+        program.add_binary("x")
+        program.add_binary("y")
+        program.add_less_equal(LinearExpression({"x": 1.0, "y": 1.0}), 1.0)
+        program.add_objective(LinearExpression({"x": 3.0, "y": 2.0}), ObjectiveSense.MAXIMIZE)
+        return program
+
+    def test_duplicate_variable_rejected(self):
+        program = IntegerProgram()
+        program.add_binary("x")
+        with pytest.raises(ModelError, match="already declared"):
+            program.add_binary("x")
+
+    def test_unknown_variable_in_constraint_rejected(self):
+        program = IntegerProgram()
+        program.add_binary("x")
+        with pytest.raises(ModelError, match="unknown variables"):
+            program.add_less_equal(LinearExpression.term("z"), 1.0)
+
+    def test_unknown_variable_in_objective_rejected(self):
+        program = IntegerProgram()
+        with pytest.raises(ModelError, match="unknown variables"):
+            program.add_objective(LinearExpression.term("z"))
+
+    def test_unique_objective_accessor(self):
+        program = IntegerProgram()
+        program.add_binary("x")
+        with pytest.raises(ModelError, match="exactly one objective"):
+            _ = program.objective
+        program.add_objective(LinearExpression.term("x"))
+        assert program.objective.expression.coefficients == {"x": 1.0}
+
+    def test_is_feasible(self):
+        program = self.build_simple()
+        assert program.is_feasible({"x": 1.0, "y": 0.0})
+        assert not program.is_feasible({"x": 1.0, "y": 1.0})   # violates constraint
+        assert not program.is_feasible({"x": 0.5, "y": 0.0})   # non-integral
+        assert not program.is_feasible({"x": 2.0, "y": 0.0})   # out of bounds
+
+    def test_dense_arrays_shapes_and_signs(self):
+        program = self.build_simple()
+        c, a_ub, b_ub, lower, upper, integrality = program.dense_arrays()
+        assert c.tolist() == [-3.0, -2.0]   # maximisation negated
+        assert a_ub.shape == (1, 2)
+        assert b_ub.tolist() == [1.0]
+        assert lower.tolist() == [0.0, 0.0]
+        assert upper.tolist() == [1.0, 1.0]
+        assert integrality.tolist() == [1.0, 1.0]
+
+    def test_summary(self):
+        assert "2 variables" in self.build_simple().summary()

@@ -1,0 +1,113 @@
+"""Tests for the pure-Python two-phase simplex LP solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.milp.simplex import solve_linear_program
+from repro.milp.solution import SolveStatus
+
+
+def solve(c, a_ub, b_ub, lower, upper):
+    return solve_linear_program(
+        np.asarray(c, dtype=float),
+        np.asarray(a_ub, dtype=float).reshape(len(b_ub), len(c)) if len(b_ub) else np.zeros((0, len(c))),
+        np.asarray(b_ub, dtype=float),
+        np.asarray(lower, dtype=float),
+        np.asarray(upper, dtype=float),
+    )
+
+
+class TestBasicProblems:
+    def test_unconstrained_box_minimum(self):
+        result = solve([1.0, -1.0], [], [], [0, 0], [1, 1])
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective_value == pytest.approx(-1.0)
+        assert result.x[0] == pytest.approx(0.0)
+        assert result.x[1] == pytest.approx(1.0)
+
+    def test_single_constraint(self):
+        # min -x - y s.t. x + y <= 1, 0 <= x, y <= 1
+        result = solve([-1.0, -1.0], [[1.0, 1.0]], [1.0], [0, 0], [1, 1])
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective_value == pytest.approx(-1.0)
+        assert sum(result.x) == pytest.approx(1.0)
+
+    def test_infeasible(self):
+        # x <= -1 with x in [0, 1] is infeasible.
+        result = solve([1.0], [[1.0]], [-1.0], [0], [1])
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_nonzero_lower_bounds(self):
+        # min x with 2 <= x <= 5
+        result = solve([1.0], [], [], [2], [5])
+        assert result.objective_value == pytest.approx(2.0)
+
+    def test_negative_lower_bounds(self):
+        # min x with -3 <= x <= 5
+        result = solve([1.0], [], [], [-3], [5])
+        assert result.objective_value == pytest.approx(-3.0)
+
+    def test_degenerate_constraints(self):
+        # Redundant constraints should not break phase 1.
+        result = solve(
+            [-1.0, -2.0],
+            [[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]],
+            [0.5, 0.5, 0.5],
+            [0, 0],
+            [1, 1],
+        )
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective_value == pytest.approx(-1.5)
+
+    def test_infinite_bounds_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            solve([1.0], [], [], [0], [np.inf])
+
+    def test_inverted_bounds_infeasible(self):
+        result = solve([1.0], [], [], [2], [1])
+        assert result.status is SolveStatus.INFEASIBLE
+
+
+class TestAgreementWithScipy:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_matches_highs_on_random_lps(self, data):
+        """On random bounded LPs the simplex and HiGHS agree on the optimum."""
+        n = data.draw(st.integers(min_value=1, max_value=4), label="n")
+        m = data.draw(st.integers(min_value=0, max_value=4), label="m")
+        c = [data.draw(st.integers(min_value=-5, max_value=5)) for _ in range(n)]
+        a = [[data.draw(st.integers(min_value=-3, max_value=3)) for _ in range(n)]
+             for _ in range(m)]
+        b = [data.draw(st.integers(min_value=-2, max_value=6)) for _ in range(m)]
+        lower = [0.0] * n
+        upper = [1.0] * n
+
+        mine = solve(c, a, b, lower, upper)
+        reference = linprog(
+            c, A_ub=np.asarray(a, dtype=float).reshape(m, n) if m else None,
+            b_ub=b if m else None, bounds=list(zip(lower, upper)), method="highs",
+        )
+        if reference.status == 2:
+            assert mine.status is SolveStatus.INFEASIBLE
+        else:
+            assert reference.status == 0
+            assert mine.status is SolveStatus.OPTIMAL
+            assert mine.objective_value == pytest.approx(reference.fun, abs=1e-6)
+
+    def test_attack_tree_relaxation(self):
+        """The LP relaxation of the factory DgC program (budget 2)."""
+        from repro.attacktree.catalog import factory
+        from repro.core.bilp import build_structure_program, cost_objective, damage_objective
+
+        model = factory()
+        program = build_structure_program(model)
+        program.add_less_equal(cost_objective(model).expression, 2.0)
+        c, a_ub, b_ub, lower, upper, _ = program.dense_arrays(damage_objective(model))
+        mine = solve_linear_program(c, a_ub, b_ub, lower, upper)
+        reference = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=list(zip(lower, upper)),
+                            method="highs")
+        assert mine.status is SolveStatus.OPTIMAL
+        assert mine.objective_value == pytest.approx(reference.fun, abs=1e-6)

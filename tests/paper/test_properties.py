@@ -1,0 +1,171 @@
+"""Cross-cutting property-based tests of the paper's central invariants.
+
+These hypothesis tests tie the whole library together: independent solvers
+must agree, theoretical monotonicity/consistency properties must hold on
+arbitrary random models, and the single-objective problems must be
+consistent with the Pareto fronts (Equations (1)–(2)).
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bilp import max_damage_given_cost_bilp, pareto_front_bilp
+from repro.core.bottom_up import (
+    max_damage_given_cost_treelike,
+    min_cost_given_damage_treelike,
+    pareto_front_treelike,
+)
+from repro.core.bottom_up_prob import (
+    max_expected_damage_given_cost_treelike,
+    pareto_front_treelike_probabilistic,
+)
+from repro.core.enumerative import enumerate_pareto_front
+from repro.core.semantics import attack_cost, attack_damage
+from repro.probability.actualization import expected_damage
+
+from ..conftest import make_random_tree
+
+COMMON_SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestSolverAgreement:
+    """Theorems 4 and 6 compute the same object; enumeration is the oracle."""
+
+    @settings(**COMMON_SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_three_deterministic_solvers_agree_on_trees(self, seed):
+        model = make_random_tree(seed, max_bas=5, treelike=True).deterministic()
+        bottom_up = pareto_front_treelike(model).values()
+        enumerated = enumerate_pareto_front(model).values()
+        bilp = pareto_front_bilp(model).values()
+        assert bottom_up == enumerated
+        assert len(bilp) == len(enumerated)
+        for a, b in zip(bilp, enumerated):
+            assert a == pytest.approx(b)
+
+    @settings(**COMMON_SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_bilp_agrees_with_enumeration_on_dags(self, seed):
+        model = make_random_tree(seed, max_bas=5, treelike=False).deterministic()
+        bilp = pareto_front_bilp(model).values()
+        enumerated = enumerate_pareto_front(model).values()
+        assert len(bilp) == len(enumerated)
+        for a, b in zip(bilp, enumerated):
+            assert a == pytest.approx(b)
+
+
+class TestFrontInvariants:
+    @settings(**COMMON_SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=5000), treelike=st.booleans())
+    def test_front_points_are_achievable(self, seed, treelike):
+        """Every point of a computed front is realised by its witness attack."""
+        model = make_random_tree(seed, max_bas=5, treelike=treelike).deterministic()
+        front = (
+            pareto_front_treelike(model) if treelike else pareto_front_bilp(model)
+        )
+        for point in front:
+            assert point.attack is not None
+            assert attack_cost(model, point.attack) == pytest.approx(point.cost)
+            assert attack_damage(model, point.attack) == pytest.approx(point.damage)
+
+    @settings(**COMMON_SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_front_contains_empty_and_max_damage_points(self, seed):
+        """The empty attack and the damage of the full attack always appear."""
+        model = make_random_tree(seed, max_bas=5, treelike=True).deterministic()
+        front = pareto_front_treelike(model)
+        assert front.values()[0] == (0.0, 0.0) or front.values()[0][1] > 0
+        full_damage = attack_damage(model, model.tree.basic_attack_steps)
+        assert front.max_damage_given_cost(math.inf) == pytest.approx(full_damage)
+
+    @settings(**COMMON_SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_probabilistic_front_below_deterministic(self, seed):
+        """Expected damage never exceeds deterministic damage, so for every
+        budget the CEDPF value is ≤ the CDPF value."""
+        model = make_random_tree(seed, max_bas=5, treelike=True)
+        probabilistic = pareto_front_treelike_probabilistic(model)
+        deterministic = pareto_front_treelike(model.deterministic())
+        for budget in {point.cost for point in probabilistic}:
+            assert probabilistic.max_damage_given_cost(budget) <= \
+                deterministic.max_damage_given_cost(budget) + 1e-9
+
+
+class TestSingleObjectiveConsistency:
+    @settings(**COMMON_SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=5000),
+           budget=st.floats(min_value=0, max_value=25, allow_nan=False))
+    def test_equation_1_dgc_from_front(self, seed, budget):
+        model = make_random_tree(seed, max_bas=5, treelike=True).deterministic()
+        front = pareto_front_treelike(model)
+        direct = max_damage_given_cost_treelike(model, budget)[0]
+        from_front = front.max_damage_given_cost(budget)
+        assert direct == pytest.approx(from_front)
+
+    @settings(**COMMON_SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=5000),
+           threshold=st.floats(min_value=0, max_value=30, allow_nan=False))
+    def test_equation_2_cgd_from_front(self, seed, threshold):
+        model = make_random_tree(seed, max_bas=5, treelike=True).deterministic()
+        front = pareto_front_treelike(model)
+        direct = min_cost_given_damage_treelike(model, threshold)[0]
+        from_front = front.min_cost_given_damage(threshold)
+        if from_front is None:
+            assert direct is None
+        else:
+            assert direct == pytest.approx(from_front)
+
+    @settings(**COMMON_SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=5000),
+           budgets=st.tuples(st.floats(min_value=0, max_value=25),
+                             st.floats(min_value=0, max_value=25)))
+    def test_dgc_monotone_in_budget(self, seed, budgets):
+        """More budget never hurts (deterministic and probabilistic)."""
+        small, large = sorted(budgets)
+        model = make_random_tree(seed, max_bas=5, treelike=True)
+        deterministic = model.deterministic()
+        assert max_damage_given_cost_treelike(deterministic, small)[0] <= \
+            max_damage_given_cost_treelike(deterministic, large)[0] + 1e-9
+        assert max_expected_damage_given_cost_treelike(model, small)[0] <= \
+            max_expected_damage_given_cost_treelike(model, large)[0] + 1e-9
+
+    @settings(**COMMON_SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=5000),
+           budget=st.floats(min_value=0, max_value=25, allow_nan=False))
+    def test_dgc_bilp_agrees_on_dags(self, seed, budget):
+        model = make_random_tree(seed, max_bas=5, treelike=False).deterministic()
+        from repro.core.enumerative import enumerate_max_damage_given_cost
+
+        assert max_damage_given_cost_bilp(model, budget)[0] == pytest.approx(
+            enumerate_max_damage_given_cost(model, budget)[0]
+        )
+
+
+class TestExpectedDamageProperties:
+    @settings(**COMMON_SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_expected_damage_between_zero_and_deterministic(self, seed):
+        model = make_random_tree(seed, max_bas=5, treelike=True)
+        deterministic = model.deterministic()
+        full = frozenset(model.tree.basic_attack_steps)
+        value = expected_damage(model, full)
+        assert 0.0 <= value <= attack_damage(deterministic, full) + 1e-9
+
+    @settings(**COMMON_SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_expected_damage_monotone_in_probabilities(self, seed):
+        """Raising every success probability cannot decrease expected damage."""
+        model = make_random_tree(seed, max_bas=5, treelike=True)
+        boosted_probabilities = {
+            b: min(1.0, p + 0.1) for b, p in model.probability.items()
+        }
+        boosted = model.deterministic().with_probabilities(boosted_probabilities)
+        full = frozenset(model.tree.basic_attack_steps)
+        assert expected_damage(boosted, full) + 1e-9 >= expected_damage(model, full)

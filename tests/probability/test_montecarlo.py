@@ -1,0 +1,80 @@
+"""Tests for the Monte-Carlo expected-damage estimator."""
+
+import random
+
+import pytest
+
+from repro.attacktree.catalog import data_server, factory_probabilistic, panda_iot
+from repro.attacktree.transform import with_unit_probabilities
+from repro.probability.actualization import expected_damage
+from repro.probability.montecarlo import (
+    MonteCarloEstimate,
+    estimate_expected_damage,
+    sample_actualization,
+)
+
+
+class TestSampling:
+    def test_sample_is_subset_of_attempt(self):
+        model = factory_probabilistic()
+        rng = random.Random(1)
+        for _ in range(50):
+            sample = sample_actualization(model, {"ca", "pb"}, rng)
+            assert sample <= frozenset({"ca", "pb"})
+
+    def test_unit_probability_always_succeeds(self):
+        model = with_unit_probabilities(factory_probabilistic().deterministic())
+        sample = sample_actualization(model, {"ca", "pb", "fd"}, random.Random(0))
+        assert sample == frozenset({"ca", "pb", "fd"})
+
+    def test_zero_probability_never_succeeds(self):
+        model = factory_probabilistic().deterministic().with_probabilities(
+            {"ca": 0.0, "pb": 0.0, "fd": 0.0}
+        )
+        sample = sample_actualization(model, {"ca", "pb", "fd"}, random.Random(0))
+        assert sample == frozenset()
+
+
+class TestEstimator:
+    def test_estimate_close_to_exact_on_factory(self):
+        model = factory_probabilistic()
+        estimate = estimate_expected_damage(model, {"pb", "fd"}, samples=20_000)
+        assert estimate.within(expected_damage(model, {"pb", "fd"}), z=4.0)
+
+    def test_estimate_close_to_exact_on_panda(self):
+        model = panda_iot()
+        attack = frozenset({"b18", "b19", "b20"})
+        estimate = estimate_expected_damage(model, attack, samples=20_000)
+        assert estimate.within(expected_damage(model, attack), z=4.0)
+
+    def test_estimate_on_dag_close_to_exact_enumeration(self):
+        """On a DAG the estimator validates the exact (enumerative) value."""
+        model = with_unit_probabilities(data_server()).deterministic().with_probabilities(
+            {b: 0.8 for b in data_server().tree.basic_attack_steps}
+        )
+        attack = frozenset({"b6", "b8", "b11", "b12"})
+        estimate = estimate_expected_damage(model, attack, samples=20_000)
+        assert estimate.within(expected_damage(model, attack), z=4.0)
+
+    def test_deterministic_attack_has_zero_error(self):
+        model = with_unit_probabilities(factory_probabilistic().deterministic())
+        estimate = estimate_expected_damage(model, {"ca"}, samples=100)
+        assert estimate.standard_error == 0.0
+        assert estimate.mean == pytest.approx(200.0)
+
+    def test_reproducible_with_default_seed(self):
+        model = factory_probabilistic()
+        first = estimate_expected_damage(model, {"pb", "fd"}, samples=500)
+        second = estimate_expected_damage(model, {"pb", "fd"}, samples=500)
+        assert first.mean == second.mean
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ValueError):
+            estimate_expected_damage(factory_probabilistic(), {"ca"}, samples=0)
+
+    def test_confidence_interval_contains_mean(self):
+        estimate = MonteCarloEstimate(mean=10.0, standard_error=1.0, samples=100)
+        low, high = estimate.confidence_interval()
+        assert low < 10.0 < high
+        assert estimate.within(11.0, z=2.0)
+        assert not estimate.within(20.0, z=2.0)

@@ -1,0 +1,94 @@
+"""Tests for the ``atcd`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.attacktree import catalog, serialization
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def factory_json(tmp_path):
+    path = tmp_path / "factory.json"
+    serialization.save_json(catalog.factory(), str(path))
+    return str(path)
+
+
+@pytest.fixture
+def panda_json(tmp_path):
+    path = tmp_path / "panda.json"
+    serialization.save_json(catalog.panda_iot(), str(path))
+    return str(path)
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["analyze", "model.json"])
+        assert args.command == "analyze"
+        args = parser.parse_args(["dgc", "model.json", "--budget", "3"])
+        assert args.budget == 3.0
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_analyze(self, factory_json, capsys):
+        assert main(["analyze", factory_json]) == 0
+        output = capsys.readouterr().out
+        assert "Pareto front" in output
+        assert "treelike" in output
+
+    def test_pareto(self, factory_json, capsys):
+        assert main(["pareto", factory_json]) == 0
+        output = capsys.readouterr().out
+        assert "200" in output and "310" in output
+
+    def test_pareto_probabilistic(self, panda_json, capsys):
+        assert main(["pareto", panda_json, "--probabilistic"]) == 0
+        assert "18" in capsys.readouterr().out
+
+    def test_pareto_with_plot(self, factory_json, capsys):
+        assert main(["pareto", factory_json, "--plot"]) == 0
+        output = capsys.readouterr().out
+        assert "●" in output
+        assert "cost →" in output
+
+    def test_dgc(self, factory_json, capsys):
+        assert main(["dgc", factory_json, "--budget", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "200" in output and "ca" in output
+
+    def test_cgd(self, factory_json, capsys):
+        assert main(["cgd", factory_json, "--threshold", "300"]) == 0
+        output = capsys.readouterr().out
+        assert "5" in output
+
+    def test_cgd_unachievable_returns_nonzero(self, factory_json, capsys):
+        assert main(["cgd", factory_json, "--threshold", "99999"]) == 1
+        assert "no attack" in capsys.readouterr().out
+
+    def test_catalog_to_stdout(self, capsys):
+        assert main(["catalog", "factory"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["root"] == "ps"
+
+    def test_catalog_to_file(self, tmp_path, capsys):
+        out = tmp_path / "ds.json"
+        assert main(["catalog", "data-server", "--out", str(out)]) == 0
+        restored = serialization.load_json(str(out))
+        assert not restored.tree.is_treelike
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        output = capsys.readouterr().out
+        assert "all published points reproduced: True" in output
+
+    def test_bare_tree_model_rejected(self, tmp_path):
+        path = tmp_path / "bare.json"
+        serialization.save_json(catalog.factory().tree, str(path))
+        with pytest.raises(SystemExit, match="without cost/damage"):
+            main(["analyze", str(path)])
