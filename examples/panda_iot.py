@@ -86,8 +86,11 @@ def main() -> None:
     # ------------------------------------------------------------------ #
     print()
     print("Worst-case damage per attacker budget (Equation (1)):")
-    for budget, damage in analyzer.damage_budget_curve([0, 3, 5, 10, 20, 30, 60]):
-        print(f"  budget {budget:5.0f}  ->  damage {damage:6.1f} million USD")
+    for point in analyzer.damage_budget_curve([0, 3, 5, 10, 20, 30, 60]):
+        if not point.reachable:
+            print(f"  budget {point.budget:5.0f}  ->  no attack affordable")
+            continue
+        print(f"  budget {point.budget:5.0f}  ->  damage {point.damage:6.1f} million USD")
 
 
 if __name__ == "__main__":

@@ -1,21 +1,36 @@
-"""Quickstart: model an attack tree and run every cost-damage analysis.
+"""Quickstart: model an attack tree and query it through the analysis engine.
 
 This example rebuilds the paper's running example (Fig. 1) — a factory whose
 production can be shut down by a cyberattack or by physically destroying the
 production robot — and walks through the library's main entry points:
 
 * building a decorated attack tree with :class:`AttackTreeBuilder`;
-* computing the cost-damage Pareto front (problem CDPF);
-* answering budget questions (DgC) and damage-threshold questions (CgD);
-* extending the model with success probabilities and repeating the analysis
-  with expected damage (CEDPF / EDgC).
+* opening an :class:`AnalysisSession` and running typed
+  :class:`AnalysisRequest` objects against it — the engine's registry picks
+  the right algorithm per Table I of the paper, results carry the resolved
+  backend, wall time and cache status;
+* executing a *batch* of requests in one call;
+* round-tripping requests and results through JSON (the service wire
+  format);
+* the probabilistic setting (expected damage) and an extension backend
+  (``monte-carlo``) requested by name;
+* the backwards-compatible ``solve()`` / ``CostDamageAnalyzer`` entry
+  points that older code keeps using.
 
 Run it with::
 
     python examples/quickstart.py
 """
 
-from repro import AttackTreeBuilder, CostDamageAnalyzer
+from repro import (
+    AnalysisRequest,
+    AnalysisResult,
+    AnalysisSession,
+    AttackTreeBuilder,
+    CostDamageAnalyzer,
+    Problem,
+    solve,
+)
 
 
 def build_factory_model():
@@ -29,30 +44,52 @@ def build_factory_model():
     return builder.build_cd(root="ps")
 
 
-def deterministic_analysis():
+def engine_analysis():
     model = build_factory_model()
-    analyzer = CostDamageAnalyzer(model)
+    session = AnalysisSession(model)
 
     print("=" * 72)
-    print("Deterministic analysis (cd-AT)")
+    print("Engine analysis (cd-AT through AnalysisSession)")
     print("=" * 72)
-    print(analyzer.describe())
-    print()
 
-    front = analyzer.pareto_front()
+    # One request: the engine resolves the backend (bottom-up, Table I).
+    result = session.run(AnalysisRequest(Problem.CDPF))
     print("Cost-damage Pareto front (Fig. 3 of the paper):")
-    print(front.table())
+    print(result.front.table())
+    print(f"-> {result.summary()}")
     print()
 
-    budget = 2
-    result = analyzer.max_damage(budget)
-    print(f"DgC: with a budget of {budget} the worst-case damage is "
-          f"{result.value:g} (attack {sorted(result.witness)})")
+    # Re-running an identical request is served from the session cache.
+    again = session.run(AnalysisRequest(Problem.CDPF))
+    print(f"repeat request cached: {again.cache_hit}")
+    print()
 
-    threshold = 300
-    result = analyzer.min_cost(threshold)
-    print(f"CgD: doing at least {threshold} damage costs the attacker "
-          f"{result.value:g} (attack {sorted(result.witness)})")
+    # A batch of single-objective questions in one call; pass
+    # parallel=True to fan a large batch out over a thread pool.
+    batch = session.run_batch(
+        [
+            AnalysisRequest(Problem.DGC, budget=2),
+            AnalysisRequest(Problem.CGD, threshold=300),
+            AnalysisRequest(Problem.CDPF, backend="enumerative"),
+        ]
+    )
+    dgc, cgd, check = batch
+    print(f"DgC: with a budget of 2 the worst-case damage is {dgc.value:g} "
+          f"(attack {sorted(dgc.witness)})")
+    print(f"CgD: doing at least 300 damage costs the attacker {cgd.value:g} "
+          f"(attack {sorted(cgd.witness)})")
+    print(f"cross-check via {check.backend}: fronts agree = "
+          f"{check.front.values() == result.front.values()}")
+    print()
+
+    # Requests and results round-trip through JSON — the wire format for
+    # service-style deployments (see also: atcd batch).
+    wire = AnalysisRequest(Problem.DGC, budget=2).to_json()
+    print(f"request on the wire:  {wire}")
+    reply = session.run(AnalysisRequest.from_json(wire))
+    restored = AnalysisResult.from_json(reply.to_json())
+    print(f"result off the wire:  value={restored.value:g}, "
+          f"backend={restored.backend}, cached={restored.cache_hit}")
     print()
 
 
@@ -60,27 +97,66 @@ def probabilistic_analysis():
     model = build_factory_model().with_probabilities(
         {"ca": 0.2, "pb": 0.4, "fd": 0.9}
     )
-    analyzer = CostDamageAnalyzer(model)
+    session = AnalysisSession(model)
 
     print("=" * 72)
     print("Probabilistic analysis (cdp-AT, Example 8 of the paper)")
     print("=" * 72)
-    front = analyzer.expected_pareto_front()
+    front = session.run(AnalysisRequest(Problem.CEDPF)).front
     print("Cost-expected-damage Pareto front:")
     print(front.table())
     print()
 
-    budget = 5
-    result = analyzer.max_expected_damage(budget)
-    print(f"EDgC: with a budget of {budget} the expected damage is "
+    result = session.run(AnalysisRequest(Problem.EDGC, budget=5))
+    print(f"EDgC: with a budget of 5 the expected damage is "
           f"{result.value:g} (attack {sorted(result.witness)})")
+    print()
+
+    # Extension backends are registered alongside the exact ones and are
+    # selected by name — here the Monte-Carlo estimator with its options.
+    sampled = session.run(
+        AnalysisRequest(
+            Problem.CEDPF,
+            backend="monte-carlo",
+            options={"samples_per_attack": 4000, "seed": 7},
+        )
+    )
+    worst = max(
+        (e["standard_error"] for e in sampled.extras["standard_errors"]),
+        default=0.0,
+    )
+    print(f"Monte-Carlo cross-check: {len(sampled.front)} points, "
+          f"max standard error {worst:.2f}")
     print()
     print("Note how the probabilistic front differs from the deterministic")
     print("one: attempts that would be redundant when every step surely")
     print("succeeds become worthwhile when they merely raise the probability")
     print("of reaching a damaging node (Example 10 of the paper).")
+    print()
+
+
+def legacy_entry_points():
+    """The pre-engine API keeps working; it forwards to the same registry.
+
+    One deliberate exception: ``damage_budget_curve`` now returns
+    ``BudgetDamagePoint(budget, damage, reachable)`` triples instead of
+    bare pairs, so unreachable budgets are no longer reported as damage 0.
+    """
+    model = build_factory_model()
+
+    print("=" * 72)
+    print("Backwards-compatible entry points")
+    print("=" * 72)
+    result = solve(model, Problem.DGC, budget=2)
+    print(f"solve(..., DGC, budget=2) -> {result.value:g} via {result.method.value}")
+
+    analyzer = CostDamageAnalyzer(model)
+    print(f"CostDamageAnalyzer.min_cost(300) -> {analyzer.min_cost(300).value:g}")
+    curve = analyzer.damage_budget_curve([0, 2, 5])
+    print("damage/budget curve:", [(p.budget, p.damage) for p in curve])
 
 
 if __name__ == "__main__":
-    deterministic_analysis()
+    engine_analysis()
     probabilistic_analysis()
+    legacy_entry_points()

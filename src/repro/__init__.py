@@ -8,18 +8,44 @@ with the substrates the paper depends on (attack-tree data structures, an
 ILP stack, case-study models, random workload generation) and the full
 experiment harness of the paper's evaluation.
 
+Analyses run on a pluggable engine (:mod:`repro.engine`): solver
+implementations are *backends* in a capability-aware registry that encodes
+Table I of the paper as data, and an :class:`AnalysisSession` provides
+cached, batchable, JSON-round-trippable queries against one model.
+
 Quickstart
 ----------
->>> from repro import AttackTreeBuilder, CostDamageAnalyzer
+>>> from repro import AnalysisRequest, AnalysisSession, AttackTreeBuilder, Problem
 >>> builder = AttackTreeBuilder()
 >>> _ = builder.bas("ca", cost=1, label="cyberattack")
 >>> _ = builder.bas("pb", cost=3, label="place bomb")
 >>> _ = builder.bas("fd", cost=2, damage=10, label="force door")
 >>> _ = builder.and_gate("dr", ["pb", "fd"], damage=100)
 >>> _ = builder.or_gate("ps", ["ca", "dr"], damage=200)
->>> analyzer = CostDamageAnalyzer(builder.build_cd(root="ps"))
->>> analyzer.pareto_front().values()
+>>> session = AnalysisSession(builder.build_cd(root="ps"))
+>>> result = session.run(AnalysisRequest(Problem.CDPF))
+>>> result.front.values()
 [(0.0, 0.0), (1.0, 200.0), (3.0, 210.0), (5.0, 310.0)]
+>>> result.backend
+'bottom-up'
+>>> [r.value for r in session.run_batch(
+...     [AnalysisRequest(Problem.DGC, budget=2),
+...      AnalysisRequest(Problem.CGD, threshold=300)])]
+[200.0, 5.0]
+
+Sessions cache by (model fingerprint, request), report wall time and the
+resolved backend on every result, and accept extension backends
+(``genetic``, ``prob-dag``, ``monte-carlo``) by name.
+
+Backwards compatibility: the original entry points keep working —
+``solve(model, problem, method=...)`` forwards to the engine (``method``
+maps onto the backend of the same name), and :class:`CostDamageAnalyzer`
+wraps a session behind its familiar question-oriented methods.  One
+deliberate API break: ``CostDamageAnalyzer.damage_budget_curve`` now
+returns :class:`BudgetDamagePoint` triples instead of ``(budget, damage)``
+pairs, so that "no attack affordable at this budget" is distinguishable
+from "the best affordable attack does zero damage" (previously both were
+reported as ``0.0``).
 """
 
 from .attacktree import (
@@ -33,6 +59,7 @@ from .attacktree import (
 )
 from .attacktree import catalog
 from .core import (
+    BudgetDamagePoint,
     CostDamageAnalyzer,
     Method,
     Problem,
@@ -42,14 +69,33 @@ from .core import (
     capability_matrix,
     solve,
 )
+from .engine import (
+    AnalysisRequest,
+    AnalysisResult,
+    AnalysisSession,
+    BackendRegistry,
+    Capability,
+    Setting,
+    Shape,
+    SolverBackend,
+    default_registry,
+    model_fingerprint,
+    shared_registry,
+)
 from .pareto import ParetoFront, ParetoPoint
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    "AnalysisRequest",
+    "AnalysisResult",
+    "AnalysisSession",
     "AttackTree",
     "AttackTreeBuilder",
     "AttackTreeError",
+    "BackendRegistry",
+    "BudgetDamagePoint",
+    "Capability",
     "CostDamageAT",
     "CostDamageAnalyzer",
     "CostDamageProbAT",
@@ -59,11 +105,17 @@ __all__ = [
     "ParetoFront",
     "ParetoPoint",
     "Problem",
+    "Setting",
+    "Shape",
     "SolveResult",
+    "SolverBackend",
     "attack_cost",
     "attack_damage",
     "capability_matrix",
     "catalog",
+    "default_registry",
+    "model_fingerprint",
+    "shared_registry",
     "solve",
     "__version__",
 ]

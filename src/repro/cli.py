@@ -4,10 +4,16 @@ Installed as the ``atcd`` console script.  Sub-commands:
 
 ``atcd analyze MODEL.json``
     Print the model summary, the Pareto front and the critical-BAS report.
-``atcd pareto MODEL.json [--probabilistic] [--method ...]``
+``atcd pareto MODEL.json [--probabilistic] [--method ...] [--backend ...]``
     Print only the Pareto front (CDPF or CEDPF).
 ``atcd dgc MODEL.json --budget U`` / ``atcd cgd MODEL.json --threshold L``
     Solve the single-objective problems.
+``atcd batch MODEL.json REQUESTS.json [--parallel] [--out FILE]``
+    Execute a JSON list of analysis requests through one
+    :class:`~repro.engine.AnalysisSession` and emit the results as JSON —
+    the service-style entry point of the engine.
+``atcd backends``
+    List the registered solver backends and their capabilities.
 ``atcd catalog NAME [--out FILE]``
     Export one of the built-in case-study models (factory, panda-iot,
     data-server) as JSON, for use as a starting point.
@@ -16,19 +22,23 @@ Installed as the ``atcd`` console script.  Sub-commands:
     the published fronts.
 
 Models are the JSON documents produced by
-:mod:`repro.attacktree.serialization`.
+:mod:`repro.attacktree.serialization`.  Requests/results are the JSON
+representations of :class:`repro.engine.AnalysisRequest` /
+:class:`repro.engine.AnalysisResult`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
 from .attacktree import catalog, serialization
 from .attacktree.attributes import CostDamageAT, CostDamageProbAT
 from .core.analysis import CostDamageAnalyzer
-from .core.problems import Method, Problem, solve
+from .core.problems import Method, Problem
+from .engine import AnalysisRequest, AnalysisSession, shared_registry
 from .experiments import casestudies
 from .experiments.report import format_pareto_front
 
@@ -40,6 +50,10 @@ _CATALOG = {
     "panda-iot": catalog.panda_iot,
     "data-server": catalog.data_server,
 }
+
+#: Subcommands whose ValueError/TypeError failures are user errors (bad
+#: backend name, uncovered cell, missing parameter, malformed request).
+_ENGINE_COMMANDS = frozenset({"pareto", "dgc", "cgd", "batch"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,7 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
     pareto.add_argument("model", help="path to a JSON attack-tree model")
     pareto.add_argument("--probabilistic", action="store_true")
     pareto.add_argument("--method", choices=[m.value for m in Method],
-                        default=Method.AUTO.value)
+                        default=Method.AUTO.value,
+                        help="legacy algorithm selector (auto follows Table I)")
+    pareto.add_argument("--backend", default=None,
+                        help="force a registered engine backend by name "
+                             "(overrides --method; see 'atcd backends')")
     pareto.add_argument("--plot", action="store_true",
                         help="also render the front as an ASCII plot")
 
@@ -67,11 +85,24 @@ def build_parser() -> argparse.ArgumentParser:
     dgc.add_argument("model")
     dgc.add_argument("--budget", type=float, required=True)
     dgc.add_argument("--probabilistic", action="store_true")
+    dgc.add_argument("--backend", default=None)
 
     cgd = subparsers.add_parser("cgd", help="min cost given a damage threshold")
     cgd.add_argument("model")
     cgd.add_argument("--threshold", type=float, required=True)
     cgd.add_argument("--probabilistic", action="store_true")
+    cgd.add_argument("--backend", default=None)
+
+    batch = subparsers.add_parser(
+        "batch", help="run a JSON list of analysis requests against one model"
+    )
+    batch.add_argument("model", help="path to a JSON attack-tree model")
+    batch.add_argument("requests", help="path to a JSON list of request objects")
+    batch.add_argument("--parallel", action="store_true",
+                       help="execute the batch on a thread pool")
+    batch.add_argument("--out", default=None, help="output path (default: stdout)")
+
+    subparsers.add_parser("backends", help="list registered solver backends")
 
     catalog_cmd = subparsers.add_parser("catalog", help="export a built-in model")
     catalog_cmd.add_argument("name", choices=sorted(_CATALOG))
@@ -94,6 +125,17 @@ def _load_model(path: str):
     return model
 
 
+def _backend_name(args: argparse.Namespace) -> Optional[str]:
+    """Resolve --backend / --method flags into an engine backend name."""
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        return backend
+    method = Method(getattr(args, "method", Method.AUTO.value))
+    from .core.problems import _METHOD_TO_BACKEND
+
+    return _METHOD_TO_BACKEND.get(method)
+
+
 def _command_analyze(args: argparse.Namespace) -> int:
     model = _load_model(args.model)
     analyzer = CostDamageAnalyzer(model)
@@ -102,9 +144,9 @@ def _command_analyze(args: argparse.Namespace) -> int:
 
 
 def _command_pareto(args: argparse.Namespace) -> int:
-    model = _load_model(args.model)
+    session = AnalysisSession(_load_model(args.model))
     problem = Problem.CEDPF if args.probabilistic else Problem.CDPF
-    result = solve(model, problem, method=Method(args.method))
+    result = session.run(AnalysisRequest(problem, backend=_backend_name(args)))
     print(format_pareto_front(result.front))
     if args.plot:
         from .pareto.plot import ascii_front
@@ -116,9 +158,11 @@ def _command_pareto(args: argparse.Namespace) -> int:
 
 
 def _command_dgc(args: argparse.Namespace) -> int:
-    model = _load_model(args.model)
+    session = AnalysisSession(_load_model(args.model))
     problem = Problem.EDGC if args.probabilistic else Problem.DGC
-    result = solve(model, problem, budget=args.budget)
+    result = session.run(
+        AnalysisRequest(problem, budget=args.budget, backend=_backend_name(args))
+    )
     witness = "{}" if not result.witness else "{" + ", ".join(sorted(result.witness)) + "}"
     label = "expected damage" if args.probabilistic else "damage"
     print(f"max {label} within budget {args.budget:g}: {result.value:g}")
@@ -127,15 +171,73 @@ def _command_dgc(args: argparse.Namespace) -> int:
 
 
 def _command_cgd(args: argparse.Namespace) -> int:
-    model = _load_model(args.model)
+    session = AnalysisSession(_load_model(args.model))
     problem = Problem.CGED if args.probabilistic else Problem.CGD
-    result = solve(model, problem, threshold=args.threshold)
+    result = session.run(
+        AnalysisRequest(problem, threshold=args.threshold, backend=_backend_name(args))
+    )
     if result.value is None:
         print(f"no attack reaches damage {args.threshold:g}")
         return 1
     witness = "{}" if not result.witness else "{" + ", ".join(sorted(result.witness)) + "}"
     print(f"min cost reaching damage {args.threshold:g}: {result.value:g}")
     print(f"witness attack: {witness}")
+    return 0
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    session = AnalysisSession(_load_model(args.model))
+    with open(args.requests, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, list):
+        print(f"atcd: {args.requests} must contain a JSON list of requests",
+              file=sys.stderr)
+        return 2
+    # Parse and validate the whole batch up front — field types, parameters,
+    # backend resolution AND backend options: a malformed entry, missing
+    # budget, bogus backend name, typo'd option, or a problem the model
+    # cannot support must not abort after the earlier analyses already ran.
+    requests = []
+    for index, entry in enumerate(payload):
+        try:
+            request = AnalysisRequest.from_dict(entry)
+            request.validate()
+            backend = session.resolve(request.problem, backend=request.backend)
+            backend.validate_options(request)
+        except (ValueError, TypeError) as error:
+            # Same format and exit code as engine errors on the other
+            # subcommands, plus the offending entry's index.
+            print(f"atcd: {args.requests}[{index}]: {error}", file=sys.stderr)
+            return 2
+        requests.append(request)
+    results = session.run_batch(requests, parallel=args.parallel)
+    try:
+        text = json.dumps([result.to_dict() for result in results], indent=2)
+    except TypeError as error:
+        # A result that does not serialize (e.g. a third-party backend put a
+        # non-JSON object in extras) is an internal bug, not a user error:
+        # re-raise outside main()'s user-error net so the traceback survives.
+        raise RuntimeError(
+            f"internal error serializing batch results: {error}"
+        ) from error
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(results)} results to {args.out}")
+    else:
+        print(text)
+    for result in results:
+        print(result.summary(), file=sys.stderr)
+    return 0
+
+
+def _command_backends(args: argparse.Namespace) -> int:
+    registry = shared_registry()
+    print(registry.describe())
+    print()
+    print("Table I resolution:")
+    for (setting, shape), label in sorted(registry.capability_report().items()):
+        print(f"  {setting:<14} {shape:<5} -> {label}")
     return 0
 
 
@@ -171,10 +273,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "pareto": _command_pareto,
         "dgc": _command_dgc,
         "cgd": _command_cgd,
+        "batch": _command_batch,
+        "backends": _command_backends,
         "catalog": _command_catalog,
         "experiments": _command_experiments,
     }
-    return handlers[args.command](args)
+    if args.command not in _ENGINE_COMMANDS:
+        return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except (ValueError, TypeError) as error:
+        # Engine/request errors (unknown backend, uncovered capability cell,
+        # missing parameter, wrong model kind, malformed request JSON) are
+        # user errors on these subcommands: report them as one line, not a
+        # traceback.  Other subcommands run unwrapped so genuine internal
+        # failures keep their stack traces.
+        print(f"atcd: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,7 +18,7 @@ Submodules
     Problem taxonomy, uniform dispatch, and the high-level analyzer facade.
 """
 
-from .analysis import CostDamageAnalyzer, CriticalBasReport
+from .analysis import BudgetDamagePoint, CostDamageAnalyzer, CriticalBasReport
 from .problems import Method, Problem, SolveResult, capability_matrix, solve
 from .semantics import (
     Attack,
@@ -31,6 +31,7 @@ from .semantics import (
 
 __all__ = [
     "Attack",
+    "BudgetDamagePoint",
     "CostDamageAnalyzer",
     "CriticalBasReport",
     "Method",

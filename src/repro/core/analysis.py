@@ -1,23 +1,34 @@
 """High-level analyzer facade.
 
-:class:`CostDamageAnalyzer` is the recommended entry point of the library:
-wrap a cd-AT or cdp-AT once, then ask security questions in domain terms —
-"what is the worst damage an attacker with budget 10 can do?", "which attacks
-are Pareto-optimal?", "which BASs appear in every optimal attack?" — without
-having to pick an algorithm.  Algorithm selection follows Table I of the
-paper and can be overridden per call.
+:class:`CostDamageAnalyzer` is the question-oriented entry point of the
+library: wrap a cd-AT or cdp-AT once, then ask security questions in domain
+terms — "what is the worst damage an attacker with budget 10 can do?",
+"which attacks are Pareto-optimal?", "which BASs appear in every optimal
+attack?" — without having to pick an algorithm.  Since the engine redesign
+it is a thin veneer over :class:`repro.engine.AnalysisSession`: algorithm
+selection is delegated to the engine's capability registry (Table I of the
+paper) and every result is cached by the session, keyed on the model
+fingerprint and the exact request.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+from typing import FrozenSet, List, NamedTuple, Optional, Union
 
 from ..attacktree.attributes import CostDamageAT, CostDamageProbAT
-from ..pareto.front import ParetoFront, ParetoPoint
-from .problems import Method, Problem, SolveResult, solve
+from ..engine.requests import AnalysisRequest
+from ..engine.session import AnalysisSession
+from ..pareto.front import ParetoFront
+from .problems import (
+    _METHOD_TO_BACKEND,
+    _to_solve_result,
+    Method,
+    Problem,
+    SolveResult,
+)
 
-__all__ = ["CostDamageAnalyzer", "CriticalBasReport"]
+__all__ = ["CostDamageAnalyzer", "CriticalBasReport", "BudgetDamagePoint"]
 
 
 @dataclass(frozen=True)
@@ -41,6 +52,21 @@ class CriticalBasReport:
     unused: FrozenSet[str]
 
 
+class BudgetDamagePoint(NamedTuple):
+    """One sample of the "max damage vs budget" curve (Eq. (1)).
+
+    ``damage`` is ``None`` — and ``reachable`` is ``False`` — when no point
+    of the front is affordable at this budget.  Earlier versions silently
+    coerced that case to damage ``0.0``, conflating "the attacker can do
+    nothing" with "the attacker's best option does no damage"; the
+    distinction now surfaces explicitly.
+    """
+
+    budget: float
+    damage: Optional[float]
+    reachable: bool
+
+
 class CostDamageAnalyzer:
     """Uniform, cached access to every cost-damage analysis of one model.
 
@@ -50,15 +76,41 @@ class CostDamageAnalyzer:
         The decorated attack tree.  A plain cd-AT only supports the
         deterministic problems; a cdp-AT supports all six.
     method:
-        Default solution method (``Method.AUTO`` follows Table I).
+        Default solution method (``Method.AUTO`` lets the engine registry
+        follow Table I).
+
+    The heavy lifting — backend resolution, result caching, metadata — is
+    done by the underlying :class:`repro.engine.AnalysisSession`, available
+    as :attr:`session` for callers that want batches or structured results.
     """
 
     def __init__(self, model: Union[CostDamageAT, CostDamageProbAT],
                  method: Method = Method.AUTO) -> None:
         self.model = model
         self.method = method
-        self._deterministic_front: Optional[ParetoFront] = None
-        self._probabilistic_front: Optional[ParetoFront] = None
+        self.session = AnalysisSession(model)
+
+    def _backend(self, method: Optional[Method]) -> Optional[str]:
+        chosen = method or self.method
+        return _METHOD_TO_BACKEND.get(chosen)
+
+    def _solve_cached(
+        self,
+        problem: Problem,
+        method: Optional[Method],
+        budget: Optional[float] = None,
+        threshold: Optional[float] = None,
+    ) -> SolveResult:
+        """Run one single-objective problem through the cached session."""
+        result = self.session.run(
+            AnalysisRequest(
+                problem,
+                budget=budget,
+                threshold=threshold,
+                backend=self._backend(method),
+            )
+        )
+        return _to_solve_result(problem, result)
 
     # ------------------------------------------------------------------ #
     # model facts
@@ -98,48 +150,34 @@ class CostDamageAnalyzer:
     # ------------------------------------------------------------------ #
     def pareto_front(self, method: Optional[Method] = None) -> ParetoFront:
         """The cost-damage Pareto front (problem CDPF)."""
-        chosen = method or self.method
-        if chosen is self.method and self._deterministic_front is not None:
-            return self._deterministic_front
-        result = solve(self.model, Problem.CDPF, method=chosen)
-        if chosen is self.method:
-            self._deterministic_front = result.front
-        return result.front
+        return self.session.pareto_front(backend=self._backend(method)).front
 
     def max_damage(self, budget: float, method: Optional[Method] = None) -> SolveResult:
         """Problem DgC: the most damaging attack within a cost budget."""
-        return solve(self.model, Problem.DGC, method=method or self.method, budget=budget)
+        return self._solve_cached(Problem.DGC, method, budget=budget)
 
     def min_cost(self, threshold: float, method: Optional[Method] = None) -> SolveResult:
         """Problem CgD: the cheapest attack reaching a damage threshold."""
-        return solve(self.model, Problem.CGD, method=method or self.method,
-                     threshold=threshold)
+        return self._solve_cached(Problem.CGD, method, threshold=threshold)
 
     # ------------------------------------------------------------------ #
     # probabilistic analyses
     # ------------------------------------------------------------------ #
     def expected_pareto_front(self, method: Optional[Method] = None) -> ParetoFront:
         """The cost-expected-damage Pareto front (problem CEDPF)."""
-        chosen = method or self.method
-        if chosen is self.method and self._probabilistic_front is not None:
-            return self._probabilistic_front
-        result = solve(self.model, Problem.CEDPF, method=chosen)
-        if chosen is self.method:
-            self._probabilistic_front = result.front
-        return result.front
+        return self.session.expected_pareto_front(backend=self._backend(method)).front
 
     def max_expected_damage(
         self, budget: float, method: Optional[Method] = None
     ) -> SolveResult:
         """Problem EDgC: the attack maximising expected damage within budget."""
-        return solve(self.model, Problem.EDGC, method=method or self.method, budget=budget)
+        return self._solve_cached(Problem.EDGC, method, budget=budget)
 
     def min_cost_expected(
         self, threshold: float, method: Optional[Method] = None
     ) -> SolveResult:
         """Problem CgED: the cheapest attack with expected damage ≥ threshold."""
-        return solve(self.model, Problem.CGED, method=method or self.method,
-                     threshold=threshold)
+        return self._solve_cached(Problem.CGED, method, threshold=threshold)
 
     # ------------------------------------------------------------------ #
     # derived security insights
@@ -169,13 +207,22 @@ class CostDamageAnalyzer:
 
     def damage_budget_curve(
         self, budgets: List[float], probabilistic: bool = False
-    ) -> List[Tuple[float, float]]:
-        """Evaluate "max damage vs budget" at the given budgets via Eq. (1)."""
+    ) -> List[BudgetDamagePoint]:
+        """Evaluate "max damage vs budget" at the given budgets via Eq. (1).
+
+        Budgets at which the front has no affordable point yield a
+        :class:`BudgetDamagePoint` with ``damage=None`` and
+        ``reachable=False`` instead of a misleading ``0.0``.
+        """
         front = self.expected_pareto_front() if probabilistic else self.pareto_front()
         curve = []
         for budget in budgets:
             damage = front.max_damage_given_cost(budget)
-            curve.append((budget, 0.0 if damage is None else damage))
+            curve.append(
+                BudgetDamagePoint(
+                    budget=budget, damage=damage, reachable=damage is not None
+                )
+            )
         return curve
 
     def report(self, probabilistic: bool = False) -> str:

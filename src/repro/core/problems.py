@@ -1,10 +1,13 @@
-"""Problem definitions and a uniform solver dispatch.
+"""Problem definitions and the legacy uniform ``solve`` entry point.
 
 The paper states six problems (Sections IV and VIII).  This module gives
-each a first-class identifier, records which algorithm of the paper applies
-to which problem/shape combination (Table I), and exposes a single
-:func:`solve` entry point that dispatches to the bottom-up, BILP or
-enumerative implementation.
+each a first-class identifier and keeps :func:`solve` as a thin
+backwards-compatible shim over the pluggable analysis engine
+(:mod:`repro.engine`): algorithm selection is no longer hardwired here but
+resolved by the engine's capability registry, which encodes Table I of the
+paper as data.  New code should prefer
+:class:`repro.engine.AnalysisSession`, which adds caching, batching and
+structured result metadata.
 
 ==========  ==========================================  ===================
 problem     meaning                                      parameter
@@ -26,7 +29,6 @@ from typing import FrozenSet, Optional, Union
 
 from ..attacktree.attributes import CostDamageAT, CostDamageProbAT
 from ..pareto.front import ParetoFront
-from . import bilp, bottom_up, bottom_up_prob, enumerative
 
 __all__ = ["Problem", "Method", "SolveResult", "solve", "capability_matrix"]
 
@@ -53,12 +55,28 @@ class Problem(enum.Enum):
 
 
 class Method(enum.Enum):
-    """Available solution methods."""
+    """Legacy algorithm selector, kept for backwards compatibility.
+
+    ``AUTO`` lets the engine registry resolve following Table I; the other
+    values force the engine backend of the same name.  The engine API
+    (:class:`repro.engine.AnalysisRequest`) selects backends by *name*
+    instead, which also reaches the extension backends (``genetic``,
+    ``prob-dag``, ``monte-carlo``) this enum predates.
+    """
 
     AUTO = "auto"
     BOTTOM_UP = "bottom-up"
     BILP = "bilp"
     ENUMERATIVE = "enumerative"
+
+
+#: Method ↔ engine-backend name correspondence used by the shim.
+_METHOD_TO_BACKEND = {
+    Method.BOTTOM_UP: "bottom-up",
+    Method.BILP: "bilp",
+    Method.ENUMERATIVE: "enumerative",
+}
+_BACKEND_TO_METHOD = {name: method for method, name in _METHOD_TO_BACKEND.items()}
 
 
 @dataclass(frozen=True)
@@ -83,33 +101,17 @@ class SolveResult:
 Model = Union[CostDamageAT, CostDamageProbAT]
 
 
-def _require_probabilistic(model: Model, problem: Problem) -> CostDamageProbAT:
-    if not isinstance(model, CostDamageProbAT):
-        raise TypeError(
-            f"problem {problem.value} needs a cdp-AT (with success probabilities); "
-            "got a deterministic cd-AT"
-        )
-    return model
-
-
-def _as_deterministic(model: Model) -> CostDamageAT:
-    if isinstance(model, CostDamageProbAT):
-        return model.deterministic()
-    return model
-
-
-def _pick_method(model: Model, problem: Problem, method: Method) -> Method:
-    """Resolve ``AUTO`` following Table I of the paper."""
-    if method is not Method.AUTO:
-        return method
-    treelike = model.tree.is_treelike
-    if problem.is_probabilistic:
-        if treelike:
-            return Method.BOTTOM_UP
-        # Probabilistic DAG analysis is the paper's open problem; the exact
-        # fallback is enumeration (see repro.extensions.prob_dag for more).
-        return Method.ENUMERATIVE
-    return Method.BOTTOM_UP if treelike else Method.BILP
+def _to_solve_result(problem: Problem, result: "AnalysisResult") -> SolveResult:
+    """Convert an engine :class:`~repro.engine.AnalysisResult` into the
+    legacy :class:`SolveResult` shape (shared by :func:`solve` and the
+    analyzer facade so the two shims cannot drift apart)."""
+    return SolveResult(
+        problem=problem,
+        method=_BACKEND_TO_METHOD.get(result.backend, Method.AUTO),
+        front=result.front,
+        value=result.value,
+        witness=result.witness,
+    )
 
 
 def solve(
@@ -119,7 +121,11 @@ def solve(
     budget: Optional[float] = None,
     threshold: Optional[float] = None,
 ) -> SolveResult:
-    """Solve one of the six cost-damage problems.
+    """Solve one of the six cost-damage problems (legacy entry point).
+
+    This is a compatibility shim over :func:`repro.engine.run_request`; it
+    keeps the original call signature and :class:`SolveResult` shape while
+    the engine registry performs the algorithm selection.
 
     Parameters
     ----------
@@ -135,96 +141,29 @@ def solve(
     threshold:
         Required for ``CGD``/``CGED``.
     """
-    chosen = _pick_method(model, problem, method)
+    # Imported lazily: the engine's backends import this module for the
+    # Problem enum, so a module-level import would be circular.
+    from ..engine.requests import AnalysisRequest
+    from ..engine.session import run_request
 
-    if problem in {Problem.DGC, Problem.EDGC} and budget is None:
-        raise ValueError(f"problem {problem.value} requires a cost budget")
-    if problem in {Problem.CGD, Problem.CGED} and threshold is None:
-        raise ValueError(f"problem {problem.value} requires a damage threshold")
-
-    if problem is Problem.CDPF:
-        cdat = _as_deterministic(model)
-        if chosen is Method.BOTTOM_UP:
-            front = bottom_up.pareto_front_treelike(cdat)
-        elif chosen is Method.BILP:
-            front = bilp.pareto_front_bilp(cdat)
-        else:
-            front = enumerative.enumerate_pareto_front(cdat)
-        return SolveResult(problem=problem, method=chosen, front=front)
-
-    if problem is Problem.DGC:
-        cdat = _as_deterministic(model)
-        if chosen is Method.BOTTOM_UP:
-            value, witness = bottom_up.max_damage_given_cost_treelike(cdat, budget)
-        elif chosen is Method.BILP:
-            value, witness = bilp.max_damage_given_cost_bilp(cdat, budget)
-        else:
-            value, witness = enumerative.enumerate_max_damage_given_cost(cdat, budget)
-        return SolveResult(problem=problem, method=chosen, value=value, witness=witness)
-
-    if problem is Problem.CGD:
-        cdat = _as_deterministic(model)
-        if chosen is Method.BOTTOM_UP:
-            value, witness = bottom_up.min_cost_given_damage_treelike(cdat, threshold)
-        elif chosen is Method.BILP:
-            value, witness = bilp.min_cost_given_damage_bilp(cdat, threshold)
-        else:
-            value, witness = enumerative.enumerate_min_cost_given_damage(cdat, threshold)
-        return SolveResult(problem=problem, method=chosen, value=value, witness=witness)
-
-    if problem is Problem.CEDPF:
-        cdpat = _require_probabilistic(model, problem)
-        if chosen is Method.BOTTOM_UP:
-            front = bottom_up_prob.pareto_front_treelike_probabilistic(cdpat)
-        elif chosen is Method.ENUMERATIVE:
-            front = enumerative.enumerate_pareto_front_probabilistic(cdpat)
-        else:
-            raise ValueError(
-                "CEDPF has no BILP formulation (the constraints become nonlinear); "
-                "use BOTTOM_UP for treelike ATs or ENUMERATIVE"
-            )
-        return SolveResult(problem=problem, method=chosen, front=front)
-
-    if problem is Problem.EDGC:
-        cdpat = _require_probabilistic(model, problem)
-        if chosen is Method.BOTTOM_UP:
-            value, witness = bottom_up_prob.max_expected_damage_given_cost_treelike(
-                cdpat, budget
-            )
-        elif chosen is Method.ENUMERATIVE:
-            value, witness = enumerative.enumerate_max_expected_damage_given_cost(
-                cdpat, budget
-            )
-        else:
-            raise ValueError("EDgC has no BILP formulation; use BOTTOM_UP or ENUMERATIVE")
-        return SolveResult(problem=problem, method=chosen, value=value, witness=witness)
-
-    # Problem.CGED
-    cdpat = _require_probabilistic(model, problem)
-    if chosen is Method.BOTTOM_UP:
-        value, witness = bottom_up_prob.min_cost_given_expected_damage_treelike(
-            cdpat, threshold
-        )
-    elif chosen is Method.ENUMERATIVE:
-        value, witness = enumerative.enumerate_min_cost_given_expected_damage(
-            cdpat, threshold
-        )
-    else:
-        raise ValueError("CgED has no BILP formulation; use BOTTOM_UP or ENUMERATIVE")
-    return SolveResult(problem=problem, method=chosen, value=value, witness=witness)
+    request = AnalysisRequest(
+        problem=problem,
+        budget=budget,
+        threshold=threshold,
+        backend=_METHOD_TO_BACKEND.get(method),
+    )
+    return _to_solve_result(problem, run_request(model, request))
 
 
 def capability_matrix() -> dict:
     """Table I of the paper: which exact method covers which setting.
 
     Keys are ``(setting, shape)`` pairs; values name the algorithm (or mark
-    the open problem).  The library additionally offers enumerative and
-    Monte-Carlo fallbacks for the open cell (see
-    :mod:`repro.extensions.prob_dag`).
+    the open problem).  The table is computed from the engine registry's
+    declared backend capabilities — see
+    :meth:`repro.engine.BackendRegistry.capability_report` — so it always
+    reflects what resolution will actually do.
     """
-    return {
-        ("deterministic", "tree"): "bottom-up (Theorem 4)",
-        ("deterministic", "dag"): "BILP (Theorem 6)",
-        ("probabilistic", "tree"): "bottom-up (Theorem 9)",
-        ("probabilistic", "dag"): "open problem (enumerative / Monte-Carlo extension)",
-    }
+    from ..engine.registry import shared_registry
+
+    return shared_registry().capability_report()

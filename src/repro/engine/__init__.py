@@ -1,0 +1,102 @@
+"""The pluggable analysis engine.
+
+This package is the uniform query surface of the library: solver
+implementations are *backends* registered in a capability-aware
+:class:`~repro.engine.registry.BackendRegistry`, requests and results are
+typed, JSON-round-trippable values, and :class:`AnalysisSession` adds
+per-model caching and (optionally parallel) batch execution.
+
+Layers
+------
+``backend``
+    The :class:`SolverBackend` protocol and the ``(problem, shape,
+    setting)`` capability cells (Table I of the paper, made data).
+``backends``
+    The six built-in backends: bottom-up, BILP and enumerative (exact,
+    auto-selectable) plus genetic, prob-dag and Monte-Carlo (extensions,
+    explicit opt-in).
+``registry``
+    Registration and data-driven resolution, replacing the old if/elif
+    dispatch of ``repro.core.problems``.
+``requests``
+    :class:`AnalysisRequest` / :class:`AnalysisResult` with JSON round-trip.
+``session``
+    :class:`AnalysisSession`: fingerprint-keyed caching and batches.
+
+The legacy entry points (``repro.solve``, ``CostDamageAnalyzer``) remain as
+thin shims over this engine.
+"""
+
+from .backend import (
+    BackendOutput,
+    BaseBackend,
+    Capability,
+    Model,
+    Setting,
+    Shape,
+    SolverBackend,
+    model_shape,
+    problem_setting,
+)
+from .registry import (
+    BackendRegistry,
+    BackendRegistryError,
+    CapabilityError,
+    UnknownBackendError,
+    default_registry,
+    shared_registry,
+)
+from .requests import AnalysisRequest, AnalysisResult
+from .session import AnalysisSession, SessionStats, model_fingerprint, run_request
+
+#: Concrete backend classes are re-exported lazily (PEP 562): importing the
+#: engine package must not pull in the extension solver modules — they load
+#: on first registry use (default_registry) or first attribute access.
+_LAZY_BACKEND_EXPORTS = frozenset({
+    "BilpBackend",
+    "BottomUpBackend",
+    "EnumerativeBackend",
+    "GeneticBackend",
+    "MonteCarloBackend",
+    "ProbDagBackend",
+    "standard_backends",
+})
+
+
+def __getattr__(name):
+    if name in _LAZY_BACKEND_EXPORTS:
+        from . import backends
+
+        return getattr(backends, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "AnalysisRequest",
+    "AnalysisResult",
+    "AnalysisSession",
+    "BackendOutput",
+    "BackendRegistry",
+    "BackendRegistryError",
+    "BaseBackend",
+    "BilpBackend",
+    "BottomUpBackend",
+    "Capability",
+    "CapabilityError",
+    "EnumerativeBackend",
+    "GeneticBackend",
+    "Model",
+    "MonteCarloBackend",
+    "ProbDagBackend",
+    "SessionStats",
+    "Setting",
+    "Shape",
+    "SolverBackend",
+    "UnknownBackendError",
+    "default_registry",
+    "model_fingerprint",
+    "model_shape",
+    "problem_setting",
+    "run_request",
+    "shared_registry",
+    "standard_backends",
+]

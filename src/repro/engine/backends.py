@@ -1,0 +1,459 @@
+"""Built-in backends: the paper's three exact solvers plus three extensions.
+
+Exact backends (auto-selectable, Table I):
+
+* ``bottom-up`` — Pareto propagation for treelike ATs (Theorems 4 and 9);
+* ``bilp`` — bi-objective integer programming for deterministic DAGs
+  (Theorem 6; no probabilistic formulation exists, see Section IX);
+* ``enumerative`` — the exhaustive baseline; covers every cell, including
+  the probabilistic-DAG open problem, at exponential cost.
+
+Approximate / extension backends (explicit opt-in by name):
+
+* ``genetic`` — NSGA-II front approximation (:mod:`repro.extensions.genetic`);
+* ``prob-dag`` — exact probabilistic-DAG enumeration with a BAS-count guard
+  (:mod:`repro.extensions.prob_dag`);
+* ``monte-carlo`` — sampled expected damage for probabilistic DAGs
+  (:mod:`repro.probability.montecarlo` via the prob-dag extension).
+
+Each backend maps problems to handlers through a plain dict, so adding a
+problem or a backend never touches a dispatch ladder.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core import bilp, bottom_up, bottom_up_prob, enumerative
+from ..core.problems import Problem
+from ..extensions import genetic as genetic_ext
+from ..extensions import prob_dag as prob_dag_ext
+from ..pareto.front import ParetoFront, ParetoPoint
+from .backend import (
+    BackendOutput,
+    BaseBackend,
+    Model,
+    Setting,
+    Shape,
+    as_deterministic,
+    cells,
+    model_shape,
+    require_probabilistic,
+)
+from .requests import AnalysisRequest
+
+__all__ = [
+    "BottomUpBackend",
+    "BilpBackend",
+    "EnumerativeBackend",
+    "GeneticBackend",
+    "ProbDagBackend",
+    "MonteCarloBackend",
+    "standard_backends",
+]
+
+DETERMINISTIC_PROBLEMS = (Problem.CDPF, Problem.DGC, Problem.CGD)
+PROBABILISTIC_PROBLEMS = (Problem.CEDPF, Problem.EDGC, Problem.CGED)
+BOTH_SHAPES = (Shape.TREE, Shape.DAG)
+
+
+class BottomUpBackend(BaseBackend):
+    """Bottom-up Pareto propagation for treelike ATs (Theorems 4 and 9)."""
+
+    name = "bottom-up"
+    exact = True
+    priority = 100
+    capabilities = cells(
+        DETERMINISTIC_PROBLEMS, (Shape.TREE,), Setting.DETERMINISTIC
+    ) | cells(PROBABILISTIC_PROBLEMS, (Shape.TREE,), Setting.PROBABILISTIC)
+
+    def __init__(self) -> None:
+        self.handlers = {
+            Problem.CDPF: self._cdpf,
+            Problem.DGC: self._dgc,
+            Problem.CGD: self._cgd,
+            Problem.CEDPF: self._cedpf,
+            Problem.EDGC: self._edgc,
+            Problem.CGED: self._cged,
+        }
+
+    def unsupported_reason(
+        self, problem: Problem, shape: Shape, setting: Setting
+    ) -> Optional[str]:
+        if shape is Shape.DAG:
+            return (
+                "the bottom-up method requires a treelike AT (shared subtrees "
+                "break the recursion, Section VI); use bilp or enumerative"
+            )
+        return None
+
+    def cell_label(self, shape: Shape, setting: Setting) -> str:
+        theorem = "Theorem 9" if setting is Setting.PROBABILISTIC else "Theorem 4"
+        return f"bottom-up ({theorem})"
+
+    def _cdpf(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        return BackendOutput(front=bottom_up.pareto_front_treelike(as_deterministic(model)))
+
+    def _dgc(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        value, witness = bottom_up.max_damage_given_cost_treelike(
+            as_deterministic(model), request.budget
+        )
+        return BackendOutput(value=value, witness=witness)
+
+    def _cgd(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        value, witness = bottom_up.min_cost_given_damage_treelike(
+            as_deterministic(model), request.threshold
+        )
+        return BackendOutput(value=value, witness=witness)
+
+    def _cedpf(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        cdpat = require_probabilistic(model, request.problem)
+        return BackendOutput(front=bottom_up_prob.pareto_front_treelike_probabilistic(cdpat))
+
+    def _edgc(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        cdpat = require_probabilistic(model, request.problem)
+        value, witness = bottom_up_prob.max_expected_damage_given_cost_treelike(
+            cdpat, request.budget
+        )
+        return BackendOutput(value=value, witness=witness)
+
+    def _cged(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        cdpat = require_probabilistic(model, request.problem)
+        value, witness = bottom_up_prob.min_cost_given_expected_damage_treelike(
+            cdpat, request.threshold
+        )
+        return BackendOutput(value=value, witness=witness)
+
+
+class BilpBackend(BaseBackend):
+    """Bi-objective integer linear programming (Theorem 6), DAGs included."""
+
+    name = "bilp"
+    exact = True
+    priority = 90
+    capabilities = cells(DETERMINISTIC_PROBLEMS, BOTH_SHAPES, Setting.DETERMINISTIC)
+
+    def __init__(self) -> None:
+        self.handlers = {
+            Problem.CDPF: self._cdpf,
+            Problem.DGC: self._dgc,
+            Problem.CGD: self._cgd,
+        }
+
+    def unsupported_reason(
+        self, problem: Problem, shape: Shape, setting: Setting
+    ) -> Optional[str]:
+        if setting is Setting.PROBABILISTIC:
+            return (
+                f"{problem.name} has no BILP formulation (the constraints become "
+                "nonlinear); use bottom-up for treelike ATs or enumerative"
+            )
+        return None
+
+    def cell_label(self, shape: Shape, setting: Setting) -> str:
+        return "BILP (Theorem 6)"
+
+    def _cdpf(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        return BackendOutput(front=bilp.pareto_front_bilp(as_deterministic(model)))
+
+    def _dgc(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        value, witness = bilp.max_damage_given_cost_bilp(
+            as_deterministic(model), request.budget
+        )
+        return BackendOutput(value=value, witness=witness)
+
+    def _cgd(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        value, witness = bilp.min_cost_given_damage_bilp(
+            as_deterministic(model), request.threshold
+        )
+        return BackendOutput(value=value, witness=witness)
+
+
+class EnumerativeBackend(BaseBackend):
+    """Exhaustive enumeration over all attacks: every cell, exponential cost.
+
+    This is the auto-selected fallback for the probabilistic-DAG cell the
+    paper leaves open (Section IX).
+    """
+
+    name = "enumerative"
+    exact = True
+    priority = 10
+    capabilities = cells(
+        DETERMINISTIC_PROBLEMS, BOTH_SHAPES, Setting.DETERMINISTIC
+    ) | cells(PROBABILISTIC_PROBLEMS, BOTH_SHAPES, Setting.PROBABILISTIC)
+
+    def __init__(self) -> None:
+        self.handlers = {
+            Problem.CDPF: self._cdpf,
+            Problem.DGC: self._dgc,
+            Problem.CGD: self._cgd,
+            Problem.CEDPF: self._cedpf,
+            Problem.EDGC: self._edgc,
+            Problem.CGED: self._cged,
+        }
+
+    def cell_label(self, shape: Shape, setting: Setting) -> str:
+        if setting is Setting.PROBABILISTIC and shape is Shape.DAG:
+            return "open problem (enumerative / Monte-Carlo extension)"
+        return "enumerative baseline"
+
+    def _cdpf(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        return BackendOutput(front=enumerative.enumerate_pareto_front(as_deterministic(model)))
+
+    def _dgc(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        value, witness = enumerative.enumerate_max_damage_given_cost(
+            as_deterministic(model), request.budget
+        )
+        return BackendOutput(value=value, witness=witness)
+
+    def _cgd(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        value, witness = enumerative.enumerate_min_cost_given_damage(
+            as_deterministic(model), request.threshold
+        )
+        return BackendOutput(value=value, witness=witness)
+
+    def _cedpf(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        cdpat = require_probabilistic(model, request.problem)
+        return BackendOutput(front=enumerative.enumerate_pareto_front_probabilistic(cdpat))
+
+    def _edgc(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        cdpat = require_probabilistic(model, request.problem)
+        value, witness = enumerative.enumerate_max_expected_damage_given_cost(
+            cdpat, request.budget
+        )
+        return BackendOutput(value=value, witness=witness)
+
+    def _cged(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        cdpat = require_probabilistic(model, request.problem)
+        value, witness = enumerative.enumerate_min_cost_given_expected_damage(
+            cdpat, request.threshold
+        )
+        return BackendOutput(value=value, witness=witness)
+
+
+class GeneticBackend(BaseBackend):
+    """NSGA-II Pareto-front approximation (the paper's future-work item).
+
+    Options: ``population_size``, ``generations``, ``crossover_probability``,
+    ``mutation_probability``, ``seed`` (see
+    :class:`repro.extensions.genetic.GeneticConfig`).
+    Front problems are approximated directly; the single-objective problems
+    are answered by querying the approximate front.
+    """
+
+    name = "genetic"
+    exact = False
+    priority = 0
+    capabilities = cells(
+        DETERMINISTIC_PROBLEMS, BOTH_SHAPES, Setting.DETERMINISTIC
+    ) | cells(PROBABILISTIC_PROBLEMS, BOTH_SHAPES, Setting.PROBABILISTIC)
+
+    options_spec = {
+        "population_size": (int,),
+        "generations": (int,),
+        "crossover_probability": (int, float),
+        "mutation_probability": (int, float),
+        "seed": (int,),
+    }
+
+    def __init__(self) -> None:
+        self.handlers = {
+            Problem.CDPF: self._front,
+            Problem.CEDPF: self._front,
+            Problem.DGC: self._dgc,
+            Problem.EDGC: self._dgc,
+            Problem.CGD: self._cgd,
+            Problem.CGED: self._cgd,
+        }
+
+    def _config(self, request: AnalysisRequest) -> genetic_ext.GeneticConfig:
+        overrides = {
+            key: request.option(key)
+            for key in self.options_spec
+            if request.option(key) is not None
+        }
+        return genetic_ext.GeneticConfig(**overrides)
+
+    def _approximate(self, model: Model, request: AnalysisRequest) -> ParetoFront:
+        probabilistic = request.problem.is_probabilistic
+        if probabilistic:
+            require_probabilistic(model, request.problem)
+        return genetic_ext.approximate_pareto_front(
+            model, config=self._config(request), probabilistic=probabilistic
+        )
+
+    def _front(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        return BackendOutput(
+            front=self._approximate(model, request), extras={"approximate": True}
+        )
+
+    def _dgc(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        front = self._approximate(model, request)
+        point = front.best_attack_given_cost(request.budget)
+        if point is None:
+            return BackendOutput(value=0.0, witness=None, extras={"approximate": True})
+        return BackendOutput(
+            value=point.damage, witness=point.attack, extras={"approximate": True}
+        )
+
+    def _cgd(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        front = self._approximate(model, request)
+        point = front.cheapest_attack_given_damage(request.threshold)
+        if point is None:
+            return BackendOutput(value=None, witness=None, extras={"approximate": True})
+        return BackendOutput(
+            value=point.cost, witness=point.attack, extras={"approximate": True}
+        )
+
+
+class ProbDagBackend(BaseBackend):
+    """Exact probabilistic-DAG enumeration with an explicit BAS-count guard.
+
+    Unlike the plain ``enumerative`` backend this refuses models whose
+    doubly-exponential enumeration is hopeless (option ``max_bas``,
+    default 18), making it the safer explicit choice for the open-problem
+    cell.  Treelike models are accepted too (a tree is a DAG).
+    """
+
+    name = "prob-dag"
+    exact = True
+    priority = 5
+    capabilities = cells(PROBABILISTIC_PROBLEMS, BOTH_SHAPES, Setting.PROBABILISTIC)
+    options_spec = {"max_bas": (int,)}
+
+    def __init__(self) -> None:
+        self.handlers = {
+            Problem.CEDPF: self._cedpf,
+            Problem.EDGC: self._edgc,
+            Problem.CGED: self._cged,
+        }
+
+    def unsupported_reason(
+        self, problem: Problem, shape: Shape, setting: Setting
+    ) -> Optional[str]:
+        if setting is Setting.DETERMINISTIC:
+            return (
+                "the prob-dag backend only answers the probabilistic problems; "
+                "use bottom-up, bilp or enumerative for deterministic analyses"
+            )
+        return None
+
+    def _exact_front(self, model: Model, request: AnalysisRequest) -> ParetoFront:
+        cdpat = require_probabilistic(model, request.problem)
+        return prob_dag_ext.pareto_front_probabilistic_exact(
+            cdpat, max_bas=request.option("max_bas", 18)
+        )
+
+    def _cedpf(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        return BackendOutput(front=self._exact_front(model, request))
+
+    def _edgc(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        front = self._exact_front(model, request)
+        point = front.best_attack_given_cost(request.budget)
+        if point is None:
+            return BackendOutput(value=0.0, witness=None)
+        return BackendOutput(value=point.damage, witness=point.attack)
+
+    def _cged(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        front = self._exact_front(model, request)
+        point = front.cheapest_attack_given_damage(request.threshold)
+        if point is None:
+            return BackendOutput(value=None, witness=None)
+        return BackendOutput(value=point.cost, witness=point.attack)
+
+
+class MonteCarloBackend(BaseBackend):
+    """Sampled expected damage for probabilistic models of any shape.
+
+    Options: ``samples_per_attack`` (default 2000), ``seed`` (default 0),
+    ``max_bas`` (default 22).  Results carry per-point standard errors in
+    ``extras["standard_errors"]`` so callers can judge the resolution.
+    """
+
+    name = "monte-carlo"
+    exact = False
+    priority = 0
+    capabilities = cells(PROBABILISTIC_PROBLEMS, BOTH_SHAPES, Setting.PROBABILISTIC)
+    options_spec = {
+        "samples_per_attack": (int,),
+        "seed": (int,),
+        "max_bas": (int,),
+    }
+
+    def __init__(self) -> None:
+        self.handlers = {
+            Problem.CEDPF: self._cedpf,
+            Problem.EDGC: self._edgc,
+            Problem.CGED: self._cged,
+        }
+
+    def _estimate(self, model: Model, request: AnalysisRequest):
+        cdpat = require_probabilistic(model, request.problem)
+        return prob_dag_ext.pareto_front_probabilistic_montecarlo(
+            cdpat,
+            samples_per_attack=request.option("samples_per_attack", 2000),
+            seed=request.option("seed", 0),
+            max_bas=request.option("max_bas", 22),
+        )
+
+    def _as_front(self, model: Model, approximate_points) -> ParetoFront:
+        return ParetoFront(
+            ParetoPoint(
+                cost=point.cost,
+                damage=point.expected_damage,
+                attack=point.attack,
+                reaches_root=model.tree.is_successful(point.attack),
+            )
+            for point in approximate_points
+        )
+
+    def _errors(self, approximate_points) -> dict:
+        return {
+            "approximate": True,
+            "standard_errors": [
+                {
+                    "cost": point.cost,
+                    "expected_damage": point.expected_damage,
+                    "standard_error": point.estimate.standard_error,
+                    "samples": point.estimate.samples,
+                }
+                for point in approximate_points
+            ],
+        }
+
+    def _cedpf(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        points = self._estimate(model, request)
+        return BackendOutput(front=self._as_front(model, points), extras=self._errors(points))
+
+    def _edgc(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        points = self._estimate(model, request)
+        front = self._as_front(model, points)
+        point = front.best_attack_given_cost(request.budget)
+        if point is None:
+            return BackendOutput(value=0.0, witness=None, extras=self._errors(points))
+        return BackendOutput(
+            value=point.damage, witness=point.attack, extras=self._errors(points)
+        )
+
+    def _cged(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        points = self._estimate(model, request)
+        front = self._as_front(model, points)
+        point = front.cheapest_attack_given_damage(request.threshold)
+        if point is None:
+            return BackendOutput(value=None, witness=None, extras=self._errors(points))
+        return BackendOutput(
+            value=point.cost, witness=point.attack, extras=self._errors(points)
+        )
+
+
+def standard_backends() -> List[BaseBackend]:
+    """Fresh instances of every built-in backend."""
+    return [
+        BottomUpBackend(),
+        BilpBackend(),
+        EnumerativeBackend(),
+        GeneticBackend(),
+        ProbDagBackend(),
+        MonteCarloBackend(),
+    ]

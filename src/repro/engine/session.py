@@ -1,0 +1,279 @@
+"""Analysis sessions: per-model caching and batch execution.
+
+An :class:`AnalysisSession` owns one model and executes
+:class:`~repro.engine.requests.AnalysisRequest` objects against it through
+a :class:`~repro.engine.registry.BackendRegistry`.  Results are cached by
+``(model fingerprint, request)`` — the fingerprint is a SHA-256 digest of
+the model's canonical JSON serialization, so two sessions over structurally
+identical models share nothing but *would* agree on keys, which is what a
+future shared (e.g. out-of-process) cache needs.
+
+Batches run sequentially by default; ``parallel=True`` fans the requests
+out over a thread pool via :mod:`concurrent.futures`.  The solvers are pure
+Python, so threads mostly help when backends release the GIL or block on
+I/O — the knob exists so service-style callers have a single switch once
+native solver backends arrive.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..attacktree import serialization
+from ..core.problems import Problem
+from .backend import Model, model_shape, problem_setting
+from .registry import BackendRegistry, shared_registry
+from .requests import AnalysisRequest, AnalysisResult
+
+__all__ = ["AnalysisSession", "SessionStats", "model_fingerprint", "run_request"]
+
+
+def model_fingerprint(model: Model) -> str:
+    """A stable content hash of a decorated attack tree.
+
+    Computed over the canonical JSON serialization (sorted keys), so it is
+    insensitive to dict ordering and identical across processes — suitable
+    as a cache-sharding key.
+    """
+    import json
+
+    payload = json.dumps(serialization.to_dict(model), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def run_request(
+    model: Model,
+    request: AnalysisRequest,
+    registry: Optional[BackendRegistry] = None,
+) -> AnalysisResult:
+    """Execute one request against a model, without any session caching.
+
+    This is the engine's stateless core: validate, resolve the backend via
+    the registry, run it, and wrap the output with metadata.  Both
+    :class:`AnalysisSession` and the back-compat ``repro.core.solve`` shim
+    funnel through here.
+    """
+    request.validate()
+    registry = registry if registry is not None else shared_registry()
+    backend = registry.resolve(request.problem, model, backend=request.backend)
+    backend.validate_options(request)
+    started = time.perf_counter()
+    output = backend.solve(model, request)
+    elapsed = time.perf_counter() - started
+    return AnalysisResult(
+        request=request,
+        backend=backend.name,
+        shape=model_shape(model).value,
+        setting=problem_setting(request.problem).value,
+        front=output.front,
+        value=output.value,
+        witness=output.witness,
+        wall_time_seconds=elapsed,
+        cache_hit=False,
+        node_count=len(model.tree),
+        bas_count=len(model.tree.basic_attack_steps),
+        extras=output.extras,
+    )
+
+
+@dataclass
+class SessionStats:
+    """Cache counters of one session."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total requests served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests answered from cache (0 when none served)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class AnalysisSession:
+    """Uniform, cached, batchable access to every analysis of one model.
+
+    Parameters
+    ----------
+    model:
+        The decorated attack tree (cd-AT or cdp-AT) to analyze.
+    registry:
+        Backend registry to resolve requests against; defaults to the
+        process-wide registry with all built-in backends.
+
+    Examples
+    --------
+    >>> from repro import AnalysisRequest, AnalysisSession, Problem
+    >>> from repro.attacktree import catalog
+    >>> session = AnalysisSession(catalog.factory())
+    >>> result = session.run(AnalysisRequest(Problem.CDPF))
+    >>> result.front.values()
+    [(0.0, 0.0), (1.0, 200.0), (3.0, 210.0), (5.0, 310.0)]
+    >>> session.run(AnalysisRequest(Problem.CDPF)).cache_hit
+    True
+    """
+
+    def __init__(
+        self, model: Model, registry: Optional[BackendRegistry] = None
+    ) -> None:
+        self.model = model
+        self.registry = registry if registry is not None else shared_registry()
+        # Computed lazily: the fingerprint only matters once a result is
+        # cached, and facades construct sessions they may never query.
+        self._fingerprint: Optional[str] = None
+        self._cache: Dict[Tuple, AnalysisResult] = {}
+        self._lock = threading.Lock()
+        self.stats = SessionStats()
+
+    # ------------------------------------------------------------------ #
+    # model facts
+    # ------------------------------------------------------------------ #
+    @property
+    def fingerprint(self) -> str:
+        """The model's content hash (cache key prefix), computed on demand."""
+        if self._fingerprint is None:
+            self._fingerprint = model_fingerprint(self.model)
+        return self._fingerprint
+
+    @property
+    def is_treelike(self) -> bool:
+        """Whether the underlying AT is treelike."""
+        return self.model.tree.is_treelike
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _key(self, request: AnalysisRequest) -> Tuple:
+        return (self.fingerprint,) + request.cache_key()
+
+    def run(self, request: AnalysisRequest) -> AnalysisResult:
+        """Execute one request, serving repeats from the session cache.
+
+        Cache hits return a result flagged ``cache_hit=True`` whose
+        ``wall_time_seconds`` is the original computation's time.
+        """
+        key = self._key(request)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.stats.hits += 1
+        if cached is not None:
+            # The extras deep-copy in as_cache_hit is O(result size); do it
+            # outside the lock so parallel batches don't serialize on hits
+            # (the stored entry is never mutated, so this is safe).
+            return cached.as_cache_hit()
+        result = run_request(self.model, request, self.registry)
+        with self._lock:
+            # Store a detached copy: extras is mutable, and the caller gets
+            # the original object back — their mutations must not leak into
+            # what future cache hits observe.
+            self._cache.setdefault(
+                key, replace(result, extras=copy.deepcopy(result.extras))
+            )
+            self.stats.misses += 1
+        return result
+
+    def run_batch(
+        self,
+        requests: Sequence[AnalysisRequest],
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> List[AnalysisResult]:
+        """Execute many requests, preserving input order.
+
+        With ``parallel=True`` the requests run on a
+        :class:`~concurrent.futures.ThreadPoolExecutor`; the cache is
+        shared (and thread-safe), though two concurrent identical requests
+        may both compute before one wins the cache slot.
+        """
+        requests = list(requests)
+        if not parallel or len(requests) <= 1:
+            return [self.run(request) for request in requests]
+        workers = max_workers or min(len(requests), 8)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(self.run, requests))
+
+    def resolve(self, problem: Problem, backend: Optional[str] = None):
+        """The backend a request for ``problem`` would run on this model."""
+        return self.registry.resolve(problem, self.model, backend=backend)
+
+    # ------------------------------------------------------------------ #
+    # cache management
+    # ------------------------------------------------------------------ #
+    def clear_cache(self) -> int:
+        """Drop every cached result; returns how many were dropped."""
+        with self._lock:
+            dropped = len(self._cache)
+            self._cache.clear()
+        return dropped
+
+    def cached_results(self) -> List[AnalysisResult]:
+        """A snapshot of the currently cached results.
+
+        Detached copies: mutating a returned result's ``extras`` must not
+        corrupt what future cache hits observe.
+        """
+        with self._lock:
+            return [
+                replace(result, extras=copy.deepcopy(result.extras))
+                for result in self._cache.values()
+            ]
+
+    # ------------------------------------------------------------------ #
+    # convenience constructors for the six problems
+    # ------------------------------------------------------------------ #
+    def pareto_front(self, backend: Optional[str] = None, **options) -> AnalysisResult:
+        """Problem CDPF."""
+        return self.run(AnalysisRequest(Problem.CDPF, backend=backend, options=options))
+
+    def max_damage(
+        self, budget: float, backend: Optional[str] = None, **options
+    ) -> AnalysisResult:
+        """Problem DgC."""
+        return self.run(
+            AnalysisRequest(Problem.DGC, budget=budget, backend=backend, options=options)
+        )
+
+    def min_cost(
+        self, threshold: float, backend: Optional[str] = None, **options
+    ) -> AnalysisResult:
+        """Problem CgD."""
+        return self.run(
+            AnalysisRequest(
+                Problem.CGD, threshold=threshold, backend=backend, options=options
+            )
+        )
+
+    def expected_pareto_front(
+        self, backend: Optional[str] = None, **options
+    ) -> AnalysisResult:
+        """Problem CEDPF."""
+        return self.run(AnalysisRequest(Problem.CEDPF, backend=backend, options=options))
+
+    def max_expected_damage(
+        self, budget: float, backend: Optional[str] = None, **options
+    ) -> AnalysisResult:
+        """Problem EDgC."""
+        return self.run(
+            AnalysisRequest(Problem.EDGC, budget=budget, backend=backend, options=options)
+        )
+
+    def min_cost_expected(
+        self, threshold: float, backend: Optional[str] = None, **options
+    ) -> AnalysisResult:
+        """Problem CgED."""
+        return self.run(
+            AnalysisRequest(
+                Problem.CGED, threshold=threshold, backend=backend, options=options
+            )
+        )

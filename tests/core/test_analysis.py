@@ -24,11 +24,22 @@ class TestBasics:
         analyzer = CostDamageAnalyzer(factory())
         assert analyzer.pareto_front() is analyzer.pareto_front()
 
+    def test_single_objective_queries_cached_by_session(self):
+        analyzer = CostDamageAnalyzer(factory())
+        analyzer.max_damage(2)
+        analyzer.max_damage(2)
+        analyzer.min_cost(300)
+        assert analyzer.session.stats.hits == 1
+        assert analyzer.session.stats.misses == 2
+
     def test_method_override_bypasses_cache(self):
         analyzer = CostDamageAnalyzer(factory())
         default = analyzer.pareto_front()
         enumerated = analyzer.pareto_front(method=Method.ENUMERATIVE)
         assert default.values() == enumerated.values()
+        # Two distinct computations must actually have run: a broken
+        # Method->backend mapping would collapse both onto one cache key.
+        assert analyzer.session.stats.misses == 2
 
 
 class TestQueries:
@@ -46,12 +57,23 @@ class TestQueries:
     def test_damage_budget_curve(self):
         analyzer = CostDamageAnalyzer(factory())
         curve = analyzer.damage_budget_curve([0, 1, 3, 5, 10])
-        assert curve == [(0, 0), (1, 200), (3, 210), (5, 310), (10, 310)]
+        assert [(p.budget, p.damage) for p in curve] == [
+            (0, 0), (1, 200), (3, 210), (5, 310), (10, 310)
+        ]
+        assert all(p.reachable for p in curve)
+
+    def test_damage_budget_curve_unreachable_budget_is_explicit(self):
+        """A budget below every front point must not masquerade as 0 damage."""
+        analyzer = CostDamageAnalyzer(factory())
+        (point,) = analyzer.damage_budget_curve([-1])
+        assert point.damage is None
+        assert not point.reachable
 
     def test_damage_budget_curve_probabilistic(self):
         analyzer = CostDamageAnalyzer(panda_iot())
         curve = analyzer.damage_budget_curve([3], probabilistic=True)
-        assert curve[0][1] == pytest.approx(18.0)
+        assert curve[0].damage == pytest.approx(18.0)
+        assert curve[0].reachable
 
 
 class TestCriticalBasReport:

@@ -1,0 +1,172 @@
+"""Tests for the capability-aware backend registry."""
+
+import pytest
+
+from repro.attacktree.catalog import (
+    data_server,
+    factory,
+    factory_probabilistic,
+    panda_iot,
+)
+from repro.attacktree.transform import with_unit_probabilities
+from repro.core.problems import Problem
+from repro.engine import (
+    BackendRegistry,
+    BackendRegistryError,
+    BaseBackend,
+    Capability,
+    CapabilityError,
+    Setting,
+    Shape,
+    UnknownBackendError,
+    default_registry,
+    standard_backends,
+)
+
+DETERMINISTIC = (Problem.CDPF, Problem.DGC, Problem.CGD)
+PROBABILISTIC = (Problem.CEDPF, Problem.EDGC, Problem.CGED)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+class TestTable1Resolution:
+    """Auto-resolution must reproduce every cell of the paper's Table I."""
+
+    @pytest.mark.parametrize("problem", DETERMINISTIC)
+    def test_deterministic_tree_resolves_bottom_up(self, registry, problem):
+        assert registry.resolve(problem, factory()).name == "bottom-up"
+
+    @pytest.mark.parametrize("problem", DETERMINISTIC)
+    def test_deterministic_dag_resolves_bilp(self, registry, problem):
+        assert registry.resolve(problem, data_server()).name == "bilp"
+
+    @pytest.mark.parametrize("problem", PROBABILISTIC)
+    def test_probabilistic_tree_resolves_bottom_up(self, registry, problem):
+        assert registry.resolve(problem, panda_iot()).name == "bottom-up"
+
+    @pytest.mark.parametrize("problem", PROBABILISTIC)
+    def test_probabilistic_dag_resolves_enumerative(self, registry, problem):
+        model = with_unit_probabilities(data_server())
+        assert registry.resolve(problem, model).name == "enumerative"
+
+    def test_capability_report_matches_table1(self, registry):
+        table = registry.capability_report()
+        assert len(table) == 4
+        assert "bottom-up" in table[("deterministic", "tree")]
+        assert "BILP" in table[("deterministic", "dag")]
+        assert "bottom-up" in table[("probabilistic", "tree")]
+        assert "open problem" in table[("probabilistic", "dag")]
+
+    def test_approximate_backends_never_auto_resolve(self, registry):
+        """Genetic/Monte-Carlo cover many cells but require explicit opt-in."""
+        for problem in DETERMINISTIC:
+            for model in (factory(), data_server()):
+                assert registry.resolve(problem, model).exact
+        for problem in PROBABILISTIC:
+            assert registry.resolve(problem, panda_iot()).exact
+
+
+class TestExplicitSelection:
+    def test_every_standard_backend_reachable_by_name(self, registry):
+        for backend in standard_backends():
+            assert registry.get(backend.name).name == backend.name
+
+    def test_unknown_backend(self, registry):
+        with pytest.raises(UnknownBackendError, match="unknown backend 'simplex'"):
+            registry.resolve(Problem.CDPF, factory(), backend="simplex")
+
+    def test_unknown_backend_lists_known_names(self, registry):
+        with pytest.raises(UnknownBackendError, match="bottom-up"):
+            registry.get("nope")
+
+    def test_bilp_rejects_probabilistic_cells_with_domain_message(self, registry):
+        with pytest.raises(CapabilityError, match="no BILP formulation"):
+            registry.resolve(Problem.CEDPF, panda_iot(), backend="bilp")
+
+    def test_bottom_up_rejects_dags_with_domain_message(self, registry):
+        with pytest.raises(CapabilityError, match="treelike"):
+            registry.resolve(Problem.CDPF, data_server(), backend="bottom-up")
+
+    def test_prob_dag_rejects_deterministic_problems(self, registry):
+        model = with_unit_probabilities(data_server())
+        with pytest.raises(CapabilityError, match="probabilistic problems"):
+            registry.resolve(Problem.CDPF, model, backend="prob-dag")
+
+    def test_monte_carlo_rejects_deterministic_problems(self, registry):
+        with pytest.raises(CapabilityError):
+            registry.resolve(Problem.DGC, factory(), backend="monte-carlo")
+
+
+class TestRegistration:
+    def _dummy(self, name="dummy"):
+        class Dummy(BaseBackend):
+            pass
+
+        backend = Dummy()
+        backend.name = name
+        backend.capabilities = frozenset(
+            {Capability(Problem.CDPF, Shape.TREE, Setting.DETERMINISTIC)}
+        )
+        backend.priority = 1000
+        return backend
+
+    def test_register_and_resolve_custom_backend(self):
+        registry = default_registry()
+        registry.register(self._dummy())
+        # Highest priority wins: the dummy now shadows bottom-up for CDPF/tree.
+        assert registry.resolve(Problem.CDPF, factory()).name == "dummy"
+        # Other cells are untouched.
+        assert registry.resolve(Problem.DGC, factory()).name == "bottom-up"
+
+    def test_duplicate_name_rejected_without_replace(self):
+        registry = default_registry()
+        registry.register(self._dummy())
+        with pytest.raises(BackendRegistryError, match="already registered"):
+            registry.register(self._dummy())
+        registry.register(self._dummy(), replace=True)
+
+    def test_unregister(self):
+        registry = default_registry()
+        registry.unregister("genetic")
+        assert "genetic" not in registry
+        with pytest.raises(UnknownBackendError):
+            registry.get("genetic")
+
+    def test_empty_registry_reports_uncovered_cell(self):
+        registry = BackendRegistry()
+        with pytest.raises(CapabilityError, match="no exact backend"):
+            registry.resolve(Problem.CDPF, factory())
+
+    def test_uncovered_cell_hints_at_approximate_backends(self):
+        registry = BackendRegistry()
+        for backend in standard_backends():
+            if not backend.exact:
+                registry.register(backend)
+        with pytest.raises(CapabilityError, match="genetic"):
+            registry.resolve(Problem.CDPF, factory())
+
+
+class TestWrongSettingModels:
+    """Problem/model mismatches must keep the library's canonical errors."""
+
+    def test_probabilistic_problem_on_deterministic_model(self, registry):
+        from repro.engine import run_request, AnalysisRequest
+
+        with pytest.raises(TypeError, match="cdp-AT"):
+            run_request(factory(), AnalysisRequest(Problem.CEDPF), registry)
+
+    def test_setting_mismatch_caught_at_resolution_time(self, registry):
+        """Pre-flight validators rely on resolve() rejecting this early."""
+        with pytest.raises(TypeError, match="cdp-AT"):
+            registry.resolve(Problem.CEDPF, factory())
+        with pytest.raises(TypeError, match="cdp-AT"):
+            registry.resolve(Problem.EDGC, factory(), backend="enumerative")
+
+    def test_deterministic_problem_on_probabilistic_model_projects(self, registry):
+        from repro.engine import run_request, AnalysisRequest
+
+        result = run_request(factory_probabilistic(), AnalysisRequest(Problem.CDPF), registry)
+        assert result.front.values() == [(0, 0), (1, 200), (3, 210), (5, 310)]

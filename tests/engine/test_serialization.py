@@ -1,0 +1,127 @@
+"""JSON round-trip tests for AnalysisRequest / AnalysisResult."""
+
+import json
+
+import pytest
+
+from repro.attacktree.catalog import factory, factory_probabilistic, panda_iot
+from repro.core.problems import Problem
+from repro.engine import AnalysisRequest, AnalysisResult, AnalysisSession
+
+
+class TestRequestRoundTrip:
+    def test_minimal_request(self):
+        request = AnalysisRequest(Problem.CDPF)
+        restored = AnalysisRequest.from_json(request.to_json())
+        assert restored == request
+        assert restored.cache_key() == request.cache_key()
+
+    def test_full_request(self):
+        request = AnalysisRequest(
+            Problem.EDGC,
+            budget=7.5,
+            backend="monte-carlo",
+            options={"samples_per_attack": 500, "seed": 3},
+        )
+        restored = AnalysisRequest.from_json(request.to_json())
+        assert restored == request
+        assert restored.option("seed") == 3
+        assert restored.options_dict() == {"samples_per_attack": 500, "seed": 3}
+
+    def test_problem_accepts_string_value(self):
+        assert AnalysisRequest("cgd", threshold=2).problem is Problem.CGD
+
+    def test_options_mapping_is_canonicalized(self):
+        a = AnalysisRequest(Problem.CDPF, options={"x": 1, "y": 2})
+        b = AnalysisRequest(Problem.CDPF, options={"y": 2, "x": 1})
+        assert a == b and hash(a) == hash(b)
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown request fields"):
+            AnalysisRequest.from_dict({"problem": "cdpf", "bugdet": 3})
+
+    def test_array_option_values_stay_hashable(self):
+        """JSON arrays in options must not break the session cache."""
+        request = AnalysisRequest(Problem.CDPF, options={"weights": [1, 2]})
+        assert hash(request) == hash(AnalysisRequest.from_json(request.to_json()))
+        assert request.option("weights") == (1, 2)
+
+    def test_nested_object_option_values_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="option 'cfg'"):
+            AnalysisRequest(Problem.CDPF, options={"cfg": {"a": 1}})
+        with pytest.raises(ValueError, match="option 'cfg'"):
+            AnalysisRequest.from_dict(
+                {"problem": "cdpf", "options": {"cfg": {"a": 1}}}
+            )
+
+    def test_missing_problem_rejected(self):
+        with pytest.raises(ValueError, match="missing the 'problem'"):
+            AnalysisRequest.from_dict({"budget": 3})
+
+    def test_non_numeric_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget must be a number"):
+            AnalysisRequest.from_dict({"problem": "dgc", "budget": "2"})
+        with pytest.raises(ValueError, match="threshold must be a number"):
+            AnalysisRequest(Problem.CGD, threshold=True)
+
+    def test_non_string_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend must be a string"):
+            AnalysisRequest.from_dict({"problem": "cdpf", "backend": 3})
+
+
+class TestResultRoundTrip:
+    def test_front_result(self):
+        session = AnalysisSession(factory())
+        result = session.run(AnalysisRequest(Problem.CDPF))
+        restored = AnalysisResult.from_json(result.to_json())
+        assert restored.request == result.request
+        assert restored.backend == result.backend
+        assert restored.shape == result.shape and restored.setting == result.setting
+        assert restored.front.values() == result.front.values()
+        assert [p.attack for p in restored.front] == [p.attack for p in result.front]
+        assert restored.node_count == result.node_count
+        assert restored.bas_count == result.bas_count
+        assert restored.wall_time_seconds == result.wall_time_seconds
+
+    def test_value_result(self):
+        session = AnalysisSession(panda_iot())
+        result = session.run(AnalysisRequest(Problem.EDGC, budget=7))
+        restored = AnalysisResult.from_json(result.to_json())
+        assert restored.value == pytest.approx(result.value)
+        assert restored.witness == result.witness
+        assert restored.front is None
+
+    def test_unreachable_threshold_result(self):
+        session = AnalysisSession(factory())
+        result = session.run(AnalysisRequest(Problem.CGD, threshold=99999))
+        assert result.value is None
+        restored = AnalysisResult.from_json(result.to_json())
+        assert restored.value is None and restored.witness is None
+
+    def test_extras_survive(self):
+        session = AnalysisSession(factory_probabilistic())
+        result = session.run(
+            AnalysisRequest(
+                Problem.CEDPF,
+                backend="monte-carlo",
+                options={"samples_per_attack": 50},
+            )
+        )
+        restored = AnalysisResult.from_json(result.to_json())
+        assert restored.extras["approximate"] is True
+        assert len(restored.extras["standard_errors"]) == len(
+            result.extras["standard_errors"]
+        )
+
+    def test_json_is_plain_data(self):
+        """The wire format must be stock JSON: no custom encoder needed."""
+        session = AnalysisSession(factory())
+        batch = session.run_batch(
+            [AnalysisRequest(Problem.CDPF), AnalysisRequest(Problem.DGC, budget=2)]
+        )
+        payload = json.dumps([r.to_dict() for r in batch])
+        parsed = json.loads(payload)
+        assert [AnalysisResult.from_dict(entry).backend for entry in parsed] == [
+            "bottom-up",
+            "bottom-up",
+        ]

@@ -1,0 +1,297 @@
+"""Tests for AnalysisSession: caching, batches, backend reachability."""
+
+import pytest
+
+from repro.attacktree.builder import AttackTreeBuilder
+from repro.attacktree.catalog import (
+    data_server,
+    factory,
+    factory_probabilistic,
+    panda_iot,
+)
+from repro.attacktree.transform import with_unit_probabilities
+from repro.core.problems import Problem
+from repro.engine import AnalysisRequest, AnalysisSession, model_fingerprint
+
+
+def small_prob_dag():
+    """A tiny probabilistic DAG (shared BAS under two gates)."""
+    builder = AttackTreeBuilder()
+    builder.bas("a", cost=1, probability=0.5)
+    builder.bas("b", cost=2, damage=5, probability=0.8)
+    builder.and_gate("g1", ["a", "b"], damage=10)
+    builder.and_gate("g2", ["a"], damage=3)
+    builder.or_gate("root", ["g1", "g2"], damage=20)
+    return builder.build_cdp(root="root")
+
+
+class TestCaching:
+    def test_repeat_request_hits_cache(self):
+        session = AnalysisSession(factory())
+        first = session.run(AnalysisRequest(Problem.CDPF))
+        second = session.run(AnalysisRequest(Problem.CDPF))
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.front is first.front
+        assert session.stats.hits == 1 and session.stats.misses == 1
+
+    def test_distinct_parameters_miss(self):
+        session = AnalysisSession(factory())
+        session.run(AnalysisRequest(Problem.DGC, budget=2))
+        session.run(AnalysisRequest(Problem.DGC, budget=3))
+        assert session.stats.misses == 2 and session.stats.hits == 0
+
+    def test_distinct_backends_miss(self):
+        session = AnalysisSession(factory())
+        auto = session.run(AnalysisRequest(Problem.CDPF))
+        forced = session.run(AnalysisRequest(Problem.CDPF, backend="enumerative"))
+        assert not forced.cache_hit
+        assert auto.front.values() == forced.front.values()
+
+    def test_clear_cache_invalidates(self):
+        session = AnalysisSession(factory())
+        session.run(AnalysisRequest(Problem.CDPF))
+        assert session.clear_cache() == 1
+        again = session.run(AnalysisRequest(Problem.CDPF))
+        assert not again.cache_hit
+
+    def test_fingerprint_distinguishes_decorations(self):
+        builder = AttackTreeBuilder()
+        builder.bas("a", cost=1, damage=5)
+        builder.or_gate("r", ["a"])
+        cheap = builder.build_cd(root="r")
+        builder2 = AttackTreeBuilder()
+        builder2.bas("a", cost=2, damage=5)
+        builder2.or_gate("r", ["a"])
+        expensive = builder2.build_cd(root="r")
+        assert model_fingerprint(cheap) != model_fingerprint(expensive)
+        assert model_fingerprint(cheap) == model_fingerprint(cheap)
+
+    def test_mutating_extras_does_not_corrupt_cache(self):
+        session = AnalysisSession(small_prob_dag())
+        request = AnalysisRequest(
+            Problem.CEDPF, backend="monte-carlo", options={"samples_per_attack": 50}
+        )
+        first = session.run(request)
+        first.extras.clear()
+        session.cached_results()[0].extras.clear()
+        second = session.run(request)
+        assert second.cache_hit
+        assert second.extras["standard_errors"]
+
+    def test_sessions_on_same_model_share_keys_not_results(self):
+        one, two = AnalysisSession(factory()), AnalysisSession(factory())
+        assert one.fingerprint == two.fingerprint
+        one.run(AnalysisRequest(Problem.CDPF))
+        assert not two.run(AnalysisRequest(Problem.CDPF)).cache_hit
+
+
+class TestBatch:
+    def _requests(self):
+        return [
+            AnalysisRequest(Problem.CDPF),
+            AnalysisRequest(Problem.DGC, budget=2),
+            AnalysisRequest(Problem.CGD, threshold=300),
+            AnalysisRequest(Problem.CDPF, backend="enumerative"),
+        ]
+
+    def test_batch_matches_sequential(self):
+        sequential = AnalysisSession(factory())
+        batched = AnalysisSession(factory())
+        expected = [sequential.run(r) for r in self._requests()]
+        actual = batched.run_batch(self._requests())
+        assert len(actual) == len(expected)
+        for got, want in zip(actual, expected):
+            assert got.backend == want.backend
+            assert got.value == want.value
+            assert got.witness == want.witness
+            if want.front is None:
+                assert got.front is None
+            else:
+                assert got.front.values() == want.front.values()
+
+    def test_parallel_batch_matches_sequential(self):
+        sequential = AnalysisSession(panda_iot())
+        parallel = AnalysisSession(panda_iot())
+        requests = [
+            AnalysisRequest(Problem.CDPF),
+            AnalysisRequest(Problem.CEDPF),
+            AnalysisRequest(Problem.EDGC, budget=7),
+            AnalysisRequest(Problem.CGED, threshold=25),
+        ]
+        expected = [sequential.run(r) for r in requests]
+        actual = parallel.run_batch(requests, parallel=True, max_workers=4)
+        for got, want in zip(actual, expected):
+            assert got.backend == want.backend
+            assert got.value == pytest.approx(want.value) if want.value is not None \
+                else got.value is None
+            if want.front is not None:
+                assert got.front.values() == want.front.values()
+
+    def test_batch_preserves_order(self):
+        session = AnalysisSession(factory())
+        budgets = [0, 1, 2, 3, 4, 5]
+        results = session.run_batch(
+            [AnalysisRequest(Problem.DGC, budget=b) for b in budgets], parallel=True
+        )
+        assert [r.request.budget for r in results] == budgets
+        assert [r.value for r in results] == [0, 200, 200, 210, 210, 310]
+
+    def test_empty_batch(self):
+        assert AnalysisSession(factory()).run_batch([]) == []
+
+
+class TestMetadata:
+    def test_result_metadata_fields(self):
+        session = AnalysisSession(data_server())
+        result = session.run(AnalysisRequest(Problem.CDPF))
+        assert result.backend == "bilp"
+        assert result.shape == "dag"
+        assert result.setting == "deterministic"
+        assert result.wall_time_seconds > 0
+        assert result.node_count == len(data_server().tree)
+        assert result.bas_count == 12
+
+    def test_summary_mentions_backend_and_problem(self):
+        session = AnalysisSession(factory())
+        text = session.run(AnalysisRequest(Problem.CDPF)).summary()
+        assert "cdpf" in text and "bottom-up" in text
+
+
+class TestAllProblemsViaRegistryAlone:
+    """Acceptance: all six problems + three extension solvers through the
+    session with no Method-enum dispatch anywhere on the path."""
+
+    def test_six_problems_on_panda(self):
+        session = AnalysisSession(panda_iot())
+        results = session.run_batch(
+            [
+                AnalysisRequest(Problem.CDPF),
+                AnalysisRequest(Problem.DGC, budget=7),
+                AnalysisRequest(Problem.CGD, threshold=60),
+                AnalysisRequest(Problem.CEDPF),
+                AnalysisRequest(Problem.EDGC, budget=7),
+                AnalysisRequest(Problem.CGED, threshold=25),
+            ]
+        )
+        cdpf, dgc, cgd, cedpf, edgc, cged = results
+        assert cdpf.front.max_damage_given_cost(7) == 65
+        assert dgc.value == 65
+        assert cgd.value == 7
+        assert cedpf.front.max_damage_given_cost(3) == pytest.approx(18.0)
+        assert edgc.value == pytest.approx(27.555)
+        assert cged.value == 7
+        assert {r.backend for r in results} == {"bottom-up"}
+
+    def test_genetic_backend_reachable(self):
+        session = AnalysisSession(factory())
+        result = session.run(
+            AnalysisRequest(
+                Problem.CDPF,
+                backend="genetic",
+                options={"generations": 20, "population_size": 32},
+            )
+        )
+        assert result.backend == "genetic"
+        assert result.extras.get("approximate") is True
+        # NSGA-II recovers the tiny factory front exactly.
+        exact = session.run(AnalysisRequest(Problem.CDPF)).front
+        assert result.front.values() == exact.values()
+
+    def test_prob_dag_backend_reachable(self):
+        session = AnalysisSession(small_prob_dag())
+        result = session.run(AnalysisRequest(Problem.CEDPF, backend="prob-dag"))
+        assert result.backend == "prob-dag"
+        enumerated = session.run(
+            AnalysisRequest(Problem.CEDPF, backend="enumerative")
+        )
+        assert result.front.values_equal(enumerated.front)
+
+    def test_prob_dag_backend_guards_large_models(self):
+        session = AnalysisSession(small_prob_dag())
+        with pytest.raises(ValueError, match="limit is 2\\^1"):
+            session.run(
+                AnalysisRequest(Problem.CEDPF, backend="prob-dag", options={"max_bas": 1})
+            )
+
+    def test_monte_carlo_backend_reachable(self):
+        session = AnalysisSession(small_prob_dag())
+        result = session.run(
+            AnalysisRequest(
+                Problem.CEDPF,
+                backend="monte-carlo",
+                options={"samples_per_attack": 4000, "seed": 1},
+            )
+        )
+        assert result.backend == "monte-carlo"
+        errors = result.extras["standard_errors"]
+        assert errors and all(e["samples"] == 4000 for e in errors)
+        exact = session.run(AnalysisRequest(Problem.CEDPF, backend="prob-dag"))
+        # Every exact point should be approximated within a loose tolerance.
+        for cost, damage in exact.front.values():
+            close = [
+                v for v in result.front.values()
+                if abs(v[0] - cost) < 1e-9 and abs(v[1] - damage) < 1.0
+            ]
+            assert close, f"no Monte-Carlo point near ({cost}, {damage})"
+
+    def test_monte_carlo_edgc_close_to_exact(self):
+        session = AnalysisSession(small_prob_dag())
+        exact = session.run(AnalysisRequest(Problem.EDGC, budget=3, backend="prob-dag"))
+        sampled = session.run(
+            AnalysisRequest(
+                Problem.EDGC,
+                budget=3,
+                backend="monte-carlo",
+                options={"samples_per_attack": 8000},
+            )
+        )
+        assert sampled.value == pytest.approx(exact.value, abs=1.0)
+
+
+class TestWrongRequests:
+    def test_budget_required(self):
+        with pytest.raises(ValueError, match="requires a cost budget"):
+            AnalysisSession(factory()).run(AnalysisRequest(Problem.DGC))
+
+    def test_threshold_required(self):
+        with pytest.raises(ValueError, match="requires a damage threshold"):
+            AnalysisSession(factory()).run(AnalysisRequest(Problem.CGD))
+
+    def test_probabilistic_problem_needs_cdp_model(self):
+        with pytest.raises(TypeError, match="cdp-AT"):
+            AnalysisSession(factory()).run(AnalysisRequest(Problem.CEDPF))
+
+    def test_unknown_backend_via_session(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            AnalysisSession(factory()).run(
+                AnalysisRequest(Problem.CDPF, backend="quantum")
+            )
+
+    def test_typoed_option_key_rejected(self):
+        """'samples' (a typo for samples_per_attack) must not be silently
+        ignored and run with the 2000-sample default."""
+        session = AnalysisSession(small_prob_dag())
+        with pytest.raises(ValueError, match="samples_per_attack"):
+            session.run(
+                AnalysisRequest(
+                    Problem.CEDPF, backend="monte-carlo", options={"samples": 5}
+                )
+            )
+
+    def test_option_for_optionless_backend_rejected(self):
+        with pytest.raises(ValueError, match="does not accept option"):
+            AnalysisSession(factory()).run(
+                AnalysisRequest(Problem.CDPF, options={"weights": (1, 2)})
+            )
+
+    def test_wrongly_typed_option_value_rejected(self):
+        session = AnalysisSession(small_prob_dag())
+        with pytest.raises(ValueError, match="must be int"):
+            session.run(
+                AnalysisRequest(
+                    Problem.CEDPF,
+                    backend="monte-carlo",
+                    options={"samples_per_attack": "lots"},
+                )
+            )
