@@ -20,6 +20,12 @@ production robot — and walks through the library's main entry points:
 Run it with::
 
     python examples/quickstart.py
+
+To *benchmark* workloads instead of analyzing one model, see
+``atcd bench run --profile smoke`` and ``benchmarks/DESIGN.md`` — the
+declarative workload generator (:mod:`repro.workloads`) and the harness
+(:mod:`repro.bench`) time whole scenario families through the same engine
+used here.
 """
 
 from repro import (

@@ -33,6 +33,9 @@ from .transform import replace_bas_with_tree
 from .tree import AttackTree
 
 __all__ = [
+    "DEFAULT_COST_CHOICES",
+    "DEFAULT_DAMAGE_CHOICES",
+    "DEFAULT_PROBABILITY_CHOICES",
     "combine_replace_bas",
     "combine_common_parent",
     "combine_shared_bas",
@@ -43,6 +46,15 @@ __all__ = [
     "generate_suite",
     "RandomSuiteSpec",
 ]
+
+#: The paper's decoration ranges (Section X.C), the single source for every
+#: default in this module: ``c(v) ∈ {1..10}``, ``d(v) ∈ {0..10}``,
+#: ``p(v) ∈ {0.1, ..., 1.0}``.
+DEFAULT_COST_CHOICES: Tuple[int, ...] = tuple(range(1, 11))
+DEFAULT_DAMAGE_CHOICES: Tuple[int, ...] = tuple(range(0, 11))
+DEFAULT_PROBABILITY_CHOICES: Tuple[float, ...] = tuple(
+    round(0.1 * k, 1) for k in range(1, 11)
+)
 
 
 def _prefixed(tree: AttackTree, prefix: str) -> AttackTree:
@@ -160,9 +172,9 @@ def random_attack_tree(
 def random_decoration(
     tree: AttackTree,
     rng: random.Random,
-    cost_choices: Sequence[int] = tuple(range(1, 11)),
-    damage_choices: Sequence[int] = tuple(range(0, 11)),
-    probability_choices: Sequence[float] = tuple(round(0.1 * k, 1) for k in range(1, 11)),
+    cost_choices: Sequence[int] = DEFAULT_COST_CHOICES,
+    damage_choices: Sequence[int] = DEFAULT_DAMAGE_CHOICES,
+    probability_choices: Sequence[float] = DEFAULT_PROBABILITY_CHOICES,
 ) -> Tuple[Dict[str, float], Dict[str, float], Dict[str, float]]:
     """Draw random cost/damage/probability maps for a tree (Section X.C).
 
@@ -178,15 +190,34 @@ def random_decoration(
     return cost, damage, probability
 
 
-def random_cd_at(tree: AttackTree, rng: random.Random) -> CostDamageAT:
+def random_cd_at(
+    tree: AttackTree,
+    rng: random.Random,
+    cost_choices: Sequence[int] = DEFAULT_COST_CHOICES,
+    damage_choices: Sequence[int] = DEFAULT_DAMAGE_CHOICES,
+) -> CostDamageAT:
     """Decorate a tree with random costs and damages."""
-    cost, damage, _ = random_decoration(tree, rng)
+    cost, damage, _ = random_decoration(
+        tree, rng, cost_choices=cost_choices, damage_choices=damage_choices
+    )
     return CostDamageAT(tree, cost, damage)
 
 
-def random_cdp_at(tree: AttackTree, rng: random.Random) -> CostDamageProbAT:
+def random_cdp_at(
+    tree: AttackTree,
+    rng: random.Random,
+    cost_choices: Sequence[int] = DEFAULT_COST_CHOICES,
+    damage_choices: Sequence[int] = DEFAULT_DAMAGE_CHOICES,
+    probability_choices: Sequence[float] = DEFAULT_PROBABILITY_CHOICES,
+) -> CostDamageProbAT:
     """Decorate a tree with random costs, damages and probabilities."""
-    cost, damage, probability = random_decoration(tree, rng)
+    cost, damage, probability = random_decoration(
+        tree,
+        rng,
+        cost_choices=cost_choices,
+        damage_choices=damage_choices,
+        probability_choices=probability_choices,
+    )
     return CostDamageProbAT(tree, cost, damage, probability)
 
 
@@ -196,26 +227,50 @@ class RandomSuiteSpec:
 
     The paper uses ``max_target_size=100`` and ``trees_per_size=5`` for a
     total of 500 ATs per suite; tests and quick benchmarks use smaller specs.
+
+    ``sizes`` optionally restricts the suite to an explicit tuple of target
+    sizes instead of the full ``1 ≤ n ≤ max_target_size`` sweep — this is
+    how the declarative workload layer (:mod:`repro.workloads`) drives the
+    generator without materialising hundreds of unwanted trees.  The
+    decoration ``*_choices`` default to the paper's ranges (Section X.C).
     """
 
     max_target_size: int = 100
     trees_per_size: int = 5
     treelike: bool = False
     seed: int = 2023
+    sizes: Optional[Tuple[int, ...]] = None
+    cost_choices: Tuple[int, ...] = DEFAULT_COST_CHOICES
+    damage_choices: Tuple[int, ...] = DEFAULT_DAMAGE_CHOICES
+    probability_choices: Tuple[float, ...] = DEFAULT_PROBABILITY_CHOICES
+
+    def target_sizes(self) -> Tuple[int, ...]:
+        """The size sweep this spec describes."""
+        if self.sizes is not None:
+            return tuple(self.sizes)
+        return tuple(range(1, self.max_target_size + 1))
 
 
 def generate_suite(spec: RandomSuiteSpec) -> List[CostDamageProbAT]:
     """Generate a full random suite of decorated ATs.
 
-    For every target size ``1 ≤ n ≤ max_target_size`` we generate
-    ``trees_per_size`` ATs with at least ``n`` nodes and random decorations.
-    Generation is deterministic in ``spec.seed``.
+    For every target size in ``spec.target_sizes()`` we generate
+    ``trees_per_size`` ATs with at least that many nodes and random
+    decorations.  Generation is deterministic in ``spec.seed``.
     """
     rng = random.Random(spec.seed)
     blocks = building_blocks(treelike_only=spec.treelike)
     suite: List[CostDamageProbAT] = []
-    for target in range(1, spec.max_target_size + 1):
+    for target in spec.target_sizes():
         for _ in range(spec.trees_per_size):
             tree = random_attack_tree(target, rng, treelike=spec.treelike, blocks=blocks)
-            suite.append(random_cdp_at(tree, rng))
+            suite.append(
+                random_cdp_at(
+                    tree,
+                    rng,
+                    cost_choices=spec.cost_choices,
+                    damage_choices=spec.damage_choices,
+                    probability_choices=spec.probability_choices,
+                )
+            )
     return suite

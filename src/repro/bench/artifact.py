@@ -1,0 +1,286 @@
+"""Versioned BENCH JSON artifacts: write, validate, load, compare.
+
+A benchmark artifact is one machine-readable JSON document capturing a
+harness run: schema version, run name, creation time, environment metadata
+(interpreter, platform, CPU count), the exact scenario specs that were
+executed (so the workload regenerates bit-identically), the executor
+configuration, and one row per timed case.  The schema is documented in
+``benchmarks/DESIGN.md``.
+
+:func:`compare_artifacts` is the regression gate: it matches rows across a
+baseline and a candidate artifact by ``(case_id, problem, backend)``,
+flags timing regressions beyond a relative threshold (ignoring
+sub-resolution timings) and — more importantly — flags *result* changes
+(front size / value), which are correctness failures, not slowdowns.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..workloads import ScenarioSpec
+from .harness import BenchRun
+
+__all__ = [
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "environment_metadata",
+    "build_artifact",
+    "validate_artifact",
+    "write_artifact",
+    "load_artifact",
+    "artifact_runs",
+    "ComparisonReport",
+    "compare_artifacts",
+]
+
+SCHEMA = "atcd-bench"
+SCHEMA_VERSION = 1
+
+_REQUIRED_TOP_LEVEL = ("schema", "schema_version", "name", "environment", "specs",
+                       "config", "runs")
+_REQUIRED_RUN_FIELDS = ("case_id", "family", "shape", "setting", "problem",
+                        "backend", "wall_time_seconds")
+
+
+def environment_metadata() -> Dict[str, Any]:
+    """Where the numbers were measured: interpreter, platform, CPU count."""
+    import os
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "argv": list(sys.argv),
+    }
+
+
+def build_artifact(
+    name: str,
+    specs: Sequence[ScenarioSpec],
+    runs: Sequence[BenchRun],
+    config: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble a schema-valid artifact dict from a harness run."""
+    artifact = {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+        "created_unix": time.time(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "environment": environment_metadata(),
+        "specs": [spec.to_dict() for spec in specs],
+        "config": dict(config or {}),
+        "runs": [run.to_dict() for run in runs],
+        "totals": {
+            "cases": len(runs),
+            "families": sorted({run.family for run in runs}),
+            "shapes": sorted({run.shape for run in runs}),
+            "settings": sorted({run.setting for run in runs}),
+            "wall_time_seconds": sum(run.wall_time_seconds for run in runs),
+        },
+    }
+    validate_artifact(artifact)
+    return artifact
+
+
+def validate_artifact(data: Any) -> Dict[str, Any]:
+    """Check an object is a structurally valid BENCH artifact.
+
+    Raises ``ValueError`` with a one-line reason on the first violation and
+    returns the (unmodified) artifact otherwise.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"artifact must be a JSON object, got {type(data).__name__}")
+    for key in _REQUIRED_TOP_LEVEL:
+        if key not in data:
+            raise ValueError(f"artifact is missing the {key!r} field")
+    if data["schema"] != SCHEMA:
+        raise ValueError(
+            f"artifact schema is {data['schema']!r}, expected {SCHEMA!r}"
+        )
+    if data["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"artifact schema_version is {data['schema_version']!r}, this build "
+            f"reads version {SCHEMA_VERSION}"
+        )
+    if not isinstance(data["runs"], list):
+        raise ValueError("artifact 'runs' must be a list")
+    if not isinstance(data["specs"], list):
+        raise ValueError("artifact 'specs' must be a list")
+    for index, run in enumerate(data["runs"]):
+        if not isinstance(run, dict):
+            raise ValueError(f"runs[{index}] must be an object")
+        for key in _REQUIRED_RUN_FIELDS:
+            if key not in run:
+                raise ValueError(f"runs[{index}] is missing the {key!r} field")
+        if not isinstance(run["wall_time_seconds"], (int, float)):
+            raise ValueError(f"runs[{index}].wall_time_seconds must be a number")
+    # Specs must round-trip: an artifact whose workload cannot be
+    # regenerated is not a reproducible benchmark record.
+    for index, spec in enumerate(data["specs"]):
+        try:
+            ScenarioSpec.from_dict(spec)
+        except (ValueError, TypeError) as error:
+            raise ValueError(f"specs[{index}] is not a valid scenario: {error}")
+    return data
+
+
+def write_artifact(artifact: Mapping[str, Any], path: str) -> None:
+    """Validate and write an artifact as indented JSON."""
+    validate_artifact(dict(artifact))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    """Load and validate an artifact, raising ``ValueError`` on any failure."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise ValueError(f"cannot read artifact {path!r}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ValueError(f"artifact {path!r} is not valid JSON: {error}") from error
+    try:
+        return validate_artifact(data)
+    except ValueError as error:
+        raise ValueError(f"artifact {path!r} is invalid: {error}") from error
+
+
+def artifact_runs(artifact: Mapping[str, Any]) -> List[BenchRun]:
+    """The artifact's rows as typed :class:`BenchRun` values."""
+    return [BenchRun.from_dict(run) for run in artifact["runs"]]
+
+
+def _run_key(run: BenchRun) -> Tuple[str, str, str]:
+    return (run.case_id, run.problem, run.backend)
+
+
+@dataclass
+class ComparisonReport:
+    """The outcome of comparing a candidate artifact against a baseline.
+
+    ``regressions`` are timing slowdowns beyond the threshold;
+    ``mismatches`` are result differences (front size or value) — always
+    failures regardless of timing; ``missing``/``added`` list run keys only
+    present on one side (informational).
+    """
+
+    threshold: float
+    min_seconds: float
+    compared: int = 0
+    regressions: List[Dict[str, Any]] = field(default_factory=list)
+    improvements: List[Dict[str, Any]] = field(default_factory=list)
+    mismatches: List[Dict[str, Any]] = field(default_factory=list)
+    missing: List[Tuple[str, str, str]] = field(default_factory=list)
+    added: List[Tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no regression and no result mismatch was found.
+
+        A comparison where the baseline had runs but *none* matched the
+        candidate is also a failure: a renamed profile or emptied candidate
+        must not sail through the regression gate as a vacuous pass.
+        """
+        if self.compared == 0 and self.missing:
+            return False
+        return not self.regressions and not self.mismatches
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"compared {self.compared} runs "
+            f"(threshold {self.threshold:+.0%}, floor {self.min_seconds*1e3:g} ms)"
+        ]
+        for entry in self.mismatches:
+            lines.append(
+                "RESULT MISMATCH {key}: baseline {baseline} != candidate "
+                "{candidate}".format(**entry)
+            )
+        for entry in self.regressions:
+            lines.append(
+                "REGRESSION {key}: {baseline:.4f}s -> {candidate:.4f}s "
+                "({ratio:+.0%})".format(**entry)
+            )
+        for entry in self.improvements:
+            lines.append(
+                "improvement {key}: {baseline:.4f}s -> {candidate:.4f}s "
+                "({ratio:+.0%})".format(**entry)
+            )
+        if self.missing:
+            lines.append(f"missing from candidate: {len(self.missing)} runs")
+        if self.added:
+            lines.append(f"new in candidate: {len(self.added)} runs")
+        if self.compared == 0 and self.missing:
+            lines.append("FAIL: no overlapping runs to compare")
+        else:
+            lines.append("PASS: no regressions" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+def compare_artifacts(
+    baseline: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    threshold: float = 0.25,
+    min_seconds: float = 0.005,
+) -> ComparisonReport:
+    """Compare two artifacts run-by-run.
+
+    Parameters
+    ----------
+    baseline / candidate:
+        Validated artifact dicts (see :func:`load_artifact`).
+    threshold:
+        Relative slowdown that counts as a regression (0.25 = 25% slower).
+    min_seconds:
+        Runs where both sides are faster than this are never flagged —
+        sub-resolution timings are noise, not signal.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold!r}")
+    baseline_runs = {_run_key(run): run for run in artifact_runs(baseline)}
+    candidate_runs = {_run_key(run): run for run in artifact_runs(candidate)}
+    report = ComparisonReport(threshold=threshold, min_seconds=min_seconds)
+    report.missing = sorted(set(baseline_runs) - set(candidate_runs))
+    report.added = sorted(set(candidate_runs) - set(baseline_runs))
+    for key in sorted(set(baseline_runs) & set(candidate_runs)):
+        before, after = baseline_runs[key], candidate_runs[key]
+        report.compared += 1
+        label = "/".join(key)
+        if before.result_points != after.result_points or (
+            before.value is not None
+            and after.value is not None
+            and abs(before.value - after.value) > 1e-9
+        ):
+            report.mismatches.append({
+                "key": label,
+                "baseline": f"{before.result_points} points, value {before.value}",
+                "candidate": f"{after.result_points} points, value {after.value}",
+            })
+            continue
+        if before.wall_time_seconds < min_seconds and \
+                after.wall_time_seconds < min_seconds:
+            continue
+        base = max(before.wall_time_seconds, 1e-12)
+        ratio = (after.wall_time_seconds - before.wall_time_seconds) / base
+        entry = {
+            "key": label,
+            "baseline": before.wall_time_seconds,
+            "candidate": after.wall_time_seconds,
+            "ratio": ratio,
+        }
+        if ratio > threshold:
+            report.regressions.append(entry)
+        elif ratio < -threshold:
+            report.improvements.append(entry)
+    return report

@@ -1,0 +1,247 @@
+"""The benchmark harness: expand scenario specs, execute, record.
+
+The harness turns :class:`~repro.workloads.spec.ScenarioSpec` lists into
+engine work — one :class:`~repro.engine.AnalysisRequest` per generated
+workload case — executes them through :class:`~repro.engine.AnalysisSession`
+on a sequential, thread-pool or **process-pool** executor, and records a
+:class:`BenchRun` row per case (wall time, result size, cache counters,
+resolved backend).
+
+Every case is self-contained on the wire (model and request as JSON dicts),
+so the process executor ships cases to workers without pickling any domain
+object; the same serialized form is executed inline by the sequential and
+thread executors, guaranteeing that executors differ only in *where* the
+work runs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..attacktree import serialization
+from ..core.problems import Problem
+from ..engine import AnalysisRequest, AnalysisSession
+from ..engine.session import EXECUTORS
+from ..workloads import ScenarioSpec, WorkloadCase, expand
+from .measure import TimingSample
+
+__all__ = ["BenchRun", "build_request", "expand_specs", "execute_specs"]
+
+
+@dataclass(frozen=True)
+class BenchRun:
+    """One benchmark row: a workload case timed through the engine.
+
+    ``wall_time_seconds`` is the mean over ``repeats`` runs (the session
+    cache is cleared between repeats so every run really computes);
+    ``cache_hits``/``cache_misses`` are the session's counters after all
+    repeats — hits stay zero unless a future harness feature replays
+    requests.
+    """
+
+    case_id: str
+    family: str
+    shape: str
+    setting: str
+    size: int
+    problem: str
+    backend: str
+    model_shape: str
+    nodes: int
+    bas: int
+    repeats: int
+    wall_time_seconds: float
+    std_seconds: float
+    result_points: int
+    value: Optional[float]
+    cache_hits: int
+    cache_misses: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible representation (one artifact ``runs`` entry)."""
+        payload: Dict[str, Any] = {
+            "case_id": self.case_id,
+            "family": self.family,
+            "shape": self.shape,
+            "setting": self.setting,
+            "size": self.size,
+            "problem": self.problem,
+            "backend": self.backend,
+            "model_shape": self.model_shape,
+            "nodes": self.nodes,
+            "bas": self.bas,
+            "repeats": self.repeats,
+            "wall_time_seconds": self.wall_time_seconds,
+            "std_seconds": self.std_seconds,
+            "result_points": self.result_points,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+        if self.value is not None:
+            payload["value"] = self.value
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchRun":
+        """Rebuild a run row from :meth:`to_dict` output."""
+        return cls(
+            case_id=data["case_id"],
+            family=data["family"],
+            shape=data["shape"],
+            setting=data["setting"],
+            # Only the fields validate_artifact requires may be read bare;
+            # everything else defaults so externally produced artifacts that
+            # pass validation also load.
+            size=data.get("size", 0),
+            problem=data["problem"],
+            backend=data["backend"],
+            model_shape=data.get("model_shape", ""),
+            nodes=data.get("nodes", 0),
+            bas=data.get("bas", 0),
+            repeats=data.get("repeats", 1),
+            wall_time_seconds=data["wall_time_seconds"],
+            std_seconds=data.get("std_seconds", 0.0),
+            result_points=data.get("result_points", 0),
+            value=data.get("value"),
+            cache_hits=data.get("cache_hits", 0),
+            cache_misses=data.get("cache_misses", 0),
+        )
+
+
+def build_request(spec: ScenarioSpec) -> AnalysisRequest:
+    """The engine request a spec benchmarks on each of its cases.
+
+    The problem defaults to the setting's Pareto front (CDPF / CEDPF); the
+    single-objective problems take their scalar parameter from the spec's
+    ``budget`` / ``threshold`` params.
+    """
+    return AnalysisRequest(
+        Problem(spec.default_problem()),
+        budget=spec.param("budget"),
+        threshold=spec.param("threshold"),
+        backend=spec.backend,
+    )
+
+
+def expand_specs(
+    specs: Sequence[ScenarioSpec],
+) -> List[Tuple[ScenarioSpec, WorkloadCase]]:
+    """Expand every spec, keeping the originating spec next to each case."""
+    items: List[Tuple[ScenarioSpec, WorkloadCase]] = []
+    for spec in specs:
+        for case in expand(spec):
+            items.append((spec, case))
+    return items
+
+
+def _case_payload(
+    spec: ScenarioSpec, case: WorkloadCase, repeats: int
+) -> Dict[str, Any]:
+    """Everything one worker needs, as plain JSON-compatible values."""
+    return {
+        "identity": {
+            "case_id": case.case_id,
+            "family": case.family,
+            "shape": case.shape,
+            "setting": case.setting,
+            "size": case.size,
+        },
+        "model": serialization.to_dict(case.model),
+        "request": build_request(spec).to_dict(),
+        "repeats": repeats,
+    }
+
+
+def _execute_case(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one case (possibly in a worker process) and return its row.
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
+    pickle it; the sequential and thread executors call it inline.
+    """
+    model = serialization.from_dict(payload["model"])
+    request = AnalysisRequest.from_dict(payload["request"])
+    repeats = payload["repeats"]
+    session = AnalysisSession(model)
+    durations: List[float] = []
+    result = None
+    for repeat in range(repeats):
+        if repeat:
+            session.clear_cache()
+        result = session.run(request)
+        durations.append(result.wall_time_seconds)
+    assert result is not None
+    sample = TimingSample.from_durations(durations)
+    if result.front is not None:
+        result_points = len(result.front)
+    else:
+        result_points = 1 if result.value is not None else 0
+    identity = payload["identity"]
+    return BenchRun(
+        case_id=identity["case_id"],
+        family=identity["family"],
+        shape=identity["shape"],
+        setting=identity["setting"],
+        size=identity["size"],
+        problem=result.request.problem.value,
+        backend=result.backend,
+        model_shape=result.shape,
+        nodes=result.node_count,
+        bas=result.bas_count,
+        repeats=repeats,
+        wall_time_seconds=sample.mean_seconds,
+        std_seconds=sample.std_seconds,
+        result_points=result_points,
+        value=result.value,
+        cache_hits=session.stats.hits,
+        cache_misses=session.stats.misses,
+    ).to_dict()
+
+
+def execute_specs(
+    specs: Sequence[ScenarioSpec],
+    executor: str = "sequential",
+    max_workers: Optional[int] = None,
+    repeats: int = 1,
+) -> List[BenchRun]:
+    """Expand and execute scenario specs, preserving expansion order.
+
+    Parameters
+    ----------
+    specs:
+        The workloads to benchmark.
+    executor:
+        ``"sequential"``, ``"thread"`` or ``"process"`` — how cases are
+        distributed.  Results are identical across executors (only timings
+        differ); the process pool gives true CPU parallelism for the
+        solver hot path.
+    max_workers:
+        Pool size for the parallel executors (default: case count capped
+        at 8).
+    repeats:
+        Timing repetitions per case (mean/std are recorded).
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; expected one of {', '.join(EXECUTORS)}"
+        )
+    if not isinstance(repeats, int) or repeats < 1:
+        raise ValueError(f"repeats must be a positive integer, got {repeats!r}")
+    items = expand_specs(specs)
+    payloads = [_case_payload(spec, case, repeats) for spec, case in items]
+    # Validate every request up front: a bad backend name or missing budget
+    # in the last spec must not surface after minutes of benchmarking.
+    for spec, case in items:
+        request = build_request(spec)
+        request.validate()
+        session = AnalysisSession(case.model)
+        session.resolve(request.problem, backend=request.backend)
+    if executor == "sequential" or len(payloads) <= 1:
+        rows = [_execute_case(payload) for payload in payloads]
+    else:
+        workers = max_workers or min(len(payloads), 8)
+        pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
+        with pool_cls(max_workers=workers) as pool:
+            rows = list(pool.map(_execute_case, payloads))
+    return [BenchRun.from_dict(row) for row in rows]

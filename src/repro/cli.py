@@ -14,6 +14,14 @@ Installed as the ``atcd`` console script.  Sub-commands:
     the service-style entry point of the engine.
 ``atcd backends``
     List the registered solver backends and their capabilities.
+``atcd bench run [--profile NAME] [--out FILE] [--executor ...]``
+    Execute a benchmark profile through the engine and write a versioned
+    ``BENCH_*.json`` artifact (see ``benchmarks/DESIGN.md``).
+``atcd bench compare BASELINE.json CANDIDATE.json [--threshold R]``
+    Diff two artifacts; exits 1 when a timing regression or result
+    mismatch is found.
+``atcd bench list``
+    Show the registered workload families and benchmark profiles.
 ``atcd catalog NAME [--out FILE]``
     Export one of the built-in case-study models (factory, panda-iot,
     data-server) as JSON, for use as a starting point.
@@ -52,8 +60,9 @@ _CATALOG = {
 }
 
 #: Subcommands whose ValueError/TypeError failures are user errors (bad
-#: backend name, uncovered cell, missing parameter, malformed request).
-_ENGINE_COMMANDS = frozenset({"pareto", "dgc", "cgd", "batch"})
+#: backend name, uncovered cell, missing parameter, malformed request,
+#: unknown bench profile/executor, invalid artifact).
+_ENGINE_COMMANDS = frozenset({"pareto", "dgc", "cgd", "batch", "bench"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -103,6 +112,36 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--out", default=None, help="output path (default: stdout)")
 
     subparsers.add_parser("backends", help="list registered solver backends")
+
+    bench = subparsers.add_parser(
+        "bench", help="run and compare workload benchmarks"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_run = bench_sub.add_parser(
+        "run", help="execute a benchmark profile and write a BENCH_*.json artifact"
+    )
+    bench_run.add_argument("--profile", default="smoke",
+                           help="profile name (see 'atcd bench list'; default: smoke)")
+    bench_run.add_argument("--out", default=None,
+                           help="artifact path (default: BENCH_<profile>.json)")
+    bench_run.add_argument("--executor", default="sequential",
+                           help="sequential, thread or process (default: sequential)")
+    bench_run.add_argument("--max-workers", type=int, default=None,
+                           help="pool size for the parallel executors")
+    bench_run.add_argument("--repeats", type=int, default=1,
+                           help="timing repetitions per case (default: 1)")
+    bench_compare = bench_sub.add_parser(
+        "compare", help="diff two artifacts for regressions"
+    )
+    bench_compare.add_argument("baseline", help="baseline BENCH_*.json")
+    bench_compare.add_argument("candidate", help="candidate BENCH_*.json")
+    bench_compare.add_argument("--threshold", type=float, default=0.25,
+                               help="relative slowdown flagged as regression "
+                                    "(default: 0.25)")
+    bench_compare.add_argument("--min-seconds", type=float, default=0.005,
+                               help="ignore runs where both sides are faster "
+                                    "than this (default: 0.005)")
+    bench_sub.add_parser("list", help="list workload families and profiles")
 
     catalog_cmd = subparsers.add_parser("catalog", help="export a built-in model")
     catalog_cmd.add_argument("name", choices=sorted(_CATALOG))
@@ -231,6 +270,68 @@ def _command_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    # Imported lazily: the bench stack pulls in the workload generators,
+    # which the other subcommands never need.
+    from . import bench
+    from .workloads import describe_families
+
+    if args.bench_command == "list":
+        print("workload families:")
+        print(describe_families())
+        print()
+        print("profiles:")
+        print(bench.describe_profiles())
+        return 0
+    if args.bench_command == "compare":
+        baseline = bench.load_artifact(args.baseline)
+        candidate = bench.load_artifact(args.candidate)
+        report = bench.compare_artifacts(
+            baseline, candidate,
+            threshold=args.threshold, min_seconds=args.min_seconds,
+        )
+        print(report.render())
+        return 0 if report.ok else 1
+    # bench run
+    specs = bench.profile(args.profile)
+    runs = bench.execute_specs(
+        specs,
+        executor=args.executor,
+        max_workers=args.max_workers,
+        repeats=args.repeats,
+    )
+    artifact = bench.build_artifact(
+        args.profile,
+        specs,
+        runs,
+        config={
+            "profile": args.profile,
+            "executor": args.executor,
+            "max_workers": args.max_workers,
+            "repeats": args.repeats,
+        },
+    )
+    out = args.out or f"BENCH_{args.profile}.json"
+    bench.write_artifact(artifact, out)
+    totals = artifact["totals"]
+    print(
+        f"wrote {out}: {totals['cases']} cases over "
+        f"{len(totals['families'])} families "
+        f"({', '.join(totals['families'])}), "
+        f"shapes {', '.join(totals['shapes'])}, "
+        f"settings {', '.join(totals['settings'])}, "
+        f"total solver time {totals['wall_time_seconds']:.2f}s"
+    )
+    for run in runs:
+        print(
+            f"  {run.case_id:<55} {run.problem:<6} via {run.backend:<12} "
+            f"{run.wall_time_seconds * 1e3:9.2f} ms  "
+            f"points={run.result_points}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _command_backends(args: argparse.Namespace) -> int:
     registry = shared_registry()
     print(registry.describe())
@@ -275,6 +376,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "cgd": _command_cgd,
         "batch": _command_batch,
         "backends": _command_backends,
+        "bench": _command_bench,
         "catalog": _command_catalog,
         "experiments": _command_experiments,
     }

@@ -47,7 +47,14 @@ from .registry import (
     shared_registry,
 )
 from .requests import AnalysisRequest, AnalysisResult
-from .session import AnalysisSession, SessionStats, model_fingerprint, run_request
+from .session import (
+    EXECUTORS,
+    AnalysisSession,
+    SessionStats,
+    model_fingerprint,
+    run_request,
+    run_serialized_request,
+)
 
 #: Concrete backend classes are re-exported lazily (PEP 562): importing the
 #: engine package must not pull in the extension solver modules — they load
@@ -82,6 +89,7 @@ __all__ = [
     "BottomUpBackend",
     "Capability",
     "CapabilityError",
+    "EXECUTORS",
     "EnumerativeBackend",
     "GeneticBackend",
     "Model",
@@ -97,6 +105,7 @@ __all__ = [
     "model_shape",
     "problem_setting",
     "run_request",
+    "run_serialized_request",
     "shared_registry",
     "standard_backends",
 ]

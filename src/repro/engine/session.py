@@ -8,11 +8,21 @@ the model's canonical JSON serialization, so two sessions over structurally
 identical models share nothing but *would* agree on keys, which is what a
 future shared (e.g. out-of-process) cache needs.
 
-Batches run sequentially by default; ``parallel=True`` fans the requests
-out over a thread pool via :mod:`concurrent.futures`.  The solvers are pure
-Python, so threads mostly help when backends release the GIL or block on
-I/O — the knob exists so service-style callers have a single switch once
-native solver backends arrive.
+Batches run sequentially by default; the ``executor`` knob fans them out
+over a pool from :mod:`concurrent.futures`:
+
+* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`.  The
+  solvers are pure Python, so threads mostly help when backends release
+  the GIL or block on I/O.
+* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor` for
+  true CPU parallelism on the solver hot path.  The model crosses the
+  process boundary once per worker (via its canonical JSON form, installed
+  by a pool initializer); each request and result crosses as its JSON
+  dict.  Workers resolve backends against their own process-wide registry,
+  so the process executor requires the default built-in backends.
+
+Cache hits are always served in the parent process; only misses are
+dispatched, and duplicate misses within one batch are computed once.
 """
 
 from __future__ import annotations
@@ -21,9 +31,9 @@ import copy
 import hashlib
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..attacktree import serialization
 from ..core.problems import Problem
@@ -31,7 +41,17 @@ from .backend import Model, model_shape, problem_setting
 from .registry import BackendRegistry, shared_registry
 from .requests import AnalysisRequest, AnalysisResult
 
-__all__ = ["AnalysisSession", "SessionStats", "model_fingerprint", "run_request"]
+__all__ = [
+    "AnalysisSession",
+    "SessionStats",
+    "EXECUTORS",
+    "model_fingerprint",
+    "run_request",
+    "run_serialized_request",
+]
+
+#: Batch executor names accepted by :meth:`AnalysisSession.run_batch`.
+EXECUTORS = ("sequential", "thread", "process")
 
 
 def model_fingerprint(model: Model) -> str:
@@ -80,6 +100,38 @@ def run_request(
         bas_count=len(model.tree.basic_attack_steps),
         extras=output.extras,
     )
+
+
+def run_serialized_request(
+    model_payload: Dict[str, Any], request_payload: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Execute one JSON-encoded request against a JSON-encoded model.
+
+    The stateless, wire-format twin of :func:`run_request`: everything in
+    and out is a plain JSON-compatible dict, so callers can ship work across
+    process or network boundaries without pickling any domain object.
+    Backends resolve against the calling process's shared registry.
+    """
+    model = serialization.from_dict(model_payload)
+    request = AnalysisRequest.from_dict(request_payload)
+    return run_request(model, request).to_dict()
+
+
+# Per-worker-process state for the session's process executor: the model is
+# deserialized once per worker (pool initializer) instead of once per task.
+_WORKER_MODEL: Optional[Model] = None
+
+
+def _process_initializer(model_payload: Dict[str, Any]) -> None:
+    global _WORKER_MODEL
+    _WORKER_MODEL = serialization.from_dict(model_payload)
+
+
+def _process_worker(request_payload: Dict[str, Any]) -> Dict[str, Any]:
+    if _WORKER_MODEL is None:  # pragma: no cover - defensive
+        raise RuntimeError("process worker used without its model initializer")
+    request = AnalysisRequest.from_dict(request_payload)
+    return run_request(_WORKER_MODEL, request).to_dict()
 
 
 @dataclass
@@ -188,20 +240,117 @@ class AnalysisSession:
         requests: Sequence[AnalysisRequest],
         parallel: bool = False,
         max_workers: Optional[int] = None,
+        executor: Optional[str] = None,
     ) -> List[AnalysisResult]:
         """Execute many requests, preserving input order.
 
-        With ``parallel=True`` the requests run on a
-        :class:`~concurrent.futures.ThreadPoolExecutor`; the cache is
-        shared (and thread-safe), though two concurrent identical requests
-        may both compute before one wins the cache slot.
+        Parameters
+        ----------
+        requests:
+            The analyses to run.
+        parallel:
+            Back-compat switch: ``True`` without an explicit ``executor``
+            selects the thread pool (the pre-executor behaviour).
+        max_workers:
+            Pool size for the parallel executors (default: batch size
+            capped at 8).
+        executor:
+            ``"sequential"``, ``"thread"`` or ``"process"``; ``None``
+            derives it from ``parallel``.  The thread executor shares the
+            (thread-safe) cache, though two concurrent identical requests
+            may both compute before one wins the cache slot.  The process
+            executor serves cache hits in the parent, computes duplicate
+            misses once, and requires the default backend registry (worker
+            processes resolve backends against their own shared registry,
+            where custom backends would not exist).
         """
         requests = list(requests)
-        if not parallel or len(requests) <= 1:
+        if executor is None:
+            executor = "thread" if parallel else "sequential"
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of "
+                f"{', '.join(EXECUTORS)}"
+            )
+        if executor == "process":
+            return self._run_batch_process(requests, max_workers)
+        if executor == "sequential" or len(requests) <= 1:
             return [self.run(request) for request in requests]
         workers = max_workers or min(len(requests), 8)
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(self.run, requests))
+
+    def _run_batch_process(
+        self, requests: List[AnalysisRequest], max_workers: Optional[int]
+    ) -> List[AnalysisResult]:
+        """Process-pool batch: hits from cache, misses computed out-of-process."""
+        if self.registry is not shared_registry():
+            raise ValueError(
+                "the process executor requires the default backend registry "
+                "(worker processes cannot see a custom registry); use "
+                "executor='thread' for custom backends"
+            )
+        # Validate and resolve everything up front, in the parent, so a
+        # malformed request fails with a clean error before any process
+        # spawns or any earlier analysis runs.
+        for request in requests:
+            request.validate()
+            backend = self.registry.resolve(
+                request.problem, self.model, backend=request.backend
+            )
+            backend.validate_options(request)
+        # Partition into cache hits (served here) and misses (dispatched);
+        # identical misses share one computation.
+        outputs: List[Optional[AnalysisResult]] = [None] * len(requests)
+        pending: Dict[Tuple, "Future[Dict[str, Any]]"] = {}
+        pending_indices: Dict[Tuple, List[int]] = {}
+        with self._lock:
+            cached = {
+                index: self._cache.get(self._key(request))
+                for index, request in enumerate(requests)
+            }
+        misses = [
+            (index, request)
+            for index, request in enumerate(requests)
+            if cached[index] is None
+        ]
+        for index, entry in cached.items():
+            if entry is not None:
+                outputs[index] = entry.as_cache_hit()
+        unique_misses = len({self._key(request) for _, request in misses})
+        with self._lock:
+            self.stats.hits += len(requests) - unique_misses
+            self.stats.misses += unique_misses
+        if misses:
+            model_payload = serialization.to_dict(self.model)
+            workers = max_workers or min(len(misses), 8)
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_process_initializer,
+                initargs=(model_payload,),
+            ) as pool:
+                for index, request in misses:
+                    key = self._key(request)
+                    if key not in pending:
+                        pending[key] = pool.submit(
+                            _process_worker, request.to_dict()
+                        )
+                        pending_indices[key] = []
+                    pending_indices[key].append(index)
+                for key, future in pending.items():
+                    result = AnalysisResult.from_dict(future.result())
+                    with self._lock:
+                        self._cache.setdefault(
+                            key, replace(result, extras=copy.deepcopy(result.extras))
+                        )
+                    first, *rest = pending_indices[key]
+                    outputs[first] = result
+                    for index in rest:
+                        # Duplicates within one batch were computed once;
+                        # report them as the cache hits they effectively are.
+                        outputs[index] = result.as_cache_hit()
+        assert all(output is not None for output in outputs)
+        return outputs  # type: ignore[return-value]
 
     def resolve(self, problem: Problem, backend: Optional[str] = None):
         """The backend a request for ``problem`` would run on this model."""

@@ -18,21 +18,13 @@ three size groups / ``N < 30``).
 
 from __future__ import annotations
 
-import math
 import statistics
-import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
-from ..attacktree.attributes import CostDamageProbAT
 from ..attacktree.random_gen import RandomSuiteSpec, generate_suite
-from ..core.bilp import pareto_front_bilp
-from ..core.bottom_up import pareto_front_treelike
-from ..core.bottom_up_prob import pareto_front_treelike_probabilistic
-from ..core.enumerative import (
-    enumerate_pareto_front,
-    enumerate_pareto_front_probabilistic,
-)
+from ..core.problems import Problem
+from ..engine import AnalysisRequest, run_request
 from .report import format_scaling_series, format_table
 
 __all__ = [
@@ -66,10 +58,15 @@ class SuiteSummary:
     samples: int
 
 
-def _time(function: Callable[[], object]) -> float:
-    start = time.perf_counter()
-    function()
-    return time.perf_counter() - start
+def _timed_backend(model, problem: Problem, backend: str) -> float:
+    """Seconds one engine request spent inside the backend.
+
+    Measurement flows through :func:`repro.engine.run_request`, the same
+    path the benchmark harness records — the Fig. 7 numbers and the
+    ``BENCH_*.json`` numbers now come from one clock.
+    """
+    result = run_request(model, AnalysisRequest(problem, backend=backend))
+    return result.wall_time_seconds
 
 
 def run_suite_timings(
@@ -104,29 +101,29 @@ def run_suite_timings(
             if model.tree.is_treelike:
                 records.append(
                     SuiteTiming(nodes, "bottom-up",
-                                _time(lambda m=model: pareto_front_treelike_probabilistic(m)))
+                                _timed_backend(model, Problem.CEDPF, "bottom-up"))
                 )
             if include_enumerative and bas_count <= enumerative_bas_limit:
                 records.append(
                     SuiteTiming(nodes, "enumerative",
-                                _time(lambda m=model: enumerate_pareto_front_probabilistic(m)))
+                                _timed_backend(model, Problem.CEDPF, "enumerative"))
                 )
             continue
         deterministic = model.deterministic()
         if model.tree.is_treelike:
             records.append(
                 SuiteTiming(nodes, "bottom-up",
-                            _time(lambda m=deterministic: pareto_front_treelike(m)))
+                            _timed_backend(deterministic, Problem.CDPF, "bottom-up"))
             )
         if include_bilp:
             records.append(
                 SuiteTiming(nodes, "bilp",
-                            _time(lambda m=deterministic: pareto_front_bilp(m)))
+                            _timed_backend(deterministic, Problem.CDPF, "bilp"))
             )
         if include_enumerative and bas_count <= enumerative_bas_limit:
             records.append(
                 SuiteTiming(nodes, "enumerative",
-                            _time(lambda m=deterministic: enumerate_pareto_front(m)))
+                            _timed_backend(deterministic, Problem.CDPF, "enumerative"))
             )
     return records
 

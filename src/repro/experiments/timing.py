@@ -16,43 +16,19 @@ bottom-up ≪ BILP ≪ enumerative.
 
 from __future__ import annotations
 
-import math
 import random
-import statistics
-import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..attacktree import catalog
 from ..attacktree.attributes import CostDamageAT, CostDamageProbAT
 from ..attacktree.random_gen import random_decoration
-from ..core.bilp import pareto_front_bilp
-from ..core.bottom_up import pareto_front_treelike
-from ..core.bottom_up_prob import pareto_front_treelike_probabilistic
-from ..core.enumerative import (
-    enumerate_pareto_front,
-    enumerate_pareto_front_probabilistic,
-)
+from ..bench.measure import TimingSample, measure
+from ..core.problems import Problem
+from ..engine import AnalysisRequest, run_request
 from .report import format_timing_rows
 
 __all__ = ["TimingSample", "Table3Row", "measure", "run_table3", "render_table3"]
-
-
-@dataclass(frozen=True)
-class TimingSample:
-    """Mean and standard deviation of a repeated timing measurement."""
-
-    mean_seconds: float
-    std_seconds: float
-    runs: int
-
-    @classmethod
-    def from_durations(cls, durations: List[float]) -> "TimingSample":
-        if not durations:
-            raise ValueError("at least one duration is required")
-        std = statistics.pstdev(durations) if len(durations) > 1 else 0.0
-        return cls(mean_seconds=statistics.mean(durations), std_seconds=std,
-                   runs=len(durations))
 
 
 @dataclass
@@ -70,14 +46,18 @@ class Table3Row:
         }
 
 
-def measure(function: Callable[[], object], repeats: int = 1) -> TimingSample:
-    """Time a callable ``repeats`` times with ``perf_counter``."""
-    durations = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        function()
-        durations.append(time.perf_counter() - start)
-    return TimingSample.from_durations(durations)
+def _measure_backend(
+    model, problem: Problem, backend: str, repeats: int = 1
+) -> TimingSample:
+    """Time one engine request end-to-end (resolution included).
+
+    All Table III timings now flow through the same
+    :func:`repro.engine.run_request` path the benchmark harness uses, so
+    experiment numbers and ``BENCH_*.json`` numbers are directly
+    comparable.
+    """
+    request = AnalysisRequest(problem, backend=backend)
+    return measure(lambda: run_request(model, request), repeats)
 
 
 def _random_variants_panda(count: int, seed: int) -> List[CostDamageProbAT]:
@@ -137,10 +117,10 @@ def run_table3(
 
     # --- Fig. 4 (panda), deterministic, true values -------------------------- #
     row = Table3Row(label="Fig.4 deterministic (true c,d)")
-    row.timings["bottom-up"] = measure(lambda: pareto_front_treelike(panda_det))
-    row.timings["bilp"] = measure(lambda: pareto_front_bilp(panda_det))
+    row.timings["bottom-up"] = _measure_backend(panda_det, Problem.CDPF, "bottom-up")
+    row.timings["bilp"] = _measure_backend(panda_det, Problem.CDPF, "bilp")
     row.timings["enumerative"] = (
-        measure(lambda: enumerate_pareto_front(panda_det))
+        _measure_backend(panda_det, Problem.CDPF, "enumerative")
         if enumerative_allowed(panda_det)
         else None
     )
@@ -148,12 +128,10 @@ def run_table3(
 
     # --- Fig. 4 (panda), probabilistic, true values --------------------------- #
     row = Table3Row(label="Fig.4 probabilistic (true c,d,p)")
-    row.timings["bottom-up"] = measure(
-        lambda: pareto_front_treelike_probabilistic(panda)
-    )
+    row.timings["bottom-up"] = _measure_backend(panda, Problem.CEDPF, "bottom-up")
     row.timings["bilp"] = None  # no BILP method in the probabilistic setting
     row.timings["enumerative"] = (
-        measure(lambda: enumerate_pareto_front_probabilistic(panda))
+        _measure_backend(panda, Problem.CEDPF, "enumerative")
         if enumerative_allowed(panda)
         else None
     )
@@ -162,9 +140,9 @@ def run_table3(
     # --- Fig. 5 (data server), deterministic, true values --------------------- #
     row = Table3Row(label="Fig.5 deterministic (true c,d)")
     row.timings["bottom-up"] = None  # DAG-like: bottom-up does not apply
-    row.timings["bilp"] = measure(lambda: pareto_front_bilp(data_server))
+    row.timings["bilp"] = _measure_backend(data_server, Problem.CDPF, "bilp")
     row.timings["enumerative"] = (
-        measure(lambda: enumerate_pareto_front(data_server))
+        _measure_backend(data_server, Problem.CDPF, "enumerative")
         if enumerative_allowed(data_server)
         else None
     )
@@ -176,11 +154,11 @@ def run_table3(
         server_variants = _random_variants_data_server(random_decorations, seed + 1)
 
         det_durations = [
-            measure(lambda m=m: pareto_front_treelike(m.deterministic())).mean_seconds
+            _measure_backend(m.deterministic(), Problem.CDPF, "bottom-up").mean_seconds
             for m in panda_variants
         ]
         bilp_durations = [
-            measure(lambda m=m: pareto_front_bilp(m.deterministic())).mean_seconds
+            _measure_backend(m.deterministic(), Problem.CDPF, "bilp").mean_seconds
             for m in panda_variants
         ]
         row = Table3Row(label=f"Fig.4 deterministic (random c,d ×{random_decorations})")
@@ -190,7 +168,7 @@ def run_table3(
         rows.append(row)
 
         prob_durations = [
-            measure(lambda m=m: pareto_front_treelike_probabilistic(m)).mean_seconds
+            _measure_backend(m, Problem.CEDPF, "bottom-up").mean_seconds
             for m in panda_variants
         ]
         row = Table3Row(label=f"Fig.4 probabilistic (random c,d,p ×{random_decorations})")
@@ -200,12 +178,12 @@ def run_table3(
         rows.append(row)
 
         server_durations = [
-            measure(lambda m=m: pareto_front_bilp(m)).mean_seconds
+            _measure_backend(m, Problem.CDPF, "bilp").mean_seconds
             for m in server_variants
         ]
         server_enum = (
             [
-                measure(lambda m=m: enumerate_pareto_front(m)).mean_seconds
+                _measure_backend(m, Problem.CDPF, "enumerative").mean_seconds
                 for m in server_variants
             ]
             if include_enumerative

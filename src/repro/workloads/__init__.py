@@ -1,0 +1,48 @@
+"""Declarative, reproducible benchmark workloads.
+
+This package is the scenario layer of the benchmark subsystem: a
+:class:`ScenarioSpec` names a workload *family* plus shape, setting, size
+sweep, seed and decoration ranges, and :func:`expand` turns it into
+decorated attack-tree models.  Expansion is fully deterministic in the
+spec, so a spec embedded in a ``BENCH_*.json`` artifact regenerates the
+exact models the numbers were measured on.
+
+See :mod:`repro.workloads.families` for the built-in families and the
+registry, and :mod:`repro.bench` for the harness that times the expanded
+workloads through the analysis engine.
+"""
+
+from .families import (
+    CatalogFamily,
+    DeepChainFamily,
+    RandomFamily,
+    SharedBasFamily,
+    WideFanFamily,
+    WorkloadCase,
+    WorkloadFamily,
+    describe_families,
+    expand,
+    family,
+    family_names,
+    register_family,
+)
+from .spec import SETTINGS, SHAPES, DecorationRanges, ScenarioSpec
+
+__all__ = [
+    "CatalogFamily",
+    "DecorationRanges",
+    "DeepChainFamily",
+    "RandomFamily",
+    "SETTINGS",
+    "SHAPES",
+    "ScenarioSpec",
+    "SharedBasFamily",
+    "WideFanFamily",
+    "WorkloadCase",
+    "WorkloadFamily",
+    "describe_families",
+    "expand",
+    "family",
+    "family_names",
+    "register_family",
+]

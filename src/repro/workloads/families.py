@@ -1,0 +1,414 @@
+"""Workload families: named, registered generators of benchmark models.
+
+A *family* turns a :class:`~repro.workloads.spec.ScenarioSpec` into a list
+of :class:`WorkloadCase` objects — decorated attack trees plus enough
+metadata to identify each case in a benchmark artifact.  Families are
+registered by name in a module-level registry (mirroring the engine's
+backend registry), so the bench harness, the CLI and external callers all
+discover them the same way.
+
+Built-in families
+-----------------
+``catalog``
+    The paper's case studies (factory, panda IoT, data server) with their
+    published decorations; sizes are fixed by the models themselves.
+``random``
+    The Section X.D random-suite generator (literature building blocks
+    combined until a target size), generalizing
+    :func:`repro.attacktree.random_gen.random_attack_tree` with
+    spec-controlled decoration ranges.
+``deep-chain``
+    A maximally deep alternating AND/OR chain — the worst case for
+    recursive bottom-up propagation depth.  The DAG variant threads a
+    shared BAS through every other level.
+``wide-fan``
+    A maximally wide root gate — the worst case for Pareto-front width.
+    The DAG variant splits the fan into two overlapping sub-gates.
+``shared-bas``
+    DAG-only: gates drawing from a common BAS pool, stressing exactly the
+    sharing that breaks the treelike bottom-up method (Section VI).
+
+Every case is regenerated deterministically from
+``(family, shape, setting, seed, size, index)`` — two expansions of the
+same spec, in any process, produce identical models.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from ..attacktree import catalog
+from ..attacktree.attributes import CostDamageAT, CostDamageProbAT
+from ..attacktree.builder import AttackTreeBuilder
+from ..attacktree.node import NodeType
+from ..attacktree.random_gen import random_attack_tree, random_decoration
+from ..attacktree.tree import AttackTree
+from .spec import ScenarioSpec, SETTINGS, SHAPES
+
+__all__ = [
+    "WorkloadCase",
+    "WorkloadFamily",
+    "CatalogFamily",
+    "RandomFamily",
+    "DeepChainFamily",
+    "WideFanFamily",
+    "SharedBasFamily",
+    "register_family",
+    "family",
+    "family_names",
+    "describe_families",
+    "expand",
+]
+
+Model = Union[CostDamageAT, CostDamageProbAT]
+
+
+@dataclass(frozen=True)
+class WorkloadCase:
+    """One generated benchmark model with its identity metadata.
+
+    ``case_id`` is stable across regenerations of the same spec and unique
+    within it, so artifact comparisons can match cases across runs.
+    """
+
+    case_id: str
+    family: str
+    shape: str
+    setting: str
+    size: int
+    model: Model
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the generated model."""
+        return len(self.model.tree)
+
+    @property
+    def bas_count(self) -> int:
+        """Number of basic attack steps in the generated model."""
+        return len(self.model.tree.basic_attack_steps)
+
+
+class WorkloadFamily:
+    """Base class for registered workload families.
+
+    Subclasses set :attr:`name`, :attr:`description` and
+    :attr:`supported_cells` (the ``(shape, setting)`` pairs they can
+    generate) and implement :meth:`_generate`.
+    """
+
+    name: str = ""
+    description: str = ""
+    #: (shape, setting) pairs this family can generate.
+    supported_cells: Tuple[Tuple[str, str], ...] = tuple(
+        (shape, setting) for shape in SHAPES for setting in SETTINGS
+    )
+
+    def supports(self, shape: str, setting: str) -> bool:
+        """Whether the family can generate the given cell."""
+        return (shape, setting) in self.supported_cells
+
+    def generate(self, spec: ScenarioSpec) -> List[WorkloadCase]:
+        """Expand a spec into its cases (validating the requested cell)."""
+        if spec.family != self.name:
+            raise ValueError(
+                f"spec names family {spec.family!r} but was given to {self.name!r}"
+            )
+        if not self.supports(spec.shape, spec.setting):
+            cells = ", ".join(f"{s}/{t}" for s, t in self.supported_cells)
+            raise ValueError(
+                f"family {self.name!r} does not support {spec.shape}/{spec.setting} "
+                f"workloads; supported: {cells}"
+            )
+        return list(self._generate(spec))
+
+    def _generate(self, spec: ScenarioSpec) -> Iterable[WorkloadCase]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # helpers shared by the generated (non-catalog) families
+    # ------------------------------------------------------------------ #
+    def _decorate(
+        self, tree: AttackTree, rng: random.Random, spec: ScenarioSpec
+    ) -> Model:
+        """Decorate a bare tree according to the spec's setting and ranges."""
+        cost, damage, probability = random_decoration(
+            tree,
+            rng,
+            cost_choices=spec.decoration.cost_choices(),
+            damage_choices=spec.decoration.damage_choices(),
+            probability_choices=spec.decoration.probability_choices(),
+        )
+        if spec.setting == "probabilistic":
+            return CostDamageProbAT(tree, cost, damage, probability)
+        return CostDamageAT(tree, cost, damage)
+
+    def _case(
+        self, spec: ScenarioSpec, size: int, index: int, model: Model
+    ) -> WorkloadCase:
+        case_id = f"{spec.label()}-n{size}-i{index}"
+        return WorkloadCase(
+            case_id=case_id,
+            family=self.name,
+            shape=spec.shape,
+            setting=spec.setting,
+            size=size,
+            model=model,
+        )
+
+
+class CatalogFamily(WorkloadFamily):
+    """The paper's case-study models with their published decorations.
+
+    Sizes in the spec are ignored — the models are what they are.  The
+    probabilistic-DAG cell is unsupported because the paper (and the
+    catalogue) has no probabilistically decorated DAG case study.
+    """
+
+    name = "catalog"
+    description = "paper case studies (factory, panda IoT, data server)"
+    supported_cells = (
+        ("treelike", "deterministic"),
+        ("treelike", "probabilistic"),
+        ("dag", "deterministic"),
+    )
+
+    def _generate(self, spec: ScenarioSpec) -> Iterable[WorkloadCase]:
+        models: List[Tuple[str, Model]] = []
+        if spec.shape == "treelike":
+            if spec.setting == "deterministic":
+                models.append(("factory", catalog.factory()))
+                models.append(("panda-iot", catalog.panda_iot().deterministic()))
+            else:
+                models.append(("factory", catalog.factory_probabilistic()))
+                models.append(("panda-iot", catalog.panda_iot()))
+        else:
+            models.append(("data-server", catalog.data_server()))
+        for index, (label, model) in enumerate(models):
+            case_id = f"{spec.label()}-{label}"
+            yield WorkloadCase(
+                case_id=case_id,
+                family=self.name,
+                shape=spec.shape,
+                setting=spec.setting,
+                size=len(model.tree),
+                model=model,
+            )
+
+
+class RandomFamily(WorkloadFamily):
+    """Random ATs built by combining literature blocks (Section X.D).
+
+    ``shape="dag"`` uses all building blocks and all three combination
+    operations (the paper's ``T_DAG`` regime); small instances may still be
+    treelike, exactly as in the paper's suites.  ``shape="treelike"``
+    guarantees treelike output.
+    """
+
+    name = "random"
+    description = "Section X.D random suites over literature building blocks"
+
+    def _generate(self, spec: ScenarioSpec) -> Iterable[WorkloadCase]:
+        treelike = spec.shape == "treelike"
+        for size in spec.sizes:
+            for index in range(spec.cases_per_size):
+                rng = random.Random(spec.case_seed(size, index))
+                tree = random_attack_tree(size, rng, treelike=treelike)
+                yield self._case(spec, size, index, self._decorate(tree, rng, spec))
+
+
+class DeepChainFamily(WorkloadFamily):
+    """A depth-``size`` alternating AND/OR chain (propagation-depth stress).
+
+    Level ``i`` is a gate over one fresh BAS and the previous level; the
+    treelike variant is a pure chain, the DAG variant additionally wires a
+    single shared BAS into every other gate, giving it many parents.
+    """
+
+    name = "deep-chain"
+    description = "alternating AND/OR chain of the requested depth"
+
+    def _generate(self, spec: ScenarioSpec) -> Iterable[WorkloadCase]:
+        for size in spec.sizes:
+            for index in range(spec.cases_per_size):
+                rng = random.Random(spec.case_seed(size, index))
+                tree = self._build(size, spec.shape == "dag")
+                yield self._case(spec, size, index, self._decorate(tree, rng, spec))
+
+    @staticmethod
+    def _build(depth: int, dag: bool) -> AttackTree:
+        builder = AttackTreeBuilder()
+        builder.bas("b0")
+        if dag:
+            builder.bas("shared")
+        previous = "b0"
+        for level in range(1, depth + 1):
+            leaf = f"b{level}"
+            builder.bas(leaf)
+            children = [leaf, previous]
+            if dag and level % 2 == 0:
+                children.append("shared")
+            gate = f"g{level}"
+            builder.gate(
+                gate,
+                NodeType.AND if level % 2 else NodeType.OR,
+                children,
+            )
+            previous = gate
+        return builder.build_tree(root=previous)
+
+
+class WideFanFamily(WorkloadFamily):
+    """A single gate over ``size`` BASs (Pareto-front-width stress).
+
+    The treelike variant is one OR gate over the whole fan (every subset of
+    leaves is a distinct cost/damage trade-off, the Example 6 regime); the
+    DAG variant splits the fan into two overlapping sub-gates joined by an
+    AND root, so the overlap BASs have two parents.
+    """
+
+    name = "wide-fan"
+    description = "one wide gate over the requested number of BASs"
+
+    def _generate(self, spec: ScenarioSpec) -> Iterable[WorkloadCase]:
+        for size in spec.sizes:
+            for index in range(spec.cases_per_size):
+                rng = random.Random(spec.case_seed(size, index))
+                tree = self._build(size, spec.shape == "dag")
+                yield self._case(spec, size, index, self._decorate(tree, rng, spec))
+
+    @staticmethod
+    def _build(width: int, dag: bool) -> AttackTree:
+        width = max(width, 2)
+        builder = AttackTreeBuilder()
+        names = []
+        for i in range(width):
+            name = f"b{i}"
+            builder.bas(name)
+            names.append(name)
+        if not dag:
+            builder.or_gate("root", names)
+            return builder.build_tree(root="root")
+        # Two overlapping halves: the middle third feeds both gates.
+        third = max(width // 3, 1)
+        left = names[: 2 * third]
+        right = names[third:]
+        builder.or_gate("left", left)
+        builder.or_gate("right", right)
+        builder.and_gate("root", ["left", "right"])
+        return builder.build_tree(root="root")
+
+
+class SharedBasFamily(WorkloadFamily):
+    """Gates drawing from a shared pool of ``size`` BASs (DAG-only).
+
+    The pool is partitioned across the gates and every gate additionally
+    borrows one BAS from the next partition, so sharing — the structure
+    that defeats the treelike bottom-up method — is guaranteed.
+    """
+
+    name = "shared-bas"
+    description = "gates over a shared BAS pool (guaranteed sharing)"
+    supported_cells = (
+        ("dag", "deterministic"),
+        ("dag", "probabilistic"),
+    )
+
+    def _generate(self, spec: ScenarioSpec) -> Iterable[WorkloadCase]:
+        for size in spec.sizes:
+            for index in range(spec.cases_per_size):
+                rng = random.Random(spec.case_seed(size, index))
+                tree = self._build(max(size, 4), rng)
+                yield self._case(spec, size, index, self._decorate(tree, rng, spec))
+
+    @staticmethod
+    def _build(pool_size: int, rng: random.Random) -> AttackTree:
+        builder = AttackTreeBuilder()
+        pool = []
+        for i in range(pool_size):
+            name = f"b{i}"
+            builder.bas(name)
+            pool.append(name)
+        gate_count = max(pool_size // 2, 2)
+        chunk = max(pool_size // gate_count, 1)
+        gates = []
+        for g in range(gate_count):
+            members = pool[g * chunk: (g + 1) * chunk]
+            if g == gate_count - 1:
+                members = pool[g * chunk:]
+            # Borrow one BAS from the next partition (wrapping), creating a
+            # second parent for it.
+            borrowed = pool[((g + 1) * chunk) % pool_size]
+            if borrowed not in members:
+                members = members + [borrowed]
+            gate = f"g{g}"
+            builder.gate(
+                gate, rng.choice([NodeType.OR, NodeType.AND]), members
+            )
+            gates.append(gate)
+        builder.or_gate("root", gates)
+        return builder.build_tree(root="root")
+
+
+# ---------------------------------------------------------------------------- #
+# registry
+# ---------------------------------------------------------------------------- #
+
+_FAMILIES: Dict[str, WorkloadFamily] = {}
+
+
+def register_family(instance: WorkloadFamily, replace: bool = False) -> WorkloadFamily:
+    """Register a family under its name (error on collision unless replace)."""
+    if not instance.name:
+        raise ValueError("workload families must set a non-empty name")
+    if instance.name in _FAMILIES and not replace:
+        raise ValueError(
+            f"a workload family named {instance.name!r} is already registered; "
+            "pass replace=True to override it"
+        )
+    _FAMILIES[instance.name] = instance
+    return instance
+
+
+def family(name: str) -> WorkloadFamily:
+    """Look up a registered family by name."""
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        known = ", ".join(family_names()) or "(none)"
+        raise ValueError(
+            f"unknown workload family {name!r}; registered families: {known}"
+        ) from None
+
+
+def family_names() -> List[str]:
+    """The registered family names, sorted."""
+    return sorted(_FAMILIES)
+
+
+def describe_families() -> str:
+    """Multi-line overview of families and their supported cells (for the CLI)."""
+    lines = []
+    for name in family_names():
+        item = _FAMILIES[name]
+        cells = ", ".join(f"{s}/{t}" for s, t in item.supported_cells)
+        lines.append(f"{name:<12} {item.description}")
+        lines.append(f"{'':<12} cells: {cells}")
+    return "\n".join(lines)
+
+
+def expand(spec: ScenarioSpec) -> List[WorkloadCase]:
+    """Expand a scenario spec into its workload cases."""
+    return family(spec.family).generate(spec)
+
+
+for _instance in (
+    CatalogFamily(),
+    RandomFamily(),
+    DeepChainFamily(),
+    WideFanFamily(),
+    SharedBasFamily(),
+):
+    register_family(_instance)

@@ -1,0 +1,278 @@
+"""Declarative scenario specifications for workload generation.
+
+A :class:`ScenarioSpec` names a workload *family* (registered in
+:mod:`repro.workloads.families`) together with everything needed to
+regenerate its models deterministically: shape (``treelike``/``dag``),
+analysis setting (``deterministic``/``probabilistic``), a size sweep, a
+seed, decoration ranges and family-specific parameters.  The same spec
+always expands to byte-identical models — ``(family, params, seed)`` is the
+whole identity — which is what makes benchmark artifacts comparable across
+machines and PRs.
+
+Specs are plain JSON values on the wire (``to_dict``/``from_dict``), the
+same convention as :class:`repro.engine.AnalysisRequest`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["DecorationRanges", "ScenarioSpec", "SHAPES", "SETTINGS"]
+
+#: Structural shapes a spec can ask for (mirrors the paper's T_tree / T_DAG).
+SHAPES = ("treelike", "dag")
+#: Analysis settings (Table I rows).
+SETTINGS = ("deterministic", "probabilistic")
+
+
+@dataclass(frozen=True)
+class DecorationRanges:
+    """Ranges the random decorations are drawn from (Section X.C defaults).
+
+    Costs and damages are integer-valued uniform draws from inclusive
+    ranges; success probabilities are the multiples of ``probability_step``
+    in ``(0, 1]``.
+    """
+
+    cost_range: Tuple[int, int] = (1, 10)
+    damage_range: Tuple[int, int] = (0, 10)
+    probability_step: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name in ("cost_range", "damage_range"):
+            value = getattr(self, name)
+            if (
+                not isinstance(value, (tuple, list))
+                or len(value) != 2
+                or not all(isinstance(bound, int) for bound in value)
+            ):
+                raise ValueError(f"{name} must be an (int, int) pair, got {value!r}")
+            object.__setattr__(self, name, tuple(value))
+            low, high = getattr(self, name)
+            if low > high:
+                raise ValueError(f"{name} is empty: {low} > {high}")
+        if self.cost_range[0] < 0:
+            raise ValueError("costs must be non-negative")
+        if self.damage_range[0] < 0:
+            raise ValueError("damages must be non-negative")
+        step = self.probability_step
+        if not isinstance(step, (int, float)) or not 0.0 < step <= 1.0:
+            raise ValueError(
+                f"probability_step must lie in (0, 1], got {step!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # choice sequences consumed by repro.attacktree.random_gen
+    # ------------------------------------------------------------------ #
+    def cost_choices(self) -> Tuple[int, ...]:
+        """The cost values a BAS can draw."""
+        return tuple(range(self.cost_range[0], self.cost_range[1] + 1))
+
+    def damage_choices(self) -> Tuple[int, ...]:
+        """The damage values a node can draw."""
+        return tuple(range(self.damage_range[0], self.damage_range[1] + 1))
+
+    def probability_choices(self) -> Tuple[float, ...]:
+        """The success probabilities a BAS can draw."""
+        count = int(round(1.0 / self.probability_step))
+        return tuple(round(self.probability_step * k, 10) for k in range(1, count + 1))
+
+    # ------------------------------------------------------------------ #
+    # JSON round-trip
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible representation."""
+        return {
+            "cost_range": list(self.cost_range),
+            "damage_range": list(self.damage_range),
+            "probability_step": self.probability_step,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DecorationRanges":
+        """Rebuild from :meth:`to_dict` output."""
+        unknown = set(data) - {"cost_range", "damage_range", "probability_step"}
+        if unknown:
+            raise ValueError(f"unknown decoration fields: {sorted(unknown)!r}")
+        kwargs: Dict[str, Any] = {}
+        for name in ("cost_range", "damage_range"):
+            if name in data:
+                kwargs[name] = tuple(data[name])
+        if "probability_step" in data:
+            kwargs["probability_step"] = data["probability_step"]
+        return cls(**kwargs)
+
+
+def _freeze_params(params: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
+    """Canonicalize family params into a hashable sorted tuple of pairs."""
+    if not params:
+        return ()
+    frozen = []
+    for key, value in sorted(dict(params).items()):
+        if isinstance(value, (list, tuple)):
+            value = tuple(value)
+        elif value is not None and not isinstance(value, (bool, int, float, str)):
+            raise ValueError(
+                f"param {key!r} has unsupported value {value!r}; params must be "
+                "JSON scalars or arrays of them"
+            )
+        frozen.append((key, value))
+    return tuple(frozen)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One reproducible workload: a family plus its expansion parameters.
+
+    Attributes
+    ----------
+    family:
+        Name of a registered workload family (``repro.workloads.family_names``).
+    shape:
+        ``"treelike"`` or ``"dag"`` — the structural regime requested.  For
+        stochastic families this selects the generation regime (like the
+        paper's ``T_tree`` vs ``T_DAG`` suites); individual small instances
+        of a DAG regime may still come out treelike.
+    setting:
+        ``"deterministic"`` (cd-AT) or ``"probabilistic"`` (cdp-AT).
+    sizes:
+        Target model sizes to sweep (minimum node counts for stochastic
+        families, exact structural parameters for the shaped stress
+        families; ignored by ``catalog``).
+    cases_per_size:
+        How many independently-seeded cases to generate per size.
+    seed:
+        Base seed; every case derives its own rng stream from
+        ``(family, shape, setting, seed, size, index)``, so a single case is
+        regenerable without expanding the whole spec.
+    problem:
+        Engine problem to benchmark on each case, by value (e.g. ``"cdpf"``).
+        Defaults to the setting's Pareto-front problem (CDPF / CEDPF).
+    backend:
+        Optional backend to force (``None`` follows Table I resolution).
+    decoration:
+        Ranges for the random cost/damage/probability decorations.
+    params:
+        Family-specific knobs, stored canonically as a sorted tuple of pairs.
+    """
+
+    family: str
+    shape: str = "treelike"
+    setting: str = "deterministic"
+    sizes: Tuple[int, ...] = (10,)
+    cases_per_size: int = 1
+    seed: int = 2023
+    problem: Optional[str] = None
+    backend: Optional[str] = None
+    decoration: DecorationRanges = field(default_factory=DecorationRanges)
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.family or not isinstance(self.family, str):
+            raise ValueError(f"family must be a non-empty string, got {self.family!r}")
+        if self.shape not in SHAPES:
+            raise ValueError(
+                f"shape must be one of {'/'.join(SHAPES)}, got {self.shape!r}"
+            )
+        if self.setting not in SETTINGS:
+            raise ValueError(
+                f"setting must be one of {'/'.join(SETTINGS)}, got {self.setting!r}"
+            )
+        if isinstance(self.sizes, int):
+            object.__setattr__(self, "sizes", (self.sizes,))
+        else:
+            object.__setattr__(self, "sizes", tuple(self.sizes))
+        if not self.sizes or any(
+            not isinstance(size, int) or size < 1 for size in self.sizes
+        ):
+            raise ValueError(f"sizes must be positive integers, got {self.sizes!r}")
+        if not isinstance(self.cases_per_size, int) or self.cases_per_size < 1:
+            raise ValueError(
+                f"cases_per_size must be a positive integer, got {self.cases_per_size!r}"
+            )
+        if not isinstance(self.seed, int):
+            raise ValueError(f"seed must be an integer, got {self.seed!r}")
+        if not isinstance(self.decoration, DecorationRanges):
+            raise ValueError(
+                "decoration must be a DecorationRanges, got "
+                f"{type(self.decoration).__name__}"
+            )
+        object.__setattr__(self, "params", _freeze_params(dict(self.params or ())))
+
+    # ------------------------------------------------------------------ #
+    # identity and derived values
+    # ------------------------------------------------------------------ #
+    def label(self) -> str:
+        """A short stable name, e.g. ``random-dag-probabilistic-s2023``."""
+        return f"{self.family}-{self.shape}-{self.setting}-s{self.seed}"
+
+    def case_seed(self, size: int, index: int) -> str:
+        """The per-case rng seed string (deterministic, order-independent)."""
+        return (
+            f"{self.family}:{self.shape}:{self.setting}:{self.seed}:{size}:{index}"
+        )
+
+    def param(self, key: str, default: Any = None) -> Any:
+        """Look up one family-specific parameter."""
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+    def default_problem(self) -> str:
+        """The problem benchmarked when none is given explicitly."""
+        if self.problem is not None:
+            return self.problem
+        return "cedpf" if self.setting == "probabilistic" else "cdpf"
+
+    def with_overrides(self, **changes: Any) -> "ScenarioSpec":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------ #
+    # JSON round-trip
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible representation."""
+        payload: Dict[str, Any] = {
+            "family": self.family,
+            "shape": self.shape,
+            "setting": self.setting,
+            "sizes": list(self.sizes),
+            "cases_per_size": self.cases_per_size,
+            "seed": self.seed,
+        }
+        if self.problem is not None:
+            payload["problem"] = self.problem
+        if self.backend is not None:
+            payload["backend"] = self.backend
+        if self.decoration != DecorationRanges():
+            payload["decoration"] = self.decoration.to_dict()
+        if self.params:
+            payload["params"] = dict(self.params)
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        known = {
+            "family", "shape", "setting", "sizes", "cases_per_size", "seed",
+            "problem", "backend", "decoration", "params",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)!r}")
+        if "family" not in data:
+            raise ValueError("scenario spec is missing the 'family' field")
+        kwargs: Dict[str, Any] = {"family": data["family"]}
+        for name in ("shape", "setting", "cases_per_size", "seed", "problem", "backend"):
+            if name in data:
+                kwargs[name] = data[name]
+        if "sizes" in data:
+            kwargs["sizes"] = tuple(data["sizes"])
+        if "decoration" in data:
+            kwargs["decoration"] = DecorationRanges.from_dict(data["decoration"])
+        if "params" in data:
+            kwargs["params"] = _freeze_params(data["params"])
+        return cls(**kwargs)

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.attacktree import catalog
+from repro.attacktree import catalog, serialization
 from repro.attacktree.random_gen import (
     RandomSuiteSpec,
     combine_common_parent,
@@ -118,3 +118,68 @@ class TestSuiteGeneration:
         first = generate_suite(spec)
         second = generate_suite(spec)
         assert [m.cost for m in first] == [m.cost for m in second]
+
+
+class TestSeedDeterminism:
+    """Same seed ⇒ byte-identical tree, decoration and suite.
+
+    Stronger than structural equality: the serialized JSON must match, so
+    benchmark artifacts that embed a seed regenerate the exact workload.
+    """
+
+    def test_random_attack_tree_identical_serialization(self):
+        for treelike in (True, False):
+            first = random_attack_tree(25, random.Random(11), treelike=treelike)
+            second = random_attack_tree(25, random.Random(11), treelike=treelike)
+            assert serialization.to_json(first) == serialization.to_json(second)
+
+    def test_random_attack_tree_seed_changes_output(self):
+        # Large enough that several combination steps must happen, so two
+        # seeds cannot collapse to the same single building block.
+        first = random_attack_tree(80, random.Random(11))
+        second = random_attack_tree(80, random.Random(12))
+        assert serialization.to_json(first) != serialization.to_json(second)
+
+    def test_random_decoration_identical_maps(self):
+        tree = random_attack_tree(20, random.Random(1))
+        first = random_decoration(tree, random.Random(21))
+        second = random_decoration(tree, random.Random(21))
+        assert first == second
+        third = random_decoration(tree, random.Random(22))
+        assert first != third
+
+    def test_decoration_choices_respected(self):
+        tree = catalog.factory().tree
+        cost, damage, probability = random_decoration(
+            tree, random.Random(5),
+            cost_choices=(3,), damage_choices=(7,), probability_choices=(0.5,),
+        )
+        assert set(cost.values()) == {3.0}
+        assert set(damage.values()) == {7.0}
+        assert set(probability.values()) == {0.5}
+
+    def test_generate_suite_identical_models(self):
+        spec = RandomSuiteSpec(max_target_size=5, trees_per_size=2, seed=31)
+        first = generate_suite(spec)
+        second = generate_suite(spec)
+        assert [serialization.to_json(m) for m in first] == \
+               [serialization.to_json(m) for m in second]
+
+    def test_generate_suite_explicit_sizes(self):
+        spec = RandomSuiteSpec(sizes=(5, 10, 15), trees_per_size=2, seed=31)
+        assert spec.target_sizes() == (5, 10, 15)
+        suite = generate_suite(spec)
+        assert len(suite) == 6
+        assert all(len(m.tree) >= 5 for m in suite)
+        assert [serialization.to_json(m) for m in suite] == \
+               [serialization.to_json(m) for m in generate_suite(spec)]
+
+    def test_generate_suite_custom_decoration_choices(self):
+        spec = RandomSuiteSpec(
+            sizes=(6,), trees_per_size=1, seed=2,
+            cost_choices=(4,), damage_choices=(1,), probability_choices=(0.3,),
+        )
+        model = generate_suite(spec)[0]
+        assert set(model.cost.values()) == {4.0}
+        assert set(model.damage.values()) == {1.0}
+        assert set(model.probability.values()) == {0.3}

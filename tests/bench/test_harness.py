@@ -1,0 +1,104 @@
+"""Tests for the benchmark harness: expansion, execution, executors."""
+
+import pytest
+
+from repro.bench import BenchRun, build_request, execute_specs, expand_specs
+from repro.core.problems import Problem
+from repro.workloads import ScenarioSpec
+
+TINY = [
+    ScenarioSpec(family="catalog", shape="treelike", setting="deterministic"),
+    ScenarioSpec(family="random", shape="treelike", setting="deterministic",
+                 sizes=(6,), cases_per_size=2),
+    ScenarioSpec(family="wide-fan", shape="dag", setting="deterministic",
+                 sizes=(6,)),
+]
+
+
+class TestBuildRequest:
+    def test_defaults_follow_setting(self):
+        det = build_request(ScenarioSpec(family="random"))
+        prob = build_request(ScenarioSpec(family="random", setting="probabilistic"))
+        assert det.problem is Problem.CDPF
+        assert prob.problem is Problem.CEDPF
+
+    def test_scalar_params_flow_through(self):
+        spec = ScenarioSpec(family="random", problem="dgc", params={"budget": 5})
+        request = build_request(spec)
+        assert request.problem is Problem.DGC
+        assert request.budget == 5
+
+    def test_backend_forced(self):
+        spec = ScenarioSpec(family="random", backend="enumerative")
+        assert build_request(spec).backend == "enumerative"
+
+
+class TestExecution:
+    def test_expand_specs_keeps_spec_with_case(self):
+        items = expand_specs(TINY)
+        assert len(items) == 5  # 2 catalog + 2 random + 1 wide-fan
+        assert all(spec.family == case.family for spec, case in items)
+
+    def test_sequential_run_records_rows(self):
+        runs = execute_specs(TINY)
+        assert len(runs) == 5
+        for run in runs:
+            assert isinstance(run, BenchRun)
+            assert run.wall_time_seconds >= 0
+            assert run.result_points > 0
+            assert run.nodes > 0 and run.bas > 0
+            assert run.backend in {"bottom-up", "bilp"}
+
+    def test_rows_round_trip(self):
+        run = execute_specs(TINY[:1])[0]
+        assert BenchRun.from_dict(run.to_dict()) == run
+
+    def test_repeats_recorded(self):
+        runs = execute_specs(TINY[:1], repeats=3)
+        assert all(run.repeats == 3 for run in runs)
+        # Repeats clear the session cache, so every repeat really computed.
+        assert all(run.cache_hits == 0 for run in runs)
+        assert all(run.cache_misses == 3 for run in runs)
+
+    def test_thread_executor_matches_sequential(self):
+        sequential = execute_specs(TINY)
+        threaded = execute_specs(TINY, executor="thread", max_workers=4)
+        assert [(r.case_id, r.result_points, r.value, r.backend)
+                for r in sequential] == \
+               [(r.case_id, r.result_points, r.value, r.backend)
+                for r in threaded]
+
+    def test_process_executor_matches_sequential_on_random_suite(self):
+        # Acceptance criterion: process-pool execution of a random-suite
+        # workload returns results equal to sequential execution.
+        specs = [
+            ScenarioSpec(family="random", shape="treelike",
+                         setting="deterministic", sizes=(6, 10), cases_per_size=2),
+            ScenarioSpec(family="random", shape="dag",
+                         setting="probabilistic", sizes=(5,)),
+        ]
+        sequential = execute_specs(specs)
+        processed = execute_specs(specs, executor="process", max_workers=2)
+        assert [(r.case_id, r.result_points, r.value, r.backend, r.model_shape)
+                for r in sequential] == \
+               [(r.case_id, r.result_points, r.value, r.backend, r.model_shape)
+                for r in processed]
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            execute_specs(TINY, executor="gpu")
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            execute_specs(TINY, repeats=0)
+
+    def test_invalid_request_fails_before_any_execution(self):
+        # The missing budget must surface during pre-flight, not mid-run.
+        specs = [ScenarioSpec(family="random", sizes=(6,), problem="dgc")]
+        with pytest.raises(ValueError, match="budget"):
+            execute_specs(specs)
+
+    def test_unknown_backend_fails_preflight(self):
+        specs = [ScenarioSpec(family="random", sizes=(6,), backend="nope")]
+        with pytest.raises(ValueError, match="unknown backend"):
+            execute_specs(specs)

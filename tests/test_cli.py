@@ -92,3 +92,113 @@ class TestCommands:
         serialization.save_json(catalog.factory().tree, str(path))
         with pytest.raises(SystemExit, match="without cost/damage"):
             main(["analyze", str(path)])
+
+
+class TestBench:
+    def test_bench_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["bench", "run", "--profile", "smoke"])
+        assert args.command == "bench" and args.bench_command == "run"
+        args = parser.parse_args(["bench", "compare", "a.json", "b.json"])
+        assert args.threshold == 0.25
+        args = parser.parse_args(["bench", "list"])
+        assert args.bench_command == "list"
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "workload families:" in output
+        assert "random" in output and "shared-bas" in output
+        assert "smoke" in output and "full" in output
+
+    def test_bench_run_and_compare(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_smoke.json")
+        assert main(["bench", "run", "--profile", "smoke", "--out", out]) == 0
+        stdout = capsys.readouterr().out
+        assert "wrote" in stdout and "families" in stdout
+
+        artifact = json.loads(open(out).read())
+        assert artifact["schema"] == "atcd-bench"
+        assert len(artifact["totals"]["families"]) >= 4
+        assert sorted(artifact["totals"]["shapes"]) == ["dag", "treelike"]
+        assert sorted(artifact["totals"]["settings"]) == [
+            "deterministic", "probabilistic"
+        ]
+
+        # Acceptance criterion: compare against a copy of itself passes.
+        assert main(["bench", "compare", out, out]) == 0
+        assert "PASS: no regressions" in capsys.readouterr().out
+
+    def test_bench_compare_detects_regression(self, tmp_path, capsys):
+        from repro.bench import build_artifact, execute_specs, write_artifact
+        from repro.workloads import ScenarioSpec
+
+        specs = [ScenarioSpec(family="wide-fan", sizes=(6,))]
+        runs = execute_specs(specs)
+        base = str(tmp_path / "base.json")
+        write_artifact(build_artifact("base", specs, runs), base)
+        slow = json.loads(open(base).read())
+        for run in slow["runs"]:
+            run["wall_time_seconds"] = run["wall_time_seconds"] * 10 + 1.0
+        slow_path = str(tmp_path / "slow.json")
+        open(slow_path, "w").write(json.dumps(slow))
+        assert main(["bench", "compare", base, slow_path]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+
+class TestErrorPaths:
+    """User errors exit 2 with a one-line atcd: message, never a traceback."""
+
+    def _assert_one_line_error(self, capsys):
+        captured = capsys.readouterr()
+        error_lines = [line for line in captured.err.splitlines() if line]
+        assert len(error_lines) == 1
+        assert error_lines[0].startswith("atcd: ")
+        assert "Traceback" not in captured.err
+
+    def test_unknown_backend_exits_2(self, factory_json, capsys):
+        assert main(["pareto", factory_json, "--backend", "nope"]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_uncovered_capability_exits_2(self, factory_json, capsys):
+        # prob-dag cannot answer deterministic problems: capability error.
+        assert main(["pareto", factory_json, "--backend", "prob-dag"]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_malformed_batch_json_exits_2(self, factory_json, tmp_path, capsys):
+        requests = tmp_path / "requests.json"
+        requests.write_text("{not valid json")
+        assert main(["batch", factory_json, str(requests)]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_batch_entry_error_names_index(self, factory_json, tmp_path, capsys):
+        requests = tmp_path / "requests.json"
+        requests.write_text(json.dumps([{"problem": "cdpf"}, {"problem": "dgc"}]))
+        assert main(["batch", factory_json, str(requests)]) == 2
+        captured = capsys.readouterr()
+        assert "[1]" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_bench_unknown_profile_exits_2(self, capsys):
+        assert main(["bench", "run", "--profile", "nope"]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_bench_unknown_executor_exits_2(self, capsys):
+        assert main(["bench", "run", "--executor", "warp"]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_bench_missing_artifact_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "missing.json")
+        other = str(tmp_path / "other.json")
+        assert main(["bench", "compare", missing, other]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_bench_invalid_artifact_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "something-else"}))
+        assert main(["bench", "compare", str(bad), str(bad)]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_bench_bad_repeats_exits_2(self, capsys):
+        assert main(["bench", "run", "--repeats", "0"]) == 2
+        self._assert_one_line_error(capsys)

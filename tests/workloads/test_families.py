@@ -1,0 +1,148 @@
+"""Tests for the workload family registry and the built-in families."""
+
+import pytest
+
+from repro.attacktree import serialization
+from repro.attacktree.attributes import CostDamageAT, CostDamageProbAT
+from repro.workloads import (
+    ScenarioSpec,
+    WorkloadFamily,
+    expand,
+    family,
+    family_names,
+    register_family,
+)
+
+ALL_FAMILIES = ("catalog", "random", "deep-chain", "wide-fan", "shared-bas")
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(ALL_FAMILIES) <= set(family_names())
+
+    def test_unknown_family_lists_known(self):
+        with pytest.raises(ValueError, match="registered families"):
+            family("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_family(family("random"))
+
+    def test_replace_allows_reregistration(self):
+        existing = family("random")
+        assert register_family(existing, replace=True) is existing
+
+    def test_nameless_family_rejected(self):
+        with pytest.raises(ValueError, match="non-empty name"):
+            register_family(WorkloadFamily())
+
+
+class TestExpansion:
+    @pytest.mark.parametrize("name", ALL_FAMILIES)
+    def test_expansion_is_deterministic(self, name):
+        shape = "dag" if name == "shared-bas" else "treelike"
+        spec = ScenarioSpec(family=name, shape=shape, sizes=(6,), cases_per_size=2)
+        first = expand(spec)
+        second = expand(spec)
+        assert [c.case_id for c in first] == [c.case_id for c in second]
+        assert [serialization.to_json(c.model) for c in first] == \
+               [serialization.to_json(c.model) for c in second]
+
+    @pytest.mark.parametrize("name", ALL_FAMILIES)
+    def test_seed_changes_generated_models(self, name):
+        if name == "catalog":
+            pytest.skip("catalog models are fixed, not seeded")
+        shape = "dag" if name == "shared-bas" else "treelike"
+        base = ScenarioSpec(family=name, shape=shape, sizes=(8,))
+        reseeded = base.with_overrides(seed=base.seed + 1)
+        first = serialization.to_json(expand(base)[0].model)
+        second = serialization.to_json(expand(reseeded)[0].model)
+        assert first != second
+
+    def test_setting_controls_model_type(self):
+        det = expand(ScenarioSpec(family="random", sizes=(6,)))[0].model
+        prob = expand(
+            ScenarioSpec(family="random", setting="probabilistic", sizes=(6,))
+        )[0].model
+        assert isinstance(det, CostDamageAT) and not isinstance(det, CostDamageProbAT)
+        assert isinstance(prob, CostDamageProbAT)
+
+    def test_case_count_follows_spec(self):
+        spec = ScenarioSpec(family="random", sizes=(4, 8, 12), cases_per_size=3)
+        cases = expand(spec)
+        assert len(cases) == 9
+        assert len({c.case_id for c in cases}) == 9
+
+    def test_decoration_ranges_respected(self):
+        from repro.workloads import DecorationRanges
+
+        spec = ScenarioSpec(
+            family="random", sizes=(12,),
+            decoration=DecorationRanges(cost_range=(5, 5), damage_range=(2, 2)),
+        )
+        model = expand(spec)[0].model
+        assert set(model.cost.values()) == {5.0}
+        assert set(model.damage.values()) == {2.0}
+
+
+class TestShapes:
+    def test_treelike_families_generate_trees(self):
+        for name in ("random", "deep-chain", "wide-fan"):
+            case = expand(ScenarioSpec(family=name, sizes=(10,)))[0]
+            assert case.model.tree.is_treelike, name
+
+    def test_dag_variants_generate_sharing(self):
+        for name in ("deep-chain", "wide-fan", "shared-bas"):
+            case = expand(ScenarioSpec(family=name, shape="dag", sizes=(10,)))[0]
+            assert not case.model.tree.is_treelike, name
+
+    def test_shared_bas_rejects_treelike(self):
+        with pytest.raises(ValueError, match="does not support"):
+            expand(ScenarioSpec(family="shared-bas", shape="treelike"))
+
+    def test_catalog_rejects_probabilistic_dag(self):
+        with pytest.raises(ValueError, match="does not support"):
+            expand(ScenarioSpec(family="catalog", shape="dag",
+                                setting="probabilistic"))
+
+    def test_mismatched_family_name_rejected(self):
+        spec = ScenarioSpec(family="random")
+        with pytest.raises(ValueError, match="was given to"):
+            family("deep-chain").generate(spec)
+
+
+class TestCatalogFamily:
+    def test_treelike_deterministic_cases(self):
+        cases = expand(ScenarioSpec(family="catalog"))
+        assert {c.case_id.split("s2023-")[-1] for c in cases} == \
+               {"factory", "panda-iot"}
+        assert all(isinstance(c.model, CostDamageAT) for c in cases)
+
+    def test_dag_deterministic_is_data_server(self):
+        cases = expand(ScenarioSpec(family="catalog", shape="dag"))
+        assert len(cases) == 1
+        assert not cases[0].model.tree.is_treelike
+
+    def test_sizes_are_model_sizes(self):
+        for case in expand(ScenarioSpec(family="catalog", sizes=(999,))):
+            assert case.size == len(case.model.tree)
+
+
+class TestStressShapes:
+    def test_deep_chain_depth_scales(self):
+        small = expand(ScenarioSpec(family="deep-chain", sizes=(5,)))[0]
+        large = expand(ScenarioSpec(family="deep-chain", sizes=(20,)))[0]
+        assert large.node_count > small.node_count
+
+    def test_wide_fan_width_matches_size(self):
+        case = expand(ScenarioSpec(family="wide-fan", sizes=(9,)))[0]
+        assert case.bas_count == 9
+
+    def test_shared_bas_pool_is_shared(self):
+        case = expand(ScenarioSpec(family="shared-bas", shape="dag", sizes=(10,)))[0]
+        tree = case.model.tree
+        parents = {}
+        for node in tree.nodes.values():
+            for child in node.children:
+                parents.setdefault(child, []).append(node.name)
+        assert any(len(p) > 1 for p in parents.values())

@@ -1,0 +1,108 @@
+"""Tests for the declarative scenario-spec layer."""
+
+import pytest
+
+from repro.workloads import DecorationRanges, ScenarioSpec
+
+
+class TestDecorationRanges:
+    def test_paper_defaults(self):
+        ranges = DecorationRanges()
+        assert ranges.cost_choices() == tuple(range(1, 11))
+        assert ranges.damage_choices() == tuple(range(0, 11))
+        assert ranges.probability_choices()[0] == pytest.approx(0.1)
+        assert ranges.probability_choices()[-1] == pytest.approx(1.0)
+        assert len(ranges.probability_choices()) == 10
+
+    def test_custom_ranges(self):
+        ranges = DecorationRanges(cost_range=(2, 4), damage_range=(0, 1),
+                                  probability_step=0.5)
+        assert ranges.cost_choices() == (2, 3, 4)
+        assert ranges.damage_choices() == (0, 1)
+        assert ranges.probability_choices() == (0.5, 1.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"cost_range": (5, 2)},
+        {"cost_range": (-1, 2)},
+        {"damage_range": (1,)},
+        {"probability_step": 0.0},
+        {"probability_step": 1.5},
+    ])
+    def test_invalid_ranges_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DecorationRanges(**kwargs)
+
+    def test_round_trip(self):
+        ranges = DecorationRanges(cost_range=(1, 3), probability_step=0.25)
+        assert DecorationRanges.from_dict(ranges.to_dict()) == ranges
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown decoration"):
+            DecorationRanges.from_dict({"colour": "red"})
+
+
+class TestScenarioSpec:
+    def test_defaults(self):
+        spec = ScenarioSpec(family="random")
+        assert spec.shape == "treelike"
+        assert spec.setting == "deterministic"
+        assert spec.default_problem() == "cdpf"
+
+    def test_probabilistic_default_problem(self):
+        spec = ScenarioSpec(family="random", setting="probabilistic")
+        assert spec.default_problem() == "cedpf"
+
+    def test_explicit_problem_wins(self):
+        spec = ScenarioSpec(family="random", problem="dgc")
+        assert spec.default_problem() == "dgc"
+
+    def test_single_size_normalized(self):
+        assert ScenarioSpec(family="random", sizes=7).sizes == (7,)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"family": ""},
+        {"family": "random", "shape": "cyclic"},
+        {"family": "random", "setting": "quantum"},
+        {"family": "random", "sizes": ()},
+        {"family": "random", "sizes": (0,)},
+        {"family": "random", "cases_per_size": 0},
+        {"family": "random", "seed": "abc"},
+    ])
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioSpec(**kwargs)
+
+    def test_case_seed_is_stable_and_distinct(self):
+        spec = ScenarioSpec(family="random", seed=7)
+        assert spec.case_seed(10, 0) == spec.case_seed(10, 0)
+        assert spec.case_seed(10, 0) != spec.case_seed(10, 1)
+        assert spec.case_seed(10, 0) != spec.case_seed(20, 0)
+        other = spec.with_overrides(seed=8)
+        assert other.case_seed(10, 0) != spec.case_seed(10, 0)
+
+    def test_params_are_frozen_and_sorted(self):
+        spec = ScenarioSpec(family="random", params={"b": 2, "a": 1})
+        assert spec.params == (("a", 1), ("b", 2))
+        assert spec.param("a") == 1
+        assert spec.param("missing", 42) == 42
+
+    def test_round_trip(self):
+        spec = ScenarioSpec(
+            family="deep-chain", shape="dag", setting="probabilistic",
+            sizes=(5, 10), cases_per_size=3, seed=99, problem="edgc",
+            backend="enumerative", params={"budget": 4},
+            decoration=DecorationRanges(cost_range=(1, 5)),
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_minimal(self):
+        spec = ScenarioSpec(family="catalog")
+        payload = spec.to_dict()
+        assert "problem" not in payload and "decoration" not in payload
+        assert ScenarioSpec.from_dict(payload) == spec
+
+    def test_from_dict_rejects_unknown_and_missing(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            ScenarioSpec.from_dict({"family": "random", "colour": "red"})
+        with pytest.raises(ValueError, match="missing the 'family'"):
+            ScenarioSpec.from_dict({"shape": "dag"})
