@@ -85,6 +85,11 @@ def build_artifact(
             "shapes": sorted({run.shape for run in runs}),
             "settings": sorted({run.setting for run in runs}),
             "wall_time_seconds": sum(run.wall_time_seconds for run in runs),
+            # Aggregate cache counters: with a shared result store attached,
+            # hits / (hits + misses) is the run's store hit-rate.
+            "cache_hits": sum(run.cache_hits for run in runs),
+            "cache_misses": sum(run.cache_misses for run in runs),
+            "store_hits": sum(run.store_hits for run in runs),
         },
     }
     validate_artifact(artifact)

@@ -24,6 +24,7 @@ from ..attacktree import serialization
 from ..core.problems import Problem
 from ..engine import AnalysisRequest, AnalysisSession
 from ..engine.session import EXECUTORS
+from ..engine.store import SqliteStore
 from ..workloads import ScenarioSpec, WorkloadCase, expand
 from .measure import TimingSample
 
@@ -37,8 +38,10 @@ class BenchRun:
     ``wall_time_seconds`` is the mean over ``repeats`` runs (the session
     cache is cleared between repeats so every run really computes);
     ``cache_hits``/``cache_misses`` are the session's counters after all
-    repeats — hits stay zero unless a future harness feature replays
-    requests.
+    repeats.  Hits stay zero unless a shared result store was attached —
+    then a case answered by the store records ``cache_hits >= 1`` with the
+    store portion in ``store_hits``, and its ``wall_time_seconds`` is the
+    original computation's time.
     """
 
     case_id: str
@@ -58,6 +61,9 @@ class BenchRun:
     value: Optional[float]
     cache_hits: int
     cache_misses: int
+    #: How many of the hits were served by a shared result store (zero
+    #: unless the harness ran with a store path).
+    store_hits: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-compatible representation (one artifact ``runs`` entry)."""
@@ -81,6 +87,8 @@ class BenchRun:
         }
         if self.value is not None:
             payload["value"] = self.value
+        if self.store_hits:
+            payload["store_hits"] = self.store_hits
         return payload
 
     @classmethod
@@ -107,6 +115,7 @@ class BenchRun:
             value=data.get("value"),
             cache_hits=data.get("cache_hits", 0),
             cache_misses=data.get("cache_misses", 0),
+            store_hits=data.get("store_hits", 0),
         )
 
 
@@ -154,16 +163,33 @@ def _case_payload(
     }
 
 
-def _execute_case(payload: Dict[str, Any]) -> Dict[str, Any]:
+# The shared result store of a process-pool worker: opened once per worker
+# by the pool initializer (one sqlite connection per process, not one per
+# case) and closed implicitly at worker exit.
+_WORKER_STORE: Optional[SqliteStore] = None
+
+
+def _store_initializer(store_path: Optional[str]) -> None:
+    global _WORKER_STORE
+    _WORKER_STORE = SqliteStore(store_path) if store_path else None
+
+
+def _execute_case(
+    payload: Dict[str, Any], store: Optional[SqliteStore] = None
+) -> Dict[str, Any]:
     """Run one case (possibly in a worker process) and return its row.
 
     Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
-    pickle it; the sequential and thread executors call it inline.
+    pickle it.  The sequential and thread executors pass the run's shared
+    store instance explicitly; pool workers fall back to the per-process
+    one their initializer opened.
     """
+    if store is None:
+        store = _WORKER_STORE
     model = serialization.from_dict(payload["model"])
     request = AnalysisRequest.from_dict(payload["request"])
     repeats = payload["repeats"]
-    session = AnalysisSession(model)
+    session = AnalysisSession(model, store=store)
     durations: List[float] = []
     result = None
     for repeat in range(repeats):
@@ -196,6 +222,7 @@ def _execute_case(payload: Dict[str, Any]) -> Dict[str, Any]:
         value=result.value,
         cache_hits=session.stats.hits,
         cache_misses=session.stats.misses,
+        store_hits=session.stats.store_hits,
     ).to_dict()
 
 
@@ -204,6 +231,7 @@ def execute_specs(
     executor: str = "sequential",
     max_workers: Optional[int] = None,
     repeats: int = 1,
+    store_path: Optional[str] = None,
 ) -> List[BenchRun]:
     """Expand and execute scenario specs, preserving expansion order.
 
@@ -221,6 +249,17 @@ def execute_specs(
         at 8).
     repeats:
         Timing repetitions per case (mean/std are recorded).
+    store_path:
+        Optional path of a shared sqlite result store
+        (:class:`repro.engine.SqliteStore`).  Every case's session reads
+        through and writes back to it, so repeated runs — and concurrent
+        pool workers — share results instead of recomputing.  A case
+        served from the store reports the *original* computation's wall
+        time (so warm artifacts stay comparable against cold ones) and a
+        nonzero ``cache_hits``/``store_hits``.  With ``repeats > 1`` only
+        the in-memory cache is cleared between repeats; later repeats may
+        be answered by the store, making repeats pointless for timing —
+        prefer ``repeats=1`` when benchmarking against a store.
     """
     if executor not in EXECUTORS:
         raise ValueError(
@@ -228,20 +267,40 @@ def execute_specs(
         )
     if not isinstance(repeats, int) or repeats < 1:
         raise ValueError(f"repeats must be a positive integer, got {repeats!r}")
-    items = expand_specs(specs)
-    payloads = [_case_payload(spec, case, repeats) for spec, case in items]
-    # Validate every request up front: a bad backend name or missing budget
-    # in the last spec must not surface after minutes of benchmarking.
-    for spec, case in items:
-        request = build_request(spec)
-        request.validate()
-        session = AnalysisSession(case.model)
-        session.resolve(request.problem, backend=request.backend)
-    if executor == "sequential" or len(payloads) <= 1:
-        rows = [_execute_case(payload) for payload in payloads]
-    else:
-        workers = max_workers or min(len(payloads), 8)
-        pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
-        with pool_cls(max_workers=workers) as pool:
-            rows = list(pool.map(_execute_case, payloads))
+    # Open the store once, up front: a corrupt or stale-schema file must
+    # fail before any work runs, not from inside the Nth pool worker.  The
+    # same connection then serves every sequential/thread case; process
+    # workers open their own via the pool initializer.
+    store = SqliteStore(store_path) if store_path is not None else None
+    try:
+        items = expand_specs(specs)
+        payloads = [_case_payload(spec, case, repeats) for spec, case in items]
+        # Validate every request up front: a bad backend name or missing
+        # budget in the last spec must not surface after minutes of
+        # benchmarking.
+        for spec, case in items:
+            request = build_request(spec)
+            request.validate()
+            session = AnalysisSession(case.model)
+            session.resolve(request.problem, backend=request.backend)
+        if executor == "sequential" or len(payloads) <= 1:
+            rows = [_execute_case(payload, store=store) for payload in payloads]
+        elif executor == "thread":
+            workers = max_workers or min(len(payloads), 8)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                rows = list(
+                    pool.map(lambda payload: _execute_case(payload, store=store),
+                             payloads)
+                )
+        else:
+            workers = max_workers or min(len(payloads), 8)
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_store_initializer,
+                initargs=(store_path,),
+            ) as pool:
+                rows = list(pool.map(_execute_case, payloads))
+    finally:
+        if store is not None:
+            store.close()
     return [BenchRun.from_dict(row) for row in rows]

@@ -8,15 +8,20 @@ Installed as the ``atcd`` console script.  Sub-commands:
     Print only the Pareto front (CDPF or CEDPF).
 ``atcd dgc MODEL.json --budget U`` / ``atcd cgd MODEL.json --threshold L``
     Solve the single-objective problems.
-``atcd batch MODEL.json REQUESTS.json [--parallel] [--out FILE]``
+``atcd batch MODEL.json REQUESTS.json [--parallel] [--out FILE] [--store DB]``
     Execute a JSON list of analysis requests through one
     :class:`~repro.engine.AnalysisSession` and emit the results as JSON —
-    the service-style entry point of the engine.
+    the service-style entry point of the engine.  With ``--store`` the
+    session reads through and writes back to a shared sqlite result store.
 ``atcd backends``
     List the registered solver backends and their capabilities.
-``atcd bench run [--profile NAME] [--out FILE] [--executor ...]``
+``atcd store stats|prune DB``
+    Inspect or empty a shared result store
+    (see :mod:`repro.engine.store`).
+``atcd bench run [--profile NAME] [--out FILE] [--executor ...] [--store DB]``
     Execute a benchmark profile through the engine and write a versioned
-    ``BENCH_*.json`` artifact (see ``benchmarks/DESIGN.md``).
+    ``BENCH_*.json`` artifact (see ``benchmarks/DESIGN.md``).  With
+    ``--store`` repeated runs serve unchanged cases from the shared store.
 ``atcd bench compare BASELINE.json CANDIDATE.json [--threshold R]``
     Diff two artifacts; exits 1 when a timing regression or result
     mismatch is found.
@@ -46,7 +51,8 @@ from .attacktree import catalog, serialization
 from .attacktree.attributes import CostDamageAT, CostDamageProbAT
 from .core.analysis import CostDamageAnalyzer
 from .core.problems import Method, Problem
-from .engine import AnalysisRequest, AnalysisSession, shared_registry
+from .engine import AnalysisRequest, AnalysisSession, SqliteStore, shared_registry
+from .engine.store import open_store
 from .experiments import casestudies
 from .experiments.report import format_pareto_front
 
@@ -61,8 +67,8 @@ _CATALOG = {
 
 #: Subcommands whose ValueError/TypeError failures are user errors (bad
 #: backend name, uncovered cell, missing parameter, malformed request,
-#: unknown bench profile/executor, invalid artifact).
-_ENGINE_COMMANDS = frozenset({"pareto", "dgc", "cgd", "batch", "bench"})
+#: unknown bench profile/executor, invalid artifact, unusable store file).
+_ENGINE_COMMANDS = frozenset({"pareto", "dgc", "cgd", "batch", "bench", "store"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -110,8 +116,27 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--parallel", action="store_true",
                        help="execute the batch on a thread pool")
     batch.add_argument("--out", default=None, help="output path (default: stdout)")
+    batch.add_argument("--store", default=None, metavar="DB",
+                       help="shared sqlite result store to read through and "
+                            "write back to (created if absent)")
 
     subparsers.add_parser("backends", help="list registered solver backends")
+
+    store_cmd = subparsers.add_parser(
+        "store", help="inspect or prune a shared result store"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser(
+        "stats", help="entry counts and layout of a store file"
+    )
+    store_stats.add_argument("path", help="path to a result-store sqlite file")
+    store_prune = store_sub.add_parser(
+        "prune", help="delete stored results (all, or one model's)"
+    )
+    store_prune.add_argument("path", help="path to a result-store sqlite file")
+    store_prune.add_argument("--fingerprint", default=None, metavar="SHA256",
+                             help="only prune results of this model fingerprint "
+                                  "(default: prune everything)")
 
     bench = subparsers.add_parser(
         "bench", help="run and compare workload benchmarks"
@@ -130,6 +155,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="pool size for the parallel executors")
     bench_run.add_argument("--repeats", type=int, default=1,
                            help="timing repetitions per case (default: 1)")
+    bench_run.add_argument("--store", default=None, metavar="DB",
+                           help="shared sqlite result store; repeated runs "
+                                "and pool workers share results through it "
+                                "(created if absent)")
     bench_compare = bench_sub.add_parser(
         "compare", help="diff two artifacts for regressions"
     )
@@ -225,7 +254,18 @@ def _command_cgd(args: argparse.Namespace) -> int:
 
 
 def _command_batch(args: argparse.Namespace) -> int:
-    session = AnalysisSession(_load_model(args.model))
+    store = SqliteStore(args.store) if args.store else None
+    try:
+        return _run_batch_command(args, store)
+    finally:
+        if store is not None:
+            store.close()
+
+
+def _run_batch_command(
+    args: argparse.Namespace, store: Optional[SqliteStore]
+) -> int:
+    session = AnalysisSession(_load_model(args.model), store=store)
     with open(args.requests, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     if not isinstance(payload, list):
@@ -299,6 +339,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         executor=args.executor,
         max_workers=args.max_workers,
         repeats=args.repeats,
+        store_path=args.store,
     )
     artifact = bench.build_artifact(
         args.profile,
@@ -309,6 +350,7 @@ def _command_bench(args: argparse.Namespace) -> int:
             "executor": args.executor,
             "max_workers": args.max_workers,
             "repeats": args.repeats,
+            "store": args.store,
         },
     )
     out = args.out or f"BENCH_{args.profile}.json"
@@ -330,6 +372,30 @@ def _command_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    # Inspection must not conjure an empty store out of a typo'd path.
+    with open_store(args.path, must_exist=True) as store:
+        if args.store_command == "stats":
+            summary = store.summary()
+            print(f"store {summary['path']}")
+            print(f"  schema version : {summary['schema_version']}")
+            print(f"  entries        : {summary['entries']}")
+            print(f"  models         : {summary['models']}")
+            print(f"  size           : {summary['size_bytes']} bytes")
+            if summary["by_problem_backend"]:
+                print("  by problem/backend:")
+                for cell, count in summary["by_problem_backend"].items():
+                    print(f"    {cell:<24} {count}")
+            return 0
+        # store prune
+        dropped = store.prune(fingerprint=args.fingerprint)
+        scope = (
+            f"model {args.fingerprint}" if args.fingerprint else "all models"
+        )
+        print(f"pruned {dropped} results ({scope}) from {args.path}")
+        return 0
 
 
 def _command_backends(args: argparse.Namespace) -> int:
@@ -377,6 +443,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "batch": _command_batch,
         "backends": _command_backends,
         "bench": _command_bench,
+        "store": _command_store,
         "catalog": _command_catalog,
         "experiments": _command_experiments,
     }

@@ -22,6 +22,9 @@ Layers
     :class:`AnalysisRequest` / :class:`AnalysisResult` with JSON round-trip.
 ``session``
     :class:`AnalysisSession`: fingerprint-keyed caching and batches.
+``store``
+    Shared persistent result stores (:class:`SqliteStore` /
+    :class:`InMemoryStore`) that back session caches across processes.
 
 The legacy entry points (``repro.solve``, ``CostDamageAnalyzer``) remain as
 thin shims over this engine.
@@ -54,6 +57,15 @@ from .session import (
     model_fingerprint,
     run_request,
     run_serialized_request,
+)
+from .store import (
+    STORE_SCHEMA_VERSION,
+    InMemoryStore,
+    ResultStore,
+    SqliteStore,
+    StoreError,
+    StoreStats,
+    open_store,
 )
 
 #: Concrete backend classes are re-exported lazily (PEP 562): importing the
@@ -92,16 +104,23 @@ __all__ = [
     "EXECUTORS",
     "EnumerativeBackend",
     "GeneticBackend",
+    "InMemoryStore",
     "Model",
     "MonteCarloBackend",
     "ProbDagBackend",
+    "ResultStore",
+    "STORE_SCHEMA_VERSION",
     "SessionStats",
     "Setting",
     "Shape",
     "SolverBackend",
+    "SqliteStore",
+    "StoreError",
+    "StoreStats",
     "UnknownBackendError",
     "default_registry",
     "model_fingerprint",
+    "open_store",
     "model_shape",
     "problem_setting",
     "run_request",

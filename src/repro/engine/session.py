@@ -33,13 +33,25 @@ import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..attacktree import serialization
 from ..core.problems import Problem
 from .backend import Model, model_shape, problem_setting
 from .registry import BackendRegistry, shared_registry
 from .requests import AnalysisRequest, AnalysisResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .store import ResultStore
 
 __all__ = [
     "AnalysisSession",
@@ -136,10 +148,16 @@ def _process_worker(request_payload: Dict[str, Any]) -> Dict[str, Any]:
 
 @dataclass
 class SessionStats:
-    """Cache counters of one session."""
+    """Cache counters of one session.
+
+    ``store_hits`` counts the subset of ``hits`` that were answered by the
+    attached shared :class:`~repro.engine.store.ResultStore` rather than
+    this session's own in-memory dict.
+    """
 
     hits: int = 0
     misses: int = 0
+    store_hits: int = 0
 
     @property
     def requests(self) -> int:
@@ -162,6 +180,15 @@ class AnalysisSession:
     registry:
         Backend registry to resolve requests against; defaults to the
         process-wide registry with all built-in backends.
+    store:
+        Optional shared :class:`~repro.engine.store.ResultStore` backing
+        the in-memory cache (read-through/write-through).  A result not in
+        this session's dict is looked up in the store before being
+        computed, and every computed result is written back — so separate
+        sessions, repeated processes and pool workers share work through
+        one store file.  A store that fails mid-session (disk full, lock
+        timeout) degrades the session to cache-off instead of aborting
+        analyses.
 
     Examples
     --------
@@ -176,10 +203,19 @@ class AnalysisSession:
     """
 
     def __init__(
-        self, model: Model, registry: Optional[BackendRegistry] = None
+        self,
+        model: Model,
+        registry: Optional[BackendRegistry] = None,
+        store: Optional["ResultStore"] = None,
     ) -> None:
         self.model = model
         self.registry = registry if registry is not None else shared_registry()
+        self.store = store
+        # A store that breaks mid-session (disk full, lock timeout, file
+        # corrupted underneath us) must not abort analyses that would have
+        # succeeded without any cache: the first StoreError degrades the
+        # session to cache-off and the store is not touched again.
+        self._store_broken = False
         # Computed lazily: the fingerprint only matters once a result is
         # cached, and facades construct sessions they may never query.
         self._fingerprint: Optional[str] = None
@@ -224,6 +260,9 @@ class AnalysisSession:
             # outside the lock so parallel batches don't serialize on hits
             # (the stored entry is never mutated, so this is safe).
             return cached.as_cache_hit()
+        stored = self._from_store(request)
+        if stored is not None:
+            return stored.as_cache_hit()
         result = run_request(self.model, request, self.registry)
         with self._lock:
             # Store a detached copy: extras is mutable, and the caller gets
@@ -233,7 +272,52 @@ class AnalysisSession:
                 key, replace(result, extras=copy.deepcopy(result.extras))
             )
             self.stats.misses += 1
+        self._store_put(request, result)
         return result
+
+    def _store_put(self, request: AnalysisRequest, result: AnalysisResult) -> None:
+        """Write-through to the shared store; failures degrade, never abort."""
+        if self.store is None or self._store_broken:
+            return
+        from .store import StoreError
+
+        try:
+            self.store.put(self.fingerprint, request, result)
+        except StoreError:
+            self._store_broken = True
+
+    def _from_store(
+        self, request: AnalysisRequest, count_hit: bool = True
+    ) -> Optional[AnalysisResult]:
+        """Read-through: fetch a miss from the shared store, if one is set.
+
+        A store answer is installed in the in-memory dict (normalized to
+        ``cache_hit=False``, like a freshly computed entry) and recorded in
+        ``stats.store_hits``; returns ``None`` on a genuine miss.  With
+        ``count_hit=False`` the overall hit counter is left to the caller
+        (the batch paths account hits and misses for the whole batch at
+        once).
+        """
+        if self.store is None or self._store_broken:
+            return None
+        from .store import StoreError
+
+        try:
+            stored = self.store.get(self.fingerprint, request)
+        except StoreError:
+            self._store_broken = True
+            return None
+        if stored is None:
+            return None
+        detached = replace(
+            stored, cache_hit=False, extras=copy.deepcopy(stored.extras)
+        )
+        with self._lock:
+            self._cache.setdefault(self._key(request), detached)
+            if count_hit:
+                self.stats.hits += 1
+            self.stats.store_hits += 1
+        return detached
 
     def run_batch(
         self,
@@ -309,6 +393,21 @@ class AnalysisSession:
                 index: self._cache.get(self._key(request))
                 for index, request in enumerate(requests)
             }
+        if self.store is not None:
+            # Read-through before spawning anything: results another process
+            # (or a previous run) already computed are served here, in the
+            # parent.  Each store answer is installed in the in-memory dict,
+            # so duplicates consult the store only once; hit/miss totals are
+            # handled by the unified accounting below (count_hit=False —
+            # only the store_hits breakdown is recorded here).
+            for index, request in enumerate(requests):
+                if cached[index] is not None:
+                    continue
+                with self._lock:
+                    entry = self._cache.get(self._key(request))
+                if entry is None:
+                    entry = self._from_store(request, count_hit=False)
+                cached[index] = entry
         misses = [
             (index, request)
             for index, request in enumerate(requests)
@@ -343,6 +442,9 @@ class AnalysisSession:
                         self._cache.setdefault(
                             key, replace(result, extras=copy.deepcopy(result.extras))
                         )
+                    # Populate the shared store with what the workers
+                    # computed, so other processes (and the next run) see it.
+                    self._store_put(result.request, result)
                     first, *rest = pending_indices[key]
                     outputs[first] = result
                     for index in rest:

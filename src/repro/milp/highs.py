@@ -11,7 +11,11 @@ cross-check oracle.
 
 from __future__ import annotations
 
-from typing import Optional
+import contextlib
+import os
+import sys
+import threading
+from typing import Iterator, Optional
 
 import numpy as np
 
@@ -27,16 +31,89 @@ except ImportError:  # pragma: no cover - SciPy is a declared dependency
 __all__ = ["HighsSolver", "default_solver"]
 
 
-class HighsSolver:
-    """Solve integer programs with SciPy's HiGHS MILP interface."""
+# The fd redirect below is process-global state, so overlapping solves
+# (thread-pool batches) must not each save-and-restore fd 1 independently:
+# interleaved restores would leave stdout pointing at /dev/null forever.
+# A refcount under a lock makes the gag reentrant — the first solve in
+# redirects, the last one out restores.
+_gag_lock = threading.Lock()
+_gag_depth = 0
+_gag_saved_fd: Optional[int] = None
 
-    def __init__(self, time_limit: Optional[float] = None, mip_gap: float = 0.0) -> None:
+
+@contextlib.contextmanager
+def _native_stdout_to_devnull() -> Iterator[None]:
+    """Silence OS-level stdout (fd 1) for the duration of the block.
+
+    The HiGHS C++ library prints a stray diagnostic line
+    (``HighsMipSolverData::transformNewIntegerFeasibleSolution …``) on some
+    instances, straight to the C ``stdout`` stream — below ``sys.stdout``,
+    so neither ``disp=False`` nor ``contextlib.redirect_stdout`` can catch
+    it.  Redirecting the file descriptor itself is the only reliable gag.
+    Python-level output is flushed first so it cannot be swallowed.
+    Reentrant and thread-safe: while any solve is in flight fd 1 stays on
+    ``/dev/null``; the original descriptor returns when the last exits.
+    The redirect is process-global, so stdout written by *other* threads
+    during that window — including a concurrent ``verbose=True`` solve's
+    log — is swallowed too; run verbose solves sequentially if their log
+    matters.
+    """
+    global _gag_depth, _gag_saved_fd
+    try:
+        sys.stdout.flush()
+    except (ValueError, OSError):  # pragma: no cover - stdout already closed
+        pass
+    with _gag_lock:
+        if _gag_depth == 0:
+            try:
+                _gag_saved_fd = os.dup(1)
+            except OSError:  # pragma: no cover - no usable fd 1
+                _gag_saved_fd = None
+            if _gag_saved_fd is not None:
+                devnull = os.open(os.devnull, os.O_WRONLY)
+                try:
+                    os.dup2(devnull, 1)
+                finally:
+                    os.close(devnull)
+        _gag_depth += 1
+    try:
+        yield
+    finally:
+        with _gag_lock:
+            _gag_depth -= 1
+            if _gag_depth == 0 and _gag_saved_fd is not None:
+                os.dup2(_gag_saved_fd, 1)
+                os.close(_gag_saved_fd)
+                _gag_saved_fd = None
+
+
+class HighsSolver:
+    """Solve integer programs with SciPy's HiGHS MILP interface.
+
+    Parameters
+    ----------
+    time_limit / mip_gap:
+        Passed to the HiGHS options verbatim.
+    verbose:
+        ``False`` (default) keeps the solve completely silent: solver
+        display stays off and HiGHS's stray native-stdout diagnostics are
+        suppressed at the file-descriptor level.  ``True`` enables the
+        solver log and leaves stdout alone.
+    """
+
+    def __init__(
+        self,
+        time_limit: Optional[float] = None,
+        mip_gap: float = 0.0,
+        verbose: bool = False,
+    ) -> None:
         if _scipy_milp is None:  # pragma: no cover
             raise RuntimeError(
                 "scipy.optimize.milp is unavailable; use BranchAndBoundSolver instead"
             )
         self.time_limit = time_limit
         self.mip_gap = mip_gap
+        self.verbose = verbose
 
     def solve(
         self, program: IntegerProgram, objective: Optional[Objective] = None
@@ -49,17 +126,21 @@ class HighsSolver:
         constraints = []
         if a_ub.size:
             constraints.append(LinearConstraint(a_ub, ub=b_ub))
-        options = {"mip_rel_gap": self.mip_gap}
+        options = {"mip_rel_gap": self.mip_gap, "disp": self.verbose}
         if self.time_limit is not None:
             options["time_limit"] = self.time_limit
 
-        result = _scipy_milp(
-            c=c,
-            constraints=constraints,
-            bounds=Bounds(lb=lower, ub=upper),
-            integrality=integrality,
-            options=options,
+        silencer = (
+            contextlib.nullcontext() if self.verbose else _native_stdout_to_devnull()
         )
+        with silencer:
+            result = _scipy_milp(
+                c=c,
+                constraints=constraints,
+                bounds=Bounds(lb=lower, ub=upper),
+                integrality=integrality,
+                options=options,
+            )
 
         if result.status == 0 and result.x is not None:
             assignment = {

@@ -102,3 +102,47 @@ class TestExecution:
         specs = [ScenarioSpec(family="random", sizes=(6,), backend="nope")]
         with pytest.raises(ValueError, match="unknown backend"):
             execute_specs(specs)
+
+
+class TestSharedStore:
+    def _results(self, runs):
+        return [(r.case_id, r.result_points, r.value, r.backend) for r in runs]
+
+    def test_warm_run_is_served_from_the_store(self, tmp_path):
+        store_path = str(tmp_path / "bench.sqlite")
+        cold = execute_specs(TINY, store_path=store_path)
+        warm = execute_specs(TINY, store_path=store_path)
+        assert self._results(cold) == self._results(warm)
+        assert all(run.cache_misses == 0 for run in warm)
+        assert all(run.cache_hits == 1 for run in warm)
+        assert all(run.store_hits == 1 for run in warm)
+        # Store hits report the original computation's wall time, so warm
+        # artifacts stay comparable against cold ones.
+        assert [r.wall_time_seconds for r in warm] == \
+               [r.wall_time_seconds for r in cold]
+
+    def test_cold_run_records_misses_and_populates(self, tmp_path):
+        from repro.engine import SqliteStore
+
+        store_path = str(tmp_path / "bench.sqlite")
+        cold = execute_specs(TINY, store_path=store_path)
+        assert all(run.cache_misses == 1 and run.store_hits == 0 for run in cold)
+        with SqliteStore(store_path) as store:
+            assert len(store) == len(cold)
+
+    def test_process_executor_shares_one_store(self, tmp_path):
+        store_path = str(tmp_path / "bench.sqlite")
+        cold = execute_specs(TINY, executor="process", max_workers=2,
+                             store_path=store_path)
+        warm = execute_specs(TINY, executor="process", max_workers=2,
+                             store_path=store_path)
+        assert self._results(cold) == self._results(warm)
+        assert all(run.store_hits == 1 for run in warm)
+
+    def test_unusable_store_fails_before_any_execution(self, tmp_path):
+        from repro.engine import StoreError
+
+        bad = tmp_path / "corrupt.sqlite"
+        bad.write_bytes(b"not a database")
+        with pytest.raises(StoreError, match="cannot open result store"):
+            execute_specs(TINY, store_path=str(bad))

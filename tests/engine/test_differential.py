@@ -1,0 +1,225 @@
+"""Cross-backend differential suite over random workload models.
+
+The paper's exact methods — bottom-up propagation (treelike), BILP
+(deterministic, DAGs included) and exhaustive enumeration (every cell) —
+must agree wherever their capabilities overlap.  This suite generates
+random decorated trees through the :mod:`repro.workloads` families
+(property-based, via Hypothesis) and asserts that every *capable* exact
+backend returns identical results for each supported problem.
+
+It doubles as the regression net for the shared result store (a result
+that survives the store's JSON round-trip must still equal the live one)
+and for any future exact probabilistic-DAG method: register it as an exact
+backend and this suite starts differential-testing it for free.
+
+Sizes are capped so the enumerative baseline stays tractable; Hypothesis
+settings are derandomized for CI stability.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+from repro.core.problems import Problem  # noqa: E402
+from repro.engine import (  # noqa: E402
+    AnalysisRequest,
+    InMemoryStore,
+    model_fingerprint,
+    run_request,
+)
+from repro.workloads import ScenarioSpec, expand  # noqa: E402
+
+#: (family, shape) cells and the size range keeping enumeration tractable.
+_DETERMINISTIC_CELLS = [
+    ("random", "treelike", (4, 12)),
+    ("random", "dag", (4, 12)),
+    ("deep-chain", "treelike", (2, 6)),
+    ("deep-chain", "dag", (2, 6)),
+    ("wide-fan", "treelike", (2, 8)),
+    ("wide-fan", "dag", (2, 8)),
+    ("shared-bas", "dag", (4, 8)),
+]
+#: Probabilistic enumeration also sums over actualizations, so smaller.
+_PROBABILISTIC_CELLS = [
+    ("random", "treelike", (4, 9)),
+    ("random", "dag", (4, 9)),
+    ("deep-chain", "treelike", (2, 5)),
+    ("deep-chain", "dag", (2, 5)),
+    ("wide-fan", "treelike", (2, 6)),
+    ("wide-fan", "dag", (2, 6)),
+    ("shared-bas", "dag", (4, 7)),
+]
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _workload_model(setting, cells, data):
+    """Draw one decorated model from the registered workload families."""
+    family, shape, (low, high) = data.draw(st.sampled_from(cells), label="cell")
+    size = data.draw(st.integers(low, high), label="size")
+    seed = data.draw(st.integers(0, 999_999), label="seed")
+    spec = ScenarioSpec(
+        family=family, shape=shape, setting=setting, sizes=(size,), seed=seed
+    )
+    return expand(spec)[0].model
+
+
+def _front_values(result):
+    assert result.front is not None
+    return result.front.values()
+
+
+def _assert_fronts_equal(reference, candidate, context):
+    ref, cand = _front_values(reference), _front_values(candidate)
+    assert len(ref) == len(cand), context
+    for (ref_cost, ref_damage), (cand_cost, cand_damage) in zip(ref, cand):
+        assert cand_cost == pytest.approx(ref_cost, abs=1e-9), context
+        assert cand_damage == pytest.approx(ref_damage, abs=1e-9), context
+
+
+def _assert_values_equal(reference, candidate, context):
+    if reference.value is None:
+        assert candidate.value is None, context
+    else:
+        assert candidate.value == pytest.approx(reference.value, abs=1e-9), context
+
+
+def _scalar_parameters(front_values):
+    """Budgets/thresholds probing below, on and beyond the front."""
+    costs = sorted({cost for cost, _ in front_values})
+    damages = sorted({damage for _, damage in front_values})
+    budgets = {0.0, costs[len(costs) // 2], costs[-1], costs[-1] + 1.0}
+    thresholds = {0.0, damages[len(damages) // 2], damages[-1], damages[-1] + 1.0}
+    return sorted(budgets), sorted(thresholds)
+
+
+def _capable_exact_backends(model, probabilistic):
+    """The exact backends covering this model, per Table I capabilities."""
+    if probabilistic:
+        backends = ["enumerative", "prob-dag"]
+        if model.tree.is_treelike:
+            backends.append("bottom-up")
+    else:
+        backends = ["enumerative", "bilp"]
+        if model.tree.is_treelike:
+            backends.append("bottom-up")
+    return backends
+
+
+class TestDeterministicBackendsAgree:
+    @_SETTINGS
+    @given(data=st.data())
+    def test_cdpf_dgc_cgd_agree(self, data):
+        model = _workload_model("deterministic", _DETERMINISTIC_CELLS, data)
+        backends = _capable_exact_backends(model, probabilistic=False)
+
+        reference = run_request(model, AnalysisRequest(Problem.CDPF, backend="enumerative"))
+        fronts = {
+            backend: run_request(model, AnalysisRequest(Problem.CDPF, backend=backend))
+            for backend in backends
+        }
+        for backend, result in fronts.items():
+            _assert_fronts_equal(reference, result, f"cdpf via {backend}")
+
+        budgets, thresholds = _scalar_parameters(_front_values(reference))
+        for budget in budgets:
+            expected = run_request(
+                model,
+                AnalysisRequest(Problem.DGC, budget=budget, backend="enumerative"),
+            )
+            for backend in backends:
+                got = run_request(
+                    model, AnalysisRequest(Problem.DGC, budget=budget, backend=backend)
+                )
+                _assert_values_equal(expected, got, f"dgc({budget}) via {backend}")
+        for threshold in thresholds:
+            expected = run_request(
+                model,
+                AnalysisRequest(Problem.CGD, threshold=threshold, backend="enumerative"),
+            )
+            for backend in backends:
+                got = run_request(
+                    model,
+                    AnalysisRequest(Problem.CGD, threshold=threshold, backend=backend),
+                )
+                _assert_values_equal(expected, got, f"cgd({threshold}) via {backend}")
+
+
+class TestProbabilisticBackendsAgree:
+    @_SETTINGS
+    @given(data=st.data())
+    def test_cedpf_edgc_cged_agree(self, data):
+        model = _workload_model("probabilistic", _PROBABILISTIC_CELLS, data)
+        backends = _capable_exact_backends(model, probabilistic=True)
+
+        reference = run_request(
+            model, AnalysisRequest(Problem.CEDPF, backend="enumerative")
+        )
+        for backend in backends:
+            result = run_request(model, AnalysisRequest(Problem.CEDPF, backend=backend))
+            _assert_fronts_equal(reference, result, f"cedpf via {backend}")
+
+        budgets, thresholds = _scalar_parameters(_front_values(reference))
+        for budget in budgets:
+            expected = run_request(
+                model,
+                AnalysisRequest(Problem.EDGC, budget=budget, backend="enumerative"),
+            )
+            for backend in backends:
+                got = run_request(
+                    model, AnalysisRequest(Problem.EDGC, budget=budget, backend=backend)
+                )
+                _assert_values_equal(expected, got, f"edgc({budget}) via {backend}")
+        for threshold in thresholds:
+            expected = run_request(
+                model,
+                AnalysisRequest(
+                    Problem.CGED, threshold=threshold, backend="enumerative"
+                ),
+            )
+            for backend in backends:
+                got = run_request(
+                    model,
+                    AnalysisRequest(
+                        Problem.CGED, threshold=threshold, backend=backend
+                    ),
+                )
+                _assert_values_equal(expected, got, f"cged({threshold}) via {backend}")
+
+
+class TestStoreRoundTripFidelity:
+    """A result served from the store must equal the freshly computed one."""
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_deterministic_results_survive_the_store(self, data):
+        model = _workload_model("deterministic", _DETERMINISTIC_CELLS, data)
+        fingerprint = model_fingerprint(model)
+        store = InMemoryStore()
+        request = AnalysisRequest(Problem.CDPF)
+        live = run_request(model, request)
+        store.put(fingerprint, request, live)
+        loaded = store.get(fingerprint, request)
+        assert loaded is not None
+        assert loaded.to_dict() == live.to_dict()
+        _assert_fronts_equal(live, loaded, "store round-trip")
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_probabilistic_results_survive_the_store(self, data):
+        model = _workload_model("probabilistic", _PROBABILISTIC_CELLS, data)
+        fingerprint = model_fingerprint(model)
+        store = InMemoryStore()
+        request = AnalysisRequest(Problem.CEDPF)
+        live = run_request(model, request)
+        store.put(fingerprint, request, live)
+        loaded = store.get(fingerprint, request)
+        assert loaded is not None
+        assert loaded.to_dict() == live.to_dict()
+        _assert_fronts_equal(live, loaded, "store round-trip")

@@ -59,6 +59,80 @@ class TestHighsSolver:
         assert solution.objective_value == pytest.approx(1.0)
 
 
+class TestSolverSilence:
+    """The BILP path must not leak HiGHS's native-stdout diagnostics."""
+
+    @staticmethod
+    def _noisy_model():
+        """A model known to make HiGHS print its stray diagnostic line.
+
+        The smoke-profile case ``random-dag-deterministic-s2023-n20-i1``,
+        after the JSON round-trip every harness worker performs (which turns
+        the integer decorations into floats), used to emit
+        ``HighsMipSolverData::transformNewIntegerFeasibleSolution …``
+        straight to OS-level stdout during the BILP front sweep.
+        """
+        from repro.attacktree import serialization
+        from repro.workloads import ScenarioSpec, expand
+
+        spec = ScenarioSpec(
+            family="random",
+            shape="dag",
+            setting="deterministic",
+            sizes=(20,),
+            cases_per_size=2,
+        )
+        case = expand(spec)[1]
+        return serialization.from_dict(serialization.to_dict(case.model))
+
+    def test_direct_solve_is_silent_by_default(self, capfd):
+        solution = HighsSolver().solve(simple_program())
+        assert solution.status is SolveStatus.OPTIMAL
+        out, err = capfd.readouterr()
+        assert out == "" and err == ""
+
+    def test_noisy_bilp_instance_is_silent_by_default(self, capfd):
+        from repro.core.problems import Problem
+        from repro.engine import AnalysisRequest, AnalysisSession
+
+        result = AnalysisSession(self._noisy_model()).run(
+            AnalysisRequest(Problem.CDPF, backend="bilp")
+        )
+        assert result.front is not None and len(result.front) > 0
+        out, err = capfd.readouterr()
+        assert out == "" and err == ""
+
+    def test_verbose_flag_enables_the_solver_log(self, capfd):
+        solution = HighsSolver(verbose=True).solve(simple_program())
+        assert solution.status is SolveStatus.OPTIMAL
+        out, _ = capfd.readouterr()
+        assert "HiGHS" in out
+
+    def test_python_stdout_survives_the_gag(self, capsys):
+        # The fd redirect must only cover the native call: Python-level
+        # prints before and after the solve reach the caller untouched.
+        print("before")
+        HighsSolver().solve(simple_program())
+        print("after")
+        assert capsys.readouterr().out == "before\nafter\n"
+
+    def test_overlapping_solves_restore_stdout(self, capfd):
+        # The fd gag is process-global: interleaved save/restore from
+        # concurrent solves must not leave fd 1 pointing at /dev/null.
+        import os
+        from concurrent.futures import ThreadPoolExecutor
+
+        def solve(_):
+            return HighsSolver().solve(simple_program()).status
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            statuses = list(pool.map(solve, range(16)))
+        assert all(status is SolveStatus.OPTIMAL for status in statuses)
+        assert os.fstat(1).st_ino != os.stat(os.devnull).st_ino
+        print("still here")
+        assert "still here" in capfd.readouterr().out
+
+
 class TestDefaultSolver:
     def test_prefers_highs(self):
         assert isinstance(default_solver(), HighsSolver)

@@ -146,6 +146,107 @@ class TestBench:
         assert "REGRESSION" in capsys.readouterr().out
 
 
+class TestStore:
+    def test_store_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["store", "stats", "db.sqlite"])
+        assert args.command == "store" and args.store_command == "stats"
+        args = parser.parse_args(
+            ["store", "prune", "db.sqlite", "--fingerprint", "abc123"]
+        )
+        assert args.store_command == "prune" and args.fingerprint == "abc123"
+        args = parser.parse_args(
+            ["batch", "m.json", "r.json", "--store", "db.sqlite"]
+        )
+        assert args.store == "db.sqlite"
+        args = parser.parse_args(["bench", "run", "--store", "db.sqlite"])
+        assert args.store == "db.sqlite"
+
+    def test_batch_reads_through_shared_store(self, factory_json, tmp_path, capsys):
+        store = str(tmp_path / "results.sqlite")
+        requests = tmp_path / "requests.json"
+        requests.write_text(json.dumps(
+            [{"problem": "cdpf"}, {"problem": "dgc", "budget": 2}]
+        ))
+        assert main(["batch", factory_json, str(requests), "--store", store]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert [r["cache_hit"] for r in cold] == [False, False]
+
+        assert main(["batch", factory_json, str(requests), "--store", store]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert [r["cache_hit"] for r in warm] == [True, True]
+        assert [r["backend"] for r in warm] == [r["backend"] for r in cold]
+
+    def test_store_stats_and_prune(self, factory_json, tmp_path, capsys):
+        store = str(tmp_path / "results.sqlite")
+        requests = tmp_path / "requests.json"
+        requests.write_text(json.dumps([{"problem": "cdpf"}]))
+        assert main(["batch", factory_json, str(requests), "--store", store]) == 0
+        capsys.readouterr()
+
+        assert main(["store", "stats", store]) == 0
+        output = capsys.readouterr().out
+        assert "entries        : 1" in output
+        assert "cdpf/bottom-up" in output
+
+        assert main(["store", "prune", store]) == 0
+        assert "pruned 1 results" in capsys.readouterr().out
+        assert main(["store", "stats", store]) == 0
+        assert "entries        : 0" in capsys.readouterr().out
+
+    def test_prune_by_fingerprint_keeps_other_models(self, tmp_path, capsys):
+        from repro.core.problems import Problem
+        from repro.engine import AnalysisRequest, SqliteStore, run_request
+
+        store_path = str(tmp_path / "results.sqlite")
+        request = AnalysisRequest(Problem.CDPF)
+        result = run_request(catalog.factory(), request)
+        with SqliteStore(store_path) as store:
+            store.put("a" * 64, request, result)
+            store.put("b" * 64, request, result)
+        assert main(["store", "prune", store_path, "--fingerprint", "a" * 64]) == 0
+        assert "pruned 1 results" in capsys.readouterr().out
+        with SqliteStore(store_path) as store:
+            assert len(store) == 1
+
+    def test_bench_run_twice_against_one_store(self, tmp_path, capsys):
+        store = str(tmp_path / "results.sqlite")
+        cold_path = str(tmp_path / "BENCH_cold.json")
+        warm_path = str(tmp_path / "BENCH_warm.json")
+        argv = ["bench", "run", "--profile", "smoke", "--store", store]
+        assert main(argv + ["--out", cold_path]) == 0
+        assert main(argv + ["--out", warm_path]) == 0
+        capsys.readouterr()
+
+        cold = json.loads(open(cold_path).read())
+        warm = json.loads(open(warm_path).read())
+        totals = warm["totals"]
+        # Acceptance criterion: the warm run serves >= 90% from the store...
+        hit_rate = totals["cache_hits"] / (
+            totals["cache_hits"] + totals["cache_misses"]
+        )
+        assert hit_rate >= 0.9
+        assert totals["store_hits"] == totals["cache_hits"]
+        assert warm["config"]["store"] == store
+
+        # ...with a byte-identical results section...
+        def results_section(artifact):
+            return json.dumps(
+                [
+                    {key: run.get(key) for key in
+                     ("case_id", "problem", "backend", "result_points", "value")}
+                    for run in artifact["runs"]
+                ],
+                sort_keys=True,
+            ).encode()
+
+        assert results_section(cold) == results_section(warm)
+
+        # ...and zero mismatches under bench compare.
+        assert main(["bench", "compare", cold_path, warm_path]) == 0
+        assert "PASS: no regressions" in capsys.readouterr().out
+
+
 class TestErrorPaths:
     """User errors exit 2 with a one-line atcd: message, never a traceback."""
 
@@ -201,4 +302,30 @@ class TestErrorPaths:
 
     def test_bench_bad_repeats_exits_2(self, capsys):
         assert main(["bench", "run", "--repeats", "0"]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_store_stats_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["store", "stats", str(tmp_path / "absent.sqlite")]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_store_prune_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["store", "prune", str(tmp_path / "absent.sqlite")]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_corrupt_store_on_batch_exits_2(self, factory_json, tmp_path, capsys):
+        bad = tmp_path / "corrupt.sqlite"
+        bad.write_bytes(b"not a database")
+        requests = tmp_path / "requests.json"
+        requests.write_text(json.dumps([{"problem": "cdpf"}]))
+        assert main(
+            ["batch", factory_json, str(requests), "--store", str(bad)]
+        ) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_corrupt_store_on_bench_run_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "corrupt.sqlite"
+        bad.write_bytes(b"not a database")
+        assert main(
+            ["bench", "run", "--profile", "smoke", "--store", str(bad)]
+        ) == 2
         self._assert_one_line_error(capsys)
