@@ -92,6 +92,12 @@ def build_artifact(
             "store_hits": sum(run.store_hits for run in runs),
         },
     }
+    # Memory profiling is opt-in (--trace-memory), so the totals only carry
+    # peak columns when at least one row was traced.
+    peaks = [run.peak_kb for run in runs if run.peak_kb is not None]
+    if peaks:
+        artifact["totals"]["peak_kb_max"] = max(peaks)
+        artifact["totals"]["peak_kb_sum"] = round(sum(peaks), 3)
     validate_artifact(artifact)
     return artifact
 

@@ -28,7 +28,15 @@ from ..engine.store import SqliteStore
 from ..workloads import ScenarioSpec, WorkloadCase, expand
 from .measure import TimingSample
 
-__all__ = ["BenchRun", "build_request", "expand_specs", "execute_specs"]
+__all__ = [
+    "BenchRun",
+    "build_request",
+    "case_payload",
+    "execute_serialized_case",
+    "execute_specs",
+    "expand_specs",
+    "validate_case_requests",
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +72,9 @@ class BenchRun:
     #: How many of the hits were served by a shared result store (zero
     #: unless the harness ran with a store path).
     store_hits: int = 0
+    #: Peak traced memory over the case's repeats, in KiB — only measured
+    #: when the harness ran with ``trace_memory=True`` (``None`` otherwise).
+    peak_kb: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-compatible representation (one artifact ``runs`` entry)."""
@@ -89,6 +100,8 @@ class BenchRun:
             payload["value"] = self.value
         if self.store_hits:
             payload["store_hits"] = self.store_hits
+        if self.peak_kb is not None:
+            payload["peak_kb"] = self.peak_kb
         return payload
 
     @classmethod
@@ -116,6 +129,7 @@ class BenchRun:
             cache_hits=data.get("cache_hits", 0),
             cache_misses=data.get("cache_misses", 0),
             store_hits=data.get("store_hits", 0),
+            peak_kb=data.get("peak_kb"),
         )
 
 
@@ -145,11 +159,19 @@ def expand_specs(
     return items
 
 
-def _case_payload(
-    spec: ScenarioSpec, case: WorkloadCase, repeats: int
+def case_payload(
+    spec: ScenarioSpec,
+    case: WorkloadCase,
+    repeats: int,
+    trace_memory: bool = False,
 ) -> Dict[str, Any]:
-    """Everything one worker needs, as plain JSON-compatible values."""
-    return {
+    """Everything one worker needs, as plain JSON-compatible values.
+
+    This is the wire format of one benchmark case: process-pool workers,
+    and the distributed workers of :mod:`repro.distributed`, receive
+    exactly this dict and return a :meth:`BenchRun.to_dict` row.
+    """
+    payload = {
         "identity": {
             "case_id": case.case_id,
             "family": case.family,
@@ -161,6 +183,25 @@ def _case_payload(
         "request": build_request(spec).to_dict(),
         "repeats": repeats,
     }
+    if trace_memory:
+        payload["trace_memory"] = True
+    return payload
+
+
+def validate_case_requests(
+    items: Sequence[Tuple[ScenarioSpec, WorkloadCase]]
+) -> None:
+    """Validate every case's request and backend resolution up front.
+
+    A bad backend name or missing budget in the last spec must fail before
+    any work runs (or is submitted to a queue), not after minutes of
+    benchmarking on the Nth worker.
+    """
+    for spec, case in items:
+        request = build_request(spec)
+        request.validate()
+        session = AnalysisSession(case.model)
+        session.resolve(request.problem, backend=request.backend)
 
 
 # The shared result store of a process-pool worker: opened once per worker
@@ -174,7 +215,7 @@ def _store_initializer(store_path: Optional[str]) -> None:
     _WORKER_STORE = SqliteStore(store_path) if store_path else None
 
 
-def _execute_case(
+def execute_serialized_case(
     payload: Dict[str, Any], store: Optional[SqliteStore] = None
 ) -> Dict[str, Any]:
     """Run one case (possibly in a worker process) and return its row.
@@ -182,21 +223,48 @@ def _execute_case(
     Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
     pickle it.  The sequential and thread executors pass the run's shared
     store instance explicitly; pool workers fall back to the per-process
-    one their initializer opened.
+    one their initializer opened.  With ``trace_memory`` set on the payload
+    the case's peak traced allocation is recorded as ``peak_kb``
+    (:mod:`tracemalloc`; measured around the solver run, so a store-served
+    case reports only its deserialization footprint).
     """
     if store is None:
         store = _WORKER_STORE
-    model = serialization.from_dict(payload["model"])
-    request = AnalysisRequest.from_dict(payload["request"])
-    repeats = payload["repeats"]
-    session = AnalysisSession(model, store=store)
+    trace_memory = bool(payload.get("trace_memory"))
+    peak_kb: Optional[float] = None
+    owns_tracer = False
+    if trace_memory:
+        import tracemalloc
+
+        # Respect a tracer someone else (e.g. pytest) already started: only
+        # reset the peak, and only stop what we ourselves started.
+        owns_tracer = not tracemalloc.is_tracing()
+        if owns_tracer:
+            tracemalloc.start()
+        else:
+            tracemalloc.reset_peak()
     durations: List[float] = []
     result = None
-    for repeat in range(repeats):
-        if repeat:
-            session.clear_cache()
-        result = session.run(request)
-        durations.append(result.wall_time_seconds)
+    try:
+        # Deserialization runs inside the guard too: a malformed payload
+        # must not leak a running tracer into a long-lived worker process
+        # (which would silently slow every subsequent task it executes).
+        model = serialization.from_dict(payload["model"])
+        request = AnalysisRequest.from_dict(payload["request"])
+        repeats = payload["repeats"]
+        session = AnalysisSession(model, store=store)
+        for repeat in range(repeats):
+            if repeat:
+                session.clear_cache()
+            result = session.run(request)
+            durations.append(result.wall_time_seconds)
+    finally:
+        if trace_memory:
+            import tracemalloc
+
+            peak_kb = round(tracemalloc.get_traced_memory()[1] / 1024.0, 3)
+            if owns_tracer:
+                tracemalloc.stop()
     assert result is not None
     sample = TimingSample.from_durations(durations)
     if result.front is not None:
@@ -223,6 +291,7 @@ def _execute_case(
         cache_hits=session.stats.hits,
         cache_misses=session.stats.misses,
         store_hits=session.stats.store_hits,
+        peak_kb=peak_kb,
     ).to_dict()
 
 
@@ -232,6 +301,7 @@ def execute_specs(
     max_workers: Optional[int] = None,
     repeats: int = 1,
     store_path: Optional[str] = None,
+    trace_memory: bool = False,
 ) -> List[BenchRun]:
     """Expand and execute scenario specs, preserving expansion order.
 
@@ -260,6 +330,11 @@ def execute_specs(
         the in-memory cache is cleared between repeats; later repeats may
         be answered by the store, making repeats pointless for timing —
         prefer ``repeats=1`` when benchmarking against a store.
+    trace_memory:
+        Record each case's peak traced allocation (:mod:`tracemalloc`) as
+        the optional ``peak_kb`` row field.  Tracing slows the interpreter,
+        so wall times from a traced run are not comparable to untraced
+        ones.
     """
     if executor not in EXECUTORS:
         raise ValueError(
@@ -267,6 +342,12 @@ def execute_specs(
         )
     if not isinstance(repeats, int) or repeats < 1:
         raise ValueError(f"repeats must be a positive integer, got {repeats!r}")
+    if max_workers is not None and (
+        not isinstance(max_workers, int) or max_workers < 1
+    ):
+        raise ValueError(
+            f"max_workers must be a positive integer, got {max_workers!r}"
+        )
     # Open the store once, up front: a corrupt or stale-schema file must
     # fail before any work runs, not from inside the Nth pool worker.  The
     # same connection then serves every sequential/thread case; process
@@ -274,23 +355,24 @@ def execute_specs(
     store = SqliteStore(store_path) if store_path is not None else None
     try:
         items = expand_specs(specs)
-        payloads = [_case_payload(spec, case, repeats) for spec, case in items]
-        # Validate every request up front: a bad backend name or missing
-        # budget in the last spec must not surface after minutes of
-        # benchmarking.
-        for spec, case in items:
-            request = build_request(spec)
-            request.validate()
-            session = AnalysisSession(case.model)
-            session.resolve(request.problem, backend=request.backend)
+        payloads = [
+            case_payload(spec, case, repeats, trace_memory=trace_memory)
+            for spec, case in items
+        ]
+        validate_case_requests(items)
         if executor == "sequential" or len(payloads) <= 1:
-            rows = [_execute_case(payload, store=store) for payload in payloads]
+            rows = [
+                execute_serialized_case(payload, store=store)
+                for payload in payloads
+            ]
         elif executor == "thread":
             workers = max_workers or min(len(payloads), 8)
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 rows = list(
-                    pool.map(lambda payload: _execute_case(payload, store=store),
-                             payloads)
+                    pool.map(
+                        lambda payload: execute_serialized_case(payload, store=store),
+                        payloads,
+                    )
                 )
         else:
             workers = max_workers or min(len(payloads), 8)
@@ -299,7 +381,7 @@ def execute_specs(
                 initializer=_store_initializer,
                 initargs=(store_path,),
             ) as pool:
-                rows = list(pool.map(_execute_case, payloads))
+                rows = list(pool.map(execute_serialized_case, payloads))
     finally:
         if store is not None:
             store.close()

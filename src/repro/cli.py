@@ -16,12 +16,20 @@ Installed as the ``atcd`` console script.  Sub-commands:
 ``atcd backends``
     List the registered solver backends and their capabilities.
 ``atcd store stats|prune DB``
-    Inspect or empty a shared result store
-    (see :mod:`repro.engine.store`).
+    Inspect or empty a shared result store (see :mod:`repro.engine.store`);
+    ``prune --ttl SECONDS`` / ``--max-bytes N`` evict oldest-first instead
+    of emptying, for long-lived deployments.
 ``atcd bench run [--profile NAME] [--out FILE] [--executor ...] [--store DB]``
     Execute a benchmark profile through the engine and write a versioned
     ``BENCH_*.json`` artifact (see ``benchmarks/DESIGN.md``).  With
-    ``--store`` repeated runs serve unchanged cases from the shared store.
+    ``--store`` repeated runs serve unchanged cases from the shared store;
+    ``--trace-memory`` records per-case peak allocation as ``peak_kb``.
+``atcd dist submit|worker|run|status|gather``
+    Distributed execution over a durable sqlite work queue
+    (see :mod:`repro.distributed`).  ``dist run`` is the single-host mode
+    (coordinator plus N local worker processes); ``submit``/``worker``
+    split the same run across hosts sharing the queue file, with
+    ``status``/``gather`` usable from anywhere.
 ``atcd bench compare BASELINE.json CANDIDATE.json [--threshold R]``
     Diff two artifacts; exits 1 when a timing regression or result
     mismatch is found.
@@ -44,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -67,8 +76,11 @@ _CATALOG = {
 
 #: Subcommands whose ValueError/TypeError failures are user errors (bad
 #: backend name, uncovered cell, missing parameter, malformed request,
-#: unknown bench profile/executor, invalid artifact, unusable store file).
-_ENGINE_COMMANDS = frozenset({"pareto", "dgc", "cgd", "batch", "bench", "store"})
+#: unknown bench profile/executor, invalid artifact, unusable store or
+#: queue file, zero workers).
+_ENGINE_COMMANDS = frozenset(
+    {"pareto", "dgc", "cgd", "batch", "bench", "store", "dist"}
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -137,6 +149,12 @@ def build_parser() -> argparse.ArgumentParser:
     store_prune.add_argument("--fingerprint", default=None, metavar="SHA256",
                              help="only prune results of this model fingerprint "
                                   "(default: prune everything)")
+    store_prune.add_argument("--ttl", type=float, default=None, metavar="SECONDS",
+                             help="evict only results older than this many "
+                                  "seconds instead of pruning everything")
+    store_prune.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                             help="evict oldest results until the store file "
+                                  "fits under N bytes")
 
     bench = subparsers.add_parser(
         "bench", help="run and compare workload benchmarks"
@@ -159,6 +177,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="shared sqlite result store; repeated runs "
                                 "and pool workers share results through it "
                                 "(created if absent)")
+    bench_run.add_argument("--trace-memory", action="store_true",
+                           help="record per-case peak allocation (tracemalloc) "
+                                "as the peak_kb row field; slows the run")
     bench_compare = bench_sub.add_parser(
         "compare", help="diff two artifacts for regressions"
     )
@@ -171,6 +192,110 @@ def build_parser() -> argparse.ArgumentParser:
                                help="ignore runs where both sides are faster "
                                     "than this (default: 0.005)")
     bench_sub.add_parser("list", help="list workload families and profiles")
+
+    dist = subparsers.add_parser(
+        "dist", help="distributed execution over a durable work queue"
+    )
+    dist_sub = dist.add_subparsers(dest="dist_command", required=True)
+
+    dist_submit = dist_sub.add_parser(
+        "submit", help="shard a profile (or batch request list) into a queue"
+    )
+    dist_submit.add_argument("--queue", required=True, metavar="DB",
+                             help="work-queue sqlite file (one run per queue; "
+                                  "created if absent)")
+    dist_submit.add_argument("--profile", default=None,
+                             help="benchmark profile to shard "
+                                  "(see 'atcd bench list')")
+    dist_submit.add_argument("--model", default=None, metavar="MODEL.json",
+                             help="with --requests: shard a batch request "
+                                  "list against this model instead of a "
+                                  "profile")
+    dist_submit.add_argument("--requests", default=None, metavar="REQUESTS.json",
+                             help="JSON list of request objects (see "
+                                  "'atcd batch')")
+    dist_submit.add_argument("--repeats", type=int, default=1,
+                             help="timing repetitions per case (default: 1)")
+    dist_submit.add_argument("--trace-memory", action="store_true",
+                             help="workers record per-case peak allocation "
+                                  "as peak_kb")
+    dist_submit.add_argument("--max-attempts", type=int, default=3,
+                             help="claims per task before dead-lettering "
+                                  "(default: 3)")
+
+    dist_worker = dist_sub.add_parser(
+        "worker", help="claim and execute tasks from a queue until drained"
+    )
+    dist_worker.add_argument("--queue", required=True, metavar="DB",
+                             help="work-queue sqlite file (must exist)")
+    dist_worker.add_argument("--store", default=None, metavar="DB",
+                             help="shared sqlite result store; makes "
+                                  "re-execution after crashes idempotent "
+                                  "(created if absent)")
+    dist_worker.add_argument("--worker-id", default=None,
+                             help="stable worker name (default: hostname-pid)")
+    dist_worker.add_argument("--lease", type=float, default=30.0, metavar="S",
+                             help="visibility lease seconds per claim, "
+                                  "heartbeat-renewed while a task runs "
+                                  "(default: 30)")
+    dist_worker.add_argument("--poll", type=float, default=0.2, metavar="S",
+                             help="idle sleep between claim attempts "
+                                  "(default: 0.2)")
+    dist_worker.add_argument("--max-tasks", type=int, default=None,
+                             help="stop after this many task attempts")
+    dist_worker.add_argument("--keep-alive", action="store_true",
+                             help="keep polling after the queue drains "
+                                  "(long-lived fleets; default: exit when "
+                                  "drained)")
+    dist_worker.add_argument("--inject-delay", type=float, default=0.0,
+                             metavar="S",
+                             help="sleep before executing each claimed task "
+                                  "(fault-injection/chaos testing)")
+
+    dist_run = dist_sub.add_parser(
+        "run", help="single-host run: coordinator + N local worker processes"
+    )
+    dist_run.add_argument("--profile", default="smoke",
+                          help="profile name (default: smoke)")
+    dist_run.add_argument("--workers", type=int, default=2,
+                          help="local worker processes (default: 2)")
+    dist_run.add_argument("--queue", default=None, metavar="DB",
+                          help="work-queue file to use and keep "
+                               "(default: a temporary file, removed after "
+                               "the run)")
+    dist_run.add_argument("--store", default=None, metavar="DB",
+                          help="shared sqlite result store for the workers "
+                               "(created if absent)")
+    dist_run.add_argument("--out", default=None,
+                          help="artifact path (default: BENCH_<profile>.json)")
+    dist_run.add_argument("--repeats", type=int, default=1,
+                          help="timing repetitions per case (default: 1)")
+    dist_run.add_argument("--trace-memory", action="store_true",
+                          help="workers record per-case peak allocation "
+                               "as peak_kb")
+    dist_run.add_argument("--max-attempts", type=int, default=3,
+                          help="claims per task before dead-lettering "
+                               "(default: 3)")
+    dist_run.add_argument("--lease", type=float, default=30.0, metavar="S",
+                          help="worker visibility lease seconds (default: 30)")
+    dist_run.add_argument("--timeout", type=float, default=None, metavar="S",
+                          help="fail if the run has not drained after this "
+                               "many seconds")
+
+    dist_status = dist_sub.add_parser(
+        "status", help="task states, workers and retries of a queue"
+    )
+    dist_status.add_argument("--queue", required=True, metavar="DB",
+                             help="work-queue sqlite file (must exist)")
+
+    dist_gather = dist_sub.add_parser(
+        "gather", help="collect a drained run into its output document"
+    )
+    dist_gather.add_argument("--queue", required=True, metavar="DB",
+                             help="work-queue sqlite file (must exist)")
+    dist_gather.add_argument("--out", default=None,
+                             help="output path (default: BENCH_<name>.json "
+                                  "for profile runs, stdout for batch runs)")
 
     catalog_cmd = subparsers.add_parser("catalog", help="export a built-in model")
     catalog_cmd.add_argument("name", choices=sorted(_CATALOG))
@@ -340,6 +465,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         max_workers=args.max_workers,
         repeats=args.repeats,
         store_path=args.store,
+        trace_memory=args.trace_memory,
     )
     artifact = bench.build_artifact(
         args.profile,
@@ -351,12 +477,26 @@ def _command_bench(args: argparse.Namespace) -> int:
             "max_workers": args.max_workers,
             "repeats": args.repeats,
             "store": args.store,
+            "trace_memory": args.trace_memory,
         },
     )
     out = args.out or f"BENCH_{args.profile}.json"
     bench.write_artifact(artifact, out)
+    _print_artifact_summary(artifact, out)
+    for run in runs:
+        peak = f"  peak={run.peak_kb:.0f}KiB" if run.peak_kb is not None else ""
+        print(
+            f"  {run.case_id:<55} {run.problem:<6} via {run.backend:<12} "
+            f"{run.wall_time_seconds * 1e3:9.2f} ms  "
+            f"points={run.result_points}{peak}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _print_artifact_summary(artifact: dict, out: str) -> None:
     totals = artifact["totals"]
-    print(
+    line = (
         f"wrote {out}: {totals['cases']} cases over "
         f"{len(totals['families'])} families "
         f"({', '.join(totals['families'])}), "
@@ -364,14 +504,9 @@ def _command_bench(args: argparse.Namespace) -> int:
         f"settings {', '.join(totals['settings'])}, "
         f"total solver time {totals['wall_time_seconds']:.2f}s"
     )
-    for run in runs:
-        print(
-            f"  {run.case_id:<55} {run.problem:<6} via {run.backend:<12} "
-            f"{run.wall_time_seconds * 1e3:9.2f} ms  "
-            f"points={run.result_points}",
-            file=sys.stderr,
-        )
-    return 0
+    if "peak_kb_max" in totals:
+        line += f", peak memory {totals['peak_kb_max']:.0f} KiB"
+    print(line)
 
 
 def _command_store(args: argparse.Namespace) -> int:
@@ -390,12 +525,217 @@ def _command_store(args: argparse.Namespace) -> int:
                     print(f"    {cell:<24} {count}")
             return 0
         # store prune
+        if args.ttl is not None or args.max_bytes is not None:
+            if args.fingerprint is not None:
+                raise ValueError(
+                    "--fingerprint cannot be combined with --ttl/--max-bytes "
+                    "(eviction is age/size-scoped, not model-scoped)"
+                )
+            dropped = store.evict(ttl_seconds=args.ttl, max_bytes=args.max_bytes)
+            bounds = []
+            if args.ttl is not None:
+                bounds.append(f"ttl {args.ttl:g}s")
+            if args.max_bytes is not None:
+                bounds.append(f"max {args.max_bytes} bytes")
+            print(
+                f"evicted {dropped} results ({', '.join(bounds)}) "
+                f"from {args.path}"
+            )
+            return 0
         dropped = store.prune(fingerprint=args.fingerprint)
         scope = (
             f"model {args.fingerprint}" if args.fingerprint else "all models"
         )
         print(f"pruned {dropped} results ({scope}) from {args.path}")
         return 0
+
+
+def _command_dist(args: argparse.Namespace) -> int:
+    # Imported lazily, like the bench stack: the distributed runtime pulls
+    # in the workload generators, which other subcommands never need.
+    from .distributed import (
+        Coordinator,
+        LocalFleet,
+        SqliteQueue,
+        Worker,
+        open_queue,
+    )
+
+    if args.dist_command == "submit":
+        return _dist_submit(args, Coordinator, SqliteQueue)
+    if args.dist_command == "worker":
+        return _dist_worker(args, Worker, open_queue)
+    if args.dist_command == "status":
+        with open_queue(args.queue, must_exist=True) as queue:
+            summary = queue.summary()
+            coordinator = Coordinator(queue)
+            info = coordinator.run_info()
+            print(f"queue {args.queue}: run {info['name']!r} ({info['kind']})")
+            print(f"  tasks   : {summary['tasks']}")
+            for state, count in summary["counts"].items():
+                print(f"    {state:<8}: {count}")
+            print(f"  retries : {summary['retries']}")
+            print(f"  workers : {', '.join(summary['workers']) or '(none yet)'}")
+            for entry in summary["dead"]:
+                print(f"  DEAD {entry['task_id']} after {entry['attempts']} "
+                      f"attempts: {entry['error']}")
+            return 0
+    if args.dist_command == "gather":
+        with open_queue(args.queue, must_exist=True) as queue:
+            report = Coordinator(queue).gather()
+        return _dist_emit(args, report)
+    # dist run
+    return _dist_run(args, Coordinator, LocalFleet, SqliteQueue)
+
+
+def _dist_submit(args: argparse.Namespace, Coordinator, SqliteQueue) -> int:
+    batch_mode = args.model is not None or args.requests is not None
+    if args.profile is not None and batch_mode:
+        raise ValueError("use either --profile or --model/--requests, not both")
+    if batch_mode and (args.model is None or args.requests is None):
+        raise ValueError("batch submission needs both --model and --requests")
+    if args.profile is None and not batch_mode:
+        raise ValueError("nothing to submit: pass --profile or --model/--requests")
+    if batch_mode and (args.repeats != 1 or args.trace_memory):
+        # Refuse rather than silently drop the flags: batch tasks return
+        # AnalysisResult documents, which carry neither repeats nor peak_kb.
+        raise ValueError(
+            "--repeats/--trace-memory only apply to profile submissions"
+        )
+    with SqliteQueue(args.queue) as queue:
+        coordinator = Coordinator(queue)
+        if batch_mode:
+            model_payload = serialization.to_dict(_load_model(args.model))
+            with open(args.requests, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, list):
+                raise ValueError(
+                    f"{args.requests} must contain a JSON list of requests"
+                )
+            task_ids = coordinator.submit_requests(
+                model_payload, payload, max_attempts=args.max_attempts
+            )
+        else:
+            from . import bench
+
+            specs = bench.profile(args.profile)
+            task_ids = coordinator.submit_profile(
+                args.profile,
+                specs,
+                repeats=args.repeats,
+                trace_memory=args.trace_memory,
+                max_attempts=args.max_attempts,
+            )
+    print(
+        f"submitted {len(task_ids)} tasks to {args.queue}; start workers "
+        f"with: atcd dist worker --queue {args.queue}"
+    )
+    return 0
+
+
+def _dist_worker(args: argparse.Namespace, Worker, open_queue) -> int:
+    store = None
+    try:
+        with open_queue(args.queue, must_exist=True) as queue:
+            # The store is opened only after the queue checked out: a
+            # typo'd queue path must not leave a stray store file behind.
+            store = SqliteStore(args.store) if args.store else None
+            worker = Worker(
+                queue,
+                worker_id=args.worker_id,
+                store=store,
+                lease_seconds=args.lease,
+                poll_seconds=args.poll,
+                max_tasks=args.max_tasks,
+                exit_when_drained=not args.keep_alive,
+                inject_delay_seconds=args.inject_delay,
+            )
+            report = worker.run()
+    finally:
+        if store is not None:
+            store.close()
+    print(
+        f"worker {report.worker_id}: {report.completed} completed, "
+        f"{report.failed} failed",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _dist_emit(args: argparse.Namespace, report) -> int:
+    """Write a GatherReport's output document; shared by gather and run."""
+    if report.kind == "batch":
+        text = json.dumps(report.output, indent=2)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {report.completed} results to {args.out}")
+        else:
+            print(text)
+    else:
+        from . import bench
+
+        out = args.out or f"BENCH_{report.name}.json"
+        bench.write_artifact(report.output, out)
+        _print_artifact_summary(report.output, out)
+        workers = ", ".join(report.workers) or "(none)"
+        print(f"  distributed: workers {workers}, retries {report.retries}, "
+              f"dead tasks {len(report.dead)}")
+    for entry in report.dead:
+        label = entry.get("case_id", entry["task_id"])
+        print(
+            f"atcd: DEAD task {label} after {entry['attempts']} attempts: "
+            f"{entry['error']}",
+            file=sys.stderr,
+        )
+    # Dead-lettered tasks mean the output is partial: the run completed,
+    # but the exit code must not claim full success.
+    return 1 if report.dead else 0
+
+
+def _dist_run(args: argparse.Namespace, Coordinator, LocalFleet, SqliteQueue) -> int:
+    import shutil
+    import tempfile
+
+    from . import bench
+
+    if args.workers < 1:
+        raise ValueError(
+            f"workers must be a positive integer, got {args.workers!r}"
+        )
+    specs = bench.profile(args.profile)
+    temp_dir = None
+    if args.queue is None:
+        temp_dir = tempfile.mkdtemp(prefix="atcd-dist-")
+        queue_path = os.path.join(temp_dir, "queue.sqlite")
+    else:
+        queue_path = args.queue
+    try:
+        with SqliteQueue(queue_path) as queue:
+            coordinator = Coordinator(queue)
+            coordinator.submit_profile(
+                args.profile,
+                specs,
+                repeats=args.repeats,
+                trace_memory=args.trace_memory,
+                max_attempts=args.max_attempts,
+            )
+            with LocalFleet(
+                queue_path,
+                args.workers,
+                store_path=args.store,
+                lease_seconds=args.lease,
+            ) as fleet:
+                fleet.start()
+                coordinator.wait(timeout=args.timeout, on_poll=fleet.supervise)
+                fleet.join()
+            report = coordinator.gather(
+                distributed={"workers": args.workers, "store": args.store}
+            )
+    finally:
+        if temp_dir is not None:
+            shutil.rmtree(temp_dir, ignore_errors=True)
+    return _dist_emit(args, report)
 
 
 def _command_backends(args: argparse.Namespace) -> int:
@@ -443,6 +783,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "batch": _command_batch,
         "backends": _command_backends,
         "bench": _command_bench,
+        "dist": _command_dist,
         "store": _command_store,
         "catalog": _command_catalog,
         "experiments": _command_experiments,

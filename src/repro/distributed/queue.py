@@ -1,0 +1,790 @@
+"""Durable work queues: the task ledger of the distributed runtime.
+
+A *work queue* holds self-contained JSON task payloads (bench case payloads
+or serialized analysis requests) and tracks each task through a small state
+machine:
+
+``pending``
+    Submitted, unclaimed — or claimed once and returned to the pool after a
+    failure or an expired lease, with retry budget remaining.
+``running``
+    Claimed by a worker under a *visibility lease*: the task is invisible
+    to other claimants until ``lease_expires_unix``.  Workers extend the
+    lease with heartbeats while they compute; a worker that dies stops
+    heartbeating and the lease simply runs out.
+``done``
+    Completed; the worker's JSON result is stored on the task row.
+``dead``
+    Dead-lettered: the task failed (or lost its lease) ``max_attempts``
+    times and will not be retried.  Dead tasks are reported, never
+    silently dropped.
+
+Transitions are claim-driven: :meth:`WorkQueue.claim` first sweeps expired
+leases (``running`` → ``pending`` or ``dead``), then atomically hands the
+oldest pending task to the caller.  ``attempts`` counts claims, so a task
+bounces between ``pending`` and ``running`` at most ``max_attempts`` times
+before dead-lettering.
+
+Two implementations, mirroring :mod:`repro.engine.store`:
+
+:class:`SqliteQueue`
+    The durable one: a single sqlite file, safe for concurrent workers
+    across threads *and* processes (``BEGIN IMMEDIATE`` claims, busy
+    timeout, rollback journaling — deliberately not WAL, whose per-host
+    shared-memory index would break cross-host locking).  This is what
+    multi-host deployments point at a shared filesystem.
+:class:`InMemoryQueue`
+    The same semantics on dicts, with an injectable clock, for tests and
+    single-process embedding.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import enum
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, runtime_checkable
+
+__all__ = [
+    "QUEUE_SCHEMA_VERSION",
+    "QueueError",
+    "TaskState",
+    "Task",
+    "WorkQueue",
+    "InMemoryQueue",
+    "SqliteQueue",
+    "open_queue",
+]
+
+#: Version of the persisted queue layout.  Bump on any incompatible change;
+#: old files then fail loudly instead of being misread.
+QUEUE_SCHEMA_VERSION = 1
+
+#: Default retry budget: a task is claimed at most this many times (first
+#: attempt included) before it is dead-lettered.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+class QueueError(ValueError):
+    """A queue file is unusable or an operation is invalid.
+
+    Subclasses ``ValueError`` so CLI entry points report it as a one-line
+    user error (exit code 2), consistent with engine and store errors.
+    """
+
+
+class TaskState(enum.Enum):
+    """Lifecycle states of one queued task (see the module docstring)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One queued unit of work, as observed at a point in time.
+
+    ``seq`` is the submission index — gather order.  ``attempts`` counts
+    claims so far; ``result`` is set once ``done``, ``error`` records the
+    most recent failure (and survives into the dead-letter state).
+    """
+
+    task_id: str
+    seq: int
+    payload: Dict[str, Any]
+    state: TaskState
+    attempts: int
+    max_attempts: int
+    worker_id: Optional[str] = None
+    lease_expires_unix: Optional[float] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+
+@runtime_checkable
+class WorkQueue(Protocol):
+    """What workers, the coordinator and the CLI require of a queue."""
+
+    def submit(
+        self,
+        payloads: Sequence[Dict[str, Any]],
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> List[str]:
+        """Append tasks (one per payload); returns their task ids."""
+        ...
+
+    def claim(self, worker_id: str, lease_seconds: float) -> Optional[Task]:
+        """Atomically take the oldest pending task under a lease.
+
+        Expired leases are swept first, so crashed workers' tasks become
+        claimable (or dead) without any separate janitor process.  Returns
+        ``None`` when nothing is pending.
+        """
+        ...
+
+    def heartbeat(self, task_id: str, worker_id: str, lease_seconds: float) -> bool:
+        """Extend a running task's lease; ``False`` if no longer ours."""
+        ...
+
+    def complete(self, task_id: str, worker_id: str, result: Dict[str, Any]) -> bool:
+        """Finish a task with its result; ``False`` if no longer ours."""
+        ...
+
+    def fail(self, task_id: str, worker_id: str, error: str) -> bool:
+        """Report a failed attempt (``pending`` again, or ``dead`` once the
+        retry budget is exhausted); ``False`` if no longer ours."""
+        ...
+
+    def expire_leases(self) -> int:
+        """Sweep expired leases; returns how many tasks were released."""
+        ...
+
+    def counts(self) -> Dict[str, int]:
+        """Task counts per state name (all four states always present)."""
+        ...
+
+    def drained(self) -> bool:
+        """True when no task is pending or running (all are terminal)."""
+        ...
+
+    def tasks(self, state: Optional[TaskState] = None) -> List[Task]:
+        """All tasks (optionally one state's), in submission order."""
+        ...
+
+    def get_meta(self, key: str) -> Optional[str]:
+        """A queue-level metadata value (e.g. the run descriptor)."""
+        ...
+
+    def set_meta(self, key: str, value: str) -> None:
+        """Set a queue-level metadata value (last writer wins)."""
+        ...
+
+    def set_meta_if_absent(self, key: str, value: str) -> bool:
+        """Atomically set a metadata value only if the key is unset.
+
+        Returns ``False`` (without writing) when the key already exists —
+        the check-and-set two concurrent submitters race on must be one
+        operation, or both would win and their runs would mix.
+        """
+        ...
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-compatible description for ``atcd dist status``."""
+        ...
+
+    def close(self) -> None:
+        """Release any underlying resources (idempotent)."""
+        ...
+
+
+def _next_state(attempts: int, max_attempts: int) -> TaskState:
+    """Where a failed/expired running task goes: retry or dead-letter."""
+    return TaskState.DEAD if attempts >= max_attempts else TaskState.PENDING
+
+
+def _summary_payload(
+    kind: str, counts: Dict[str, int], tasks: List[Task]
+) -> Dict[str, Any]:
+    """The implementation-independent part of :meth:`WorkQueue.summary`."""
+    workers = sorted(
+        {task.worker_id for task in tasks if task.worker_id is not None}
+    )
+    return {
+        "kind": kind,
+        "schema_version": QUEUE_SCHEMA_VERSION,
+        "tasks": len(tasks),
+        "counts": counts,
+        "retries": sum(max(0, task.attempts - 1) for task in tasks),
+        "workers": workers,
+        "dead": [
+            {"task_id": task.task_id, "attempts": task.attempts,
+             "error": task.error}
+            for task in tasks
+            if task.state is TaskState.DEAD
+        ],
+    }
+
+
+class InMemoryQueue:
+    """A process-local :class:`WorkQueue`: sqlite semantics, no disk.
+
+    Thread-safe, so in-process worker threads can share one instance.  The
+    ``clock`` parameter makes lease expiry testable without sleeping.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.time) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tasks: Dict[str, Task] = {}
+        self._meta: Dict[str, str] = {}
+
+    def submit(
+        self,
+        payloads: Sequence[Dict[str, Any]],
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> List[str]:
+        if max_attempts < 1:
+            raise QueueError(
+                f"max_attempts must be a positive integer, got {max_attempts!r}"
+            )
+        ids: List[str] = []
+        with self._lock:
+            seq = len(self._tasks)
+            for payload in payloads:
+                task_id = f"task-{seq:06d}"
+                self._tasks[task_id] = Task(
+                    task_id=task_id,
+                    seq=seq,
+                    payload=json.loads(json.dumps(payload)),
+                    state=TaskState.PENDING,
+                    attempts=0,
+                    max_attempts=max_attempts,
+                )
+                ids.append(task_id)
+                seq += 1
+        return ids
+
+    def _expire_locked(self, now: float) -> int:
+        released = 0
+        for task_id, task in self._tasks.items():
+            if task.state is not TaskState.RUNNING:
+                continue
+            if task.lease_expires_unix is not None and task.lease_expires_unix < now:
+                state = _next_state(task.attempts, task.max_attempts)
+                error = task.error
+                if state is TaskState.DEAD and error is None:
+                    error = "lease expired"
+                self._tasks[task_id] = dataclasses.replace(
+                    task, state=state, error=error,
+                    worker_id=None, lease_expires_unix=None,
+                )
+                released += 1
+        return released
+
+    def expire_leases(self) -> int:
+        with self._lock:
+            return self._expire_locked(self._clock())
+
+    def claim(self, worker_id: str, lease_seconds: float) -> Optional[Task]:
+        now = self._clock()
+        with self._lock:
+            self._expire_locked(now)
+            candidates = sorted(
+                (task for task in self._tasks.values()
+                 if task.state is TaskState.PENDING),
+                key=lambda task: task.seq,
+            )
+            if not candidates:
+                return None
+            task = candidates[0]
+            claimed = dataclasses.replace(
+                task, state=TaskState.RUNNING, attempts=task.attempts + 1,
+                worker_id=worker_id, lease_expires_unix=now + lease_seconds,
+            )
+            self._tasks[task.task_id] = claimed
+            return claimed
+
+    def _owned_running(self, task_id: str, worker_id: str) -> Optional[Task]:
+        task = self._tasks.get(task_id)
+        if task is None or task.state is not TaskState.RUNNING:
+            return None
+        if task.worker_id != worker_id:
+            return None
+        return task
+
+    def heartbeat(self, task_id: str, worker_id: str, lease_seconds: float) -> bool:
+        now = self._clock()
+        with self._lock:
+            self._expire_locked(now)
+            task = self._owned_running(task_id, worker_id)
+            if task is None:
+                return False
+            self._tasks[task_id] = dataclasses.replace(
+                task, lease_expires_unix=now + lease_seconds,
+            )
+            return True
+
+    def complete(self, task_id: str, worker_id: str, result: Dict[str, Any]) -> bool:
+        with self._lock:
+            self._expire_locked(self._clock())
+            task = self._owned_running(task_id, worker_id)
+            if task is None:
+                return False
+            self._tasks[task_id] = dataclasses.replace(
+                task, state=TaskState.DONE, lease_expires_unix=None,
+                result=json.loads(json.dumps(result)), error=None,
+            )
+            return True
+
+    def fail(self, task_id: str, worker_id: str, error: str) -> bool:
+        with self._lock:
+            self._expire_locked(self._clock())
+            task = self._owned_running(task_id, worker_id)
+            if task is None:
+                return False
+            self._tasks[task_id] = dataclasses.replace(
+                task, state=_next_state(task.attempts, task.max_attempts),
+                worker_id=None, lease_expires_unix=None, error=str(error),
+            )
+            return True
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {state.value: 0 for state in TaskState}
+            for task in self._tasks.values():
+                counts[task.state.value] += 1
+            return counts
+
+    def drained(self) -> bool:
+        counts = self.counts()
+        return counts["pending"] == 0 and counts["running"] == 0
+
+    def tasks(self, state: Optional[TaskState] = None) -> List[Task]:
+        with self._lock:
+            rows = sorted(self._tasks.values(), key=lambda task: task.seq)
+        if state is not None:
+            rows = [task for task in rows if task.state is state]
+        return rows
+
+    def get_meta(self, key: str) -> Optional[str]:
+        with self._lock:
+            return self._meta.get(key)
+
+    def set_meta(self, key: str, value: str) -> None:
+        with self._lock:
+            self._meta[key] = value
+
+    def set_meta_if_absent(self, key: str, value: str) -> bool:
+        with self._lock:
+            if key in self._meta:
+                return False
+            self._meta[key] = value
+            return True
+
+    def summary(self) -> Dict[str, Any]:
+        return _summary_payload("memory", self.counts(), self.tasks())
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "InMemoryQueue":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class SqliteQueue:
+    """A durable, cross-process :class:`WorkQueue` in one sqlite file.
+
+    Parameters
+    ----------
+    path:
+        Database file; created (with its schema) when absent.
+    timeout:
+        Seconds an operation waits for sqlite's file lock before failing —
+        claims from many workers serialize on the write lock instead of
+        erroring.
+
+    The connection runs in autocommit mode and every mutation happens
+    inside an explicit ``BEGIN IMMEDIATE`` transaction, which takes the
+    database write lock up front: a claim's read-check-update is therefore
+    atomic across processes, so two workers can never claim one task while
+    its lease is valid.
+
+    Unlike the result store, the queue deliberately stays on rollback
+    journaling (sqlite's default) rather than WAL: WAL coordinates its
+    readers and writers through a shared-memory index that only exists
+    per *host*, so it must not be used on a queue file shared between
+    machines — exactly the multi-host deployment this queue exists for.
+    Queue transactions are tiny (a claim updates one row), so the
+    write-lock serialization rollback journaling implies costs little.
+    """
+
+    def __init__(self, path: str, timeout: float = 30.0) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._connection: Optional[sqlite3.Connection] = None
+        try:
+            self._connection = sqlite3.connect(
+                self.path,
+                timeout=timeout,
+                check_same_thread=False,
+                isolation_level=None,  # autocommit; transactions are explicit
+            )
+            self._initialize_schema()
+        except sqlite3.Error as error:
+            if self._connection is not None:
+                self._connection.close()
+            raise QueueError(
+                f"cannot open work queue {self.path!r}: {error}"
+            ) from error
+
+    def _initialize_schema(self) -> None:
+        # Never bless a foreign database (same stance as the result store):
+        # a file with tables that are not ours is some other application's
+        # data, and creating our schema inside it would be corruption.
+        has_meta = self._connection.execute(
+            "SELECT COUNT(*) FROM sqlite_master "
+            "WHERE type = 'table' AND name = 'queue_meta'"
+        ).fetchone()[0]
+        foreign = self._connection.execute(
+            "SELECT COUNT(*) FROM sqlite_master "
+            "WHERE type IN ('table', 'view') "
+            "AND name NOT IN ('queue_meta', 'tasks') "
+            "AND name NOT LIKE 'sqlite_%'"
+        ).fetchone()[0]
+        if foreign and not has_meta:
+            self._connection.close()
+            raise QueueError(
+                f"{self.path!r} is not a work queue: it contains unrelated "
+                "tables; refusing to create the queue schema inside it"
+            )
+        with self._transaction():
+            self._connection.execute(
+                "CREATE TABLE IF NOT EXISTS queue_meta ("
+                " key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+            self._connection.execute(
+                "CREATE TABLE IF NOT EXISTS tasks ("
+                " task_id TEXT PRIMARY KEY,"
+                " seq INTEGER NOT NULL UNIQUE,"
+                " payload TEXT NOT NULL,"
+                " state TEXT NOT NULL,"
+                " attempts INTEGER NOT NULL DEFAULT 0,"
+                " max_attempts INTEGER NOT NULL,"
+                " worker_id TEXT,"
+                " lease_expires_unix REAL,"
+                " result TEXT,"
+                " error TEXT,"
+                " created_unix REAL NOT NULL,"
+                " updated_unix REAL NOT NULL)"
+            )
+            self._connection.execute(
+                "CREATE INDEX IF NOT EXISTS tasks_state_seq "
+                "ON tasks (state, seq)"
+            )
+            row = self._connection.execute(
+                "SELECT value FROM queue_meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                entries = self._connection.execute(
+                    "SELECT COUNT(*) FROM tasks"
+                ).fetchone()[0]
+                if not entries:
+                    self._connection.execute(
+                        "INSERT OR IGNORE INTO queue_meta (key, value) "
+                        "VALUES (?, ?)",
+                        ("schema_version", str(QUEUE_SCHEMA_VERSION)),
+                    )
+                    row = (str(QUEUE_SCHEMA_VERSION),)
+        if row is None or row[0] != str(QUEUE_SCHEMA_VERSION):
+            found = None if row is None else row[0]
+            self._connection.close()
+            raise QueueError(
+                f"work queue {self.path!r} has schema version {found!r}; "
+                f"this build reads version {QUEUE_SCHEMA_VERSION}. "
+                "Use a fresh queue file (or a matching build)."
+            )
+
+    @contextlib.contextmanager
+    def _transaction(self) -> Any:
+        """``BEGIN IMMEDIATE`` … ``COMMIT``/``ROLLBACK`` under the thread lock.
+
+        ``BEGIN IMMEDIATE`` takes the database write lock before the body
+        reads anything, which is what makes read-check-update sequences
+        (claims, completes) atomic across worker processes.
+        """
+        if self._closed:
+            raise QueueError(f"work queue {self.path!r} is closed")
+        with self._lock:
+            try:
+                self._connection.execute("BEGIN IMMEDIATE")
+            except sqlite3.Error as error:
+                raise QueueError(
+                    f"work queue {self.path!r} failed: {error}"
+                ) from error
+            try:
+                yield self._connection
+            except sqlite3.Error as error:
+                self._connection.execute("ROLLBACK")
+                raise QueueError(
+                    f"work queue {self.path!r} failed: {error}"
+                ) from error
+            except BaseException:
+                self._connection.execute("ROLLBACK")
+                raise
+            else:
+                try:
+                    self._connection.execute("COMMIT")
+                except sqlite3.Error as error:
+                    # A failed COMMIT (disk full, I/O error) must surface as
+                    # the usual one-line queue error, and must not leave the
+                    # connection stuck inside an open transaction.
+                    try:
+                        self._connection.execute("ROLLBACK")
+                    except sqlite3.Error:
+                        pass
+                    raise QueueError(
+                        f"work queue {self.path!r} failed: {error}"
+                    ) from error
+
+    def _query(self, sql: str, parameters: tuple = ()) -> List[tuple]:
+        """A read outside any explicit transaction."""
+        if self._closed:
+            raise QueueError(f"work queue {self.path!r} is closed")
+        try:
+            with self._lock:
+                return self._connection.execute(sql, parameters).fetchall()
+        except sqlite3.Error as error:
+            raise QueueError(
+                f"work queue {self.path!r} failed: {error}"
+            ) from error
+
+    # ------------------------------------------------------------------ #
+    # WorkQueue interface
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        payloads: Sequence[Dict[str, Any]],
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> List[str]:
+        if max_attempts < 1:
+            raise QueueError(
+                f"max_attempts must be a positive integer, got {max_attempts!r}"
+            )
+        now = time.time()
+        ids: List[str] = []
+        with self._transaction() as connection:
+            row = connection.execute("SELECT MAX(seq) FROM tasks").fetchone()
+            seq = (row[0] + 1) if row[0] is not None else 0
+            for payload in payloads:
+                task_id = f"task-{seq:06d}"
+                connection.execute(
+                    "INSERT INTO tasks (task_id, seq, payload, state, attempts,"
+                    " max_attempts, created_unix, updated_unix)"
+                    " VALUES (?, ?, ?, ?, 0, ?, ?, ?)",
+                    (task_id, seq, json.dumps(payload, sort_keys=True),
+                     TaskState.PENDING.value, max_attempts, now, now),
+                )
+                ids.append(task_id)
+                seq += 1
+        return ids
+
+    @staticmethod
+    def _expire_sql(connection: sqlite3.Connection, now: float) -> int:
+        cursor = connection.execute(
+            "UPDATE tasks SET"
+            " state = CASE WHEN attempts >= max_attempts"
+            f"   THEN '{TaskState.DEAD.value}' ELSE '{TaskState.PENDING.value}' END,"
+            " error = CASE WHEN attempts >= max_attempts AND error IS NULL"
+            "   THEN 'lease expired' ELSE error END,"
+            " worker_id = NULL,"
+            " lease_expires_unix = NULL,"
+            " updated_unix = ?"
+            f" WHERE state = '{TaskState.RUNNING.value}'"
+            " AND lease_expires_unix IS NOT NULL AND lease_expires_unix < ?",
+            (now, now),
+        )
+        return cursor.rowcount
+
+    def expire_leases(self) -> int:
+        with self._transaction() as connection:
+            return self._expire_sql(connection, time.time())
+
+    def claim(self, worker_id: str, lease_seconds: float) -> Optional[Task]:
+        now = time.time()
+        with self._transaction() as connection:
+            self._expire_sql(connection, now)
+            row = connection.execute(
+                "SELECT task_id FROM tasks WHERE state = ? ORDER BY seq LIMIT 1",
+                (TaskState.PENDING.value,),
+            ).fetchone()
+            if row is None:
+                return None
+            task_id = row[0]
+            cursor = connection.execute(
+                "UPDATE tasks SET state = ?, worker_id = ?,"
+                " attempts = attempts + 1, lease_expires_unix = ?,"
+                " updated_unix = ? WHERE task_id = ? AND state = ?",
+                (TaskState.RUNNING.value, worker_id, now + lease_seconds,
+                 now, task_id, TaskState.PENDING.value),
+            )
+            # The write lock was held since BEGIN IMMEDIATE, so the selected
+            # row cannot have been taken by anyone else.
+            assert cursor.rowcount == 1
+            task_row = connection.execute(
+                _TASK_SELECT + " WHERE task_id = ?", (task_id,)
+            ).fetchone()
+        return _task_from_row(task_row)
+
+    def heartbeat(self, task_id: str, worker_id: str, lease_seconds: float) -> bool:
+        now = time.time()
+        with self._transaction() as connection:
+            self._expire_sql(connection, now)
+            cursor = connection.execute(
+                "UPDATE tasks SET lease_expires_unix = ?, updated_unix = ?"
+                " WHERE task_id = ? AND worker_id = ? AND state = ?",
+                (now + lease_seconds, now, task_id, worker_id,
+                 TaskState.RUNNING.value),
+            )
+            return cursor.rowcount == 1
+
+    def complete(self, task_id: str, worker_id: str, result: Dict[str, Any]) -> bool:
+        now = time.time()
+        with self._transaction() as connection:
+            self._expire_sql(connection, now)
+            cursor = connection.execute(
+                "UPDATE tasks SET state = ?, result = ?, error = NULL,"
+                " lease_expires_unix = NULL, updated_unix = ?"
+                " WHERE task_id = ? AND worker_id = ? AND state = ?",
+                (TaskState.DONE.value, json.dumps(result, sort_keys=True),
+                 now, task_id, worker_id, TaskState.RUNNING.value),
+            )
+            return cursor.rowcount == 1
+
+    def fail(self, task_id: str, worker_id: str, error: str) -> bool:
+        now = time.time()
+        with self._transaction() as connection:
+            self._expire_sql(connection, now)
+            cursor = connection.execute(
+                "UPDATE tasks SET"
+                " state = CASE WHEN attempts >= max_attempts"
+                f"   THEN '{TaskState.DEAD.value}'"
+                f"   ELSE '{TaskState.PENDING.value}' END,"
+                " error = ?, worker_id = NULL, lease_expires_unix = NULL,"
+                " updated_unix = ?"
+                " WHERE task_id = ? AND worker_id = ? AND state = ?",
+                (str(error), now, task_id, worker_id, TaskState.RUNNING.value),
+            )
+            return cursor.rowcount == 1
+
+    def counts(self) -> Dict[str, int]:
+        counts = {state.value: 0 for state in TaskState}
+        for state, count in self._query(
+            "SELECT state, COUNT(*) FROM tasks GROUP BY state"
+        ):
+            counts[state] = count
+        return counts
+
+    def drained(self) -> bool:
+        counts = self.counts()
+        return counts["pending"] == 0 and counts["running"] == 0
+
+    def tasks(self, state: Optional[TaskState] = None) -> List[Task]:
+        if state is None:
+            rows = self._query(_TASK_SELECT + " ORDER BY seq")
+        else:
+            rows = self._query(
+                _TASK_SELECT + " WHERE state = ? ORDER BY seq", (state.value,)
+            )
+        return [_task_from_row(row) for row in rows]
+
+    def get_meta(self, key: str) -> Optional[str]:
+        rows = self._query(
+            "SELECT value FROM queue_meta WHERE key = ?", (key,)
+        )
+        return rows[0][0] if rows else None
+
+    def set_meta(self, key: str, value: str) -> None:
+        with self._transaction() as connection:
+            connection.execute(
+                "INSERT OR REPLACE INTO queue_meta (key, value) VALUES (?, ?)",
+                (key, value),
+            )
+
+    def set_meta_if_absent(self, key: str, value: str) -> bool:
+        with self._transaction() as connection:
+            cursor = connection.execute(
+                "INSERT OR IGNORE INTO queue_meta (key, value) VALUES (?, ?)",
+                (key, value),
+            )
+            return cursor.rowcount == 1
+
+    def summary(self) -> Dict[str, Any]:
+        # Computed in SQL over the scalar columns: `atcd dist status` polls
+        # this, and must not read (or JSON-parse) every task's payload and
+        # result just to report a handful of aggregates.
+        total, retries = self._query(
+            "SELECT COUNT(*), COALESCE(SUM(MAX(attempts - 1, 0)), 0) FROM tasks"
+        )[0]
+        workers = [
+            row[0] for row in self._query(
+                "SELECT DISTINCT worker_id FROM tasks "
+                "WHERE worker_id IS NOT NULL ORDER BY worker_id"
+            )
+        ]
+        dead = [
+            {"task_id": task_id, "attempts": attempts, "error": error}
+            for task_id, attempts, error in self._query(
+                "SELECT task_id, attempts, error FROM tasks "
+                "WHERE state = ? ORDER BY seq", (TaskState.DEAD.value,)
+            )
+        ]
+        return {
+            "kind": "sqlite",
+            "schema_version": QUEUE_SCHEMA_VERSION,
+            "tasks": total,
+            "counts": self.counts(),
+            "retries": retries,
+            "workers": workers,
+            "dead": dead,
+            "path": self.path,
+        }
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            if self._connection is not None:
+                self._connection.close()
+
+    def __enter__(self) -> "SqliteQueue":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+_TASK_SELECT = (
+    "SELECT task_id, seq, payload, state, attempts, max_attempts,"
+    " worker_id, lease_expires_unix, result, error FROM tasks"
+)
+
+
+def _task_from_row(row: tuple) -> Task:
+    (task_id, seq, payload, state, attempts, max_attempts,
+     worker_id, lease_expires_unix, result, error) = row
+    return Task(
+        task_id=task_id,
+        seq=seq,
+        payload=json.loads(payload),
+        state=TaskState(state),
+        attempts=attempts,
+        max_attempts=max_attempts,
+        worker_id=worker_id,
+        lease_expires_unix=lease_expires_unix,
+        result=json.loads(result) if result is not None else None,
+        error=error,
+    )
+
+
+def open_queue(path: str, must_exist: bool = False) -> SqliteQueue:
+    """Open (or create) the sqlite work queue at ``path``.
+
+    With ``must_exist=True`` a missing file is a :class:`QueueError`
+    instead of a silently created empty queue — the right behaviour for
+    ``atcd dist worker|status|gather``, where a typo'd path must not
+    conjure an empty queue and an immediately-drained worker.
+    """
+    if must_exist and not os.path.exists(path):
+        raise QueueError(f"no work queue at {path!r}")
+    return SqliteQueue(path)

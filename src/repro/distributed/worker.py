@@ -1,0 +1,241 @@
+"""The worker loop: claim, execute, heartbeat, report.
+
+A :class:`Worker` repeatedly claims tasks from a :class:`~.queue.WorkQueue`
+and executes them through the engine's existing wire entry points — bench
+case payloads via :func:`repro.bench.harness.execute_serialized_case`,
+plain analysis requests via
+:func:`repro.engine.session.run_serialized_request`.  Nothing about a task
+is worker-specific: any worker on any host (sharing the queue file and,
+optionally, a result store) can execute any task.
+
+While a task runs, a daemon thread renews its visibility lease at a third
+of the lease interval, so long solver runs stay invisible to other workers
+for as long as — and only as long as — this process is alive.  A worker
+that is killed simply stops heartbeating; the lease runs out and the queue
+hands the task to someone else.
+
+Re-execution is made *idempotent* by the shared result store: a retried
+task whose first execution already persisted its result is answered from
+the store (``run_serialized_request(store=...)`` /
+``execute_serialized_case(store=...)`` read through it) instead of being
+recomputed, so crash-retry cannot produce divergent results.
+
+Failures inside a task (a payload that does not deserialize, a backend
+error) are reported to the queue with :meth:`~.queue.WorkQueue.fail` —
+bounded retries, then dead-letter — and the worker moves on; only the
+queue itself failing stops the loop.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..bench.harness import execute_serialized_case
+from ..engine.session import run_serialized_request
+from ..engine.store import ResultStore
+from .queue import Task, WorkQueue
+
+__all__ = ["Worker", "WorkerReport", "default_worker_id", "execute_task_payload"]
+
+
+def default_worker_id() -> str:
+    """A host-unique worker name: ``<hostname>-<pid>``."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def execute_task_payload(
+    payload: Dict[str, Any], store: Optional[ResultStore] = None
+) -> Dict[str, Any]:
+    """Dispatch one task payload to the engine by its ``kind``.
+
+    ``bench-case`` payloads (the harness wire format) return a
+    :class:`~repro.bench.harness.BenchRun` row dict; ``request`` payloads
+    (a serialized model + request) return an
+    :class:`~repro.engine.AnalysisResult` dict.
+    """
+    kind = payload.get("kind", "bench-case")
+    if kind == "bench-case":
+        return execute_serialized_case(payload, store=store)
+    if kind == "request":
+        return run_serialized_request(
+            payload["model"], payload["request"], store=store
+        )
+    raise ValueError(f"unknown task kind {kind!r}")
+
+
+@dataclass
+class WorkerReport:
+    """What one :meth:`Worker.run` invocation did."""
+
+    worker_id: str
+    completed: int = 0
+    failed: int = 0
+    #: Task ids whose attempt failed on this worker (possibly retried by
+    #: another worker afterwards).
+    failures: list = field(default_factory=list)
+
+    @property
+    def executed(self) -> int:
+        """Total attempts this worker made (completed + failed)."""
+        return self.completed + self.failed
+
+
+class _LeaseKeeper(threading.Thread):
+    """Renews one running task's lease until stopped (daemon thread).
+
+    Renewal runs at a third of the lease interval, so two renewals can be
+    missed (scheduler stalls, a slow queue write) before the lease actually
+    lapses.  If the queue reports the task is no longer ours — the lease
+    already expired and someone else claimed it — the keeper gives up; the
+    worker discovers the loss when its ``complete``/``fail`` returns False.
+    """
+
+    def __init__(
+        self, queue: WorkQueue, task_id: str, worker_id: str, lease_seconds: float
+    ) -> None:
+        super().__init__(name=f"lease-{task_id}", daemon=True)
+        self._queue = queue
+        self._task_id = task_id
+        self._worker_id = worker_id
+        self._lease_seconds = lease_seconds
+        self._interval = max(lease_seconds / 3.0, 0.05)
+        self._stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self._interval):
+            try:
+                renewed = self._queue.heartbeat(
+                    self._task_id, self._worker_id, self._lease_seconds
+                )
+            except Exception:
+                # A transient queue error (lock timeout) must not kill the
+                # keeper; the next tick retries, and the lease is sized to
+                # survive missed renewals.
+                continue
+            if not renewed:
+                return
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        self.join(timeout=5.0)
+
+
+class Worker:
+    """A single queue consumer; run one per process (or thread).
+
+    Parameters
+    ----------
+    queue:
+        The work queue to claim from.
+    worker_id:
+        Stable name used for lease ownership; defaults to
+        ``<hostname>-<pid>``.
+    store:
+        Optional shared result store.  Results are read through and written
+        back, making re-execution after a crash idempotent and letting
+        workers share work across the fleet.
+    lease_seconds:
+        Visibility lease per claim; renewed by heartbeat at a third of
+        this interval while the task executes.
+    poll_seconds:
+        Idle sleep between claim attempts when nothing is pending.
+    max_tasks:
+        Stop after this many attempts (None = unbounded).
+    exit_when_drained:
+        Return once the queue holds no pending or running tasks (the
+        single-run default).  With ``False`` the worker keeps polling for
+        new work until ``max_tasks`` — the long-lived fleet mode.
+    executor:
+        Override task execution (tests inject failures/delays here);
+        defaults to :func:`execute_task_payload` with this worker's store.
+    inject_delay_seconds:
+        Sleep this long after claiming each task, before executing it —
+        fault-injection hook for chaos tests (kill a worker mid-task).
+    """
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        worker_id: Optional[str] = None,
+        store: Optional[ResultStore] = None,
+        lease_seconds: float = 30.0,
+        poll_seconds: float = 0.2,
+        max_tasks: Optional[int] = None,
+        exit_when_drained: bool = True,
+        executor: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
+        inject_delay_seconds: float = 0.0,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise ValueError(
+                f"lease_seconds must be positive, got {lease_seconds!r}"
+            )
+        self.queue = queue
+        self.worker_id = worker_id or default_worker_id()
+        self.store = store
+        self.lease_seconds = lease_seconds
+        self.poll_seconds = poll_seconds
+        self.max_tasks = max_tasks
+        self.exit_when_drained = exit_when_drained
+        self.executor = executor
+        self.inject_delay_seconds = inject_delay_seconds
+        self._stop_event = threading.Event()
+
+    def stop(self) -> None:
+        """Ask a running loop to return after its current task."""
+        self._stop_event.set()
+
+    def _execute(self, task: Task) -> Dict[str, Any]:
+        if self.inject_delay_seconds:
+            time.sleep(self.inject_delay_seconds)
+        if self.executor is not None:
+            return self.executor(task.payload)
+        return execute_task_payload(task.payload, store=self.store)
+
+    def run_one(self, task: Task, report: WorkerReport) -> None:
+        """Execute one claimed task under a heartbeat, report the outcome."""
+        keeper = _LeaseKeeper(
+            self.queue, task.task_id, self.worker_id, self.lease_seconds
+        )
+        keeper.start()
+        try:
+            result = self._execute(task)
+        except Exception as error:
+            keeper.stop()
+            message = "".join(
+                traceback.format_exception_only(type(error), error)
+            ).strip()
+            self.queue.fail(task.task_id, self.worker_id, message)
+            report.failed += 1
+            report.failures.append(task.task_id)
+            return
+        keeper.stop()
+        if self.queue.complete(task.task_id, self.worker_id, result):
+            report.completed += 1
+        else:
+            # Our lease lapsed mid-run and the task went elsewhere.  The
+            # computation is not wasted if a store is attached (the result
+            # was written through), but it is not ours to report as done.
+            report.failed += 1
+            report.failures.append(task.task_id)
+
+    def run(self) -> WorkerReport:
+        """Claim and execute until drained/stopped; returns the report."""
+        report = WorkerReport(worker_id=self.worker_id)
+        while not self._stop_event.is_set():
+            if self.max_tasks is not None and report.executed >= self.max_tasks:
+                break
+            task = self.queue.claim(self.worker_id, self.lease_seconds)
+            if task is None:
+                if self.exit_when_drained and self.queue.drained():
+                    break
+                if self._stop_event.wait(self.poll_seconds):
+                    break
+                continue
+            self.run_one(task, report)
+        return report

@@ -115,7 +115,9 @@ def run_request(
 
 
 def run_serialized_request(
-    model_payload: Dict[str, Any], request_payload: Dict[str, Any]
+    model_payload: Dict[str, Any],
+    request_payload: Dict[str, Any],
+    store: Optional["ResultStore"] = None,
 ) -> Dict[str, Any]:
     """Execute one JSON-encoded request against a JSON-encoded model.
 
@@ -123,9 +125,17 @@ def run_serialized_request(
     and out is a plain JSON-compatible dict, so callers can ship work across
     process or network boundaries without pickling any domain object.
     Backends resolve against the calling process's shared registry.
+
+    With ``store`` set, execution is *idempotent* across retries: the
+    request is read through (and written back to) the shared result store,
+    so a task re-executed after a worker crash is answered with the result
+    the first execution already persisted instead of being recomputed —
+    the hook :mod:`repro.distributed` workers rely on.
     """
     model = serialization.from_dict(model_payload)
     request = AnalysisRequest.from_dict(request_payload)
+    if store is not None:
+        return AnalysisSession(model, store=store).run(request).to_dict()
     return run_request(model, request).to_dict()
 
 

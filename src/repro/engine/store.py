@@ -153,6 +153,17 @@ def _decode_record(
     return result
 
 
+def _validate_eviction_bounds(
+    ttl_seconds: Optional[float], max_bytes: Optional[int]
+) -> None:
+    if ttl_seconds is not None and ttl_seconds < 0:
+        raise ValueError(
+            f"ttl_seconds must be non-negative, got {ttl_seconds!r}"
+        )
+    if max_bytes is not None and max_bytes < 0:
+        raise ValueError(f"max_bytes must be non-negative, got {max_bytes!r}")
+
+
 @runtime_checkable
 class ResultStore(Protocol):
     """What sessions, the bench harness and the CLI require of a store."""
@@ -173,6 +184,14 @@ class ResultStore(Protocol):
 
     def prune(self, fingerprint: Optional[str] = None) -> int:
         """Delete stored results (optionally one model's); returns count."""
+        ...
+
+    def evict(
+        self,
+        ttl_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> int:
+        """Age/size-bounded eviction (oldest first); returns count dropped."""
         ...
 
     def __len__(self) -> int:
@@ -198,7 +217,9 @@ class InMemoryStore:
     """
 
     def __init__(self) -> None:
-        self._rows: Dict[Tuple[str, str], str] = {}
+        #: key -> (serialized record, created-unix) — the timestamp feeds
+        #: the same TTL/size eviction the sqlite store offers.
+        self._rows: Dict[Tuple[str, str], Tuple[str, float]] = {}
         self._lock = threading.Lock()
         self.stats = StoreStats()
 
@@ -207,7 +228,8 @@ class InMemoryStore:
     ) -> Optional[AnalysisResult]:
         key = request_key(request)
         with self._lock:
-            payload = self._rows.get((fingerprint, key))
+            entry = self._rows.get((fingerprint, key))
+        payload = entry[0] if entry is not None else None
         if payload is None:
             self.stats.misses += 1
             return None
@@ -225,7 +247,7 @@ class InMemoryStore:
         key = request_key(request)
         payload = _encode_record(fingerprint, key, result)
         with self._lock:
-            self._rows[(fingerprint, key)] = payload
+            self._rows[(fingerprint, key)] = (payload, time.time())
         self.stats.writes += 1
 
     def prune(self, fingerprint: Optional[str] = None) -> int:
@@ -238,6 +260,37 @@ class InMemoryStore:
             for k in doomed:
                 del self._rows[k]
             return len(doomed)
+
+    def evict(
+        self,
+        ttl_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> int:
+        """Oldest-first eviction; ``max_bytes`` bounds total payload bytes."""
+        _validate_eviction_bounds(ttl_seconds, max_bytes)
+        dropped = 0
+        with self._lock:
+            if ttl_seconds is not None:
+                cutoff = time.time() - ttl_seconds
+                doomed = [
+                    key for key, (_, created) in self._rows.items()
+                    if created < cutoff
+                ]
+                for key in doomed:
+                    del self._rows[key]
+                dropped += len(doomed)
+            if max_bytes is not None:
+                oldest_first = sorted(
+                    self._rows.items(), key=lambda item: item[1][1]
+                )
+                total = sum(len(payload) for _, (payload, _) in oldest_first)
+                for key, (payload, _) in oldest_first:
+                    if total <= max_bytes:
+                        break
+                    del self._rows[key]
+                    total -= len(payload)
+                    dropped += 1
+        return dropped
 
     def __len__(self) -> int:
         with self._lock:
@@ -424,6 +477,77 @@ class SqliteStore:
                 "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
             )
         return cursor.rowcount
+
+    def _vacuum(self) -> None:
+        """Reclaim deleted pages so the file size reflects the contents.
+
+        Checkpoints the WAL first — ``os.path.getsize`` only sees the main
+        database file, and eviction's size bound must measure what actually
+        stays on disk.
+        """
+        if self._closed:
+            raise StoreError(f"result store {self.path!r} is closed")
+        try:
+            with self._lock:
+                # Both statements run in autocommit (VACUUM refuses to run
+                # inside a transaction, and _execute's context manager
+                # would start one).
+                self._connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+                self._connection.execute("VACUUM")
+        except sqlite3.Error as error:
+            raise StoreError(
+                f"result store {self.path!r} failed: {error}"
+            ) from error
+
+    def evict(
+        self,
+        ttl_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> int:
+        """Age/size-bounded eviction, oldest rows first.
+
+        ``ttl_seconds`` drops every result older than that horizon;
+        ``max_bytes`` then deletes oldest-first in batches (vacuuming
+        between rounds) until the database *file* fits under the bound or
+        is empty — an empty store keeps its fixed page overhead, so a
+        bound below ~16 KiB empties the store without erroring.  This is
+        what keeps long-lived queue/worker deployments from growing the
+        store without limit.
+        """
+        _validate_eviction_bounds(ttl_seconds, max_bytes)
+        if ttl_seconds is None and max_bytes is None:
+            return 0
+        dropped = 0
+        if ttl_seconds is not None:
+            cutoff = time.time() - ttl_seconds
+            dropped += self._execute(
+                "DELETE FROM results WHERE created_unix < ?", (cutoff,)
+            ).rowcount
+        if max_bytes is not None:
+            while True:
+                self._vacuum()
+                try:
+                    size = os.path.getsize(self.path)
+                except OSError:
+                    break
+                if size <= max_bytes:
+                    break
+                entries = len(self)
+                if entries == 0:
+                    break
+                batch = max(1, entries // 4)
+                cursor = self._execute(
+                    "DELETE FROM results WHERE rowid IN ("
+                    " SELECT rowid FROM results"
+                    " ORDER BY created_unix ASC, rowid ASC LIMIT ?)",
+                    (batch,),
+                )
+                if cursor.rowcount == 0:
+                    break
+                dropped += cursor.rowcount
+        elif dropped:
+            self._vacuum()
+        return dropped
 
     def __len__(self) -> int:
         row = self._execute("SELECT COUNT(*) FROM results").fetchone()

@@ -44,6 +44,17 @@ class TestArtifact:
     def test_runs_round_trip(self, artifact, runs):
         assert artifact_runs(artifact) == list(runs)
 
+    def test_untraced_totals_omit_peak_columns(self, artifact):
+        assert "peak_kb_max" not in artifact["totals"]
+
+    def test_traced_totals_aggregate_peak_kb(self):
+        runs = execute_specs(SPECS[:1], trace_memory=True)
+        traced = build_artifact("traced", SPECS[:1], runs)
+        assert traced["totals"]["peak_kb_max"] == max(r.peak_kb for r in runs)
+        assert traced["totals"]["peak_kb_sum"] == pytest.approx(
+            sum(r.peak_kb for r in runs)
+        )
+
     def test_write_and_load(self, artifact, tmp_path):
         path = str(tmp_path / "BENCH_unit.json")
         write_artifact(artifact, path)

@@ -103,6 +103,54 @@ class TestExecution:
         with pytest.raises(ValueError, match="unknown backend"):
             execute_specs(specs)
 
+    def test_zero_max_workers_rejected(self):
+        # `--max-workers 0` must be a user error, not silently the default
+        # pool size (0 is falsy, so `max_workers or ...` would mask it).
+        with pytest.raises(ValueError, match="max_workers"):
+            execute_specs(TINY, executor="thread", max_workers=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            execute_specs(TINY, executor="process", max_workers=-1)
+
+
+class TestTraceMemory:
+    def test_untraced_rows_omit_peak_kb(self):
+        runs = execute_specs(TINY[:1])
+        assert all(run.peak_kb is None for run in runs)
+        assert all("peak_kb" not in run.to_dict() for run in runs)
+
+    def test_traced_rows_record_positive_peaks(self):
+        runs = execute_specs(TINY[:1], trace_memory=True)
+        assert all(run.peak_kb is not None and run.peak_kb > 0 for run in runs)
+        for run in runs:
+            round_tripped = BenchRun.from_dict(run.to_dict())
+            assert round_tripped.peak_kb == run.peak_kb
+
+    def test_traced_results_identical_to_untraced(self):
+        traced = execute_specs(TINY, trace_memory=True)
+        plain = execute_specs(TINY)
+        key = lambda run: (run.case_id, run.result_points, run.value)
+        assert [key(run) for run in traced] == [key(run) for run in plain]
+
+    def test_process_executor_propagates_peaks(self):
+        runs = execute_specs(TINY[:1], executor="process", max_workers=2,
+                             trace_memory=True)
+        assert all(run.peak_kb is not None and run.peak_kb > 0 for run in runs)
+
+    def test_malformed_traced_payload_does_not_leak_the_tracer(self):
+        # A long-lived worker catches the failure and keeps executing: the
+        # tracer this call started must not stay on and slow everything.
+        import tracemalloc
+
+        from repro.bench.harness import execute_serialized_case
+
+        assert not tracemalloc.is_tracing()
+        with pytest.raises(Exception):
+            execute_serialized_case(
+                {"trace_memory": True, "model": {"broken": True},
+                 "request": {"problem": "cdpf"}, "repeats": 1}
+            )
+        assert not tracemalloc.is_tracing()
+
 
 class TestSharedStore:
     def _results(self, runs):

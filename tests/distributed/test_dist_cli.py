@@ -1,0 +1,276 @@
+"""Tests for the ``atcd dist`` CLI verbs and their error contract.
+
+The worker subprocesses spawned by ``dist run`` (and by the kill test) only
+need the queue file — task payloads are self-contained — so the tests can
+shard a tiny in-test profile in the parent process and still exercise real
+multi-process execution.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench import profiles
+from repro.bench.harness import execute_specs
+from repro.cli import main
+from repro.distributed import Coordinator, SqliteQueue
+from repro.workloads import ScenarioSpec
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+TINY_SPECS = [
+    ScenarioSpec(family="catalog", shape="treelike", setting="deterministic"),
+    ScenarioSpec(family="catalog", shape="dag", setting="deterministic"),
+]
+
+RESULT_KEYS = ("case_id", "problem", "backend", "result_points", "value")
+
+
+def results_section(rows):
+    return json.dumps(
+        [{key: row.get(key) for key in RESULT_KEYS} for row in rows],
+        sort_keys=True,
+    )
+
+
+@pytest.fixture
+def tiny_profile(monkeypatch):
+    """Register a fast profile; workers never resolve it (payloads are
+    self-contained), so patching the parent process suffices."""
+    monkeypatch.setitem(profiles.PROFILES, "tiny-cli", list(TINY_SPECS))
+    return "tiny-cli"
+
+
+def worker_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestDistRun:
+    def test_run_matches_sequential_artifact(self, tiny_profile, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_dist.json")
+        store = str(tmp_path / "store.sqlite")
+        assert main([
+            "dist", "run", "--profile", tiny_profile, "--workers", "2",
+            "--store", store, "--out", out, "--timeout", "120",
+        ]) == 0
+        artifact = json.load(open(out))
+        sequential = [run.to_dict() for run in execute_specs(TINY_SPECS)]
+        assert results_section(artifact["runs"]) == results_section(sequential)
+        distributed = artifact["config"]["distributed"]
+        assert distributed["workers"] == 2
+        assert distributed["dead_tasks"] == []
+        assert "wrote" in capsys.readouterr().out
+
+    def test_run_keeps_an_explicit_queue_file(self, tiny_profile, tmp_path):
+        queue_path = str(tmp_path / "kept.queue")
+        out = str(tmp_path / "BENCH_kept.json")
+        assert main([
+            "dist", "run", "--profile", tiny_profile, "--workers", "1",
+            "--queue", queue_path, "--out", out, "--timeout", "120",
+        ]) == 0
+        with SqliteQueue(queue_path) as queue:
+            assert queue.counts()["done"] == len(json.load(open(out))["runs"])
+
+
+class TestSubmitWorkerStatusGather:
+    def test_multi_host_flow_on_one_queue(self, tiny_profile, tmp_path, capsys):
+        queue_path = str(tmp_path / "flow.queue")
+        out = str(tmp_path / "BENCH_flow.json")
+        assert main(["dist", "submit", "--queue", queue_path,
+                     "--profile", tiny_profile]) == 0
+        assert "submitted" in capsys.readouterr().out
+        # Status before any worker ran.
+        assert main(["dist", "status", "--queue", queue_path]) == 0
+        assert "pending" in capsys.readouterr().out
+        # Gathering too early is a user error, not a partial artifact.
+        assert main(["dist", "gather", "--queue", queue_path]) == 2
+        assert "not complete" in capsys.readouterr().err
+        # One in-process worker drains it.
+        assert main(["dist", "worker", "--queue", queue_path,
+                     "--poll", "0.01"]) == 0
+        assert main(["dist", "gather", "--queue", queue_path,
+                     "--out", out]) == 0
+        artifact = json.load(open(out))
+        sequential = [run.to_dict() for run in execute_specs(TINY_SPECS)]
+        assert results_section(artifact["runs"]) == results_section(sequential)
+
+    def test_batch_submit_and_gather(self, tmp_path, capsys):
+        queue_path = str(tmp_path / "batch.queue")
+        model = str(tmp_path / "factory.json")
+        requests = str(tmp_path / "requests.json")
+        main(["catalog", "factory", "--out", model])
+        Path(requests).write_text(
+            json.dumps([{"problem": "cdpf"}, {"problem": "dgc", "budget": 2}])
+        )
+        capsys.readouterr()
+        assert main(["dist", "submit", "--queue", queue_path,
+                     "--model", model, "--requests", requests]) == 0
+        assert main(["dist", "worker", "--queue", queue_path,
+                     "--poll", "0.01"]) == 0
+        out = str(tmp_path / "results.json")
+        assert main(["dist", "gather", "--queue", queue_path,
+                     "--out", out]) == 0
+        results = json.load(open(out))
+        assert len(results) == 2
+        assert results[1]["value"] == 200.0
+
+
+class TestKillOneWorkerMidRun:
+    def test_run_completes_via_lease_expiry_retry(self, tiny_profile, tmp_path):
+        """The acceptance scenario: two real worker processes, one SIGKILLed
+        mid-task; the run still completes with no lost or duplicated cases
+        and results identical to the sequential run."""
+        queue_path = str(tmp_path / "kill.queue")
+        with SqliteQueue(queue_path) as queue:
+            coordinator = Coordinator(queue, poll_seconds=0.05)
+            coordinator.submit_profile("tiny-cli", TINY_SPECS)
+            victim = subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "dist", "worker",
+                 "--queue", queue_path, "--lease", "1", "--poll", "0.05",
+                 "--inject-delay", "120", "--worker-id", "victim"],
+                env=worker_env(),
+            )
+            try:
+                # Wait until the victim holds a claim, then kill it cold.
+                deadline = time.time() + 30
+                while queue.counts()["running"] == 0:
+                    assert time.time() < deadline, "victim never claimed"
+                    assert victim.poll() is None, "victim exited prematurely"
+                    time.sleep(0.05)
+                os.kill(victim.pid, signal.SIGKILL)
+                victim.wait(timeout=30)
+                survivor = subprocess.Popen(
+                    [sys.executable, "-m", "repro.cli", "dist", "worker",
+                     "--queue", queue_path, "--lease", "5", "--poll", "0.05",
+                     "--worker-id", "survivor"],
+                    env=worker_env(),
+                )
+                try:
+                    coordinator.wait(timeout=120)
+                finally:
+                    survivor.wait(timeout=30)
+            finally:
+                if victim.poll() is None:
+                    victim.kill()
+            report = coordinator.gather()
+        assert report.dead == []
+        assert report.retries >= 1
+        rows = report.output["runs"]
+        sequential = [run.to_dict() for run in execute_specs(TINY_SPECS)]
+        # No lost cases, no duplicates, identical results.
+        assert len(rows) == len(sequential)
+        assert len({row["case_id"] for row in rows}) == len(rows)
+        assert results_section(rows) == results_section(sequential)
+        assert all(row_worker == "survivor" for row_worker in (
+            task.worker_id
+            for task in SqliteQueue(queue_path).tasks()
+            if task.result is not None
+        ))
+
+
+class TestPoisonTaskCLI:
+    def test_dead_letter_reported_and_exit_1(self, tiny_profile, tmp_path, capsys):
+        queue_path = str(tmp_path / "poison.queue")
+        out = str(tmp_path / "BENCH_poison.json")
+        assert main(["dist", "submit", "--queue", queue_path,
+                     "--profile", tiny_profile, "--max-attempts", "2"]) == 0
+        # Corrupt one payload on disk: every execution attempt will fail.
+        import sqlite3
+
+        with sqlite3.connect(queue_path) as connection:
+            connection.execute(
+                "UPDATE tasks SET payload = '{\"kind\": \"bench-case\"}' "
+                "WHERE seq = 0"
+            )
+        assert main(["dist", "worker", "--queue", queue_path,
+                     "--poll", "0.01"]) == 0
+        capsys.readouterr()
+        # Partial output: artifact written, dead task reported, exit 1.
+        assert main(["dist", "gather", "--queue", queue_path,
+                     "--out", out]) == 1
+        captured = capsys.readouterr()
+        assert "DEAD task" in captured.err
+        artifact = json.load(open(out))
+        assert len(artifact["config"]["distributed"]["dead_tasks"]) == 1
+        sequential = [run.to_dict() for run in execute_specs(TINY_SPECS)]
+        assert len(artifact["runs"]) == len(sequential) - 1
+
+
+class TestDistErrors:
+    """User errors exit 2 with one line, per the CLI error contract."""
+
+    def test_zero_workers_exits_2(self, tiny_profile, capsys):
+        assert main(["dist", "run", "--profile", tiny_profile,
+                     "--workers", "0"]) == 2
+        assert "workers must be a positive integer" in capsys.readouterr().err
+
+    def test_unknown_profile_exits_2(self, tmp_path, capsys):
+        assert main(["dist", "run", "--profile", "nope",
+                     "--queue", str(tmp_path / "q")]) == 2
+        assert capsys.readouterr().err.startswith("atcd: ")
+
+    def test_worker_on_missing_queue_exits_2(self, tmp_path, capsys):
+        assert main(["dist", "worker",
+                     "--queue", str(tmp_path / "absent.queue")]) == 2
+        assert "no work queue" in capsys.readouterr().err
+
+    def test_status_on_missing_queue_exits_2(self, tmp_path, capsys):
+        assert main(["dist", "status",
+                     "--queue", str(tmp_path / "absent.queue")]) == 2
+
+    def test_gather_on_missing_queue_exits_2(self, tmp_path, capsys):
+        assert main(["dist", "gather",
+                     "--queue", str(tmp_path / "absent.queue")]) == 2
+
+    def test_submit_without_work_exits_2(self, tmp_path, capsys):
+        assert main(["dist", "submit",
+                     "--queue", str(tmp_path / "q.queue")]) == 2
+        assert "nothing to submit" in capsys.readouterr().err
+
+    def test_submit_profile_and_model_exits_2(self, tiny_profile, tmp_path, capsys):
+        assert main(["dist", "submit", "--queue", str(tmp_path / "q.queue"),
+                     "--profile", tiny_profile, "--model", "m.json",
+                     "--requests", "r.json"]) == 2
+
+    def test_double_submit_exits_2(self, tiny_profile, tmp_path, capsys):
+        queue_path = str(tmp_path / "q.queue")
+        assert main(["dist", "submit", "--queue", queue_path,
+                     "--profile", tiny_profile]) == 0
+        assert main(["dist", "submit", "--queue", queue_path,
+                     "--profile", tiny_profile]) == 2
+        assert "already holds run" in capsys.readouterr().err
+
+    def test_worker_on_missing_queue_creates_no_store_file(self, tmp_path, capsys):
+        store_path = tmp_path / "stray-store.sqlite"
+        assert main(["dist", "worker",
+                     "--queue", str(tmp_path / "absent.queue"),
+                     "--store", str(store_path)]) == 2
+        assert not store_path.exists()
+
+    def test_batch_submit_rejects_profile_only_flags(self, tmp_path, capsys):
+        model = str(tmp_path / "factory.json")
+        main(["catalog", "factory", "--out", model])
+        requests = tmp_path / "requests.json"
+        requests.write_text(json.dumps([{"problem": "cdpf"}]))
+        capsys.readouterr()
+        assert main(["dist", "submit", "--queue", str(tmp_path / "q.queue"),
+                     "--model", model, "--requests", str(requests),
+                     "--trace-memory"]) == 2
+        assert "only apply to profile submissions" in capsys.readouterr().err
+
+    def test_status_on_foreign_database_exits_2(self, tmp_path, capsys):
+        import sqlite3
+
+        foreign = str(tmp_path / "other.sqlite")
+        with sqlite3.connect(foreign) as connection:
+            connection.execute("CREATE TABLE users (id INTEGER)")
+        assert main(["dist", "status", "--queue", foreign]) == 2
+        assert "not a work queue" in capsys.readouterr().err

@@ -1,0 +1,350 @@
+"""Tests for the durable work queue: state machine, leases, hardening.
+
+The semantic tests run against both implementations (the in-memory queue
+must behave exactly like the sqlite one); the hardening and cross-process
+tests target :class:`SqliteQueue`, mirroring ``tests/engine/test_store.py``.
+"""
+
+import json
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.distributed import (
+    InMemoryQueue,
+    QueueError,
+    SqliteQueue,
+    TaskState,
+    open_queue,
+)
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture
+def queue_path(tmp_path):
+    return str(tmp_path / "queue.sqlite")
+
+
+@pytest.fixture(params=["sqlite", "memory"])
+def any_queue(request, queue_path):
+    if request.param == "memory":
+        queue = InMemoryQueue()
+    else:
+        queue = SqliteQueue(queue_path)
+    yield queue
+    queue.close()
+
+
+def payloads(n):
+    return [{"kind": "test", "index": i} for i in range(n)]
+
+
+class TestSubmitClaim:
+    def test_submit_creates_pending_tasks(self, any_queue):
+        ids = any_queue.submit(payloads(3))
+        assert len(ids) == len(set(ids)) == 3
+        assert any_queue.counts() == {
+            "pending": 3, "running": 0, "done": 0, "dead": 0,
+        }
+        assert not any_queue.drained()
+
+    def test_submit_rejects_nonpositive_retry_budget(self, any_queue):
+        with pytest.raises(QueueError, match="max_attempts"):
+            any_queue.submit(payloads(1), max_attempts=0)
+
+    def test_claim_follows_submission_order(self, any_queue):
+        any_queue.submit(payloads(3))
+        claimed = [
+            any_queue.claim("w", lease_seconds=30).payload["index"]
+            for _ in range(3)
+        ]
+        assert claimed == [0, 1, 2]
+
+    def test_claim_round_trips_payload(self, any_queue):
+        payload = {"kind": "test", "nested": {"values": [1, 2.5, "x"]}}
+        any_queue.submit([payload])
+        task = any_queue.claim("w", lease_seconds=30)
+        assert task.payload == payload
+        assert task.state is TaskState.RUNNING
+        assert task.attempts == 1
+        assert task.worker_id == "w"
+        assert task.lease_expires_unix is not None
+
+    def test_claim_on_empty_queue_returns_none(self, any_queue):
+        assert any_queue.claim("w", lease_seconds=30) is None
+        any_queue.submit(payloads(1))
+        any_queue.claim("w", lease_seconds=30)
+        assert any_queue.claim("w2", lease_seconds=30) is None
+
+    def test_second_submit_continues_sequence(self, any_queue):
+        first = any_queue.submit(payloads(2))
+        second = any_queue.submit(payloads(2))
+        assert len(set(first) | set(second)) == 4
+        seqs = [task.seq for task in any_queue.tasks()]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 4
+
+
+class TestCompleteFail:
+    def test_complete_stores_result(self, any_queue):
+        any_queue.submit(payloads(1))
+        task = any_queue.claim("w", lease_seconds=30)
+        assert any_queue.complete(task.task_id, "w", {"answer": 42})
+        done = any_queue.tasks(TaskState.DONE)
+        assert len(done) == 1 and done[0].result == {"answer": 42}
+        assert any_queue.drained()
+
+    def test_complete_by_non_owner_is_rejected(self, any_queue):
+        any_queue.submit(payloads(1))
+        task = any_queue.claim("w", lease_seconds=30)
+        assert not any_queue.complete(task.task_id, "impostor", {"answer": 0})
+        assert any_queue.counts()["running"] == 1
+
+    def test_fail_returns_task_to_pending_with_error(self, any_queue):
+        any_queue.submit(payloads(1), max_attempts=3)
+        task = any_queue.claim("w", lease_seconds=30)
+        assert any_queue.fail(task.task_id, "w", "boom")
+        pending = any_queue.tasks(TaskState.PENDING)
+        assert len(pending) == 1
+        assert pending[0].error == "boom"
+        assert pending[0].attempts == 1
+
+    def test_fail_by_non_owner_is_rejected(self, any_queue):
+        any_queue.submit(payloads(1))
+        task = any_queue.claim("w", lease_seconds=30)
+        assert not any_queue.fail(task.task_id, "impostor", "boom")
+
+    def test_retry_budget_exhaustion_dead_letters(self, any_queue):
+        any_queue.submit(payloads(1), max_attempts=2)
+        for attempt in (1, 2):
+            task = any_queue.claim("w", lease_seconds=30)
+            assert task.attempts == attempt
+            any_queue.fail(task.task_id, "w", f"boom {attempt}")
+        assert any_queue.claim("w", lease_seconds=30) is None
+        dead = any_queue.tasks(TaskState.DEAD)
+        assert len(dead) == 1 and dead[0].error == "boom 2"
+        # Dead is terminal: the queue is drained, not stuck.
+        assert any_queue.drained()
+
+
+class TestLeases:
+    def test_expired_lease_returns_task_to_pending(self, any_queue):
+        any_queue.submit(payloads(1))
+        any_queue.claim("crashed", lease_seconds=0.05)
+        time.sleep(0.1)
+        assert any_queue.expire_leases() == 1
+        task = any_queue.claim("survivor", lease_seconds=30)
+        assert task is not None
+        assert task.attempts == 2
+        assert task.worker_id == "survivor"
+
+    def test_claim_sweeps_expired_leases_itself(self, any_queue):
+        # No separate janitor needed: a claim alone must recover the task.
+        any_queue.submit(payloads(1))
+        any_queue.claim("crashed", lease_seconds=0.05)
+        time.sleep(0.1)
+        assert any_queue.claim("survivor", lease_seconds=30) is not None
+
+    def test_live_lease_is_invisible_to_others(self, any_queue):
+        any_queue.submit(payloads(1))
+        any_queue.claim("w1", lease_seconds=30)
+        assert any_queue.expire_leases() == 0
+        assert any_queue.claim("w2", lease_seconds=30) is None
+
+    def test_heartbeat_extends_the_lease(self, any_queue):
+        any_queue.submit(payloads(1))
+        task = any_queue.claim("w", lease_seconds=0.15)
+        for _ in range(4):
+            time.sleep(0.05)
+            assert any_queue.heartbeat(task.task_id, "w", 0.15)
+        # Renewed past several lease intervals, still ours.
+        assert any_queue.expire_leases() == 0
+        assert any_queue.complete(task.task_id, "w", {"ok": True})
+
+    def test_heartbeat_by_non_owner_is_rejected(self, any_queue):
+        any_queue.submit(payloads(1))
+        task = any_queue.claim("w", lease_seconds=30)
+        assert not any_queue.heartbeat(task.task_id, "impostor", 30)
+
+    def test_stale_owner_cannot_complete_after_reassignment(self, any_queue):
+        any_queue.submit(payloads(1))
+        task = any_queue.claim("slow", lease_seconds=0.05)
+        time.sleep(0.1)
+        reclaimed = any_queue.claim("fast", lease_seconds=30)
+        assert reclaimed is not None
+        # The slow worker finally finishes, but the task is not its anymore.
+        assert not any_queue.complete(task.task_id, "slow", {"late": True})
+        assert any_queue.complete(reclaimed.task_id, "fast", {"ok": True})
+        done = any_queue.tasks(TaskState.DONE)
+        assert done[0].result == {"ok": True}
+
+    def test_expiry_at_budget_dead_letters_with_reason(self, any_queue):
+        any_queue.submit(payloads(1), max_attempts=1)
+        any_queue.claim("crashed", lease_seconds=0.05)
+        time.sleep(0.1)
+        any_queue.expire_leases()
+        dead = any_queue.tasks(TaskState.DEAD)
+        assert len(dead) == 1 and dead[0].error == "lease expired"
+
+
+class TestMetaAndSummary:
+    def test_meta_round_trip(self, any_queue):
+        assert any_queue.get_meta("run") is None
+        any_queue.set_meta("run", json.dumps({"name": "smoke"}))
+        assert json.loads(any_queue.get_meta("run")) == {"name": "smoke"}
+        any_queue.set_meta("run", "v2")
+        assert any_queue.get_meta("run") == "v2"
+
+    def test_set_meta_if_absent_is_first_writer_wins(self, any_queue):
+        assert any_queue.set_meta_if_absent("run", "first")
+        assert not any_queue.set_meta_if_absent("run", "second")
+        assert any_queue.get_meta("run") == "first"
+
+    def test_summary_counts_retries_and_workers(self, any_queue):
+        any_queue.submit(payloads(2), max_attempts=3)
+        task = any_queue.claim("w1", lease_seconds=30)
+        any_queue.fail(task.task_id, "w1", "boom")
+        task = any_queue.claim("w2", lease_seconds=30)
+        any_queue.complete(task.task_id, "w2", {})
+        summary = any_queue.summary()
+        assert summary["tasks"] == 2
+        assert summary["retries"] == 1
+        assert "w2" in summary["workers"]
+        assert summary["dead"] == []
+
+    def test_summary_lists_dead_tasks(self, any_queue):
+        any_queue.submit(payloads(1), max_attempts=1)
+        task = any_queue.claim("w", lease_seconds=30)
+        any_queue.fail(task.task_id, "w", "poison")
+        summary = any_queue.summary()
+        assert summary["dead"] == [
+            {"task_id": task.task_id, "attempts": 1, "error": "poison"}
+        ]
+
+
+class TestSqliteHardening:
+    def test_corrupted_file_raises_queue_error(self, queue_path):
+        Path(queue_path).write_bytes(b"this is not a sqlite database\x00")
+        with pytest.raises(QueueError, match="cannot open work queue"):
+            SqliteQueue(queue_path)
+
+    def test_stale_schema_version_is_rejected(self, queue_path):
+        SqliteQueue(queue_path).close()
+        with sqlite3.connect(queue_path) as connection:
+            connection.execute(
+                "UPDATE queue_meta SET value = '999' WHERE key = 'schema_version'"
+            )
+        with pytest.raises(QueueError, match="schema version '999'"):
+            SqliteQueue(queue_path)
+
+    def test_foreign_database_is_never_blessed(self, tmp_path):
+        foreign = str(tmp_path / "myapp.sqlite")
+        with sqlite3.connect(foreign) as connection:
+            connection.execute("CREATE TABLE users (id INTEGER PRIMARY KEY)")
+        with pytest.raises(QueueError, match="not a work queue"):
+            SqliteQueue(foreign)
+        with sqlite3.connect(foreign) as connection:
+            tables = {
+                row[0]
+                for row in connection.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+        assert tables == {"users"}
+
+    def test_open_queue_must_exist(self, tmp_path):
+        with pytest.raises(QueueError, match="no work queue"):
+            open_queue(str(tmp_path / "absent.sqlite"), must_exist=True)
+
+    def test_open_queue_creates_when_allowed(self, queue_path):
+        with open_queue(queue_path) as queue:
+            assert queue.counts()["pending"] == 0
+        assert Path(queue_path).exists()
+
+    def test_closed_queue_refuses_operations(self, queue_path):
+        queue = SqliteQueue(queue_path)
+        queue.close()
+        with pytest.raises(QueueError, match="closed"):
+            queue.claim("w", lease_seconds=30)
+        queue.close()  # idempotent
+
+
+_CLAIMER_SCRIPT = """
+import json, sys
+sys.path.insert(0, {src!r})
+from repro.distributed import SqliteQueue
+
+path, worker = sys.argv[1], sys.argv[2]
+queue = SqliteQueue(path)
+claimed = []
+while True:
+    task = queue.claim(worker, lease_seconds=60)
+    if task is None:
+        break
+    claimed.append(task.task_id)
+    queue.complete(task.task_id, worker, {{"by": worker}})
+queue.close()
+print(json.dumps(claimed))
+"""
+
+_HANG_SCRIPT = """
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.distributed import SqliteQueue
+
+queue = SqliteQueue(sys.argv[1])
+task = queue.claim(sys.argv[2], lease_seconds=float(sys.argv[3]))
+assert task is not None
+print(task.task_id, flush=True)
+time.sleep(600)  # hold the claim until killed
+"""
+
+
+class TestCrossProcess:
+    def test_two_worker_processes_never_double_claim(self, queue_path):
+        """Two OS processes drain one queue; every task is claimed once."""
+        queue = SqliteQueue(queue_path)
+        ids = queue.submit(payloads(40))
+        script = _CLAIMER_SCRIPT.format(src=SRC)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, queue_path, worker],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            )
+            for worker in ("w1", "w2")
+        ]
+        claims = {}
+        for worker, proc in zip(("w1", "w2"), procs):
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            claims[worker] = json.loads(out)
+        # No overlap, nothing lost, nothing executed twice.
+        assert set(claims["w1"]).isdisjoint(claims["w2"])
+        assert sorted(claims["w1"] + claims["w2"]) == sorted(ids)
+        assert queue.counts()["done"] == 40
+        queue.close()
+
+    def test_killed_claimer_releases_task_via_lease_expiry(self, queue_path):
+        """SIGKILL mid-claim: the lease lapses and another process recovers."""
+        queue = SqliteQueue(queue_path)
+        queue.submit(payloads(1))
+        script = _HANG_SCRIPT.format(src=SRC)
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, queue_path, "doomed", "0.5"],
+            stdout=subprocess.PIPE, text=True,
+        )
+        task_id = proc.stdout.readline().strip()
+        assert task_id
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        time.sleep(0.7)  # let the lease lapse
+        task = queue.claim("survivor", lease_seconds=30)
+        assert task is not None and task.task_id == task_id
+        assert task.attempts == 2
+        queue.close()

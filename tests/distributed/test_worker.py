@@ -1,0 +1,190 @@
+"""Tests for the worker loop: execution, retries, heartbeats, idempotency."""
+
+import threading
+import time
+
+import pytest
+
+from repro.attacktree import serialization
+from repro.attacktree.catalog import factory
+from repro.core.problems import Problem
+from repro.engine import AnalysisRequest, InMemoryStore, run_request
+from repro.distributed import (
+    InMemoryQueue,
+    TaskState,
+    Worker,
+    execute_task_payload,
+)
+from repro.bench.harness import case_payload, expand_specs
+from repro.workloads import ScenarioSpec
+
+
+def catalog_payloads(trace_memory=False):
+    """The catalog treelike/deterministic cases as bench-case task payloads."""
+    spec = ScenarioSpec(
+        family="catalog", shape="treelike", setting="deterministic"
+    )
+    out = []
+    for spec_, case in expand_specs([spec]):
+        payload = case_payload(spec_, case, repeats=1, trace_memory=trace_memory)
+        payload["kind"] = "bench-case"
+        out.append(payload)
+    return out
+
+
+def request_payload(budget=2.0):
+    return {
+        "kind": "request",
+        "model": serialization.to_dict(factory()),
+        "request": {"problem": "dgc", "budget": budget},
+    }
+
+
+class TestExecution:
+    def test_worker_drains_bench_case_tasks(self):
+        queue = InMemoryQueue()
+        payloads = catalog_payloads()
+        queue.submit(payloads)
+        report = Worker(queue, worker_id="w", poll_seconds=0.01).run()
+        assert report.completed == len(payloads)
+        assert report.failed == 0
+        done = queue.tasks(TaskState.DONE)
+        assert [task.result["case_id"] for task in done] == [
+            payload["identity"]["case_id"] for payload in payloads
+        ]
+        assert all(task.result["wall_time_seconds"] >= 0 for task in done)
+
+    def test_worker_executes_request_tasks(self):
+        queue = InMemoryQueue()
+        queue.submit([request_payload(budget=2.0)])
+        report = Worker(queue, worker_id="w", poll_seconds=0.01).run()
+        assert report.completed == 1
+        (done,) = queue.tasks(TaskState.DONE)
+        expected = run_request(factory(), AnalysisRequest(Problem.DGC, budget=2.0))
+        assert done.result["value"] == expected.value
+
+    def test_unknown_kind_is_dead_lettered_not_a_crash(self):
+        queue = InMemoryQueue()
+        queue.submit([{"kind": "nonsense"}], max_attempts=2)
+        queue.submit([request_payload()])
+        report = Worker(queue, worker_id="w", poll_seconds=0.01).run()
+        # The poison task burned its retries; the good task still completed.
+        assert report.completed == 1
+        assert report.failed == 2
+        (dead,) = queue.tasks(TaskState.DEAD)
+        assert "unknown task kind" in dead.error
+        assert queue.drained()
+
+    def test_max_tasks_bounds_the_loop(self):
+        queue = InMemoryQueue()
+        queue.submit(catalog_payloads())
+        report = Worker(
+            queue, worker_id="w", max_tasks=1, poll_seconds=0.01
+        ).run()
+        assert report.executed == 1
+        assert queue.counts()["pending"] == 1
+
+    def test_execute_task_payload_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown task kind"):
+            execute_task_payload({"kind": "nope"})
+
+    def test_trace_memory_payload_records_peak_kb(self):
+        queue = InMemoryQueue()
+        queue.submit(catalog_payloads(trace_memory=True))
+        Worker(queue, worker_id="w", poll_seconds=0.01).run()
+        for task in queue.tasks(TaskState.DONE):
+            assert task.result["peak_kb"] > 0
+
+
+class TestIdempotency:
+    def test_store_hit_short_circuits_a_retried_task(self):
+        """A task whose first execution persisted its result is answered
+        from the store on retry — including the original wall time."""
+        store = InMemoryStore()
+        queue = InMemoryQueue()
+        (payload,) = [request_payload(budget=3.0)]
+        queue.submit([payload])
+        # First attempt: executes for real, writes through, but the worker
+        # "crashes" before completing (simulated by abandoning the claim).
+        task = queue.claim("crashed", lease_seconds=0.05)
+        first = execute_task_payload(task.payload, store=store)
+        assert store.stats.writes == 1
+        time.sleep(0.1)
+        queue.expire_leases()
+        # Retry on a healthy worker sharing the store: served, not computed.
+        report = Worker(
+            queue, worker_id="survivor", store=store, poll_seconds=0.01
+        ).run()
+        assert report.completed == 1
+        (done,) = queue.tasks(TaskState.DONE)
+        assert done.result["cache_hit"] is True
+        assert done.result["value"] == first["value"]
+        assert done.result["wall_time_seconds"] == first["wall_time_seconds"]
+        assert store.stats.hits == 1
+
+    def test_bench_case_retry_reports_store_hit(self):
+        store = InMemoryStore()
+        payloads = catalog_payloads()
+        warm = InMemoryQueue()
+        warm.submit(payloads)
+        Worker(warm, worker_id="first", store=store, poll_seconds=0.01).run()
+        retry = InMemoryQueue()
+        retry.submit(payloads)
+        Worker(retry, worker_id="second", store=store, poll_seconds=0.01).run()
+        for task in retry.tasks(TaskState.DONE):
+            assert task.result["store_hits"] >= 1
+
+
+class TestHeartbeats:
+    def test_long_task_outlives_its_lease_via_heartbeats(self):
+        """A task running far past lease_seconds is never reassigned while
+        its worker lives."""
+        queue = InMemoryQueue()
+        queue.submit([{"kind": "slow"}])
+
+        def slow_executor(payload):
+            time.sleep(0.6)  # several times the lease
+            return {"ok": True}
+
+        worker = Worker(
+            queue, worker_id="slow", lease_seconds=0.2, poll_seconds=0.01,
+            executor=slow_executor,
+        )
+        worker_thread = threading.Thread(target=lambda: reports.append(worker.run()))
+        reports = []
+        worker_thread.start()
+        deadline = time.time() + 5
+        while queue.counts()["running"] == 0:
+            assert time.time() < deadline, "worker never claimed the task"
+            time.sleep(0.01)
+        # Only now unleash the thief: the slow worker holds the claim.
+        thief_results = []
+        thief_deadline = time.time() + 0.8
+        while time.time() < thief_deadline:
+            task = queue.claim("thief", lease_seconds=30)
+            if task is not None:
+                thief_results.append(task)
+            time.sleep(0.02)
+        worker_thread.join()
+        (report,) = reports
+        assert report.completed == 1
+        assert thief_results == []
+        (done,) = queue.tasks(TaskState.DONE)
+        assert done.worker_id == "slow"
+
+    def test_lost_lease_is_reported_as_failure_not_success(self):
+        """A worker stalled past its lease (no heartbeat — executor blocks
+        the keeper's renewals from mattering by claiming directly) must not
+        count the task as completed once someone else finished it."""
+        queue = InMemoryQueue()
+        queue.submit([{"kind": "x"}])
+        task = queue.claim("stalled", lease_seconds=0.05)
+        time.sleep(0.1)
+        # Another worker picks it up and completes it.
+        report = Worker(queue, worker_id="fast", poll_seconds=0.01,
+                        executor=lambda payload: {"by": "fast"}).run()
+        assert report.completed == 1
+        # The stalled worker's attempt to complete is rejected.
+        assert not queue.complete(task.task_id, "stalled", {"by": "stalled"})
+        (done,) = queue.tasks(TaskState.DONE)
+        assert done.result == {"by": "fast"}

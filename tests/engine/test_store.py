@@ -7,9 +7,11 @@ different model or request must never be served).
 """
 
 import json
+import os
 import sqlite3
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -266,6 +268,95 @@ class TestCachePoisoning:
         assert store.get(fingerprint, request) is None
         assert store.stats.rejected == 1
         store.close()
+
+
+class TestEviction:
+    """`atcd store prune --ttl/--max-bytes`: oldest-first, bounded stores."""
+
+    def _fill(self, store, budgets):
+        fingerprint = model_fingerprint(factory())
+        for budget in budgets:
+            request = AnalysisRequest(Problem.DGC, budget=budget)
+            store.put(fingerprint, request, run_request(factory(), request))
+        return fingerprint
+
+    def _backdate(self, store_path, budget_older_than, seconds):
+        # Shift created_unix into the past for the first rows written.
+        with sqlite3.connect(store_path) as connection:
+            connection.execute(
+                "UPDATE results SET created_unix = created_unix - ? "
+                "WHERE rowid <= ?",
+                (seconds, budget_older_than),
+            )
+
+    def test_evict_noop_without_bounds(self, any_store):
+        self._fill(any_store, [1, 2])
+        assert any_store.evict() == 0
+        assert len(any_store) == 2
+
+    def test_ttl_evicts_only_old_rows(self, store_path):
+        store = SqliteStore(store_path)
+        self._fill(store, [1, 2, 3, 4])
+        store.close()
+        self._backdate(store_path, budget_older_than=2, seconds=3600)
+        store = SqliteStore(store_path)
+        assert store.evict(ttl_seconds=60) == 2
+        assert len(store) == 2
+        fingerprint = model_fingerprint(factory())
+        # The fresh rows survive, the backdated ones are gone.
+        assert store.get(fingerprint, AnalysisRequest(Problem.DGC, budget=4)) \
+            is not None
+        assert store.get(fingerprint, AnalysisRequest(Problem.DGC, budget=1)) \
+            is None
+        store.close()
+
+    def test_ttl_on_memory_store(self, monkeypatch):
+        store = InMemoryStore()
+        self._fill(store, [1, 2])
+        # Age everything by faking the clock forward.
+        real_time = time.time
+        monkeypatch.setattr(time, "time", lambda: real_time() + 3600)
+        self._fill(store, [3])
+        assert store.evict(ttl_seconds=60) == 2
+        assert len(store) == 1
+
+    def test_max_bytes_evicts_oldest_first_until_file_fits(self, store_path):
+        store = SqliteStore(store_path)
+        self._fill(store, list(range(1, 31)))
+        store.close()
+        self._backdate(store_path, budget_older_than=15, seconds=3600)
+        store = SqliteStore(store_path)
+        before = os.path.getsize(store_path)
+        bound = before // 2
+        dropped = store.evict(max_bytes=bound)
+        assert dropped > 0
+        assert os.path.getsize(store_path) <= bound
+        fingerprint = model_fingerprint(factory())
+        # Oldest-first: the backdated early rows went before the fresh ones.
+        assert store.get(fingerprint, AnalysisRequest(Problem.DGC, budget=1)) \
+            is None
+        assert store.get(fingerprint, AnalysisRequest(Problem.DGC, budget=30)) \
+            is not None
+        store.close()
+
+    def test_max_bytes_below_page_overhead_empties_the_store(self, store_path):
+        store = SqliteStore(store_path)
+        self._fill(store, [1, 2])
+        assert store.evict(max_bytes=1) == 2
+        assert len(store) == 0
+        store.close()
+
+    def test_max_bytes_on_memory_store_bounds_payload_bytes(self):
+        store = InMemoryStore()
+        self._fill(store, [1, 2, 3])
+        assert store.evict(max_bytes=0) == 3
+        assert len(store) == 0
+
+    def test_negative_bounds_are_rejected(self, any_store):
+        with pytest.raises(ValueError, match="ttl_seconds"):
+            any_store.evict(ttl_seconds=-1)
+        with pytest.raises(ValueError, match="max_bytes"):
+            any_store.evict(max_bytes=-1)
 
 
 _WRITER_SCRIPT = """

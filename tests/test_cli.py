@@ -329,3 +329,73 @@ class TestErrorPaths:
             ["bench", "run", "--profile", "smoke", "--store", str(bad)]
         ) == 2
         self._assert_one_line_error(capsys)
+
+    def test_bench_zero_max_workers_exits_2(self, capsys):
+        assert main(["bench", "run", "--profile", "smoke",
+                     "--executor", "process", "--max-workers", "0"]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_dist_zero_workers_exits_2(self, capsys):
+        assert main(["dist", "run", "--profile", "smoke",
+                     "--workers", "0"]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_dist_bad_queue_path_exits_2(self, tmp_path, capsys):
+        assert main(["dist", "worker",
+                     "--queue", str(tmp_path / "absent.queue")]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_dist_unknown_profile_exits_2(self, tmp_path, capsys):
+        assert main(["dist", "submit", "--queue", str(tmp_path / "q.queue"),
+                     "--profile", "nope"]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_store_prune_ttl_with_fingerprint_exits_2(self, tmp_path, capsys):
+        from repro.engine import SqliteStore
+
+        path = str(tmp_path / "store.sqlite")
+        SqliteStore(path).close()
+        assert main(["store", "prune", path, "--ttl", "60",
+                     "--fingerprint", "a" * 64]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_store_prune_negative_ttl_exits_2(self, tmp_path, capsys):
+        from repro.engine import SqliteStore
+
+        path = str(tmp_path / "store.sqlite")
+        SqliteStore(path).close()
+        assert main(["store", "prune", path, "--ttl", "-5"]) == 2
+        self._assert_one_line_error(capsys)
+
+
+class TestStoreEvictionCLI:
+    def _seeded_store(self, tmp_path):
+        from repro.attacktree.catalog import factory
+        from repro.core.problems import Problem
+        from repro.engine import (
+            AnalysisRequest, SqliteStore, model_fingerprint, run_request,
+        )
+
+        path = str(tmp_path / "store.sqlite")
+        store = SqliteStore(path)
+        fingerprint = model_fingerprint(factory())
+        for budget in (1, 2, 3):
+            request = AnalysisRequest(Problem.DGC, budget=budget)
+            store.put(fingerprint, request, run_request(factory(), request))
+        store.close()
+        return path
+
+    def test_prune_ttl_reports_evictions(self, tmp_path, capsys):
+        path = self._seeded_store(tmp_path)
+        assert main(["store", "prune", path, "--ttl", "3600"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 0 results" in out and "ttl 3600s" in out
+
+    def test_prune_max_bytes_evicts_until_fit(self, tmp_path, capsys):
+        import os
+
+        path = self._seeded_store(tmp_path)
+        assert main(["store", "prune", path, "--max-bytes", "1"]) == 0
+        assert "evicted 3 results" in capsys.readouterr().out
+        assert main(["store", "stats", path]) == 0
+        assert "entries        : 0" in capsys.readouterr().out
