@@ -24,7 +24,7 @@ from ..attacktree import serialization
 from ..core.problems import Problem
 from ..engine import AnalysisRequest, AnalysisSession
 from ..engine.session import EXECUTORS
-from ..engine.store import SqliteStore
+from ..engine.store import ResultStore, open_store
 from ..workloads import ScenarioSpec, WorkloadCase, expand
 from .measure import TimingSample
 
@@ -205,18 +205,18 @@ def validate_case_requests(
 
 
 # The shared result store of a process-pool worker: opened once per worker
-# by the pool initializer (one sqlite connection per process, not one per
-# case) and closed implicitly at worker exit.
-_WORKER_STORE: Optional[SqliteStore] = None
+# by the pool initializer (one connection per process, not one per case)
+# and closed implicitly at worker exit.
+_WORKER_STORE: Optional[ResultStore] = None
 
 
 def _store_initializer(store_path: Optional[str]) -> None:
     global _WORKER_STORE
-    _WORKER_STORE = SqliteStore(store_path) if store_path else None
+    _WORKER_STORE = open_store(store_path) if store_path else None
 
 
 def execute_serialized_case(
-    payload: Dict[str, Any], store: Optional[SqliteStore] = None
+    payload: Dict[str, Any], store: Optional[ResultStore] = None
 ) -> Dict[str, Any]:
     """Run one case (possibly in a worker process) and return its row.
 
@@ -320,8 +320,9 @@ def execute_specs(
     repeats:
         Timing repetitions per case (mean/std are recorded).
     store_path:
-        Optional path of a shared sqlite result store
-        (:class:`repro.engine.SqliteStore`).  Every case's session reads
+        Optional shared result store: a sqlite path
+        (:class:`repro.engine.SqliteStore`) or an ``atcd serve`` broker
+        URL (``http://host:port``).  Every case's session reads
         through and writes back to it, so repeated runs — and concurrent
         pool workers — share results instead of recomputing.  A case
         served from the store reports the *original* computation's wall
@@ -352,7 +353,7 @@ def execute_specs(
     # fail before any work runs, not from inside the Nth pool worker.  The
     # same connection then serves every sequential/thread case; process
     # workers open their own via the pool initializer.
-    store = SqliteStore(store_path) if store_path is not None else None
+    store = open_store(store_path) if store_path is not None else None
     try:
         items = expand_specs(specs)
         payloads = [

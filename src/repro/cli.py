@@ -24,12 +24,19 @@ Installed as the ``atcd`` console script.  Sub-commands:
     ``BENCH_*.json`` artifact (see ``benchmarks/DESIGN.md``).  With
     ``--store`` repeated runs serve unchanged cases from the shared store;
     ``--trace-memory`` records per-case peak allocation as ``peak_kb``.
-``atcd dist submit|worker|run|status|gather``
-    Distributed execution over a durable sqlite work queue
+``atcd dist submit|worker|run|status|gather|resubmit``
+    Distributed execution over a durable work queue
     (see :mod:`repro.distributed`).  ``dist run`` is the single-host mode
     (coordinator plus N local worker processes); ``submit``/``worker``
     split the same run across hosts sharing the queue file, with
-    ``status``/``gather`` usable from anywhere.
+    ``status``/``gather`` usable from anywhere; ``resubmit`` re-queues
+    dead-lettered tasks with a fresh retry budget.  Every ``--queue`` and
+    ``--store`` accepts either a sqlite path or an ``atcd serve`` broker
+    URL (``http://host:port``) — the latter needs no shared filesystem.
+``atcd serve --queue DB --store DB [--host H] [--port P] [--token T]``
+    Serve a work queue and/or result store over HTTP (the network broker,
+    see :mod:`repro.net`), so shared-nothing hosts can run workers
+    against ``http://host:port`` queue/store URLs.
 ``atcd bench compare BASELINE.json CANDIDATE.json [--threshold R]``
     Diff two artifacts; exits 1 when a timing regression or result
     mismatch is found.
@@ -60,7 +67,7 @@ from .attacktree import catalog, serialization
 from .attacktree.attributes import CostDamageAT, CostDamageProbAT
 from .core.analysis import CostDamageAnalyzer
 from .core.problems import Method, Problem
-from .engine import AnalysisRequest, AnalysisSession, SqliteStore, shared_registry
+from .engine import AnalysisRequest, AnalysisSession, shared_registry
 from .engine.store import open_store
 from .experiments import casestudies
 from .experiments.report import format_pareto_front
@@ -77,9 +84,9 @@ _CATALOG = {
 #: Subcommands whose ValueError/TypeError failures are user errors (bad
 #: backend name, uncovered cell, missing parameter, malformed request,
 #: unknown bench profile/executor, invalid artifact, unusable store or
-#: queue file, zero workers).
+#: queue file or broker URL, zero workers).
 _ENGINE_COMMANDS = frozenset(
-    {"pareto", "dgc", "cgd", "batch", "bench", "store", "dist"}
+    {"pareto", "dgc", "cgd", "batch", "bench", "store", "dist", "serve"}
 )
 
 
@@ -128,9 +135,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--parallel", action="store_true",
                        help="execute the batch on a thread pool")
     batch.add_argument("--out", default=None, help="output path (default: stdout)")
-    batch.add_argument("--store", default=None, metavar="DB",
-                       help="shared sqlite result store to read through and "
-                            "write back to (created if absent)")
+    batch.add_argument("--store", default=None, metavar="DB|URL",
+                       help="shared result store to read through and write "
+                            "back to: a sqlite file (created if absent) or "
+                            "an atcd-serve broker URL (http://host:port)")
 
     subparsers.add_parser("backends", help="list registered solver backends")
 
@@ -141,11 +149,13 @@ def build_parser() -> argparse.ArgumentParser:
     store_stats = store_sub.add_parser(
         "stats", help="entry counts and layout of a store file"
     )
-    store_stats.add_argument("path", help="path to a result-store sqlite file")
+    store_stats.add_argument("path", help="result-store sqlite file or "
+                                          "broker URL")
     store_prune = store_sub.add_parser(
         "prune", help="delete stored results (all, or one model's)"
     )
-    store_prune.add_argument("path", help="path to a result-store sqlite file")
+    store_prune.add_argument("path", help="result-store sqlite file or "
+                                          "broker URL")
     store_prune.add_argument("--fingerprint", default=None, metavar="SHA256",
                              help="only prune results of this model fingerprint "
                                   "(default: prune everything)")
@@ -173,10 +183,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="pool size for the parallel executors")
     bench_run.add_argument("--repeats", type=int, default=1,
                            help="timing repetitions per case (default: 1)")
-    bench_run.add_argument("--store", default=None, metavar="DB",
-                           help="shared sqlite result store; repeated runs "
-                                "and pool workers share results through it "
-                                "(created if absent)")
+    bench_run.add_argument("--store", default=None, metavar="DB|URL",
+                           help="shared result store (sqlite file, created "
+                                "if absent, or broker URL); repeated runs "
+                                "and pool workers share results through it")
     bench_run.add_argument("--trace-memory", action="store_true",
                            help="record per-case peak allocation (tracemalloc) "
                                 "as the peak_kb row field; slows the run")
@@ -201,9 +211,10 @@ def build_parser() -> argparse.ArgumentParser:
     dist_submit = dist_sub.add_parser(
         "submit", help="shard a profile (or batch request list) into a queue"
     )
-    dist_submit.add_argument("--queue", required=True, metavar="DB",
+    dist_submit.add_argument("--queue", required=True, metavar="DB|URL",
                              help="work-queue sqlite file (one run per queue; "
-                                  "created if absent)")
+                                  "created if absent) or atcd-serve broker "
+                                  "URL (http://host:port)")
     dist_submit.add_argument("--profile", default=None,
                              help="benchmark profile to shard "
                                   "(see 'atcd bench list')")
@@ -226,12 +237,13 @@ def build_parser() -> argparse.ArgumentParser:
     dist_worker = dist_sub.add_parser(
         "worker", help="claim and execute tasks from a queue until drained"
     )
-    dist_worker.add_argument("--queue", required=True, metavar="DB",
-                             help="work-queue sqlite file (must exist)")
-    dist_worker.add_argument("--store", default=None, metavar="DB",
-                             help="shared sqlite result store; makes "
-                                  "re-execution after crashes idempotent "
-                                  "(created if absent)")
+    dist_worker.add_argument("--queue", required=True, metavar="DB|URL",
+                             help="work-queue sqlite file (must exist) or "
+                                  "broker URL (http://host:port)")
+    dist_worker.add_argument("--store", default=None, metavar="DB|URL",
+                             help="shared result store (sqlite file, created "
+                                  "if absent, or broker URL); makes "
+                                  "re-execution after crashes idempotent")
     dist_worker.add_argument("--worker-id", default=None,
                              help="stable worker name (default: hostname-pid)")
     dist_worker.add_argument("--lease", type=float, default=30.0, metavar="S",
@@ -259,13 +271,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="profile name (default: smoke)")
     dist_run.add_argument("--workers", type=int, default=2,
                           help="local worker processes (default: 2)")
-    dist_run.add_argument("--queue", default=None, metavar="DB",
-                          help="work-queue file to use and keep "
-                               "(default: a temporary file, removed after "
-                               "the run)")
-    dist_run.add_argument("--store", default=None, metavar="DB",
-                          help="shared sqlite result store for the workers "
-                               "(created if absent)")
+    dist_run.add_argument("--queue", default=None, metavar="DB|URL",
+                          help="work-queue file to use and keep, or broker "
+                               "URL (default: a temporary file, removed "
+                               "after the run)")
+    dist_run.add_argument("--store", default=None, metavar="DB|URL",
+                          help="shared result store for the workers "
+                               "(sqlite file, created if absent, or broker "
+                               "URL)")
     dist_run.add_argument("--out", default=None,
                           help="artifact path (default: BENCH_<profile>.json)")
     dist_run.add_argument("--repeats", type=int, default=1,
@@ -285,17 +298,49 @@ def build_parser() -> argparse.ArgumentParser:
     dist_status = dist_sub.add_parser(
         "status", help="task states, workers and retries of a queue"
     )
-    dist_status.add_argument("--queue", required=True, metavar="DB",
-                             help="work-queue sqlite file (must exist)")
+    dist_status.add_argument("--queue", required=True, metavar="DB|URL",
+                             help="work-queue sqlite file (must exist) or "
+                                  "broker URL")
 
     dist_gather = dist_sub.add_parser(
         "gather", help="collect a drained run into its output document"
     )
-    dist_gather.add_argument("--queue", required=True, metavar="DB",
-                             help="work-queue sqlite file (must exist)")
+    dist_gather.add_argument("--queue", required=True, metavar="DB|URL",
+                             help="work-queue sqlite file (must exist) or "
+                                  "broker URL")
     dist_gather.add_argument("--out", default=None,
                              help="output path (default: BENCH_<name>.json "
                                   "for profile runs, stdout for batch runs)")
+
+    dist_resubmit = dist_sub.add_parser(
+        "resubmit", help="re-queue dead-lettered tasks with a fresh retry "
+                         "budget"
+    )
+    dist_resubmit.add_argument("--queue", required=True, metavar="DB|URL",
+                               help="work-queue sqlite file (must exist) or "
+                                    "broker URL")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a work queue / result store over HTTP "
+                      "(network broker for shared-nothing hosts)"
+    )
+    serve.add_argument("--queue", default=None, metavar="DB",
+                       help="work-queue sqlite file to expose "
+                            "(created if absent)")
+    serve.add_argument("--store", default=None, metavar="DB",
+                       help="result-store sqlite file to expose "
+                            "(created if absent)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1; use 0.0.0.0 "
+                            "to accept other hosts)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (default: 8765; 0 picks a free port)")
+    serve.add_argument("--token", default=None,
+                       help="require this bearer token on every request "
+                            "(default: $ATCD_BROKER_TOKEN if set; clients "
+                            "read the same variable)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per request to stderr")
 
     catalog_cmd = subparsers.add_parser("catalog", help="export a built-in model")
     catalog_cmd.add_argument("name", choices=sorted(_CATALOG))
@@ -379,7 +424,7 @@ def _command_cgd(args: argparse.Namespace) -> int:
 
 
 def _command_batch(args: argparse.Namespace) -> int:
-    store = SqliteStore(args.store) if args.store else None
+    store = open_store(args.store) if args.store else None
     try:
         return _run_batch_command(args, store)
     finally:
@@ -387,9 +432,7 @@ def _command_batch(args: argparse.Namespace) -> int:
             store.close()
 
 
-def _run_batch_command(
-    args: argparse.Namespace, store: Optional[SqliteStore]
-) -> int:
+def _run_batch_command(args: argparse.Namespace, store) -> int:
     session = AnalysisSession(_load_model(args.model), store=store)
     with open(args.requests, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
@@ -553,18 +596,12 @@ def _command_store(args: argparse.Namespace) -> int:
 def _command_dist(args: argparse.Namespace) -> int:
     # Imported lazily, like the bench stack: the distributed runtime pulls
     # in the workload generators, which other subcommands never need.
-    from .distributed import (
-        Coordinator,
-        LocalFleet,
-        SqliteQueue,
-        Worker,
-        open_queue,
-    )
+    from .distributed import Coordinator, open_queue
 
     if args.dist_command == "submit":
-        return _dist_submit(args, Coordinator, SqliteQueue)
+        return _dist_submit(args)
     if args.dist_command == "worker":
-        return _dist_worker(args, Worker, open_queue)
+        return _dist_worker(args)
     if args.dist_command == "status":
         with open_queue(args.queue, must_exist=True) as queue:
             summary = queue.summary()
@@ -584,11 +621,24 @@ def _command_dist(args: argparse.Namespace) -> int:
         with open_queue(args.queue, must_exist=True) as queue:
             report = Coordinator(queue).gather()
         return _dist_emit(args, report)
+    if args.dist_command == "resubmit":
+        with open_queue(args.queue, must_exist=True) as queue:
+            task_ids = queue.resubmit_dead()
+        if not task_ids:
+            print(f"no dead tasks in {args.queue}")
+        else:
+            print(
+                f"resubmitted {len(task_ids)} dead tasks to {args.queue} "
+                f"with a fresh retry budget; start workers with: "
+                f"atcd dist worker --queue {args.queue}"
+            )
+        return 0
     # dist run
-    return _dist_run(args, Coordinator, LocalFleet, SqliteQueue)
+    return _dist_run(args)
 
 
-def _dist_submit(args: argparse.Namespace, Coordinator, SqliteQueue) -> int:
+def _dist_submit(args: argparse.Namespace) -> int:
+    from .distributed import Coordinator, open_queue
     batch_mode = args.model is not None or args.requests is not None
     if args.profile is not None and batch_mode:
         raise ValueError("use either --profile or --model/--requests, not both")
@@ -602,7 +652,7 @@ def _dist_submit(args: argparse.Namespace, Coordinator, SqliteQueue) -> int:
         raise ValueError(
             "--repeats/--trace-memory only apply to profile submissions"
         )
-    with SqliteQueue(args.queue) as queue:
+    with open_queue(args.queue) as queue:
         coordinator = Coordinator(queue)
         if batch_mode:
             model_payload = serialization.to_dict(_load_model(args.model))
@@ -633,13 +683,15 @@ def _dist_submit(args: argparse.Namespace, Coordinator, SqliteQueue) -> int:
     return 0
 
 
-def _dist_worker(args: argparse.Namespace, Worker, open_queue) -> int:
+def _dist_worker(args: argparse.Namespace) -> int:
+    from .distributed import Worker, open_queue, signal_shutdown
+
     store = None
     try:
         with open_queue(args.queue, must_exist=True) as queue:
             # The store is opened only after the queue checked out: a
             # typo'd queue path must not leave a stray store file behind.
-            store = SqliteStore(args.store) if args.store else None
+            store = open_store(args.store) if args.store else None
             worker = Worker(
                 queue,
                 worker_id=args.worker_id,
@@ -650,7 +702,11 @@ def _dist_worker(args: argparse.Namespace, Worker, open_queue) -> int:
                 exit_when_drained=not args.keep_alive,
                 inject_delay_seconds=args.inject_delay,
             )
-            report = worker.run()
+            # SIGTERM/SIGINT fail the in-flight task back to the queue
+            # (immediately claimable) and exit cleanly, instead of
+            # abandoning it to its lease.
+            with signal_shutdown(worker):
+                report = worker.run()
     finally:
         if store is not None:
             store.close()
@@ -659,6 +715,13 @@ def _dist_worker(args: argparse.Namespace, Worker, open_queue) -> int:
         f"{report.failed} failed",
         file=sys.stderr,
     )
+    if report.interrupted is not None:
+        print(
+            f"worker {report.worker_id}: interrupted by signal "
+            f"{report.interrupted}; in-flight work returned to the queue",
+            file=sys.stderr,
+        )
+        return 128 + report.interrupted
     return 0
 
 
@@ -693,11 +756,12 @@ def _dist_emit(args: argparse.Namespace, report) -> int:
     return 1 if report.dead else 0
 
 
-def _dist_run(args: argparse.Namespace, Coordinator, LocalFleet, SqliteQueue) -> int:
+def _dist_run(args: argparse.Namespace) -> int:
     import shutil
     import tempfile
 
     from . import bench
+    from .distributed import Coordinator, LocalFleet, open_queue
 
     if args.workers < 1:
         raise ValueError(
@@ -711,7 +775,7 @@ def _dist_run(args: argparse.Namespace, Coordinator, LocalFleet, SqliteQueue) ->
     else:
         queue_path = args.queue
     try:
-        with SqliteQueue(queue_path) as queue:
+        with open_queue(queue_path) as queue:
             coordinator = Coordinator(queue)
             coordinator.submit_profile(
                 args.profile,
@@ -736,6 +800,66 @@ def _dist_run(args: argparse.Namespace, Coordinator, LocalFleet, SqliteQueue) ->
         if temp_dir is not None:
             shutil.rmtree(temp_dir, ignore_errors=True)
     return _dist_emit(args, report)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    # Lazy import, like the dist stack: only this verb needs the broker.
+    import signal as signal_module
+
+    from .net.server import BrokerServer
+    from .net.wire import TOKEN_ENV_VAR
+
+    if not args.queue and not args.store:
+        raise ValueError("nothing to serve: pass --queue and/or --store")
+    token = args.token or os.environ.get(TOKEN_ENV_VAR) or None
+    try:
+        server = BrokerServer(
+            queue_path=args.queue,
+            store_path=args.store,
+            host=args.host,
+            port=args.port,
+            token=token,
+            verbose=args.verbose,
+        )
+    except OSError as error:
+        # Port in use, privileged port, unbindable address: user errors,
+        # reported on the same one-line exit-2 contract as bad paths.
+        raise ValueError(
+            f"cannot serve on {args.host}:{args.port}: {error}"
+        ) from error
+    served = [
+        f"{kind} {path}"
+        for kind, path in (("queue", args.queue), ("store", args.store))
+        if path
+    ]
+    auth = "token auth" if token else "no auth"
+    # A wildcard bind accepts every interface but is not itself a
+    # connectable address — print a URL other hosts can actually use.
+    if args.host in ("0.0.0.0", "::"):
+        import socket
+
+        url = f"http://{socket.gethostname()}:{server.port}"
+        note = f" (listening on {args.host})"
+    else:
+        url, note = server.url, ""
+    print(
+        f"atcd broker serving {' and '.join(served)} at {url}{note} "
+        f"({auth}); point --queue/--store at that URL",
+        flush=True,
+    )
+
+    def _stop(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal_module.signal(signal_module.SIGTERM, _stop)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("atcd broker shutting down", file=sys.stderr)
+    finally:
+        signal_module.signal(signal_module.SIGTERM, previous)
+        server.close()
+    return 0
 
 
 def _command_backends(args: argparse.Namespace) -> int:
@@ -785,6 +909,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": _command_bench,
         "dist": _command_dist,
         "store": _command_store,
+        "serve": _command_serve,
         "catalog": _command_catalog,
         "experiments": _command_experiments,
     }

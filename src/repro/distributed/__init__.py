@@ -48,12 +48,15 @@ Typical single-host use (``atcd dist run`` wraps exactly this)::
 Multi-host use splits the same pieces: ``atcd dist submit`` on one host,
 ``atcd dist worker`` on each compute host (pointing at the queue — and
 ideally a result store — on a shared filesystem), ``atcd dist status`` /
-``atcd dist gather`` anywhere.
+``atcd dist gather`` anywhere.  Hosts that share *nothing* point the same
+flags at an ``atcd serve`` broker URL instead of a path
+(:mod:`repro.net`); :func:`open_queue` dispatches on the scheme.
 """
 
 from .coordinator import Coordinator, GatherReport, RUN_META_KEY
 from .fleet import LocalFleet, worker_command, worker_environment
 from .queue import (
+    DEFAULT_LEASE_GRACE,
     DEFAULT_MAX_ATTEMPTS,
     QUEUE_SCHEMA_VERSION,
     InMemoryQueue,
@@ -64,10 +67,18 @@ from .queue import (
     WorkQueue,
     open_queue,
 )
-from .worker import Worker, WorkerReport, default_worker_id, execute_task_payload
+from .worker import (
+    Worker,
+    WorkerReport,
+    WorkerShutdown,
+    default_worker_id,
+    execute_task_payload,
+    signal_shutdown,
+)
 
 __all__ = [
     "Coordinator",
+    "DEFAULT_LEASE_GRACE",
     "DEFAULT_MAX_ATTEMPTS",
     "GatherReport",
     "InMemoryQueue",
@@ -81,9 +92,11 @@ __all__ = [
     "WorkQueue",
     "Worker",
     "WorkerReport",
+    "WorkerShutdown",
     "default_worker_id",
     "execute_task_payload",
     "open_queue",
+    "signal_shutdown",
     "worker_command",
     "worker_environment",
 ]

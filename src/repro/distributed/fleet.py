@@ -173,7 +173,14 @@ class LocalFleet:
                     process.wait(timeout=5.0)
 
     def terminate(self) -> None:
-        """Hard-stop every remaining worker (cleanup on error paths)."""
+        """Stop every remaining worker (cleanup on error paths).
+
+        ``terminate()`` sends SIGTERM, which a worker's signal handler
+        turns into a graceful exit: the in-flight task is failed back to
+        the queue (immediately claimable) rather than abandoned to its
+        lease.  Workers that don't wind down in time are killed — their
+        task then takes the lease-expiry path.
+        """
         for process in self._processes:
             if process.poll() is None:
                 process.terminate()

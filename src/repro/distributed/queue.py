@@ -25,7 +25,7 @@ oldest pending task to the caller.  ``attempts`` counts claims, so a task
 bounces between ``pending`` and ``running`` at most ``max_attempts`` times
 before dead-lettering.
 
-Two implementations, mirroring :mod:`repro.engine.store`:
+Three implementations, mirroring :mod:`repro.engine.store`:
 
 :class:`SqliteQueue`
     The durable one: a single sqlite file, safe for concurrent workers
@@ -34,8 +34,22 @@ Two implementations, mirroring :mod:`repro.engine.store`:
     shared-memory index would break cross-host locking).  This is what
     multi-host deployments point at a shared filesystem.
 :class:`InMemoryQueue`
-    The same semantics on dicts, with an injectable clock, for tests and
-    single-process embedding.
+    The same semantics on dicts, for tests and single-process embedding.
+:class:`repro.net.HttpQueue`
+    A network client speaking the broker wire protocol of ``atcd serve``
+    (:mod:`repro.net`), for shared-nothing multi-host deployments;
+    :func:`open_queue` dispatches ``http(s)://`` URLs to it.
+
+Clock contract
+--------------
+Every timestamp a queue writes or compares (lease deadlines, expiry
+sweeps, ``created_unix``/``updated_unix``) comes from the queue's injected
+``clock`` — by default :func:`time.time`, replaceable for tests.  With a
+shared *file*, claims from different hosts stamp leases with different
+clocks, so ``expire_leases`` tolerates ``grace_seconds`` of skew before
+declaring a lease dead (a lease is expired only once
+``lease_expires_unix + grace_seconds < now``).  With the HTTP broker all
+clock math runs on the server — one clock, skew-free by construction.
 """
 
 from __future__ import annotations
@@ -52,6 +66,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, runtime_checkable
 
 __all__ = [
+    "DEFAULT_LEASE_GRACE",
     "QUEUE_SCHEMA_VERSION",
     "QueueError",
     "TaskState",
@@ -69,6 +84,22 @@ QUEUE_SCHEMA_VERSION = 1
 #: Default retry budget: a task is claimed at most this many times (first
 #: attempt included) before it is dead-lettered.
 DEFAULT_MAX_ATTEMPTS = 3
+
+#: Default clock-skew tolerance of lease-expiry sweeps, in seconds.  On a
+#: queue file shared between hosts, the lease deadline was stamped by the
+#: claimant's clock and is compared against the sweeper's — an NTP step or
+#: plain skew between them must not prematurely expire a live lease (which
+#: would double-execute the task).  Two seconds comfortably covers NTP
+#: discipline; deployments with worse clocks can raise it per queue.
+DEFAULT_LEASE_GRACE = 2.0
+
+
+def _validate_grace(grace_seconds: float) -> float:
+    if not isinstance(grace_seconds, (int, float)) or grace_seconds < 0:
+        raise QueueError(
+            f"grace_seconds must be a non-negative number, got {grace_seconds!r}"
+        )
+    return float(grace_seconds)
 
 
 class QueueError(ValueError):
@@ -117,8 +148,15 @@ class WorkQueue(Protocol):
         self,
         payloads: Sequence[Dict[str, Any]],
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        dedupe_key: Optional[str] = None,
     ) -> List[str]:
-        """Append tasks (one per payload); returns their task ids."""
+        """Append tasks (one per payload); returns their task ids.
+
+        ``dedupe_key`` makes the call idempotent: a repeated submit with
+        the same key (a retry after a lost response — the HTTP client's
+        case) returns the original task ids instead of appending the
+        batch again.  The check-and-record is atomic with the insert.
+        """
         ...
 
     def claim(self, worker_id: str, lease_seconds: float) -> Optional[Task]:
@@ -135,7 +173,13 @@ class WorkQueue(Protocol):
         ...
 
     def complete(self, task_id: str, worker_id: str, result: Dict[str, Any]) -> bool:
-        """Finish a task with its result; ``False`` if no longer ours."""
+        """Finish a task with its result; ``False`` if no longer ours.
+
+        Idempotent for the rightful owner: completing a task that is
+        already ``done`` *by the same worker* returns ``True`` (a replay
+        after a lost broker response must not read as a lost lease).  A
+        different worker's completion still returns ``False``.
+        """
         ...
 
     def fail(self, task_id: str, worker_id: str, error: str) -> bool:
@@ -144,7 +188,18 @@ class WorkQueue(Protocol):
         ...
 
     def expire_leases(self) -> int:
-        """Sweep expired leases; returns how many tasks were released."""
+        """Sweep expired leases (skew grace applied); returns how many
+        tasks were released."""
+        ...
+
+    def resubmit_dead(self) -> List[str]:
+        """Re-queue every dead-lettered task with a fresh retry budget.
+
+        Dead tasks go back to ``pending`` with ``attempts`` reset to zero
+        and their error cleared, so a run stuck on dead letters (after an
+        environment fix) can complete instead of being rebuilt from
+        scratch.  Returns the re-queued task ids in submission order.
+        """
         ...
 
     def counts(self) -> Dict[str, int]:
@@ -190,6 +245,11 @@ def _next_state(attempts: int, max_attempts: int) -> TaskState:
     return TaskState.DEAD if attempts >= max_attempts else TaskState.PENDING
 
 
+def _dedupe_meta_key(dedupe_key: str) -> str:
+    """Queue-meta key recording one deduped submit's task ids."""
+    return f"submit-dedupe:{dedupe_key}"
+
+
 def _summary_payload(
     kind: str, counts: Dict[str, int], tasks: List[Task]
 ) -> Dict[str, Any]:
@@ -217,11 +277,18 @@ class InMemoryQueue:
     """A process-local :class:`WorkQueue`: sqlite semantics, no disk.
 
     Thread-safe, so in-process worker threads can share one instance.  The
-    ``clock`` parameter makes lease expiry testable without sleeping.
+    ``clock`` parameter makes lease expiry testable without sleeping;
+    ``grace_seconds`` is the expiry sweep's clock-skew tolerance (see the
+    module docstring's clock contract).
     """
 
-    def __init__(self, clock: Callable[[], float] = time.time) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.time,
+        grace_seconds: float = DEFAULT_LEASE_GRACE,
+    ) -> None:
         self._clock = clock
+        self._grace = _validate_grace(grace_seconds)
         self._lock = threading.Lock()
         self._tasks: Dict[str, Task] = {}
         self._meta: Dict[str, str] = {}
@@ -230,6 +297,7 @@ class InMemoryQueue:
         self,
         payloads: Sequence[Dict[str, Any]],
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        dedupe_key: Optional[str] = None,
     ) -> List[str]:
         if max_attempts < 1:
             raise QueueError(
@@ -237,6 +305,10 @@ class InMemoryQueue:
             )
         ids: List[str] = []
         with self._lock:
+            if dedupe_key is not None:
+                recorded = self._meta.get(_dedupe_meta_key(dedupe_key))
+                if recorded is not None:
+                    return json.loads(recorded)
             seq = len(self._tasks)
             for payload in payloads:
                 task_id = f"task-{seq:06d}"
@@ -250,6 +322,8 @@ class InMemoryQueue:
                 )
                 ids.append(task_id)
                 seq += 1
+            if dedupe_key is not None:
+                self._meta[_dedupe_meta_key(dedupe_key)] = json.dumps(ids)
         return ids
 
     def _expire_locked(self, now: float) -> int:
@@ -257,7 +331,10 @@ class InMemoryQueue:
         for task_id, task in self._tasks.items():
             if task.state is not TaskState.RUNNING:
                 continue
-            if task.lease_expires_unix is not None and task.lease_expires_unix < now:
+            if (
+                task.lease_expires_unix is not None
+                and task.lease_expires_unix + self._grace < now
+            ):
                 state = _next_state(task.attempts, task.max_attempts)
                 error = task.error
                 if state is TaskState.DEAD and error is None:
@@ -317,12 +394,21 @@ class InMemoryQueue:
             self._expire_locked(self._clock())
             task = self._owned_running(task_id, worker_id)
             if task is None:
-                return False
+                return self._completed_by(task_id, worker_id)
             self._tasks[task_id] = dataclasses.replace(
                 task, state=TaskState.DONE, lease_expires_unix=None,
                 result=json.loads(json.dumps(result)), error=None,
             )
             return True
+
+    def _completed_by(self, task_id: str, worker_id: str) -> bool:
+        """Replay check: is the task already done by this very worker?"""
+        task = self._tasks.get(task_id)
+        return (
+            task is not None
+            and task.state is TaskState.DONE
+            and task.worker_id == worker_id
+        )
 
     def fail(self, task_id: str, worker_id: str, error: str) -> bool:
         with self._lock:
@@ -335,6 +421,20 @@ class InMemoryQueue:
                 worker_id=None, lease_expires_unix=None, error=str(error),
             )
             return True
+
+    def resubmit_dead(self) -> List[str]:
+        with self._lock:
+            dead = sorted(
+                (task for task in self._tasks.values()
+                 if task.state is TaskState.DEAD),
+                key=lambda task: task.seq,
+            )
+            for task in dead:
+                self._tasks[task.task_id] = dataclasses.replace(
+                    task, state=TaskState.PENDING, attempts=0,
+                    worker_id=None, lease_expires_unix=None, error=None,
+                )
+            return [task.task_id for task in dead]
 
     def counts(self) -> Dict[str, int]:
         with self._lock:
@@ -393,6 +493,16 @@ class SqliteQueue:
         Seconds an operation waits for sqlite's file lock before failing —
         claims from many workers serialize on the write lock instead of
         erroring.
+    clock:
+        Source of every timestamp this queue writes or compares (defaults
+        to :func:`time.time`); injectable so lease expiry is testable
+        without sleeping.
+    grace_seconds:
+        Clock-skew tolerance of expiry sweeps: a lease is only declared
+        expired once ``lease_expires_unix + grace_seconds`` has passed.
+        On a queue file shared between hosts the deadline was stamped by
+        the *claimant's* clock, so the sweeper must absorb NTP steps and
+        plain skew rather than double-executing a live task.
 
     The connection runs in autocommit mode and every mutation happens
     inside an explicit ``BEGIN IMMEDIATE`` transaction, which takes the
@@ -409,8 +519,16 @@ class SqliteQueue:
     write-lock serialization rollback journaling implies costs little.
     """
 
-    def __init__(self, path: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        path: str,
+        timeout: float = 30.0,
+        clock: Callable[[], float] = time.time,
+        grace_seconds: float = DEFAULT_LEASE_GRACE,
+    ) -> None:
         self.path = str(path)
+        self._clock = clock
+        self._grace = _validate_grace(grace_seconds)
         self._lock = threading.Lock()
         self._closed = False
         self._connection: Optional[sqlite3.Connection] = None
@@ -516,12 +634,19 @@ class SqliteQueue:
             try:
                 yield self._connection
             except sqlite3.Error as error:
-                self._connection.execute("ROLLBACK")
+                # The ROLLBACK itself fails on a connection closed under
+                # us (a broker shutting down mid-request); the original
+                # error must still surface as a QueueError — the server
+                # maps it to a retryable 503 while closing — not as a
+                # naked ProgrammingError that reads as an internal bug.
+                with contextlib.suppress(sqlite3.Error):
+                    self._connection.execute("ROLLBACK")
                 raise QueueError(
                     f"work queue {self.path!r} failed: {error}"
                 ) from error
             except BaseException:
-                self._connection.execute("ROLLBACK")
+                with contextlib.suppress(sqlite3.Error):
+                    self._connection.execute("ROLLBACK")
                 raise
             else:
                 try:
@@ -557,14 +682,25 @@ class SqliteQueue:
         self,
         payloads: Sequence[Dict[str, Any]],
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        dedupe_key: Optional[str] = None,
     ) -> List[str]:
         if max_attempts < 1:
             raise QueueError(
                 f"max_attempts must be a positive integer, got {max_attempts!r}"
             )
-        now = time.time()
+        now = self._clock()
         ids: List[str] = []
         with self._transaction() as connection:
+            if dedupe_key is not None:
+                # Inside the same BEGIN IMMEDIATE as the inserts, so a
+                # retried submit (lost HTTP response) either sees the
+                # recorded ids or records them — never a duplicate batch.
+                row = connection.execute(
+                    "SELECT value FROM queue_meta WHERE key = ?",
+                    (_dedupe_meta_key(dedupe_key),),
+                ).fetchone()
+                if row is not None:
+                    return json.loads(row[0])
             row = connection.execute("SELECT MAX(seq) FROM tasks").fetchone()
             seq = (row[0] + 1) if row[0] is not None else 0
             for payload in payloads:
@@ -578,10 +714,17 @@ class SqliteQueue:
                 )
                 ids.append(task_id)
                 seq += 1
+            if dedupe_key is not None:
+                connection.execute(
+                    "INSERT INTO queue_meta (key, value) VALUES (?, ?)",
+                    (_dedupe_meta_key(dedupe_key), json.dumps(ids)),
+                )
         return ids
 
-    @staticmethod
-    def _expire_sql(connection: sqlite3.Connection, now: float) -> int:
+    def _expire_sql(self, connection: sqlite3.Connection, now: float) -> int:
+        # The skew grace applies only here, on the comparison: deadlines
+        # are stored as written, so a sweep with a different grace (or a
+        # later build) still sees the claimant's original lease.
         cursor = connection.execute(
             "UPDATE tasks SET"
             " state = CASE WHEN attempts >= max_attempts"
@@ -593,16 +736,16 @@ class SqliteQueue:
             " updated_unix = ?"
             f" WHERE state = '{TaskState.RUNNING.value}'"
             " AND lease_expires_unix IS NOT NULL AND lease_expires_unix < ?",
-            (now, now),
+            (now, now - self._grace),
         )
         return cursor.rowcount
 
     def expire_leases(self) -> int:
         with self._transaction() as connection:
-            return self._expire_sql(connection, time.time())
+            return self._expire_sql(connection, self._clock())
 
     def claim(self, worker_id: str, lease_seconds: float) -> Optional[Task]:
-        now = time.time()
+        now = self._clock()
         with self._transaction() as connection:
             self._expire_sql(connection, now)
             row = connection.execute(
@@ -628,7 +771,7 @@ class SqliteQueue:
         return _task_from_row(task_row)
 
     def heartbeat(self, task_id: str, worker_id: str, lease_seconds: float) -> bool:
-        now = time.time()
+        now = self._clock()
         with self._transaction() as connection:
             self._expire_sql(connection, now)
             cursor = connection.execute(
@@ -640,7 +783,7 @@ class SqliteQueue:
             return cursor.rowcount == 1
 
     def complete(self, task_id: str, worker_id: str, result: Dict[str, Any]) -> bool:
-        now = time.time()
+        now = self._clock()
         with self._transaction() as connection:
             self._expire_sql(connection, now)
             cursor = connection.execute(
@@ -650,10 +793,23 @@ class SqliteQueue:
                 (TaskState.DONE.value, json.dumps(result, sort_keys=True),
                  now, task_id, worker_id, TaskState.RUNNING.value),
             )
-            return cursor.rowcount == 1
+            if cursor.rowcount == 1:
+                return True
+            # Replay check (see the protocol docstring): already done by
+            # this very worker — an earlier complete whose response was
+            # lost — is still a success, not a lost lease.
+            row = connection.execute(
+                "SELECT state, worker_id FROM tasks WHERE task_id = ?",
+                (task_id,),
+            ).fetchone()
+        return (
+            row is not None
+            and row[0] == TaskState.DONE.value
+            and row[1] == worker_id
+        )
 
     def fail(self, task_id: str, worker_id: str, error: str) -> bool:
-        now = time.time()
+        now = self._clock()
         with self._transaction() as connection:
             self._expire_sql(connection, now)
             cursor = connection.execute(
@@ -667,6 +823,24 @@ class SqliteQueue:
                 (str(error), now, task_id, worker_id, TaskState.RUNNING.value),
             )
             return cursor.rowcount == 1
+
+    def resubmit_dead(self) -> List[str]:
+        now = self._clock()
+        with self._transaction() as connection:
+            ids = [
+                row[0] for row in connection.execute(
+                    "SELECT task_id FROM tasks WHERE state = ? ORDER BY seq",
+                    (TaskState.DEAD.value,),
+                ).fetchall()
+            ]
+            if ids:
+                connection.execute(
+                    "UPDATE tasks SET state = ?, attempts = 0,"
+                    " worker_id = NULL, lease_expires_unix = NULL,"
+                    " error = NULL, updated_unix = ? WHERE state = ?",
+                    (TaskState.PENDING.value, now, TaskState.DEAD.value),
+                )
+        return ids
 
     def counts(self) -> Dict[str, int]:
         counts = {state.value: 0 for state in TaskState}
@@ -777,14 +951,29 @@ def _task_from_row(row: tuple) -> Task:
     )
 
 
-def open_queue(path: str, must_exist: bool = False) -> SqliteQueue:
-    """Open (or create) the sqlite work queue at ``path``.
+def open_queue(path: str, must_exist: bool = False) -> WorkQueue:
+    """Open the work queue at ``path`` — a sqlite file or a broker URL.
+
+    This is the single URL-dispatch point of the runtime: an
+    ``http://``/``https://`` value returns a
+    :class:`repro.net.HttpQueue` speaking to an ``atcd serve`` broker
+    (token from ``$ATCD_BROKER_TOKEN``), anything else opens (or creates)
+    a local :class:`SqliteQueue`.
 
     With ``must_exist=True`` a missing file is a :class:`QueueError`
     instead of a silently created empty queue — the right behaviour for
     ``atcd dist worker|status|gather``, where a typo'd path must not
-    conjure an empty queue and an immediately-drained worker.
+    conjure an empty queue and an immediately-drained worker.  Broker
+    URLs are always pinged (a URL cannot be "created", only reached), so
+    an unreachable broker — or one serving no queue — fails here with
+    one clear line instead of mid-run.
     """
+    if path.startswith(("http://", "https://")):
+        from ..net.client import HttpQueue
+
+        queue = HttpQueue(path)
+        queue.ping()
+        return queue
     if must_exist and not os.path.exists(path):
         raise QueueError(f"no work queue at {path!r}")
     return SqliteQueue(path)

@@ -24,24 +24,86 @@ Failures inside a task (a payload that does not deserialize, a backend
 error) are reported to the queue with :meth:`~.queue.WorkQueue.fail` —
 bounded retries, then dead-letter — and the worker moves on; only the
 queue itself failing stops the loop.
+
+Graceful shutdown: under :func:`signal_shutdown` (what ``atcd dist
+worker`` runs in), SIGTERM/SIGINT raise :class:`WorkerShutdown` inside
+the loop.  The in-flight task is *failed back to the queue immediately*
+(ownership-checked, so a task that was meanwhile reassigned is left
+alone) instead of staying invisible until its lease times out, and the
+worker exits with a report marking the interruption.
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
+import signal
 import socket
 import threading
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Iterator, Optional
 
 from ..bench.harness import execute_serialized_case
 from ..engine.session import run_serialized_request
 from ..engine.store import ResultStore
-from .queue import Task, WorkQueue
+from .queue import Task, TaskState, WorkQueue
 
-__all__ = ["Worker", "WorkerReport", "default_worker_id", "execute_task_payload"]
+__all__ = [
+    "Worker",
+    "WorkerReport",
+    "WorkerShutdown",
+    "default_worker_id",
+    "execute_task_payload",
+    "signal_shutdown",
+]
+
+
+class WorkerShutdown(BaseException):
+    """A shutdown signal arrived; unwind the worker loop.
+
+    Subclasses ``BaseException`` (like ``KeyboardInterrupt``) so the
+    worker's normal task-failure handling — which retries and moves on —
+    cannot swallow it: a signalled worker must stop, not keep claiming.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(signum)
+        self.signum = signum
+
+
+@contextlib.contextmanager
+def signal_shutdown(worker: "Worker") -> Iterator[None]:
+    """Route SIGTERM/SIGINT into a graceful stop of ``worker``.
+
+    The handler stops the loop and raises :class:`WorkerShutdown` at the
+    interrupt point, so :meth:`Worker.run` can fail its in-flight task
+    back to the queue before returning.  The raise is one-shot: a second
+    signal (an impatient operator, a supervisor re-signalling) must not
+    interrupt the fail-back already in progress — it only re-confirms the
+    stop.  Signal handlers can only be installed from the main thread;
+    elsewhere this is a no-op (thread-run workers are stopped with
+    :meth:`Worker.stop` instead).  Previous handlers are restored on
+    exit.
+    """
+    fired = threading.Event()
+
+    def _handler(signum: int, frame: Any) -> None:
+        worker.stop()
+        if not fired.is_set():
+            fired.set()
+            raise WorkerShutdown(signum)
+
+    previous: Dict[int, Any] = {}
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, _handler)
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
 
 
 def default_worker_id() -> str:
@@ -79,6 +141,10 @@ class WorkerReport:
     #: Task ids whose attempt failed on this worker (possibly retried by
     #: another worker afterwards).
     failures: list = field(default_factory=list)
+    #: Signal number that interrupted the loop (``None`` for a normal
+    #: drained/stopped exit).  An interrupted worker's in-flight task was
+    #: failed back to the queue, not abandoned to its lease.
+    interrupted: Optional[int] = None
 
     @property
     def executed(self) -> int:
@@ -205,6 +271,11 @@ class Worker:
         keeper.start()
         try:
             result = self._execute(task)
+        except WorkerShutdown:
+            # A shutdown signal mid-task: stop renewing and let run()
+            # fail the task back to the queue on the way out.
+            keeper.stop()
+            raise
         except Exception as error:
             keeper.stop()
             message = "".join(
@@ -225,17 +296,56 @@ class Worker:
             report.failures.append(task.task_id)
 
     def run(self) -> WorkerReport:
-        """Claim and execute until drained/stopped; returns the report."""
+        """Claim and execute until drained/stopped/signalled; returns the
+        report.
+
+        On :class:`WorkerShutdown` (a SIGTERM/SIGINT routed in by
+        :func:`signal_shutdown`) the in-flight claim is failed back to
+        the queue — ownership-checked, so nothing is touched if the lease
+        already moved on — making the task immediately claimable instead
+        of invisible until lease expiry.
+        """
         report = WorkerReport(worker_id=self.worker_id)
-        while not self._stop_event.is_set():
-            if self.max_tasks is not None and report.executed >= self.max_tasks:
-                break
-            task = self.queue.claim(self.worker_id, self.lease_seconds)
-            if task is None:
-                if self.exit_when_drained and self.queue.drained():
+        current: Optional[Task] = None
+        try:
+            while not self._stop_event.is_set():
+                if self.max_tasks is not None and report.executed >= self.max_tasks:
                     break
-                if self._stop_event.wait(self.poll_seconds):
-                    break
-                continue
-            self.run_one(task, report)
+                current = self.queue.claim(self.worker_id, self.lease_seconds)
+                if current is None:
+                    if self.exit_when_drained and self.queue.drained():
+                        break
+                    if self._stop_event.wait(self.poll_seconds):
+                        break
+                    continue
+                self.run_one(current, report)
+                current = None
+        except WorkerShutdown as shutdown:
+            report.interrupted = shutdown.signum
+            try:
+                # `current` is None when the signal landed between tasks —
+                # or inside claim(), after the server committed the lease
+                # but before the result was assigned.  Ask the queue which
+                # tasks it believes are ours so that window leaks nothing.
+                if current is not None:
+                    claims = [current]
+                else:
+                    claims = [
+                        task
+                        for task in self.queue.tasks(TaskState.RUNNING)
+                        if task.worker_id == self.worker_id
+                    ]
+                for task in claims:
+                    if self.queue.fail(
+                        task.task_id, self.worker_id,
+                        f"worker {self.worker_id} shut down by signal "
+                        f"{shutdown.signum} with the task in flight",
+                    ):
+                        report.failed += 1
+                        report.failures.append(task.task_id)
+            except BaseException:
+                # The queue is unreachable, or a stray signal hit the
+                # fail-back itself; the lease will expire and recover the
+                # task the slow way.
+                pass
         return report

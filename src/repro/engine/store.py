@@ -21,6 +21,11 @@ Two implementations are provided:
     A dict with the same interface, for tests and for sharing results
     between sessions within one process without touching disk.
 
+A third implementation lives in :mod:`repro.net`:
+:class:`~repro.net.HttpStore` speaks to an ``atcd serve`` broker over
+JSON/HTTP, for multi-host deployments with no shared filesystem;
+:func:`open_store` dispatches ``http(s)://`` URLs to it.
+
 Every stored record embeds its own fingerprint and request identity and is
 re-verified on read — a row that was tampered with, corrupted, or re-keyed
 (cache poisoning) is *rejected*, never served.  Invalidation is therefore
@@ -594,13 +599,29 @@ class SqliteStore:
         self.close()
 
 
-def open_store(path: str, must_exist: bool = False) -> SqliteStore:
-    """Open (or create) the sqlite result store at ``path``.
+def open_store(path: str, must_exist: bool = False) -> ResultStore:
+    """Open the result store at ``path`` — a sqlite file or a broker URL.
+
+    This is the single URL-dispatch point of the store layer: an
+    ``http://``/``https://`` value returns a :class:`repro.net.HttpStore`
+    speaking to an ``atcd serve`` broker (token from
+    ``$ATCD_BROKER_TOKEN``), anything else opens (or creates) a local
+    :class:`SqliteStore`.
 
     With ``must_exist=True`` a missing file is a :class:`StoreError`
     instead of a silently created empty store — the right behaviour for
-    inspection commands like ``atcd store stats``.
+    inspection commands like ``atcd store stats``.  Broker URLs are
+    always pinged (a URL cannot be "created", only reached): a typo'd
+    store URL must fail here, up front, with one clear line — not
+    degrade every task of a run to cache-off after a full retry budget
+    each.
     """
+    if path.startswith(("http://", "https://")):
+        from ..net.client import HttpStore
+
+        store = HttpStore(path)
+        store.ping()
+        return store
     if must_exist and not os.path.exists(path):
         raise StoreError(f"no result store at {path!r}")
     return SqliteStore(path)

@@ -1,0 +1,48 @@
+"""Network broker: queue and store over HTTP, for shared-nothing fleets.
+
+The distributed runtime (:mod:`repro.distributed`) and the shared result
+store (:mod:`repro.engine.store`) both coordinate through a sqlite file —
+which requires every host to mount one filesystem.  This package removes
+that requirement with a deliberately small, stdlib-only HTTP layer:
+
+``server``
+    :class:`BrokerServer` — ``atcd serve`` — a threading
+    :mod:`http.server` wrapper that exposes one :class:`SqliteQueue`
+    and/or one :class:`SqliteStore` as JSON/HTTP endpoints.  All queue
+    and store semantics (atomic claims, leases, retries, dead-letter,
+    identity-verified reads, eviction) are the sqlite implementations',
+    inherited rather than reimplemented — and because every operation
+    executes on the broker, its clock is the only one lease math sees.
+``client``
+    :class:`HttpQueue` / :class:`HttpStore` — drop-in ``WorkQueue`` /
+    ``ResultStore`` implementations with per-thread connection reuse and
+    retry/backoff, so fleets ride out broker restarts.
+``wire``
+    The JSON/HTTP schema both sides speak, versioned separately from the
+    sqlite layouts.
+
+Typical use — one broker host, N shared-nothing workers::
+
+    # broker host (owns the only state):
+    #   atcd serve --queue run.queue --store results.sqlite --port 8765
+    # every other host:
+    #   atcd dist worker --queue http://broker:8765 --store http://broker:8765
+
+``open_queue``/``open_store`` dispatch on the URL scheme, so every
+``--queue``/``--store`` flag accepts ``http://host:port`` wherever it
+accepts a path.  Optional bearer-token auth: start the server with
+``--token`` (or ``$ATCD_BROKER_TOKEN``) and export the same variable on
+the clients.
+"""
+
+from .client import HttpQueue, HttpStore
+from .server import BrokerServer
+from .wire import TOKEN_ENV_VAR, WIRE_VERSION
+
+__all__ = [
+    "BrokerServer",
+    "HttpQueue",
+    "HttpStore",
+    "TOKEN_ENV_VAR",
+    "WIRE_VERSION",
+]

@@ -1,0 +1,425 @@
+"""The network broker: ``atcd serve`` — queue and store over JSON/HTTP.
+
+A :class:`BrokerServer` owns one :class:`~repro.distributed.SqliteQueue`
+and/or one :class:`~repro.engine.SqliteStore` and exposes their protocol
+methods as HTTP endpoints (see :mod:`repro.net.wire` for the schema), so
+workers and coordinators on other hosts need nothing but a URL — no
+shared filesystem.  All lease, retry, dead-letter, eviction and
+identity-verification semantics are the sqlite implementations',
+inherited rather than reimplemented; the broker adds only transport.
+
+Because every queue operation executes here, *this process's clock* is
+the only one lease math ever sees — cross-host clock skew, the reason
+:class:`SqliteQueue` grew an expiry grace, cannot occur over the broker
+by construction.
+
+The server is a :class:`http.server.ThreadingHTTPServer`: one thread per
+in-flight request, with thread-safety provided by the underlying queue
+and store (both serialize on internal locks).  Authentication is optional
+— construct with ``token=...`` (``atcd serve --token`` /
+``$ATCD_BROKER_TOKEN``) and every request must carry a matching bearer
+token.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hmac
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from ..distributed.queue import (
+    DEFAULT_LEASE_GRACE,
+    DEFAULT_MAX_ATTEMPTS,
+    QueueError,
+    SqliteQueue,
+    TaskState,
+)
+from ..engine.requests import AnalysisRequest, AnalysisResult
+from ..engine.store import SqliteStore, StoreError
+from .wire import AUTH_HEADER, SERVER_NAME, WIRE_VERSION, task_to_wire
+
+__all__ = ["BrokerServer"]
+
+#: Maximum accepted request body, in bytes.  Task payloads embed whole
+#: serialized models, so this is generous — but a broken or hostile client
+#: must not make the server buffer arbitrary amounts of memory.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def _queue_operation(
+    queue: SqliteQueue, op: str, args: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Execute one ``POST /queue/<op>`` against the served queue."""
+    if op == "submit":
+        return {"task_ids": queue.submit(
+            args["payloads"],
+            max_attempts=args.get("max_attempts", DEFAULT_MAX_ATTEMPTS),
+            dedupe_key=args.get("dedupe_key"),
+        )}
+    if op == "claim":
+        task = queue.claim(args["worker_id"], float(args["lease_seconds"]))
+        return {"task": None if task is None else task_to_wire(task)}
+    if op == "heartbeat":
+        return {"ok": queue.heartbeat(
+            args["task_id"], args["worker_id"], float(args["lease_seconds"])
+        )}
+    if op == "complete":
+        return {"ok": queue.complete(
+            args["task_id"], args["worker_id"], args["result"]
+        )}
+    if op == "fail":
+        return {"ok": queue.fail(
+            args["task_id"], args["worker_id"], str(args["error"])
+        )}
+    if op == "expire_leases":
+        return {"released": queue.expire_leases()}
+    if op == "resubmit_dead":
+        return {"task_ids": queue.resubmit_dead()}
+    if op == "counts":
+        return {"counts": queue.counts()}
+    if op == "drained":
+        return {"drained": queue.drained()}
+    if op == "tasks":
+        state = args.get("state")
+        rows = queue.tasks(None if state is None else TaskState(state))
+        return {"tasks": [task_to_wire(task) for task in rows]}
+    if op == "get_meta":
+        return {"value": queue.get_meta(args["key"])}
+    if op == "set_meta":
+        queue.set_meta(args["key"], args["value"])
+        return {}
+    if op == "set_meta_if_absent":
+        return {"ok": queue.set_meta_if_absent(args["key"], args["value"])}
+    if op == "summary":
+        return {"summary": queue.summary()}
+    raise KeyError(f"unknown queue operation {op!r}")
+
+
+def _store_operation(
+    store: SqliteStore, op: str, args: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Execute one ``POST /store/<op>`` against the served store.
+
+    ``get``/``put`` reconstruct the request (and result) from their JSON
+    documents before touching the store, so a malformed document is a 400
+    to the caller — and the sqlite store's embedded-identity verification
+    then runs on the real objects, exactly as it does locally.
+    """
+    if op == "get":
+        request = AnalysisRequest.from_dict(args["request"])
+        result = store.get(args["fingerprint"], request)
+        return {"result": None if result is None else result.to_dict()}
+    if op == "put":
+        store.put(
+            args["fingerprint"],
+            AnalysisRequest.from_dict(args["request"]),
+            AnalysisResult.from_dict(args["result"]),
+        )
+        return {}
+    if op == "prune":
+        return {"dropped": store.prune(fingerprint=args.get("fingerprint"))}
+    if op == "evict":
+        return {"dropped": store.evict(
+            ttl_seconds=args.get("ttl_seconds"),
+            max_bytes=args.get("max_bytes"),
+        )}
+    if op == "len":
+        return {"entries": len(store)}
+    if op == "summary":
+        return {"summary": store.summary()}
+    raise KeyError(f"unknown store operation {op!r}")
+
+
+class _BrokerHandler(BaseHTTPRequestHandler):
+    """One request: authenticate, dispatch, reply JSON.  Quiet by default."""
+
+    protocol_version = "HTTP/1.1"  # keep-alive, so clients reuse connections
+    server_version = f"{SERVER_NAME}/{WIRE_VERSION}"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def _reply(
+        self, status: int, document: Dict[str, Any], close: bool = False
+    ) -> None:
+        body = json.dumps(document, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if close:
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_error(
+        self, status: int, message: str, kind: str, close: bool = False
+    ) -> None:
+        self._reply(status, {"ok": False, "error": message, "kind": kind},
+                    close=close or status == 503)
+
+    def _drain_body(self) -> None:
+        """Consume an unread request body before an early error reply.
+
+        Leftover body bytes on a kept-alive socket would be parsed as the
+        next request line (garbling every later call), and closing the
+        socket instead can RST away the error reply while the client is
+        still uploading — so errors sent before dispatch (401, 404) read
+        and discard the declared body first.  Undeclared or oversized
+        lengths cannot be resynced; those connections are dropped.
+        """
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self.close_connection = True
+            return
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 1 << 20))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+
+    def _shutting_down(self) -> bool:
+        """Answer 503 (and drop the connection) on a closing broker.
+
+        ``server_close()`` only closes the *listening* socket — handler
+        threads blocked on kept-alive connections would otherwise keep
+        answering against closed queue/store handles after a restart.
+        The 503 tells clients to reconnect (their retry path), and
+        ``Connection: close`` retires this stale socket.
+        """
+        if not self.server.broker.closing:
+            return False
+        self._reply_error(
+            503, "broker is shutting down; retry", "unavailable"
+        )
+        return True
+
+    def _authorized(self) -> bool:
+        token = self.server.broker.token
+        if token is None:
+            return True
+        presented = self.headers.get(AUTH_HEADER, "")
+        expected = f"Bearer {token}"
+        if hmac.compare_digest(presented.encode(), expected.encode()):
+            return True
+        self._drain_body()
+        self._reply_error(
+            401,
+            "unauthorized: this broker requires a bearer token "
+            "(set ATCD_BROKER_TOKEN to the server's token)",
+            "unauthorized",
+        )
+        return False
+
+    def _read_body(self) -> Optional[Dict[str, Any]]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._reply_error(
+                400, f"invalid request body length {length}", "bad-request",
+                close=True,  # the body was not (and will not be) read
+            )
+            return None
+        raw = self.rfile.read(length) if length else b""
+        try:
+            args = json.loads(raw.decode("utf-8")) if raw else {}
+        except (ValueError, UnicodeDecodeError):
+            self._reply_error(
+                400, "request body is not valid JSON", "bad-request"
+            )
+            return None
+        if not isinstance(args, dict):
+            self._reply_error(
+                400, "request body must be a JSON object", "bad-request"
+            )
+            return None
+        return args
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        if self._shutting_down() or not self._authorized():
+            return
+        if self.path == "/ping":
+            broker = self.server.broker
+            self._reply(200, {
+                "ok": True,
+                "server": SERVER_NAME,
+                "wire_version": WIRE_VERSION,
+                "queue": broker.queue is not None,
+                "store": broker.store is not None,
+            })
+            return
+        self._reply_error(404, f"unknown endpoint {self.path!r}", "not-found")
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self._shutting_down() or not self._authorized():
+            return
+        parts = self.path.strip("/").split("/")
+        if len(parts) != 2 or parts[0] not in ("queue", "store"):
+            self._drain_body()
+            self._reply_error(
+                404, f"unknown endpoint {self.path!r}", "not-found"
+            )
+            return
+        resource, op = parts
+        broker = self.server.broker
+        target = broker.queue if resource == "queue" else broker.store
+        if target is None:
+            self._drain_body()
+            self._reply_error(
+                404, f"this broker serves no {resource}", "not-found"
+            )
+            return
+        args = self._read_body()
+        if args is None:
+            return
+        try:
+            if resource == "queue":
+                value = _queue_operation(target, op, args)
+            else:
+                value = _store_operation(target, op, args)
+        except QueueError as error:
+            # A close() racing an in-flight request surfaces as "queue is
+            # closed" — that is a broker restart, not a bad request.
+            if broker.closing:
+                self._reply_error(503, str(error), "unavailable")
+            else:
+                self._reply_error(400, str(error), "queue-error")
+        except StoreError as error:
+            if broker.closing:
+                self._reply_error(503, str(error), "unavailable")
+            else:
+                self._reply_error(400, str(error), "store-error")
+        except (KeyError, ValueError, TypeError) as error:
+            self._reply_error(
+                400, f"bad {resource} request: {error}", "bad-request"
+            )
+        except Exception as error:  # noqa: BLE001 — must answer, not hang
+            self._reply_error(
+                500, f"internal broker error: {error}", "internal"
+            )
+        else:
+            self._reply(200, {"ok": True, "value": value})
+
+
+class BrokerServer:
+    """Serve a work queue and/or result store over HTTP.
+
+    Parameters
+    ----------
+    queue_path / store_path:
+        Sqlite files to expose (created if absent); at least one is
+        required.  Requests against an unattached resource get a 404.
+    host / port:
+        Bind address; port 0 picks a free port (read it back from
+        ``server.port`` / ``server.url``).
+    token:
+        Optional bearer token; when set, every request must present it.
+    grace_seconds:
+        Lease-expiry skew grace of the served queue.  The broker is a
+        single clock, so the cross-host skew the grace exists for cannot
+        occur here — it still applies (harmlessly) to direct sqlite
+        access to the same file.
+    verbose:
+        Log one line per request to stderr (default: quiet).
+    """
+
+    def __init__(
+        self,
+        queue_path: Optional[str] = None,
+        store_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        token: Optional[str] = None,
+        grace_seconds: float = DEFAULT_LEASE_GRACE,
+        verbose: bool = False,
+    ) -> None:
+        if queue_path is None and store_path is None:
+            raise ValueError(
+                "nothing to serve: pass queue_path and/or store_path"
+            )
+        self.token = token
+        self.queue: Optional[SqliteQueue] = None
+        self.store: Optional[SqliteStore] = None
+        self._thread: Optional[threading.Thread] = None
+        self._served = threading.Event()
+        self._closed = False
+        try:
+            if queue_path is not None:
+                self.queue = SqliteQueue(
+                    queue_path, grace_seconds=grace_seconds
+                )
+            if store_path is not None:
+                self.store = SqliteStore(store_path)
+            self._http = ThreadingHTTPServer((host, port), _BrokerHandler)
+        except BaseException:
+            self.close()
+            raise
+        self._http.daemon_threads = True
+        self._http.broker = self
+        self._http.verbose = verbose
+        self.host, self.port = self._http.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """The base URL clients point ``--queue``/``--store`` at."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def closing(self) -> bool:
+        """True once :meth:`close` began; handlers answer 503 from then."""
+        return self._closed
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (or a signal)."""
+        self._served.set()
+        self._http.serve_forever(poll_interval=0.1)
+
+    def start(self) -> None:
+        """Serve on a background daemon thread (tests, embedding)."""
+        self._served.set()
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="atcd-broker", daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Stop serving and release the queue/store files (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        http = getattr(self, "_http", None)
+        if http is not None:
+            # shutdown() handshakes with a running serve loop and would
+            # block forever if serving never started (e.g. a failed
+            # constructor) — only the socket needs closing then.
+            if self._served.is_set():
+                http.shutdown()
+            http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        for resource in (self.queue, self.store):
+            if resource is not None:
+                with contextlib.suppress(Exception):
+                    resource.close()
+
+    def __enter__(self) -> "BrokerServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

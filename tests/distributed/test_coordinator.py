@@ -138,7 +138,7 @@ class TestFaultTolerance:
     def test_killed_worker_mid_task_loses_and_duplicates_nothing(self):
         """A worker that dies holding a lease: the task is retried elsewhere
         and the gathered artifact matches the sequential run exactly."""
-        queue = InMemoryQueue()
+        queue = InMemoryQueue(grace_seconds=0.0)
         coordinator = Coordinator(queue, poll_seconds=0.01)
         coordinator.submit_profile("tiny", TINY_SPECS)
         # "Crash" a worker mid-task: claim with a short lease, never finish.
@@ -188,7 +188,7 @@ class TestFaultTolerance:
         from repro.distributed import execute_task_payload
 
         store = InMemoryStore()
-        queue = InMemoryQueue()
+        queue = InMemoryQueue(grace_seconds=0.0)
         coordinator = Coordinator(queue, poll_seconds=0.01)
         coordinator.submit_profile("tiny", TINY_SPECS[:1])
         doomed = queue.claim("doomed", lease_seconds=0.05)

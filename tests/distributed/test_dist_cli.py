@@ -274,3 +274,108 @@ class TestDistErrors:
             connection.execute("CREATE TABLE users (id INTEGER)")
         assert main(["dist", "status", "--queue", foreign]) == 2
         assert "not a work queue" in capsys.readouterr().err
+
+
+class TestResubmitCLI:
+    def test_resubmit_recovers_a_dead_lettered_run(self, tiny_profile, tmp_path,
+                                                   capsys):
+        """The acceptance scenario: a run stuck on dead letters completes
+        after `atcd dist resubmit` once the underlying fault is fixed."""
+        import sqlite3
+
+        queue_path = str(tmp_path / "recover.queue")
+        out = str(tmp_path / "BENCH_recovered.json")
+        assert main(["dist", "submit", "--queue", queue_path,
+                     "--profile", tiny_profile, "--max-attempts", "1"]) == 0
+        # Break one payload on disk (an "environment fault"), remembering
+        # the original so the fault can be fixed later.
+        with sqlite3.connect(queue_path) as connection:
+            (original,) = connection.execute(
+                "SELECT payload FROM tasks WHERE seq = 0"
+            ).fetchone()
+            connection.execute(
+                "UPDATE tasks SET payload = '{\"kind\": \"bench-case\"}' "
+                "WHERE seq = 0"
+            )
+        assert main(["dist", "worker", "--queue", queue_path,
+                     "--poll", "0.01"]) == 0
+        assert main(["dist", "gather", "--queue", queue_path,
+                     "--out", out]) == 1  # stuck: dead task, partial output
+        # Fix the fault, resubmit the dead task, drain again: complete run.
+        with sqlite3.connect(queue_path) as connection:
+            connection.execute(
+                "UPDATE tasks SET payload = ? WHERE seq = 0", (original,)
+            )
+        capsys.readouterr()
+        assert main(["dist", "resubmit", "--queue", queue_path]) == 0
+        assert "resubmitted 1 dead tasks" in capsys.readouterr().out
+        assert main(["dist", "worker", "--queue", queue_path,
+                     "--poll", "0.01"]) == 0
+        assert main(["dist", "gather", "--queue", queue_path,
+                     "--out", out]) == 0
+        artifact = json.load(open(out))
+        sequential = [run.to_dict() for run in execute_specs(TINY_SPECS)]
+        assert results_section(artifact["runs"]) == results_section(sequential)
+        assert artifact["config"]["distributed"]["dead_tasks"] == []
+
+    def test_resubmit_without_dead_tasks_reports_noop(self, tiny_profile,
+                                                      tmp_path, capsys):
+        queue_path = str(tmp_path / "clean.queue")
+        assert main(["dist", "submit", "--queue", queue_path,
+                     "--profile", tiny_profile]) == 0
+        capsys.readouterr()
+        assert main(["dist", "resubmit", "--queue", queue_path]) == 0
+        assert "no dead tasks" in capsys.readouterr().out
+
+    def test_resubmit_on_missing_queue_exits_2(self, tmp_path, capsys):
+        assert main(["dist", "resubmit",
+                     "--queue", str(tmp_path / "absent.queue")]) == 2
+        assert "no work queue" in capsys.readouterr().err
+
+
+class TestGracefulShutdownCLI:
+    def test_sigterm_fails_in_flight_task_back_immediately(
+        self, tiny_profile, tmp_path
+    ):
+        """A SIGTERMed worker must hand its running task straight back to
+        the queue (no lease wait) and exit 128+SIGTERM.  The lease here is
+        300s: if the task reappears as pending promptly, it was the signal
+        handler's fail-back, not lease expiry."""
+        from repro.distributed import SqliteQueue as Queue
+
+        queue_path = str(tmp_path / "sigterm.queue")
+        assert main(["dist", "submit", "--queue", queue_path,
+                     "--profile", tiny_profile]) == 0
+        victim = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "dist", "worker",
+             "--queue", queue_path, "--lease", "300", "--poll", "0.05",
+             "--inject-delay", "120", "--worker-id", "victim"],
+            env=worker_env(),
+        )
+        with Queue(queue_path, grace_seconds=0.0) as queue:
+            try:
+                deadline = time.time() + 30
+                while queue.counts()["running"] == 0:
+                    assert time.time() < deadline, "victim never claimed"
+                    assert victim.poll() is None, "victim exited prematurely"
+                    time.sleep(0.05)
+                victim.send_signal(signal.SIGTERM)
+                assert victim.wait(timeout=30) == 128 + signal.SIGTERM
+            finally:
+                if victim.poll() is None:
+                    victim.kill()
+            counts = queue.counts()
+            assert counts["running"] == 0, "task left invisible under its lease"
+            assert counts["pending"] == len(queue.tasks())  # nothing done yet
+            failed = [task for task in queue.tasks() if task.attempts == 1]
+            assert len(failed) == 1
+            assert "signal" in failed[0].error
+        # A fresh worker completes the run — nothing was lost.
+        assert main(["dist", "worker", "--queue", queue_path,
+                     "--poll", "0.01"]) == 0
+        out = str(tmp_path / "BENCH_sigterm.json")
+        assert main(["dist", "gather", "--queue", queue_path,
+                     "--out", out]) == 0
+        artifact = json.load(open(out))
+        sequential = [run.to_dict() for run in execute_specs(TINY_SPECS)]
+        assert results_section(artifact["runs"]) == results_section(sequential)

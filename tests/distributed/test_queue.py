@@ -1,8 +1,12 @@
 """Tests for the durable work queue: state machine, leases, hardening.
 
-The semantic tests run against both implementations (the in-memory queue
-must behave exactly like the sqlite one); the hardening and cross-process
-tests target :class:`SqliteQueue`, mirroring ``tests/engine/test_store.py``.
+The semantic tests run against all three implementations (the in-memory
+queue and the HTTP broker client must behave exactly like the sqlite
+one); the hardening and cross-process tests target :class:`SqliteQueue`,
+mirroring ``tests/engine/test_store.py``.  Lease-timing tests construct
+queues with ``grace_seconds=0`` so short leases expire on the dot; the
+skew grace itself is covered by :class:`TestClockAndGrace` with an
+injected clock.
 """
 
 import json
@@ -32,12 +36,22 @@ def queue_path(tmp_path):
     return str(tmp_path / "queue.sqlite")
 
 
-@pytest.fixture(params=["sqlite", "memory"])
+@pytest.fixture(params=["sqlite", "memory", "http"])
 def any_queue(request, queue_path):
     if request.param == "memory":
-        queue = InMemoryQueue()
+        queue = InMemoryQueue(grace_seconds=0.0)
+    elif request.param == "http":
+        from repro.net import BrokerServer, HttpQueue
+
+        server = BrokerServer(queue_path=queue_path, grace_seconds=0.0)
+        server.start()
+        queue = HttpQueue(server.url)
+        yield queue
+        queue.close()
+        server.close()
+        return
     else:
-        queue = SqliteQueue(queue_path)
+        queue = SqliteQueue(queue_path, grace_seconds=0.0)
     yield queue
     queue.close()
 
@@ -309,7 +323,7 @@ time.sleep(600)  # hold the claim until killed
 class TestCrossProcess:
     def test_two_worker_processes_never_double_claim(self, queue_path):
         """Two OS processes drain one queue; every task is claimed once."""
-        queue = SqliteQueue(queue_path)
+        queue = SqliteQueue(queue_path, grace_seconds=0.0)
         ids = queue.submit(payloads(40))
         script = _CLAIMER_SCRIPT.format(src=SRC)
         procs = [
@@ -332,7 +346,7 @@ class TestCrossProcess:
 
     def test_killed_claimer_releases_task_via_lease_expiry(self, queue_path):
         """SIGKILL mid-claim: the lease lapses and another process recovers."""
-        queue = SqliteQueue(queue_path)
+        queue = SqliteQueue(queue_path, grace_seconds=0.0)
         queue.submit(payloads(1))
         script = _HANG_SCRIPT.format(src=SRC)
         proc = subprocess.Popen(
@@ -348,3 +362,129 @@ class TestCrossProcess:
         assert task is not None and task.task_id == task_id
         assert task.attempts == 2
         queue.close()
+
+
+class TestResubmitDead:
+    def _dead_letter(self, queue, n=1, max_attempts=1):
+        queue.submit(payloads(n), max_attempts=max_attempts)
+        ids = []
+        for _ in range(n):
+            task = queue.claim("w", lease_seconds=30)
+            queue.fail(task.task_id, "w", "poison")
+            ids.append(task.task_id)
+        return ids
+
+    def test_resubmit_requeues_dead_tasks_with_fresh_budget(self, any_queue):
+        dead_ids = self._dead_letter(any_queue, n=2)
+        assert any_queue.counts()["dead"] == 2
+        assert any_queue.resubmit_dead() == dead_ids
+        pending = any_queue.tasks(TaskState.PENDING)
+        assert [task.task_id for task in pending] == dead_ids
+        for task in pending:
+            assert task.attempts == 0
+            assert task.error is None
+            assert task.worker_id is None
+        # The full retry budget is available again.
+        task = any_queue.claim("w2", lease_seconds=30)
+        assert task.attempts == 1
+        assert any_queue.complete(task.task_id, "w2", {"ok": True})
+
+    def test_resubmit_preserves_submission_order(self, any_queue):
+        self._dead_letter(any_queue, n=3)
+        ids = any_queue.resubmit_dead()
+        claimed = [
+            any_queue.claim("w", lease_seconds=30).task_id for _ in range(3)
+        ]
+        assert claimed == ids
+
+    def test_resubmit_with_no_dead_tasks_is_a_noop(self, any_queue):
+        any_queue.submit(payloads(1))
+        assert any_queue.resubmit_dead() == []
+        assert any_queue.counts()["pending"] == 1
+
+    def test_resubmit_leaves_done_tasks_untouched(self, any_queue):
+        any_queue.submit(payloads(1))
+        task = any_queue.claim("w", lease_seconds=30)
+        any_queue.complete(task.task_id, "w", {"answer": 1})
+        self._dead_letter(any_queue)
+        any_queue.resubmit_dead()
+        (done,) = any_queue.tasks(TaskState.DONE)
+        assert done.result == {"answer": 1}
+
+
+class TestClockAndGrace:
+    """Lease expiry must run on the queue's injected clock, with a skew
+    grace — an NTP step on one host must never double-execute a task."""
+
+    @pytest.fixture(params=["sqlite", "memory"])
+    def clocked_queue(self, request, queue_path):
+        clock = {"now": 1000.0}
+        if request.param == "memory":
+            queue = InMemoryQueue(
+                clock=lambda: clock["now"], grace_seconds=5.0
+            )
+        else:
+            queue = SqliteQueue(
+                queue_path, clock=lambda: clock["now"], grace_seconds=5.0
+            )
+        yield queue, clock
+        queue.close()
+
+    def test_expiry_uses_injected_clock_not_wall_time(self, clocked_queue):
+        queue, clock = clocked_queue
+        queue.submit(payloads(1))
+        queue.claim("w", lease_seconds=10)
+        # No wall-clock sleep anywhere: only the injected clock moves.
+        clock["now"] = 1009.0
+        assert queue.expire_leases() == 0
+        clock["now"] = 1016.0  # past deadline (1010) + grace (5)
+        assert queue.expire_leases() == 1
+        assert queue.counts()["pending"] == 1
+
+    def test_lease_within_grace_is_not_expired(self, clocked_queue):
+        """Deadline passed, but by less than the grace: the lease holds,
+        so a skewed sweeper cannot hand the task to a second worker."""
+        queue, clock = clocked_queue
+        queue.submit(payloads(1))
+        task = queue.claim("w", lease_seconds=10)
+        clock["now"] = 1014.0  # 4s past the deadline, inside the 5s grace
+        assert queue.expire_leases() == 0
+        assert queue.claim("thief", lease_seconds=10) is None
+        # The rightful owner can still finish.
+        assert queue.complete(task.task_id, "w", {"ok": True})
+
+    def test_backward_clock_step_never_expires_a_live_lease(self, clocked_queue):
+        queue, clock = clocked_queue
+        queue.submit(payloads(1))
+        task = queue.claim("w", lease_seconds=10)
+        clock["now"] = 900.0  # NTP stepped the clock backwards
+        assert queue.expire_leases() == 0
+        assert queue.heartbeat(task.task_id, "w", 10)
+        assert queue.complete(task.task_id, "w", {"ok": True})
+
+    def test_negative_grace_is_rejected(self, queue_path):
+        with pytest.raises(QueueError, match="grace_seconds"):
+            InMemoryQueue(grace_seconds=-1.0)
+        with pytest.raises(QueueError, match="grace_seconds"):
+            SqliteQueue(queue_path, grace_seconds=-0.5)
+
+
+class TestReplayIdempotence:
+    """Lost-response replays (the HTTP client's retry) must not corrupt
+    state or misreport outcomes; see the protocol docstrings."""
+
+    def test_complete_replay_by_owner_is_still_success(self, any_queue):
+        any_queue.submit(payloads(1))
+        task = any_queue.claim("w", lease_seconds=30)
+        assert any_queue.complete(task.task_id, "w", {"answer": 1})
+        # The same worker's replayed complete: success, not a lost lease.
+        assert any_queue.complete(task.task_id, "w", {"answer": 1})
+        # A different worker's complete is still rejected.
+        assert not any_queue.complete(task.task_id, "impostor", {"answer": 2})
+        (done,) = any_queue.tasks(TaskState.DONE)
+        assert done.result == {"answer": 1} and done.worker_id == "w"
+
+    def test_submit_dedupe_key_replay_returns_original_ids(self, any_queue):
+        first = any_queue.submit(payloads(2), dedupe_key="batch-1")
+        assert any_queue.submit(payloads(2), dedupe_key="batch-1") == first
+        assert any_queue.counts()["pending"] == 2

@@ -101,7 +101,7 @@ class TestIdempotency:
         """A task whose first execution persisted its result is answered
         from the store on retry — including the original wall time."""
         store = InMemoryStore()
-        queue = InMemoryQueue()
+        queue = InMemoryQueue(grace_seconds=0.0)
         (payload,) = [request_payload(budget=3.0)]
         queue.submit([payload])
         # First attempt: executes for real, writes through, but the worker
@@ -176,7 +176,7 @@ class TestHeartbeats:
         """A worker stalled past its lease (no heartbeat — executor blocks
         the keeper's renewals from mattering by claiming directly) must not
         count the task as completed once someone else finished it."""
-        queue = InMemoryQueue()
+        queue = InMemoryQueue(grace_seconds=0.0)
         queue.submit([{"kind": "x"}])
         task = queue.claim("stalled", lease_seconds=0.05)
         time.sleep(0.1)
@@ -188,3 +188,137 @@ class TestHeartbeats:
         assert not queue.complete(task.task_id, "stalled", {"by": "stalled"})
         (done,) = queue.tasks(TaskState.DONE)
         assert done.result == {"by": "fast"}
+
+
+class TestGracefulShutdown:
+    """WorkerShutdown (what the SIGTERM/SIGINT handler raises) must fail
+    the in-flight task back to the queue instead of abandoning it."""
+
+    def test_shutdown_mid_task_fails_the_claim_back(self):
+        import signal as signal_module
+
+        from repro.distributed import WorkerShutdown
+
+        queue = InMemoryQueue(grace_seconds=0.0)
+        queue.submit([{"kind": "x"}], max_attempts=3)
+
+        def interrupted_executor(payload):
+            raise WorkerShutdown(signal_module.SIGTERM)
+
+        report = Worker(
+            queue, worker_id="doomed", lease_seconds=300,
+            poll_seconds=0.01, executor=interrupted_executor,
+        ).run()
+        assert report.interrupted == signal_module.SIGTERM
+        assert report.failed == 1
+        # Back to pending *immediately* — no lease wait — with the signal
+        # recorded and the attempt counted.
+        (pending,) = queue.tasks(TaskState.PENDING)
+        assert pending.attempts == 1
+        assert "signal" in pending.error
+        assert queue.claim("survivor", lease_seconds=30) is not None
+
+    def test_shutdown_fail_back_is_ownership_checked(self):
+        """A task whose lease already moved to another worker must not be
+        failed back by the interrupted (former) owner."""
+        import signal as signal_module
+
+        from repro.distributed import WorkerShutdown
+
+        queue = InMemoryQueue(grace_seconds=0.0)
+        queue.submit([{"kind": "x"}], max_attempts=5)
+
+        def steal_then_shutdown(payload):
+            # Simulate a lease lapse mid-run: someone else claims and
+            # completes the task while we were stalled.  The sleep lets
+            # the 10ms lease expire; it stays under the keeper's first
+            # renewal tick (50ms), so the lease genuinely lapses.
+            time.sleep(0.03)
+            queue.expire_leases()
+            stolen = queue.claim("thief", lease_seconds=30)
+            assert stolen is not None
+            queue.complete(stolen.task_id, "thief", {"by": "thief"})
+            raise WorkerShutdown(signal_module.SIGTERM)
+
+        report = Worker(
+            queue, worker_id="stalled", lease_seconds=0.01,
+            poll_seconds=0.01, executor=steal_then_shutdown,
+        ).run()
+        assert report.interrupted == signal_module.SIGTERM
+        assert report.failed == 0  # nothing was ours to fail back
+        (done,) = queue.tasks(TaskState.DONE)
+        assert done.result == {"by": "thief"}
+
+    def test_shutdown_between_tasks_exits_cleanly(self):
+        import signal as signal_module
+
+        from repro.distributed import WorkerShutdown
+
+        queue = InMemoryQueue(grace_seconds=0.0)
+        done_first = []
+
+        def one_then_shutdown(payload):
+            if done_first:
+                raise WorkerShutdown(signal_module.SIGINT)
+            done_first.append(True)
+            return {"ok": True}
+
+        queue.submit([{"kind": "a"}, {"kind": "b"}])
+        report = Worker(
+            queue, worker_id="w", poll_seconds=0.01,
+            executor=one_then_shutdown,
+        ).run()
+        assert report.completed == 1
+        assert report.interrupted == signal_module.SIGINT
+        assert queue.counts()["pending"] == 1
+
+    def test_shutdown_during_claim_fails_back_the_committed_claim(self):
+        """The narrowest race: the signal lands after the queue committed
+        our claim but before run() assigned it.  The shutdown path must
+        ask the queue what it believes is ours and fail that back."""
+        import signal as signal_module
+
+        from repro.distributed import WorkerShutdown
+
+        inner = InMemoryQueue(grace_seconds=0.0)
+        inner.submit([{"kind": "x"}], max_attempts=3)
+
+        class ShutdownInsideClaim:
+            """Claim commits on the real queue; the 'signal' raises before
+            the caller ever sees the task."""
+
+            def claim(self, worker_id, lease_seconds):
+                inner.claim(worker_id, lease_seconds)
+                raise WorkerShutdown(signal_module.SIGTERM)
+
+            def __getattr__(self, name):
+                return getattr(inner, name)
+
+        report = Worker(
+            ShutdownInsideClaim(), worker_id="w", lease_seconds=300,
+            poll_seconds=0.01,
+        ).run()
+        assert report.interrupted == signal_module.SIGTERM
+        assert report.failed == 1
+        (pending,) = inner.tasks(TaskState.PENDING)
+        assert pending.attempts == 1 and "signal" in pending.error
+        assert inner.claim("survivor", lease_seconds=30) is not None
+
+    def test_second_signal_does_not_interrupt_the_fail_back(self):
+        """The installed handler raises once; later signals only confirm
+        the stop, so the fail-back (or report printing) is never aborted
+        by an impatient second Ctrl-C."""
+        import os
+        import signal as signal_module
+
+        from repro.distributed import WorkerShutdown, signal_shutdown
+
+        worker = Worker(InMemoryQueue(grace_seconds=0.0), worker_id="w")
+        with signal_shutdown(worker):
+            with pytest.raises(WorkerShutdown):
+                os.kill(os.getpid(), signal_module.SIGTERM)
+                time.sleep(0.01)  # bytecode boundary for delivery
+            # Second signal: absorbed (stop re-confirmed), no raise.
+            os.kill(os.getpid(), signal_module.SIGTERM)
+            time.sleep(0.01)
+        assert worker._stop_event.is_set()

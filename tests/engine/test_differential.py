@@ -193,30 +193,70 @@ class TestProbabilisticBackendsAgree:
                 _assert_values_equal(expected, got, f"cged({threshold}) via {backend}")
 
 
+@pytest.fixture(scope="module")
+def broker_store(tmp_path_factory):
+    """An :class:`HttpStore` against a live broker (module-scoped: one
+    server serves every Hypothesis example; keys never collide because
+    each drawn model has its own fingerprint)."""
+    from repro.net import BrokerServer, HttpStore
+
+    store_path = str(tmp_path_factory.mktemp("broker") / "results.sqlite")
+    with BrokerServer(store_path=store_path) as server:
+        server.start()
+        store = HttpStore(server.url)
+        yield store
+        store.close()
+
+
 class TestStoreRoundTripFidelity:
-    """A result served from the store must equal the freshly computed one."""
+    """A result served from the store must equal the freshly computed one.
+
+    Runs against the in-memory store and — the full network path: JSON
+    over the wire, sqlite persistence on the broker, identity-verified
+    read back — against an ``HttpStore``.
+    """
 
     @_SETTINGS
     @given(data=st.data())
     def test_deterministic_results_survive_the_store(self, data):
-        model = _workload_model("deterministic", _DETERMINISTIC_CELLS, data)
-        fingerprint = model_fingerprint(model)
-        store = InMemoryStore()
-        request = AnalysisRequest(Problem.CDPF)
-        live = run_request(model, request)
-        store.put(fingerprint, request, live)
-        loaded = store.get(fingerprint, request)
-        assert loaded is not None
-        assert loaded.to_dict() == live.to_dict()
-        _assert_fronts_equal(live, loaded, "store round-trip")
+        self._assert_round_trip(
+            InMemoryStore(), "deterministic", _DETERMINISTIC_CELLS,
+            Problem.CDPF, data,
+        )
 
     @_SETTINGS
     @given(data=st.data())
     def test_probabilistic_results_survive_the_store(self, data):
-        model = _workload_model("probabilistic", _PROBABILISTIC_CELLS, data)
+        self._assert_round_trip(
+            InMemoryStore(), "probabilistic", _PROBABILISTIC_CELLS,
+            Problem.CEDPF, data,
+        )
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_deterministic_results_survive_the_http_store(
+        self, broker_store, data
+    ):
+        self._assert_round_trip(
+            broker_store, "deterministic", _DETERMINISTIC_CELLS,
+            Problem.CDPF, data,
+        )
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_probabilistic_results_survive_the_http_store(
+        self, broker_store, data
+    ):
+        self._assert_round_trip(
+            broker_store, "probabilistic", _PROBABILISTIC_CELLS,
+            Problem.CEDPF, data,
+        )
+
+    @staticmethod
+    def _assert_round_trip(store, setting, cells, problem, data):
+        model = _workload_model(setting, cells, data)
         fingerprint = model_fingerprint(model)
-        store = InMemoryStore()
-        request = AnalysisRequest(Problem.CEDPF)
+        request = AnalysisRequest(problem)
         live = run_request(model, request)
         store.put(fingerprint, request, live)
         loaded = store.get(fingerprint, request)

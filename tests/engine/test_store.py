@@ -39,10 +39,22 @@ def store_path(tmp_path):
     return str(tmp_path / "results.sqlite")
 
 
-@pytest.fixture(params=["sqlite", "memory"])
+@pytest.fixture(params=["sqlite", "memory", "http"])
 def any_store(request, store_path):
+    """All three store implementations must share one semantics; ``http``
+    runs against a live ``atcd serve`` broker backed by a sqlite store."""
     if request.param == "memory":
         store = InMemoryStore()
+    elif request.param == "http":
+        from repro.net import BrokerServer, HttpStore
+
+        server = BrokerServer(store_path=store_path)
+        server.start()
+        store = HttpStore(server.url)
+        yield store
+        store.close()
+        server.close()
+        return
     else:
         store = SqliteStore(store_path)
     yield store
