@@ -38,6 +38,7 @@ _LAZY_EXPORTS = {
     "SCHEMA_VERSION": "artifact",
     "ComparisonReport": "artifact",
     "artifact_runs": "artifact",
+    "baseline_artifact": "artifact",
     "build_artifact": "artifact",
     "compare_artifacts": "artifact",
     "environment_metadata": "artifact",

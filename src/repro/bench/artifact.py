@@ -16,6 +16,7 @@ sub-resolution timings) and — more importantly — flags *result* changes
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import platform
 import sys
@@ -35,6 +36,7 @@ __all__ = [
     "write_artifact",
     "load_artifact",
     "artifact_runs",
+    "baseline_artifact",
     "ComparisonReport",
     "compare_artifacts",
 ]
@@ -174,6 +176,80 @@ def artifact_runs(artifact: Mapping[str, Any]) -> List[BenchRun]:
 
 def _run_key(run: BenchRun) -> Tuple[str, str, str]:
     return (run.case_id, run.problem, run.backend)
+
+
+def baseline_artifact(
+    artifacts: Sequence[Mapping[str, Any]]
+) -> Dict[str, Any]:
+    """Fold repeated runs of one profile into a rolling-baseline artifact.
+
+    Takes N artifacts from independent runs of the *same* profile and
+    produces one artifact whose per-case ``wall_time_seconds`` is the
+    **median** across the runs — the number a CI regression gate should
+    pin, since a single run's timing carries scheduler noise that a
+    median mostly cancels.  ``std_seconds`` becomes the spread
+    (max - min) across the runs, a visible record of how noisy the
+    machine was when the baseline was cut.
+
+    All inputs must share the same name and the same run keys
+    (``case_id``/``problem``/``backend``); result fields are taken from
+    the first artifact after checking the runs agree on them — a baseline
+    averaging over runs that *disagree on answers* would bury a
+    correctness bug in a timing file.
+    """
+    if not artifacts:
+        raise ValueError("baseline needs at least one artifact")
+    names = {artifact["name"] for artifact in artifacts}
+    if len(names) != 1:
+        raise ValueError(
+            f"baseline inputs mix profiles {sorted(names)!r}; rerun one "
+            "profile per baseline"
+        )
+    per_run = [
+        {_run_key(run): run for run in artifact_runs(artifact)}
+        for artifact in artifacts
+    ]
+    keys = set(per_run[0])
+    for index, mapping in enumerate(per_run[1:], start=2):
+        if set(mapping) != keys:
+            raise ValueError(
+                f"baseline input #{index} ran a different case set than #1; "
+                "all runs must execute the identical profile"
+            )
+    folded: List[BenchRun] = []
+    for key in per_run[0]:  # first artifact's order
+        rows = [mapping[key] for mapping in per_run]
+        first = rows[0]
+        for row in rows[1:]:
+            if row.result_points != first.result_points or (
+                row.value is not None
+                and first.value is not None
+                and abs(row.value - first.value) > 1e-9
+            ):
+                raise ValueError(
+                    f"baseline runs disagree on the result of "
+                    f"{'/'.join(key)}: {first.result_points} points "
+                    f"(value {first.value}) vs {row.result_points} points "
+                    f"(value {row.value}) — fix the nondeterminism before "
+                    "cutting a baseline"
+                )
+        times = sorted(row.wall_time_seconds for row in rows)
+        middle = len(times) // 2
+        median = (
+            times[middle]
+            if len(times) % 2
+            else (times[middle - 1] + times[middle]) / 2.0
+        )
+        folded.append(dataclasses.replace(
+            first,
+            wall_time_seconds=median,
+            std_seconds=round(times[-1] - times[0], 9),
+        ))
+    base = dict(artifacts[0])
+    specs = [ScenarioSpec.from_dict(spec) for spec in base["specs"]]
+    config = dict(base.get("config") or {})
+    config["baseline_of_runs"] = len(artifacts)
+    return build_artifact(base["name"], specs, folded, config=config)
 
 
 @dataclass

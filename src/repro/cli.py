@@ -36,7 +36,24 @@ Installed as the ``atcd`` console script.  Sub-commands:
 ``atcd serve --queue DB --store DB [--host H] [--port P] [--token T]``
     Serve a work queue and/or result store over HTTP (the network broker,
     see :mod:`repro.net`), so shared-nothing hosts can run workers
-    against ``http://host:port`` queue/store URLs.
+    against ``http://host:port`` queue/store URLs.  With ``--root DIR``
+    the broker hosts many *named* queues (``DIR/<name>.queue.sqlite``)
+    instead of one ``--queue`` file; clients address them as
+    ``http://host:port/queues/<name>``.  ``--access-log PATH|-`` writes
+    one structured JSON line per request.
+``atcd queue create|list|drop TARGET [NAME]``
+    Manage the named queues of a multi-queue root.  TARGET is either a
+    ``--root`` directory (managed directly) or a running ``--root``
+    broker's URL (managed over HTTP).
+``atcd api --queue DB|URL --keys FILE [--workers N] [--store DB|URL]``
+    Serve the multi-tenant analysis API (see :mod:`repro.service`):
+    clients POST request batches to ``/v1/jobs`` with per-tenant API
+    keys, poll or stream results, and cancel jobs.  ``--workers N``
+    additionally runs N keep-alive local workers against the queue, for
+    a self-contained single-host service.
+``atcd bench baseline [--profile NAME] [--runs N] [--out FILE]``
+    Run a profile N times (default 3) and write the per-case *median*
+    artifact — the rolling baseline CI compares against.
 ``atcd bench compare BASELINE.json CANDIDATE.json [--threshold R]``
     Diff two artifacts; exits 1 when a timing regression or result
     mismatch is found.
@@ -86,7 +103,8 @@ _CATALOG = {
 #: unknown bench profile/executor, invalid artifact, unusable store or
 #: queue file or broker URL, zero workers).
 _ENGINE_COMMANDS = frozenset(
-    {"pareto", "dgc", "cgd", "batch", "bench", "store", "dist", "serve"}
+    {"pareto", "dgc", "cgd", "batch", "bench", "store", "dist", "serve",
+     "queue", "api"}
 )
 
 
@@ -201,6 +219,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench_compare.add_argument("--min-seconds", type=float, default=0.005,
                                help="ignore runs where both sides are faster "
                                     "than this (default: 0.005)")
+    bench_baseline = bench_sub.add_parser(
+        "baseline", help="run a profile N times and write the per-case "
+                         "median artifact (the rolling CI baseline)"
+    )
+    bench_baseline.add_argument("--profile", default="smoke",
+                                help="profile name (default: smoke)")
+    bench_baseline.add_argument("--runs", type=int, default=3,
+                                help="independent runs to take the median "
+                                     "over (default: 3)")
+    bench_baseline.add_argument("--out", default=None,
+                                help="artifact path (default: "
+                                     "BENCH_<profile>_baseline.json)")
+    bench_baseline.add_argument("--executor", default="sequential",
+                                help="sequential, thread or process "
+                                     "(default: sequential)")
+    bench_baseline.add_argument("--max-workers", type=int, default=None,
+                                help="pool size for the parallel executors")
     bench_sub.add_parser("list", help="list workload families and profiles")
 
     dist = subparsers.add_parser(
@@ -327,6 +362,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--queue", default=None, metavar="DB",
                        help="work-queue sqlite file to expose "
                             "(created if absent)")
+    serve.add_argument("--root", default=None, metavar="DIR",
+                       help="host *named* queues from this directory "
+                            "instead of one --queue file; clients use "
+                            "http://host:port/queues/<name> (manage with "
+                            "'atcd queue create|list|drop')")
     serve.add_argument("--store", default=None, metavar="DB",
                        help="result-store sqlite file to expose "
                             "(created if absent)")
@@ -341,6 +381,68 @@ def build_parser() -> argparse.ArgumentParser:
                             "read the same variable)")
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per request to stderr")
+    serve.add_argument("--access-log", default=None, metavar="PATH|-",
+                       help="append one structured JSON line per request "
+                            "(request id, route, status, latency-ms) to "
+                            "this file, or stderr for '-'")
+
+    queue_cmd = subparsers.add_parser(
+        "queue", help="manage the named queues of a multi-queue root"
+    )
+    queue_sub = queue_cmd.add_subparsers(dest="queue_command", required=True)
+    queue_create = queue_sub.add_parser(
+        "create", help="create a named queue (idempotent)"
+    )
+    queue_create.add_argument("target", metavar="DIR|URL",
+                              help="queue-root directory, or the URL of a "
+                                   "running 'atcd serve --root' broker")
+    queue_create.add_argument("name", help="queue name ([A-Za-z0-9_.-], "
+                                           "max 64 chars)")
+    queue_list = queue_sub.add_parser(
+        "list", help="list the root's queues and their task counts"
+    )
+    queue_list.add_argument("target", metavar="DIR|URL",
+                            help="queue-root directory or broker URL")
+    queue_drop = queue_sub.add_parser(
+        "drop", help="delete a named queue and all its tasks"
+    )
+    queue_drop.add_argument("target", metavar="DIR|URL",
+                            help="queue-root directory or broker URL")
+    queue_drop.add_argument("name", help="queue name to delete")
+
+    api = subparsers.add_parser(
+        "api", help="serve the multi-tenant analysis API (jobs over HTTP)"
+    )
+    api.add_argument("--queue", required=True, metavar="DB|URL",
+                     help="work queue backing the service: sqlite file "
+                          "(created if absent) or a broker queue URL "
+                          "(http://host:port[/queues/<name>])")
+    api.add_argument("--keys", required=True, metavar="FILE",
+                     help="tenant keys file: {\"tenants\": [{\"name\", "
+                          "\"key\", \"max_in_flight\"?, "
+                          "\"rate_per_second\"?, \"burst\"?}]}")
+    api.add_argument("--store", default=None, metavar="DB|URL",
+                     help="shared result store handed to --workers "
+                          "(sqlite file or broker URL)")
+    api.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default: 127.0.0.1)")
+    api.add_argument("--port", type=int, default=8780,
+                     help="TCP port (default: 8780; 0 picks a free port)")
+    api.add_argument("--workers", type=int, default=0, metavar="N",
+                     help="also run N keep-alive local worker processes "
+                          "against --queue (default: 0; run workers "
+                          "yourself with 'atcd dist worker --keep-alive')")
+    api.add_argument("--max-attempts", type=int, default=3,
+                     help="claims per task before dead-lettering "
+                          "(default: 3)")
+    api.add_argument("--max-requests", type=int, default=1000,
+                     help="largest accepted batch per job (default: 1000)")
+    api.add_argument("--access-log", default="-", metavar="PATH|-",
+                     help="append one structured JSON line per request "
+                          "(request id, tenant, route, status, latency-ms) "
+                          "to this file (default: stderr)")
+    api.add_argument("--verbose", action="store_true",
+                     help="additionally log http.server lines to stderr")
 
     catalog_cmd = subparsers.add_parser("catalog", help="export a built-in model")
     catalog_cmd.add_argument("name", choices=sorted(_CATALOG))
@@ -500,6 +602,29 @@ def _command_bench(args: argparse.Namespace) -> int:
         )
         print(report.render())
         return 0 if report.ok else 1
+    if args.bench_command == "baseline":
+        if args.runs < 1:
+            raise ValueError(f"--runs must be positive, got {args.runs!r}")
+        specs = bench.profile(args.profile)
+        artifacts = []
+        for attempt in range(args.runs):
+            runs = bench.execute_specs(
+                specs, executor=args.executor, max_workers=args.max_workers
+            )
+            artifacts.append(bench.build_artifact(
+                args.profile, specs, runs,
+                config={"profile": args.profile, "executor": args.executor},
+            ))
+            print(f"  baseline run {attempt + 1}/{args.runs}: "
+                  f"{artifacts[-1]['totals']['wall_time_seconds']:.2f}s total",
+                  file=sys.stderr)
+        artifact = bench.baseline_artifact(artifacts)
+        out = args.out or f"BENCH_{args.profile}_baseline.json"
+        bench.write_artifact(artifact, out)
+        _print_artifact_summary(artifact, out)
+        print(f"  median of {args.runs} runs; compare candidates with: "
+              f"atcd bench compare {out} BENCH_{args.profile}.json")
+        return 0
     # bench run
     specs = bench.profile(args.profile)
     runs = bench.execute_specs(
@@ -802,6 +927,23 @@ def _dist_run(args: argparse.Namespace) -> int:
     return _dist_emit(args, report)
 
 
+def _open_access_log(spec: Optional[str]):
+    """An :class:`AccessLog` plus closer from an ``--access-log`` value.
+
+    ``None`` disables logging, ``-`` logs to stderr, anything else is a
+    file path opened in append mode (restarts extend the log, they do not
+    truncate history).
+    """
+    if spec is None:
+        return None, (lambda: None)
+    from .net.accesslog import AccessLog
+
+    if spec == "-":
+        return AccessLog(sys.stderr), (lambda: None)
+    handle = open(spec, "a", encoding="utf-8")
+    return AccessLog(handle), handle.close
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     # Lazy import, like the dist stack: only this verb needs the broker.
     import signal as signal_module
@@ -809,27 +951,40 @@ def _command_serve(args: argparse.Namespace) -> int:
     from .net.server import BrokerServer
     from .net.wire import TOKEN_ENV_VAR
 
-    if not args.queue and not args.store:
-        raise ValueError("nothing to serve: pass --queue and/or --store")
+    if not args.queue and not args.store and not args.root:
+        raise ValueError(
+            "nothing to serve: pass --queue, --root and/or --store"
+        )
     token = args.token or os.environ.get(TOKEN_ENV_VAR) or None
+    access_log, close_log = _open_access_log(args.access_log)
     try:
         server = BrokerServer(
             queue_path=args.queue,
             store_path=args.store,
+            root=args.root,
             host=args.host,
             port=args.port,
             token=token,
             verbose=args.verbose,
+            access_log=access_log,
         )
     except OSError as error:
         # Port in use, privileged port, unbindable address: user errors,
         # reported on the same one-line exit-2 contract as bad paths.
+        close_log()
         raise ValueError(
             f"cannot serve on {args.host}:{args.port}: {error}"
         ) from error
+    except Exception:
+        close_log()
+        raise
     served = [
         f"{kind} {path}"
-        for kind, path in (("queue", args.queue), ("store", args.store))
+        for kind, path in (
+            ("queue", args.queue),
+            ("root", args.root),
+            ("store", args.store),
+        )
         if path
     ]
     auth = "token auth" if token else "no auth"
@@ -859,6 +1014,137 @@ def _command_serve(args: argparse.Namespace) -> int:
     finally:
         signal_module.signal(signal_module.SIGTERM, previous)
         server.close()
+        close_log()
+    return 0
+
+
+def _command_queue(args: argparse.Namespace) -> int:
+    def render_rows(rows) -> None:
+        if not rows:
+            print("(no queues)")
+            return
+        for row in rows:
+            counts = row["counts"]
+            states = ", ".join(
+                f"{state}={count}" for state, count in counts.items() if count
+            ) or "empty"
+            print(f"  {row['name']:<24} {states}")
+
+    if args.target.startswith(("http://", "https://")):
+        from .net.client import BrokerAdmin
+        from .net.wire import TOKEN_ENV_VAR
+
+        token = os.environ.get(TOKEN_ENV_VAR) or None
+        with BrokerAdmin(args.target, token=token) as admin:
+            admin.ping()
+            if args.queue_command == "create":
+                created = admin.create_queue(args.name)
+                verb = "created" if created else "already exists"
+                print(f"queue {args.name!r} {verb} on {admin.url}")
+            elif args.queue_command == "drop":
+                dropped = admin.drop_queue(args.name)
+                verb = "dropped" if dropped else "did not exist"
+                print(f"queue {args.name!r} {verb} on {admin.url}")
+            else:
+                render_rows(admin.list_queues())
+        return 0
+    from .distributed import QueueRoot
+
+    with QueueRoot(args.target) as root:
+        if args.queue_command == "create":
+            created = root.create(args.name)
+            verb = "created" if created else "already exists"
+            print(f"queue {args.name!r} {verb} under {args.target}")
+        elif args.queue_command == "drop":
+            dropped = root.drop(args.name)
+            verb = "dropped" if dropped else "did not exist"
+            print(f"queue {args.name!r} {verb} under {args.target}")
+        else:
+            render_rows(root.describe())
+    return 0
+
+
+def _command_api(args: argparse.Namespace) -> int:
+    import signal as signal_module
+    import threading
+    import time as time_module
+
+    from .distributed import LocalFleet, open_queue
+    from .service import ServiceServer, TenantRegistry
+
+    registry = TenantRegistry.from_file(args.keys)
+    access_log, close_log = _open_access_log(args.access_log)
+    fleet = None
+    supervisor = None
+    try:
+        queue = open_queue(args.queue)
+        try:
+            server = ServiceServer(
+                queue,
+                registry,
+                host=args.host,
+                port=args.port,
+                max_attempts=args.max_attempts,
+                max_requests=args.max_requests,
+                access_log=access_log,
+                verbose=args.verbose,
+            )
+        except OSError as error:
+            queue.close()
+            raise ValueError(
+                f"cannot serve on {args.host}:{args.port}: {error}"
+            ) from error
+    except Exception:
+        close_log()
+        raise
+    try:
+        if args.workers:
+            fleet = LocalFleet(
+                args.queue, args.workers, store_path=args.store,
+                keep_alive=True,
+            )
+            fleet.start()
+
+            def _supervise_loop() -> None:
+                # Keep-alive workers should never exit; one that does has
+                # crashed, and the fleet replaces it (within its respawn
+                # budget) so the service does not quietly stop executing.
+                while not server.closing:
+                    time_module.sleep(2.0)
+                    try:
+                        fleet.supervise(server.queue.counts())
+                    except Exception:
+                        return
+
+            supervisor = threading.Thread(
+                target=_supervise_loop, name="atcd-api-fleet", daemon=True
+            )
+            supervisor.start()
+        print(
+            f"atcd analysis service at {server.url} "
+            f"({len(registry)} tenants, queue {args.queue}"
+            + (f", {args.workers} local workers" if args.workers else "")
+            + "); submit with POST /v1/jobs",
+            flush=True,
+        )
+
+        def _stop(signum, frame):
+            raise KeyboardInterrupt
+
+        previous = signal_module.signal(signal_module.SIGTERM, _stop)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("atcd analysis service shutting down", file=sys.stderr)
+        finally:
+            signal_module.signal(signal_module.SIGTERM, previous)
+    finally:
+        server.close()
+        if fleet is not None:
+            fleet.terminate()
+        if supervisor is not None:
+            supervisor.join(timeout=5.0)
+        close_log()
     return 0
 
 
@@ -910,6 +1196,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "dist": _command_dist,
         "store": _command_store,
         "serve": _command_serve,
+        "queue": _command_queue,
+        "api": _command_api,
         "catalog": _command_catalog,
         "experiments": _command_experiments,
     }

@@ -55,6 +55,7 @@ flags at an ``atcd serve`` broker URL instead of a path
 
 from .coordinator import Coordinator, GatherReport, RUN_META_KEY
 from .fleet import LocalFleet, worker_command, worker_environment
+from .roots import QUEUE_FILE_SUFFIX, QueueRoot
 from .queue import (
     DEFAULT_LEASE_GRACE,
     DEFAULT_MAX_ATTEMPTS,
@@ -83,8 +84,10 @@ __all__ = [
     "GatherReport",
     "InMemoryQueue",
     "LocalFleet",
+    "QUEUE_FILE_SUFFIX",
     "QUEUE_SCHEMA_VERSION",
     "QueueError",
+    "QueueRoot",
     "RUN_META_KEY",
     "SqliteQueue",
     "Task",

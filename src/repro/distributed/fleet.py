@@ -32,8 +32,14 @@ def worker_command(
     lease_seconds: float = 30.0,
     poll_seconds: float = 0.2,
     worker_id: Optional[str] = None,
+    keep_alive: bool = False,
 ) -> List[str]:
-    """The argv for one local ``atcd dist worker`` subprocess."""
+    """The argv for one local ``atcd dist worker`` subprocess.
+
+    ``keep_alive`` workers poll for new work indefinitely instead of
+    exiting once the queue drains — the fleet mode behind a long-lived
+    service, where an idle queue means "no jobs right now", not "done".
+    """
     command = [
         sys.executable, "-m", "repro.cli", "dist", "worker",
         "--queue", queue_path,
@@ -44,6 +50,8 @@ def worker_command(
         command += ["--store", store_path]
     if worker_id:
         command += ["--worker-id", worker_id]
+    if keep_alive:
+        command.append("--keep-alive")
     return command
 
 
@@ -78,6 +86,12 @@ class LocalFleet:
     respawn_budget:
         How many crashed workers may be replaced before the fleet gives
         up; defaults to the fleet size.
+    keep_alive:
+        Spawn long-lived workers that keep polling after the queue drains
+        (``atcd api --workers N`` mode).  The supervisor semantics change
+        with it: a missing keep-alive worker is *always* a crash, even on
+        an idle queue, so :meth:`supervise` respawns regardless of
+        outstanding work.
     """
 
     def __init__(
@@ -88,6 +102,7 @@ class LocalFleet:
         lease_seconds: float = 30.0,
         poll_seconds: float = 0.2,
         respawn_budget: Optional[int] = None,
+        keep_alive: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(
@@ -99,6 +114,7 @@ class LocalFleet:
         self.lease_seconds = lease_seconds
         self.poll_seconds = poll_seconds
         self.respawn_budget = workers if respawn_budget is None else respawn_budget
+        self.keep_alive = keep_alive
         self._spawned = 0
         self._processes: List[subprocess.Popen] = []
         self._dead_with_work_polls = 0
@@ -112,6 +128,7 @@ class LocalFleet:
                 lease_seconds=self.lease_seconds,
                 poll_seconds=self.poll_seconds,
                 worker_id=f"local-{os.getpid()}-w{self._spawned}",
+                keep_alive=self.keep_alive,
             ),
             env=worker_environment(),
             stdout=subprocess.DEVNULL,  # workers report on stderr only
@@ -143,7 +160,7 @@ class LocalFleet:
         normally instead.
         """
         outstanding = counts["pending"] + counts["running"]
-        if outstanding == 0:
+        if outstanding == 0 and not self.keep_alive:
             self._dead_with_work_polls = 0
             return
         missing = self.workers - self.alive()

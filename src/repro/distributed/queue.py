@@ -18,6 +18,14 @@ machine:
     Dead-lettered: the task failed (or lost its lease) ``max_attempts``
     times and will not be retried.  Dead tasks are reported, never
     silently dropped.
+``cancelled``
+    Withdrawn before any worker picked it up (:meth:`WorkQueue.cancel_pending`
+    — the service's job-cancellation path).  Terminal like ``done``/``dead``,
+    but distinct from both: a cancelled task carries no result, is *not*
+    revived by :meth:`WorkQueue.resubmit_dead`, and does not read as a
+    failure.  Only pending tasks can be cancelled; a running task finishes
+    its attempt (its lease holder cannot be interrupted safely), and its
+    result is simply ignored by whoever cancelled the job.
 
 Transitions are claim-driven: :meth:`WorkQueue.claim` first sweeps expired
 leases (``running`` → ``pending`` or ``dead``), then atomically hands the
@@ -117,6 +125,7 @@ class TaskState(enum.Enum):
     RUNNING = "running"
     DONE = "done"
     DEAD = "dead"
+    CANCELLED = "cancelled"
 
 
 @dataclass(frozen=True)
@@ -202,8 +211,20 @@ class WorkQueue(Protocol):
         """
         ...
 
+    def cancel_pending(self, task_ids: Sequence[str]) -> List[str]:
+        """Withdraw the given tasks if (and only if) still ``pending``.
+
+        Pending tasks move to the terminal ``cancelled`` state; tasks in
+        any other state — running, done, dead, already cancelled, or
+        unknown ids — are left untouched.  Returns the ids actually
+        cancelled by *this* call, in submission order.  Naturally
+        idempotent: a retried cancel finds the tasks no longer pending
+        and returns an empty list.
+        """
+        ...
+
     def counts(self) -> Dict[str, int]:
-        """Task counts per state name (all four states always present)."""
+        """Task counts per state name (every state always present)."""
         ...
 
     def drained(self) -> bool:
@@ -421,6 +442,20 @@ class InMemoryQueue:
                 worker_id=None, lease_expires_unix=None, error=str(error),
             )
             return True
+
+    def cancel_pending(self, task_ids: Sequence[str]) -> List[str]:
+        wanted = set(task_ids)
+        with self._lock:
+            cancelled = sorted(
+                (task for task in self._tasks.values()
+                 if task.task_id in wanted and task.state is TaskState.PENDING),
+                key=lambda task: task.seq,
+            )
+            for task in cancelled:
+                self._tasks[task.task_id] = dataclasses.replace(
+                    task, state=TaskState.CANCELLED, error="cancelled",
+                )
+            return [task.task_id for task in cancelled]
 
     def resubmit_dead(self) -> List[str]:
         with self._lock:
@@ -823,6 +858,30 @@ class SqliteQueue:
                 (str(error), now, task_id, worker_id, TaskState.RUNNING.value),
             )
             return cursor.rowcount == 1
+
+    def cancel_pending(self, task_ids: Sequence[str]) -> List[str]:
+        now = self._clock()
+        ids = list(dict.fromkeys(task_ids))
+        if not ids:
+            return []
+        placeholders = ", ".join("?" for _ in ids)
+        with self._transaction() as connection:
+            cancelled = [
+                row[0] for row in connection.execute(
+                    "SELECT task_id FROM tasks WHERE state = ?"
+                    f" AND task_id IN ({placeholders}) ORDER BY seq",
+                    (TaskState.PENDING.value, *ids),
+                ).fetchall()
+            ]
+            if cancelled:
+                connection.execute(
+                    "UPDATE tasks SET state = ?, error = 'cancelled',"
+                    " updated_unix = ? WHERE state = ?"
+                    f" AND task_id IN ({placeholders})",
+                    (TaskState.CANCELLED.value, now,
+                     TaskState.PENDING.value, *ids),
+                )
+        return cancelled
 
     def resubmit_dead(self) -> List[str]:
         now = self._clock()

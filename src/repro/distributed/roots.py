@@ -1,0 +1,162 @@
+"""A directory of named work queues: the broker's multi-queue root.
+
+One ``atcd serve --root DIR`` process hosts many independent runs, each a
+:class:`~repro.distributed.queue.SqliteQueue` living at
+``DIR/<name>.queue.sqlite``.  :class:`QueueRoot` is the server-side
+registry: it validates names (they become both filesystem paths and URL
+segments, so the grammar is deliberately strict), lazily opens queue
+handles and caches them for the server's lifetime, and supports the
+``queue create | list | drop`` management verbs.
+
+Queues under a root are fully isolated from each other — separate files,
+separate task sequences, separate metadata — which is what lets one broker
+serve many coordinated runs (or many service deployments) without them
+sharing a dead-letter pool or a run descriptor.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+import time
+from typing import Any, Callable, Dict, List
+
+from .queue import DEFAULT_LEASE_GRACE, QueueError, SqliteQueue
+
+__all__ = ["QUEUE_NAME_PATTERN", "QUEUE_FILE_SUFFIX", "QueueRoot"]
+
+#: Grammar of queue names.  A name is used verbatim as a filename stem and
+#: a URL path segment, so it must not be able to traverse directories or
+#: require escaping: it starts with an alphanumeric and continues with
+#: alphanumerics, ``_``, ``.`` and ``-`` (64 chars max).
+QUEUE_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+#: Filename suffix of every queue under a root — what marks a file as one
+#: of ours when listing the directory.
+QUEUE_FILE_SUFFIX = ".queue.sqlite"
+
+
+def validate_queue_name(name: str) -> str:
+    """Return ``name`` if it is a legal queue name, else raise."""
+    if not isinstance(name, str) or not QUEUE_NAME_PATTERN.fullmatch(name):
+        raise QueueError(
+            f"invalid queue name {name!r}: names are 1-64 characters from "
+            "[A-Za-z0-9_.-], starting with a letter or digit"
+        )
+    return name
+
+
+class QueueRoot:
+    """Named queues in one directory, opened lazily and cached.
+
+    Thread-safe: the broker serves requests from a thread pool, and two
+    threads racing to open the same queue must share one handle (each
+    :class:`SqliteQueue` holds its own connection lock, so a shared handle
+    is the cheap, correct option).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        grace_seconds: float = DEFAULT_LEASE_GRACE,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.path = str(path)
+        self._grace = grace_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._queues: Dict[str, SqliteQueue] = {}
+        self._closed = False
+        if os.path.exists(self.path) and not os.path.isdir(self.path):
+            raise QueueError(
+                f"queue root {self.path!r} exists and is not a directory"
+            )
+        os.makedirs(self.path, exist_ok=True)
+
+    def _file(self, name: str) -> str:
+        return os.path.join(self.path, validate_queue_name(name) + QUEUE_FILE_SUFFIX)
+
+    # ------------------------------------------------------------------ #
+    # management verbs
+    # ------------------------------------------------------------------ #
+    def names(self) -> List[str]:
+        """Existing queue names, sorted."""
+        names = []
+        for entry in os.listdir(self.path):
+            if entry.endswith(QUEUE_FILE_SUFFIX):
+                stem = entry[: -len(QUEUE_FILE_SUFFIX)]
+                if QUEUE_NAME_PATTERN.fullmatch(stem):
+                    names.append(stem)
+        return sorted(names)
+
+    def exists(self, name: str) -> bool:
+        return os.path.exists(self._file(name))
+
+    def create(self, name: str) -> bool:
+        """Create the named queue; ``False`` if it already existed."""
+        created = not self.exists(name)
+        self.open(name)  # opening creates the schema when absent
+        return created
+
+    def open(self, name: str, must_exist: bool = False) -> SqliteQueue:
+        """The named queue's shared handle, opening (or creating) it.
+
+        With ``must_exist=True`` an absent queue raises instead of being
+        conjured — the broker's task-operation path uses this, so a typo'd
+        queue name in a URL is a client error, not a new empty queue.
+        """
+        file_path = self._file(name)
+        with self._lock:
+            if self._closed:
+                raise QueueError(f"queue root {self.path!r} is closed")
+            queue = self._queues.get(name)
+            if queue is not None:
+                return queue
+            if must_exist and not os.path.exists(file_path):
+                raise QueueError(f"no queue named {name!r} under {self.path!r}")
+            queue = SqliteQueue(
+                file_path, clock=self._clock, grace_seconds=self._grace
+            )
+            self._queues[name] = queue
+            return queue
+
+    def drop(self, name: str) -> bool:
+        """Delete the named queue's file; ``False`` if it did not exist.
+
+        Any cached handle is closed first.  In-flight operations on that
+        handle fail with a closed-queue error — dropping a queue out from
+        under live workers is an operator action, and loud is correct.
+        """
+        file_path = self._file(name)
+        with self._lock:
+            queue = self._queues.pop(name, None)
+            if queue is not None:
+                queue.close()
+            existed = os.path.exists(file_path)
+            for path in (file_path, file_path + "-journal"):
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    pass
+            return existed
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """One row per queue (name + state counts) for ``queue list``."""
+        rows = []
+        for name in self.names():
+            rows.append({"name": name, "counts": self.open(name).counts()})
+        return rows
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            for queue in self._queues.values():
+                queue.close()
+            self._queues.clear()
+
+    def __enter__(self) -> "QueueRoot":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

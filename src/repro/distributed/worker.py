@@ -47,7 +47,7 @@ from typing import Any, Callable, Dict, Iterator, Optional
 
 from ..bench.harness import execute_serialized_case
 from ..engine.session import run_serialized_request
-from ..engine.store import ResultStore
+from ..engine.store import NamespacedStore, ResultStore
 from .queue import Task, TaskState, WorkQueue
 
 __all__ = [
@@ -120,11 +120,20 @@ def execute_task_payload(
     :class:`~repro.bench.harness.BenchRun` row dict; ``request`` payloads
     (a serialized model + request) return an
     :class:`~repro.engine.AnalysisResult` dict.
+
+    A ``request`` payload may carry a ``store_namespace`` (the service
+    layer's tenant name): the store is then accessed through a
+    :class:`~repro.engine.store.NamespacedStore` view, so one tenant's
+    cached results can neither serve nor poison another's.  Workers need
+    no tenant configuration — isolation rides on the task payload.
     """
     kind = payload.get("kind", "bench-case")
     if kind == "bench-case":
         return execute_serialized_case(payload, store=store)
     if kind == "request":
+        namespace = payload.get("store_namespace")
+        if namespace is not None and store is not None:
+            store = NamespacedStore(store, namespace)
         return run_serialized_request(
             payload["model"], payload["request"], store=store
         )

@@ -61,6 +61,7 @@ from .session import (
 from .store import (
     STORE_SCHEMA_VERSION,
     InMemoryStore,
+    NamespacedStore,
     ResultStore,
     SqliteStore,
     StoreError,
@@ -105,6 +106,7 @@ __all__ = [
     "EnumerativeBackend",
     "GeneticBackend",
     "InMemoryStore",
+    "NamespacedStore",
     "Model",
     "MonteCarloBackend",
     "ProbDagBackend",

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import sqlite3
 import threading
 import time
@@ -51,6 +52,7 @@ __all__ = [
     "StoreStats",
     "ResultStore",
     "InMemoryStore",
+    "NamespacedStore",
     "SqliteStore",
     "open_store",
     "request_key",
@@ -316,6 +318,92 @@ class InMemoryStore:
         pass
 
     def __enter__(self) -> "InMemoryStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+#: Grammar of store namespaces (tenant names).  The namespace becomes a
+#: key prefix, so it must be distinguishable from raw fingerprints: the
+#: separator is ``/``, which cannot appear in a hex SHA-256 digest, and the
+#: namespace itself may not contain it.
+_NAMESPACE_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+
+class NamespacedStore:
+    """A view of another store under a fingerprint namespace.
+
+    Multi-tenant isolation for the service layer: each tenant's results
+    live under fingerprint ``<namespace>/<model-fingerprint>``, so two
+    tenants submitting the *same* model never read — and can never
+    poison — each other's cache rows.  The embedded-identity guard keeps
+    working unchanged because writes and reads both happen under the
+    namespaced fingerprint: the record embeds it, the lookup re-checks it.
+
+    The wrapper delegates storage (and the shared ``stats`` counters) to
+    the underlying store; ``evict``/``summary``/``__len__``/``close`` are
+    store-wide pass-throughs.  ``prune(None)`` — "delete everything" — is
+    refused through a namespaced view: the protocol has no prefix-scoped
+    delete, and silently wiping *other* tenants' rows would be exactly the
+    cross-tenant damage this wrapper exists to prevent.
+    """
+
+    def __init__(self, store: "ResultStore", namespace: str) -> None:
+        if not isinstance(namespace, str) or not _NAMESPACE_PATTERN.fullmatch(
+            namespace
+        ):
+            raise StoreError(
+                f"invalid store namespace {namespace!r}: namespaces are 1-64 "
+                "characters from [A-Za-z0-9_.-], starting with a letter or digit"
+            )
+        self._store = store
+        self.namespace = namespace
+
+    @property
+    def stats(self) -> StoreStats:
+        return self._store.stats
+
+    def _key(self, fingerprint: str) -> str:
+        return f"{self.namespace}/{fingerprint}"
+
+    def get(
+        self, fingerprint: str, request: AnalysisRequest
+    ) -> Optional[AnalysisResult]:
+        return self._store.get(self._key(fingerprint), request)
+
+    def put(
+        self, fingerprint: str, request: AnalysisRequest, result: AnalysisResult
+    ) -> None:
+        self._store.put(self._key(fingerprint), request, result)
+
+    def prune(self, fingerprint: Optional[str] = None) -> int:
+        if fingerprint is None:
+            raise StoreError(
+                "cannot prune all results through a namespaced view; "
+                "prune the underlying store instead"
+            )
+        return self._store.prune(self._key(fingerprint))
+
+    def evict(
+        self,
+        ttl_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> int:
+        return self._store.evict(ttl_seconds=ttl_seconds, max_bytes=max_bytes)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def summary(self) -> Dict[str, Any]:
+        summary = dict(self._store.summary())
+        summary["namespace"] = self.namespace
+        return summary
+
+    def close(self) -> None:
+        self._store.close()
+
+    def __enter__(self) -> "NamespacedStore":
         return self
 
     def __exit__(self, *exc_info: Any) -> None:

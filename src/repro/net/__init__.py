@@ -35,14 +35,19 @@ accepts a path.  Optional bearer-token auth: start the server with
 the clients.
 """
 
-from .client import HttpQueue, HttpStore
+from .accesslog import AccessLog, REQUEST_ID_HEADER
+from .client import BrokerAdmin, HttpQueue, HttpStore, split_queue_url
 from .server import BrokerServer
 from .wire import TOKEN_ENV_VAR, WIRE_VERSION
 
 __all__ = [
+    "AccessLog",
+    "BrokerAdmin",
     "BrokerServer",
     "HttpQueue",
     "HttpStore",
+    "REQUEST_ID_HEADER",
     "TOKEN_ENV_VAR",
     "WIRE_VERSION",
+    "split_queue_url",
 ]

@@ -1,0 +1,85 @@
+"""Structured access logging: one JSON line per served HTTP request.
+
+Both network surfaces — the broker (``atcd serve``) and the analysis
+service (``atcd api``) — log through :class:`AccessLog`.  Each request
+produces exactly one line, machine-parseable and stable in shape::
+
+    {"ts": 1718000000.123, "request_id": "a1b2c3d4e5f6", "tenant": "acme",
+     "method": "POST", "route": "/v1/jobs", "status": 202, "latency_ms": 4.2}
+
+``request_id`` is generated per request and echoed back to the client in
+the ``X-Request-Id`` response header, so a client-side error report can be
+joined against the server's log.  ``tenant`` is the authenticated tenant
+name (``null`` on the broker, whose auth is a single shared token, and on
+unauthenticated/rejected requests).
+
+Lines are written atomically under a lock (the servers are threaded) and
+flushed immediately — an access log that loses its tail on a crash is
+useless for debugging exactly the requests that mattered.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import uuid
+from typing import Any, Callable, Dict, Optional, TextIO
+
+__all__ = ["AccessLog", "REQUEST_ID_HEADER", "new_request_id"]
+
+#: Response header echoing the server-assigned request id.
+REQUEST_ID_HEADER = "X-Request-Id"
+
+
+def new_request_id() -> str:
+    """A fresh 12-hex-character request id."""
+    return uuid.uuid4().hex[:12]
+
+
+class AccessLog:
+    """A thread-safe JSON-lines access log over any text stream.
+
+    The stream is borrowed, not owned: closing stdout/stderr (or a file
+    the CLI opened and will close itself) is the caller's business.
+    """
+
+    def __init__(
+        self,
+        stream: TextIO,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        import time
+
+        self._stream = stream
+        self._clock = clock or time.time
+        self._lock = threading.Lock()
+
+    def record(
+        self,
+        method: str,
+        route: str,
+        status: int,
+        latency_ms: float,
+        request_id: str,
+        tenant: Optional[str] = None,
+        **extra: Any,
+    ) -> None:
+        """Write one access line (never raises: logging must not 500 a
+        request that was otherwise served fine)."""
+        entry: Dict[str, Any] = {
+            "ts": round(self._clock(), 3),
+            "request_id": request_id,
+            "tenant": tenant,
+            "method": method,
+            "route": route,
+            "status": status,
+            "latency_ms": round(latency_ms, 2),
+        }
+        entry.update(extra)
+        line = json.dumps(entry, sort_keys=True)
+        try:
+            with self._lock:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+        except (OSError, ValueError):
+            pass

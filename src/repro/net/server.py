@@ -27,6 +27,7 @@ import contextlib
 import hmac
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
 
@@ -37,8 +38,10 @@ from ..distributed.queue import (
     SqliteQueue,
     TaskState,
 )
+from ..distributed.roots import QueueRoot, validate_queue_name
 from ..engine.requests import AnalysisRequest, AnalysisResult
 from ..engine.store import SqliteStore, StoreError
+from .accesslog import AccessLog, REQUEST_ID_HEADER, new_request_id
 from .wire import AUTH_HEADER, SERVER_NAME, WIRE_VERSION, task_to_wire
 
 __all__ = ["BrokerServer"]
@@ -78,6 +81,8 @@ def _queue_operation(
         return {"released": queue.expire_leases()}
     if op == "resubmit_dead":
         return {"task_ids": queue.resubmit_dead()}
+    if op == "cancel_pending":
+        return {"task_ids": queue.cancel_pending(list(args["task_ids"]))}
     if op == "counts":
         return {"counts": queue.counts()}
     if op == "drained":
@@ -139,6 +144,9 @@ class _BrokerHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"  # keep-alive, so clients reuse connections
     server_version = f"{SERVER_NAME}/{WIRE_VERSION}"
 
+    _request_id = ""
+    _status = 0
+
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
@@ -146,13 +154,34 @@ class _BrokerHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     # plumbing
     # ------------------------------------------------------------------ #
+    def _observed(self, method: str, handler: Any) -> None:
+        """Dispatch one request under a request id and an access-log line."""
+        self._request_id = new_request_id()
+        self._status = 0
+        started = time.perf_counter()
+        try:
+            handler()
+        finally:
+            log = self.server.broker.access_log
+            if log is not None:
+                log.record(
+                    method=method,
+                    route=self.path,
+                    status=self._status,
+                    latency_ms=(time.perf_counter() - started) * 1000.0,
+                    request_id=self._request_id,
+                )
+
     def _reply(
         self, status: int, document: Dict[str, Any], close: bool = False
     ) -> None:
         body = json.dumps(document, sort_keys=True).encode("utf-8")
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self._request_id:
+            self.send_header(REQUEST_ID_HEADER, self._request_id)
         if close:
             self.send_header("Connection", "close")
             self.close_connection = True
@@ -252,39 +281,143 @@ class _BrokerHandler(BaseHTTPRequestHandler):
     # endpoints
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._observed("GET", self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._observed("POST", self._handle_post)
+
+    def _handle_get(self) -> None:
         if self._shutting_down() or not self._authorized():
             return
+        broker = self.server.broker
         if self.path == "/ping":
-            broker = self.server.broker
-            self._reply(200, {
+            document = {
                 "ok": True,
                 "server": SERVER_NAME,
                 "wire_version": WIRE_VERSION,
                 "queue": broker.queue is not None,
                 "store": broker.store is not None,
-            })
+                "root": broker.root is not None,
+            }
+            if broker.root is not None:
+                document["queues"] = broker.root.names()
+            self._reply(200, document)
+            return
+        if self.path == "/queues":
+            if broker.root is None:
+                self._reply_error(
+                    404, "this broker serves no queue root", "not-found"
+                )
+                return
+            try:
+                value = {"queues": broker.root.describe()}
+            except QueueError as error:
+                self._reply_error(400, str(error), "queue-error")
+                return
+            self._reply(200, {"ok": True, "value": value})
             return
         self._reply_error(404, f"unknown endpoint {self.path!r}", "not-found")
 
-    def do_POST(self) -> None:  # noqa: N802
+    def _resolve_queue(self, parts: Any) -> Optional[SqliteQueue]:
+        """The queue a ``/queue/...`` or ``/queues/<name>/...`` path names.
+
+        Replies with the appropriate error (and drains the body) when the
+        path does not resolve; the caller just returns on ``None``.
+        """
+        broker = self.server.broker
+        if parts[0] == "queue":
+            if broker.queue is None:
+                self._drain_body()
+                message = (
+                    "this broker serves named queues; use /queues/<name>/<op>"
+                    if broker.root is not None else "this broker serves no queue"
+                )
+                self._reply_error(404, message, "not-found")
+                return None
+            return broker.queue
+        name = parts[1]
+        if broker.root is None:
+            self._drain_body()
+            self._reply_error(
+                404, "this broker serves no queue root", "not-found"
+            )
+            return None
+        try:
+            validate_queue_name(name)
+        except QueueError as error:
+            self._drain_body()
+            self._reply_error(400, str(error), "queue-error")
+            return None
+        if not broker.root.exists(name):
+            self._drain_body()
+            self._reply_error(
+                404,
+                f"no queue named {name!r}; create it with 'atcd queue create'",
+                "not-found",
+            )
+            return None
+        return broker.root.open(name)
+
+    def _handle_root_verb(self, op: str) -> None:
+        """``POST /queues/create`` / ``POST /queues/drop`` management verbs."""
+        broker = self.server.broker
+        if broker.root is None:
+            self._drain_body()
+            self._reply_error(
+                404, "this broker serves no queue root", "not-found"
+            )
+            return
+        args = self._read_body()
+        if args is None:
+            return
+        try:
+            name = args["name"]
+            if op == "create":
+                value = {"name": name, "created": broker.root.create(name)}
+            else:
+                value = {"name": name, "dropped": broker.root.drop(name)}
+        except QueueError as error:
+            self._reply_error(400, str(error), "queue-error")
+        except (KeyError, ValueError, TypeError) as error:
+            self._reply_error(400, f"bad queues request: {error}", "bad-request")
+        else:
+            self._reply(200, {"ok": True, "value": value})
+
+    def _handle_post(self) -> None:
         if self._shutting_down() or not self._authorized():
             return
         parts = self.path.strip("/").split("/")
-        if len(parts) != 2 or parts[0] not in ("queue", "store"):
+        if len(parts) == 2 and parts[0] == "queues" and parts[1] in (
+            "create", "drop"
+        ):
+            self._handle_root_verb(parts[1])
+            return
+        is_queue_op = (
+            (len(parts) == 2 and parts[0] == "queue")
+            or (len(parts) == 3 and parts[0] == "queues")
+        )
+        is_store_op = len(parts) == 2 and parts[0] == "store"
+        if not is_queue_op and not is_store_op:
             self._drain_body()
             self._reply_error(
                 404, f"unknown endpoint {self.path!r}", "not-found"
             )
             return
-        resource, op = parts
+        op = parts[-1]
+        resource = "store" if is_store_op else "queue"
         broker = self.server.broker
-        target = broker.queue if resource == "queue" else broker.store
-        if target is None:
-            self._drain_body()
-            self._reply_error(
-                404, f"this broker serves no {resource}", "not-found"
-            )
-            return
+        if is_store_op:
+            target = broker.store
+            if target is None:
+                self._drain_body()
+                self._reply_error(
+                    404, "this broker serves no store", "not-found"
+                )
+                return
+        else:
+            target = self._resolve_queue(parts)
+            if target is None:
+                return
         args = self._read_body()
         if args is None:
             return
@@ -323,8 +456,15 @@ class BrokerServer:
     Parameters
     ----------
     queue_path / store_path:
-        Sqlite files to expose (created if absent); at least one is
-        required.  Requests against an unattached resource get a 404.
+        Sqlite files to expose (created if absent); at least one resource
+        (queue, store or root) is required.  Requests against an
+        unattached resource get a 404.
+    root:
+        Directory of *named* queues to serve instead of a single queue
+        file (``atcd serve --root``): task operations then live at
+        ``POST /queues/<name>/<op>``, with ``/queues`` listing and
+        ``/queues/create|drop`` management verbs.  Mutually exclusive
+        with ``queue_path``; combines freely with ``store_path``.
     host / port:
         Bind address; port 0 picks a free port (read it back from
         ``server.port`` / ``server.url``).
@@ -337,25 +477,37 @@ class BrokerServer:
         access to the same file.
     verbose:
         Log one line per request to stderr (default: quiet).
+    access_log:
+        Optional :class:`~repro.net.accesslog.AccessLog`: one JSON line
+        per served request (request id, route, status, latency).
     """
 
     def __init__(
         self,
         queue_path: Optional[str] = None,
         store_path: Optional[str] = None,
+        root: Optional[str] = None,
         host: str = "127.0.0.1",
         port: int = 0,
         token: Optional[str] = None,
         grace_seconds: float = DEFAULT_LEASE_GRACE,
         verbose: bool = False,
+        access_log: Optional[AccessLog] = None,
     ) -> None:
-        if queue_path is None and store_path is None:
+        if queue_path is None and store_path is None and root is None:
             raise ValueError(
-                "nothing to serve: pass queue_path and/or store_path"
+                "nothing to serve: pass queue_path, store_path and/or root"
+            )
+        if queue_path is not None and root is not None:
+            raise ValueError(
+                "pass either queue_path (one queue) or root (named queues), "
+                "not both"
             )
         self.token = token
         self.queue: Optional[SqliteQueue] = None
         self.store: Optional[SqliteStore] = None
+        self.root: Optional[QueueRoot] = None
+        self.access_log = access_log
         self._thread: Optional[threading.Thread] = None
         self._served = threading.Event()
         self._closed = False
@@ -364,6 +516,8 @@ class BrokerServer:
                 self.queue = SqliteQueue(
                     queue_path, grace_seconds=grace_seconds
                 )
+            if root is not None:
+                self.root = QueueRoot(root, grace_seconds=grace_seconds)
             if store_path is not None:
                 self.store = SqliteStore(store_path)
             self._http = ThreadingHTTPServer((host, port), _BrokerHandler)
@@ -413,7 +567,7 @@ class BrokerServer:
             http.server_close()
         if self._thread is not None:
             self._thread.join(timeout=10.0)
-        for resource in (self.queue, self.store):
+        for resource in (self.queue, self.store, self.root):
             if resource is not None:
                 with contextlib.suppress(Exception):
                     resource.close()

@@ -1,0 +1,52 @@
+"""Analysis-as-a-service: the multi-tenant HTTP API over the work queue.
+
+The service layer turns the distributed runtime into a server: clients
+POST batches of :class:`~repro.engine.requests.AnalysisRequest` payloads
+and get back a *job* — an explicit state machine (``queued → running →
+done | failed | cancelled``) derived from the durable task states of the
+underlying :class:`~repro.distributed.queue.WorkQueue`.  Execution is
+the ordinary worker fleet; the service only validates, admits, and
+translates.
+
+Layout:
+
+* :mod:`repro.service.tenants` — API keys, constant-time authentication,
+  per-tenant quota configuration.
+* :mod:`repro.service.quotas` — admission control: durable in-flight
+  caps and in-memory token-bucket rate limits.
+* :mod:`repro.service.jobs` — batch validation, job descriptors in queue
+  meta, the derived job state machine.
+* :mod:`repro.service.api` — the HTTP surface (``atcd api``): submit,
+  poll, NDJSON streaming, cancel.
+"""
+
+from .api import SERVICE_NAME, SERVICE_VERSION, ServiceServer
+from .jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobError,
+    JobManager,
+    JobValidationError,
+    validate_batch,
+)
+from .quotas import QuotaExceeded, QuotaManager, TokenBucket
+from .tenants import API_KEY_HEADER, MIN_KEY_LENGTH, Tenant, TenantRegistry
+
+__all__ = [
+    "API_KEY_HEADER",
+    "JOB_STATES",
+    "MIN_KEY_LENGTH",
+    "SERVICE_NAME",
+    "SERVICE_VERSION",
+    "TERMINAL_STATES",
+    "JobError",
+    "JobManager",
+    "JobValidationError",
+    "QuotaExceeded",
+    "QuotaManager",
+    "ServiceServer",
+    "Tenant",
+    "TenantRegistry",
+    "TokenBucket",
+    "validate_batch",
+]

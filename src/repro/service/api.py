@@ -1,0 +1,554 @@
+"""The analysis service: ``atcd api`` — jobs over JSON/HTTP.
+
+One :class:`ServiceServer` fronts a shared work queue: clients POST
+batches of analysis requests and drive the resulting job through the
+state machine in :mod:`repro.service.jobs`, while ordinary ``atcd dist
+worker`` processes (local or remote, attached to the same queue and a
+shared result store) execute the tasks.  The service itself computes
+nothing — it validates at the edge, admits against quotas, and translates
+job state; every durable fact lives in the queue.
+
+Wire schema (all bodies JSON; errors are
+``{"ok": false, "error": str, "kind": str, ...}``):
+
+``GET /ping``
+    Liveness, unauthenticated: ``{"server": "atcd-service",
+    "service_version": 1}``.
+``POST /v1/jobs``
+    Body ``{"model": <serialized tree>, "requests": [<request>...],
+    "name"?: str}``.  Fail-fast validated (400 with ``field``/``index``
+    on the first offending request), quota-checked (429 with
+    ``retry_after_seconds`` and a ``Retry-After`` header), then enqueued:
+    202 with the job's status document.
+``GET /v1/jobs``
+    All of the calling tenant's jobs (status documents).
+``GET /v1/jobs/<id>``
+    One job's status: state, per-state task counts, completion count.
+``GET /v1/jobs/<id>/results``
+    Status plus per-request rows ``{"index", "state", "result", "error"}``
+    in submission order (results present for completed tasks only).
+``GET /v1/jobs/<id>/stream``
+    NDJSON: one ``{"event": "result", "index", "result"}`` line per
+    request *as workers complete them*, then one terminal
+    ``{"event": "end", "state", "job"}`` line.  The response carries no
+    Content-Length and closes the connection when done — a plain HTTP
+    client (or ``curl -N``) reads results live.
+``POST /v1/jobs/<id>/cancel``
+    Drive the job to ``cancelled``: pending tasks are withdrawn, running
+    ones finish their attempt.  Terminal jobs are returned unchanged.
+
+Authentication: every ``/v1`` request carries the tenant's API key in
+``X-Api-Key``.  A missing key is 401, an unknown key 403 — both
+constant-time (:meth:`TenantRegistry.authenticate` compares against every
+registered key).  Job visibility is tenant-scoped by construction: lookup
+keys embed the authenticated tenant's name, so another tenant's job id is
+simply not found (404), indistinguishable from a nonexistent one.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional
+
+from ..distributed.queue import QueueError, WorkQueue
+from ..engine.store import StoreError
+from ..net.accesslog import AccessLog, REQUEST_ID_HEADER, new_request_id
+from .jobs import JobError, JobManager, JobValidationError, validate_batch
+from .quotas import QuotaExceeded, QuotaManager
+from .tenants import API_KEY_HEADER, Tenant, TenantRegistry
+
+__all__ = ["SERVICE_NAME", "SERVICE_VERSION", "ServiceServer"]
+
+#: The ``server`` field of ``GET /ping`` — distinguishes the service from
+#: the broker (and from arbitrary HTTP servers) during probes.
+SERVICE_NAME = "atcd-service"
+
+#: Version of the service wire schema; bump on incompatible change.
+SERVICE_VERSION = 1
+
+#: Maximum accepted request body.  Batches embed whole serialized models,
+#: so this is generous — but a hostile client must not make the service
+#: buffer unbounded memory.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """One request: authenticate, admit, dispatch, reply JSON."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = f"{SERVICE_NAME}/{SERVICE_VERSION}"
+
+    _request_id = ""
+    _status = 0
+    _tenant: Optional[Tenant] = None
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------ #
+    # plumbing (the broker's, plus tenant attribution)
+    # ------------------------------------------------------------------ #
+    def _observed(self, method: str, handler: Callable[[], None]) -> None:
+        self._request_id = new_request_id()
+        self._status = 0
+        self._tenant = None
+        started = time.perf_counter()
+        try:
+            handler()
+        finally:
+            log = self.server.service.access_log
+            if log is not None:
+                log.record(
+                    method=method,
+                    route=self.path,
+                    status=self._status,
+                    latency_ms=(time.perf_counter() - started) * 1000.0,
+                    request_id=self._request_id,
+                    tenant=None if self._tenant is None else self._tenant.name,
+                )
+
+    def _reply(
+        self,
+        status: int,
+        document: Dict[str, Any],
+        close: bool = False,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(document, sort_keys=True).encode("utf-8")
+        self._status = status
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header(REQUEST_ID_HEADER, self._request_id)
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        if close:
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_error(
+        self,
+        status: int,
+        message: str,
+        kind: str,
+        close: bool = False,
+        headers: Optional[Dict[str, str]] = None,
+        **extra: Any,
+    ) -> None:
+        document = {"ok": False, "error": message, "kind": kind}
+        document.update(extra)
+        self._reply(
+            status, document, close=close or status == 503, headers=headers
+        )
+
+    def _drain_body(self) -> None:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self.close_connection = True
+            return
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 1 << 20))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+
+    def _shutting_down(self) -> bool:
+        if not self.server.service.closing:
+            return False
+        self._reply_error(503, "service is shutting down; retry", "unavailable")
+        return True
+
+    def _authenticate(self) -> Optional[Tenant]:
+        """The calling tenant, or ``None`` after replying 401/403."""
+        presented = self.headers.get(API_KEY_HEADER)
+        if not presented:
+            self._drain_body()
+            self._reply_error(
+                401,
+                f"missing api key: pass the {API_KEY_HEADER} header",
+                "unauthorized",
+            )
+            return None
+        tenant = self.server.service.tenants.authenticate(presented)
+        if tenant is None:
+            self._drain_body()
+            self._reply_error(403, "unknown api key", "forbidden")
+            return None
+        self._tenant = tenant
+        return tenant
+
+    def _read_body(self) -> Optional[Dict[str, Any]]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._reply_error(
+                400, f"invalid request body length {length}", "bad-request",
+                close=True,
+            )
+            return None
+        raw = self.rfile.read(length) if length else b""
+        try:
+            args = json.loads(raw.decode("utf-8")) if raw else {}
+        except (ValueError, UnicodeDecodeError):
+            self._reply_error(
+                400, "request body is not valid JSON", "bad-request"
+            )
+            return None
+        if not isinstance(args, dict):
+            self._reply_error(
+                400, "request body must be a JSON object", "bad-request"
+            )
+            return None
+        return args
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._observed("GET", self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._observed("POST", self._handle_post)
+
+    def _handle_get(self) -> None:
+        if self._shutting_down():
+            return
+        if self.path == "/ping":
+            self._reply(200, {
+                "ok": True,
+                "server": SERVICE_NAME,
+                "service_version": SERVICE_VERSION,
+            })
+            return
+        tenant = self._authenticate()
+        if tenant is None:
+            return
+        parts = self.path.strip("/").split("/")
+        jobs = self.server.service.jobs
+        try:
+            if parts == ["v1", "jobs"]:
+                self._reply(200, {
+                    "ok": True, "jobs": jobs.list_jobs(tenant.name),
+                })
+                return
+            if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                status = jobs.status(tenant.name, parts[2])
+                if status is None:
+                    self._reply_job_not_found(parts[2])
+                    return
+                self._reply(200, {"ok": True, "job": status})
+                return
+            if len(parts) == 4 and parts[:2] == ["v1", "jobs"]:
+                job_id, verb = parts[2], parts[3]
+                if verb == "results":
+                    status = jobs.status(tenant.name, job_id)
+                    rows = jobs.results(tenant.name, job_id)
+                    if status is None or rows is None:
+                        self._reply_job_not_found(job_id)
+                        return
+                    self._reply(200, {
+                        "ok": True, "job": status, "results": rows,
+                    })
+                    return
+                if verb == "stream":
+                    self._stream_job(tenant, job_id)
+                    return
+        except (QueueError, StoreError) as error:
+            self._reply_backend_error(error)
+            return
+        self._reply_error(404, f"unknown endpoint {self.path!r}", "not-found")
+
+    def _handle_post(self) -> None:
+        if self._shutting_down():
+            return
+        tenant = self._authenticate()
+        if tenant is None:
+            return
+        parts = self.path.strip("/").split("/")
+        try:
+            if parts == ["v1", "jobs"]:
+                self._submit_job(tenant)
+                return
+            if (
+                len(parts) == 4
+                and parts[:2] == ["v1", "jobs"]
+                and parts[3] == "cancel"
+            ):
+                status = self.server.service.jobs.cancel(tenant.name, parts[2])
+                if status is None:
+                    self._drain_body()
+                    self._reply_job_not_found(parts[2])
+                    return
+                self._drain_body()
+                self._reply(200, {"ok": True, "job": status})
+                return
+        except (QueueError, StoreError) as error:
+            self._drain_body()
+            self._reply_backend_error(error)
+            return
+        self._drain_body()
+        self._reply_error(404, f"unknown endpoint {self.path!r}", "not-found")
+
+    def _reply_job_not_found(self, job_id: str) -> None:
+        self._reply_error(
+            404, f"no job {job_id!r} for this tenant", "not-found"
+        )
+
+    def _reply_backend_error(self, error: Exception) -> None:
+        """A queue/store failure under a request: 503, the client's retry
+        path — the service's backend being briefly unreachable is not a
+        client error."""
+        self._reply_error(503, f"backend unavailable: {error}", "unavailable")
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    def _submit_job(self, tenant: Tenant) -> None:
+        service = self.server.service
+        args = self._read_body()
+        if args is None:
+            return
+        unknown = set(args) - {"model", "requests", "name"}
+        if unknown:
+            self._reply_error(
+                400, f"unknown job fields: {sorted(unknown)!r}", "validation",
+            )
+            return
+        name = args.get("name")
+        if name is not None and not isinstance(name, str):
+            self._reply_error(
+                400, "the 'name' field must be a string", "validation",
+                field="name",
+            )
+            return
+        requests = args.get("requests")
+        batch_size = len(requests) if isinstance(requests, list) else 0
+        try:
+            # Validation runs before admission: validating is cheap, no
+            # task is enqueued either way, and the honest tenant gets the
+            # more useful error.  The rate bucket must only be charged
+            # for batches that are actually admitted, hence the order:
+            # validate, then admit, then enqueue.
+            validate_batch(
+                args.get("model"), requests, service.jobs.max_requests
+            )
+            service.quotas.admit(
+                tenant, batch_size, service.jobs.in_flight(tenant.name)
+            )
+            status = service.jobs.submit(
+                tenant.name, args["model"], requests, name=name
+            )
+        except JobValidationError as error:
+            extra: Dict[str, Any] = {}
+            if error.field is not None:
+                extra["field"] = error.field
+            if error.index is not None:
+                extra["index"] = error.index
+            self._reply_error(400, str(error), "validation", **extra)
+            return
+        except QuotaExceeded as error:
+            headers = {}
+            extra = {}
+            if error.retry_after_seconds is not None:
+                headers["Retry-After"] = str(
+                    max(1, int(error.retry_after_seconds + 0.999))
+                )
+                extra["retry_after_seconds"] = round(
+                    error.retry_after_seconds, 3
+                )
+            self._reply_error(
+                429, str(error), error.kind, headers=headers, **extra
+            )
+            return
+        except JobError as error:
+            self._reply_error(400, str(error), "job-error")
+            return
+        self._reply(202, {"ok": True, "job": status})
+
+    def _stream_job(self, tenant: Tenant, job_id: str) -> None:
+        """NDJSON: per-request results as they complete, then an end line.
+
+        The response is close-delimited (no Content-Length, ``Connection:
+        close``) — the one framing a streaming body can use over plain
+        ``http.server``.  Results stream in completion order; the terminal
+        line carries the job's final state and status document.
+        """
+        service = self.server.service
+        jobs = service.jobs
+        if jobs.status(tenant.name, job_id) is None:
+            self._reply_job_not_found(job_id)
+            return
+        self._status = 200
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header(REQUEST_ID_HEADER, self._request_id)
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+
+        def emit(document: Dict[str, Any]) -> None:
+            self.wfile.write(
+                json.dumps(document, sort_keys=True).encode("utf-8") + b"\n"
+            )
+            self.wfile.flush()
+
+        emitted = set()
+        deadline = time.monotonic() + service.stream_timeout_seconds
+        try:
+            while True:
+                status = jobs.status(tenant.name, job_id)
+                rows = jobs.results(tenant.name, job_id)
+                if status is None or rows is None:
+                    emit({"event": "error", "error": "job disappeared"})
+                    return
+                for row in rows:
+                    if row["index"] in emitted or row["result"] is None:
+                        continue
+                    emitted.add(row["index"])
+                    emit({
+                        "event": "result",
+                        "index": row["index"],
+                        "result": row["result"],
+                    })
+                if status["state"] in ("done", "failed", "cancelled"):
+                    emit({"event": "end", "state": status["state"],
+                          "job": status})
+                    return
+                if time.monotonic() >= deadline:
+                    emit({"event": "timeout", "state": status["state"],
+                          "job": status})
+                    return
+                if service.closing:
+                    emit({"event": "error",
+                          "error": "service is shutting down"})
+                    return
+                time.sleep(service.poll_seconds)
+        except (OSError, ValueError):
+            # The client went away mid-stream; nothing to clean up — job
+            # progress lives in the queue, not in this connection.
+            return
+
+
+class ServiceServer:
+    """Serve the multi-tenant analysis API over one work queue.
+
+    Parameters
+    ----------
+    queue:
+        The shared :class:`~repro.distributed.queue.WorkQueue` instance
+        (local sqlite or an HTTP client).  The server owns it and closes
+        it on :meth:`close`.
+    tenants:
+        The :class:`~repro.service.tenants.TenantRegistry` to
+        authenticate against.
+    host / port:
+        Bind address; port 0 picks a free port.
+    max_attempts / max_requests:
+        Task retry budget and largest accepted batch (forwarded to
+        :class:`JobManager`).
+    poll_seconds / stream_timeout_seconds:
+        Streaming endpoint tuning: poll cadence against the queue, and
+        the hard cap on one streaming response's lifetime.
+    access_log:
+        Optional :class:`~repro.net.accesslog.AccessLog`; the CLI wires
+        this to stderr by default — a public surface should not be dark.
+    verbose:
+        Log one line per request via ``http.server`` (default quiet; the
+        access log is the structured alternative).
+    clock:
+        Injectable time source (descriptor timestamps, rate buckets).
+    """
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        tenants: TenantRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_attempts: int = 3,
+        max_requests: int = 1000,
+        poll_seconds: float = 0.2,
+        stream_timeout_seconds: float = 300.0,
+        access_log: Optional[AccessLog] = None,
+        verbose: bool = False,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.queue = queue
+        self.tenants = tenants
+        self.jobs = JobManager(
+            queue, max_attempts=max_attempts, max_requests=max_requests,
+            clock=clock,
+        )
+        self.quotas = QuotaManager()
+        self.poll_seconds = poll_seconds
+        self.stream_timeout_seconds = stream_timeout_seconds
+        self.access_log = access_log
+        self._thread: Optional[threading.Thread] = None
+        self._served = threading.Event()
+        self._closed = False
+        try:
+            self._http = ThreadingHTTPServer((host, port), _ServiceHandler)
+        except BaseException:
+            self.close()
+            raise
+        self._http.daemon_threads = True
+        self._http.service = self
+        self._http.verbose = verbose
+        self.host, self.port = self._http.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """The base URL clients submit jobs against."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def closing(self) -> bool:
+        """True once :meth:`close` began; handlers answer 503 from then."""
+        return self._closed
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (or a signal)."""
+        self._served.set()
+        self._http.serve_forever(poll_interval=0.1)
+
+    def start(self) -> None:
+        """Serve on a background daemon thread (tests, embedding)."""
+        self._served.set()
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="atcd-service", daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Stop serving and release the queue (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        http = getattr(self, "_http", None)
+        if http is not None:
+            if self._served.is_set():
+                http.shutdown()
+            http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        with contextlib.suppress(Exception):
+            self.queue.close()
+
+    def __enter__(self) -> "ServiceServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

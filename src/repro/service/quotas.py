@@ -1,0 +1,155 @@
+"""Per-tenant admission control: in-flight caps and token-bucket rates.
+
+Two independent limits, both configured per tenant in the keys file and
+both answered with HTTP 429 when exceeded:
+
+*In-flight cap* (``max_in_flight``)
+    How many of the tenant's analysis requests may be pending or running
+    at once, measured against the *durable* queue state — so the cap
+    holds across service restarts and cannot be reset by reconnecting.
+    A batch is admitted whole or not at all: a partial job is worse than
+    a rejected one.
+
+*Rate limit* (``rate_per_second`` + ``burst``)
+    A classic token bucket: the bucket refills continuously at
+    ``rate_per_second`` up to ``burst`` tokens, and each submitted
+    analysis request costs one token (a batch of N costs N).  The bucket
+    is in-memory per service process — a deliberate trade: rate limiting
+    protects the *service's* ingest path, so it does not need to survive
+    the service's own restart.
+
+:class:`QuotaExceeded` carries a machine-usable ``kind`` ("quota" for the
+cap, "rate-limit" for the bucket) and a ``retry_after_seconds`` hint that
+the API layer forwards as the ``Retry-After`` header.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from .tenants import Tenant
+
+__all__ = ["QuotaExceeded", "QuotaManager", "TokenBucket"]
+
+
+class QuotaExceeded(Exception):
+    """An admission was refused; the caller maps this to HTTP 429."""
+
+    def __init__(
+        self, kind: str, message: str, retry_after_seconds: Optional[float] = None
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.retry_after_seconds = retry_after_seconds
+
+
+class TokenBucket:
+    """One tenant's rate state: continuous refill, capped at ``burst``.
+
+    Starts full (a fresh tenant can burst immediately), refills at
+    ``rate_per_second``, never exceeds ``burst``.  Thread-safe; the clock
+    is injectable so tests need not sleep.
+    """
+
+    def __init__(
+        self,
+        rate_per_second: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._rate = float(rate_per_second)
+        self._burst = float(burst)
+        self._clock = clock
+        self._tokens = self._burst
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self._burst, self._tokens + elapsed * self._rate)
+        self._updated = now
+
+    def try_acquire(self, tokens: float = 1.0) -> Optional[float]:
+        """Take ``tokens`` if available; else the seconds until they would be.
+
+        Returns ``None`` on success.  A request larger than ``burst`` can
+        *never* succeed; it is reported with the time a full refill takes,
+        and the admission layer turns it into a permanent-looking 429 —
+        the tenant's burst must be raised, not retried.
+        """
+        now = self._clock()
+        with self._lock:
+            self._refill(now)
+            if tokens <= self._tokens:
+                self._tokens -= tokens
+                return None
+            deficit = tokens - self._tokens
+            return deficit / self._rate if tokens <= self._burst else (
+                self._burst / self._rate
+            )
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class QuotaManager:
+    """Admission control over all tenants: one bucket each, lazily built."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def _bucket(self, tenant: Tenant) -> Optional[TokenBucket]:
+        if tenant.rate_per_second is None:
+            return None
+        with self._lock:
+            bucket = self._buckets.get(tenant.name)
+            if bucket is None:
+                burst = (
+                    tenant.burst
+                    if tenant.burst is not None
+                    # A burst was not configured: default to one second's
+                    # worth of rate, but never below a single request.
+                    else max(tenant.rate_per_second, 1.0)
+                )
+                bucket = TokenBucket(
+                    tenant.rate_per_second, burst, clock=self._clock
+                )
+                self._buckets[tenant.name] = bucket
+            return bucket
+
+    def admit(self, tenant: Tenant, batch_size: int, in_flight: int) -> None:
+        """Admit a batch of ``batch_size`` requests or raise :class:`QuotaExceeded`.
+
+        ``in_flight`` is the tenant's current pending+running request
+        count as read from the queue.  The cap check runs first — it is
+        the durable limit — and only an admitted batch consumes rate
+        tokens, so a capped-out tenant does not also drain its bucket.
+        """
+        if tenant.max_in_flight is not None and (
+            in_flight + batch_size > tenant.max_in_flight
+        ):
+            raise QuotaExceeded(
+                "quota",
+                f"tenant {tenant.name!r} would have {in_flight + batch_size} "
+                f"requests in flight, over its cap of {tenant.max_in_flight}; "
+                "wait for running jobs to finish (or cancel them)",
+                retry_after_seconds=1.0,
+            )
+        bucket = self._bucket(tenant)
+        if bucket is not None:
+            retry_after = bucket.try_acquire(float(batch_size))
+            if retry_after is not None:
+                raise QuotaExceeded(
+                    "rate-limit",
+                    f"tenant {tenant.name!r} exceeded its rate limit "
+                    f"({tenant.rate_per_second:g} requests/second); retry in "
+                    f"{retry_after:.2f}s",
+                    retry_after_seconds=retry_after,
+                )

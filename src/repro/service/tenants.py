@@ -1,0 +1,183 @@
+"""Tenant identity: API keys, constant-time authentication, quotas config.
+
+The analysis service is multi-tenant: every request carries an API key in
+the ``X-Api-Key`` header, mapped here to a :class:`Tenant` — the name that
+namespaces every queue-meta key and every result-store row the tenant
+touches, plus the tenant's quota settings.
+
+Keys load from a JSON file (``atcd api --keys``)::
+
+    {"tenants": [
+        {"name": "acme", "key": "acme-key-0123456789abcdef",
+         "max_in_flight": 16, "rate_per_second": 5.0, "burst": 20}
+    ]}
+
+``max_in_flight``, ``rate_per_second`` and ``burst`` are optional — a
+tenant without them is unthrottled (see :mod:`repro.service.quotas` for
+their semantics).
+
+Authentication is constant-time by construction: the presented key is
+compared against *every* tenant's key with :func:`hmac.compare_digest`,
+accumulating the match without early exit, so neither the comparison
+length nor the table position of a tenant leaks through response timing.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = ["API_KEY_HEADER", "MIN_KEY_LENGTH", "Tenant", "TenantRegistry"]
+
+#: HTTP header carrying the tenant's API key.
+API_KEY_HEADER = "X-Api-Key"
+
+#: Minimum accepted key length.  Keys are bearer secrets; a one-character
+#: "key" in a config file is a misconfiguration, not a tenant.
+MIN_KEY_LENGTH = 8
+
+#: Tenant names become store namespaces, queue-meta key segments and URL
+#: path pieces — same strict grammar as queue names.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant: identity plus quota configuration.
+
+    ``max_in_flight`` bounds how many of the tenant's analysis requests
+    may be pending or running at once; ``rate_per_second``/``burst``
+    parameterize the token-bucket rate limit.  ``None`` means unlimited.
+    """
+
+    name: str
+    key: str
+    max_in_flight: Optional[int] = None
+    rate_per_second: Optional[float] = None
+    burst: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not _NAME_PATTERN.fullmatch(self.name):
+            raise ValueError(
+                f"invalid tenant name {self.name!r}: names are 1-64 characters "
+                "from [A-Za-z0-9_.-], starting with a letter or digit"
+            )
+        if not isinstance(self.key, str) or len(self.key) < MIN_KEY_LENGTH:
+            raise ValueError(
+                f"tenant {self.name!r}: api key must be a string of at least "
+                f"{MIN_KEY_LENGTH} characters"
+            )
+        if self.max_in_flight is not None and (
+            isinstance(self.max_in_flight, bool)
+            or not isinstance(self.max_in_flight, int)
+            or self.max_in_flight < 1
+        ):
+            raise ValueError(
+                f"tenant {self.name!r}: max_in_flight must be a positive "
+                f"integer, got {self.max_in_flight!r}"
+            )
+        for field_name in ("rate_per_second", "burst"):
+            value = getattr(self, field_name)
+            if value is not None and (
+                isinstance(value, bool)
+                or not isinstance(value, (int, float))
+                or value <= 0
+            ):
+                raise ValueError(
+                    f"tenant {self.name!r}: {field_name} must be a positive "
+                    f"number, got {value!r}"
+                )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Tenant":
+        unknown = set(data) - {
+            "name", "key", "max_in_flight", "rate_per_second", "burst"
+        }
+        if unknown:
+            raise ValueError(f"unknown tenant fields: {sorted(unknown)!r}")
+        if "name" not in data or "key" not in data:
+            raise ValueError("every tenant needs both 'name' and 'key'")
+        return cls(
+            name=data["name"],
+            key=data["key"],
+            max_in_flight=data.get("max_in_flight"),
+            rate_per_second=data.get("rate_per_second"),
+            burst=data.get("burst"),
+        )
+
+
+class TenantRegistry:
+    """The tenant table: load, validate, authenticate.
+
+    Names and keys must both be unique — a duplicated name would merge
+    two tenants' namespaces, a duplicated key would make authentication
+    ambiguous.
+    """
+
+    def __init__(self, tenants: List[Tenant]) -> None:
+        if not tenants:
+            raise ValueError("tenant registry is empty: the service would "
+                             "reject every request")
+        names = [tenant.name for tenant in tenants]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate tenant names: {duplicates!r}")
+        keys = [tenant.key for tenant in tenants]
+        if len(set(keys)) != len(keys):
+            raise ValueError("duplicate tenant api keys (keys must uniquely "
+                             "identify a tenant)")
+        self._tenants = list(tenants)
+        self._by_name: Dict[str, Tenant] = {t.name: t for t in tenants}
+
+    @classmethod
+    def from_file(cls, path: str) -> "TenantRegistry":
+        """Load a keys file (see the module docstring for the format)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError as error:
+            raise ValueError(f"cannot read keys file {path!r}: {error}") from error
+        except ValueError as error:
+            raise ValueError(
+                f"keys file {path!r} is not valid JSON: {error}"
+            ) from error
+        if not isinstance(document, dict) or not isinstance(
+            document.get("tenants"), list
+        ):
+            raise ValueError(
+                f"keys file {path!r} must be an object with a 'tenants' list"
+            )
+        try:
+            tenants = [Tenant.from_dict(entry) for entry in document["tenants"]]
+        except (TypeError, ValueError) as error:
+            raise ValueError(f"keys file {path!r}: {error}") from error
+        return cls(tenants)
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def names(self) -> List[str]:
+        return sorted(self._by_name)
+
+    def get(self, name: str) -> Optional[Tenant]:
+        return self._by_name.get(name)
+
+    def authenticate(self, presented_key: Optional[str]) -> Optional[Tenant]:
+        """The tenant owning ``presented_key``, or ``None``.
+
+        Every registered key is compared (no early exit) with
+        :func:`hmac.compare_digest`, so response timing does not depend on
+        which tenant matched or how much of a key prefix an attacker got
+        right.
+        """
+        if not isinstance(presented_key, str) or not presented_key:
+            return None
+        presented = presented_key.encode("utf-8")
+        matched: Optional[Tenant] = None
+        for tenant in self._tenants:
+            if hmac.compare_digest(presented, tenant.key.encode("utf-8")):
+                matched = tenant
+        return matched

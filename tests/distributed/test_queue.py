@@ -65,7 +65,7 @@ class TestSubmitClaim:
         ids = any_queue.submit(payloads(3))
         assert len(ids) == len(set(ids)) == 3
         assert any_queue.counts() == {
-            "pending": 3, "running": 0, "done": 0, "dead": 0,
+            "pending": 3, "running": 0, "done": 0, "dead": 0, "cancelled": 0,
         }
         assert not any_queue.drained()
 
@@ -145,6 +145,50 @@ class TestCompleteFail:
         assert len(dead) == 1 and dead[0].error == "boom 2"
         # Dead is terminal: the queue is drained, not stuck.
         assert any_queue.drained()
+
+
+class TestCancel:
+    def test_cancel_pending_is_terminal_and_not_claimable(self, any_queue):
+        ids = any_queue.submit(payloads(3))
+        cancelled = any_queue.cancel_pending(ids)
+        assert cancelled == ids  # submission (seq) order
+        assert any_queue.counts() == {
+            "pending": 0, "running": 0, "done": 0, "dead": 0, "cancelled": 3,
+        }
+        assert any_queue.claim("w", lease_seconds=30) is None
+        # Cancelled is terminal: nothing pending or running remains.
+        assert any_queue.drained()
+        for task in any_queue.tasks(TaskState.CANCELLED):
+            assert task.error == "cancelled"
+
+    def test_cancel_skips_running_done_and_dead_tasks(self, any_queue):
+        ids = any_queue.submit(payloads(4), max_attempts=1)
+        running = any_queue.claim("w", lease_seconds=30)
+        done = any_queue.claim("w", lease_seconds=30)
+        any_queue.complete(done.task_id, "w", {"ok": True})
+        dead = any_queue.claim("w", lease_seconds=30)
+        any_queue.fail(dead.task_id, "w", "boom")
+        cancelled = any_queue.cancel_pending(ids)
+        # Only the one still-pending task was withdrawn.
+        assert cancelled == [ids[3]]
+        counts = any_queue.counts()
+        assert counts["cancelled"] == 1 and counts["running"] == 1
+        # The running task's owner can still finish its attempt.
+        assert any_queue.complete(running.task_id, "w", {"ok": True})
+
+    def test_cancel_unknown_ids_is_a_noop(self, any_queue):
+        any_queue.submit(payloads(1))
+        assert any_queue.cancel_pending(["task-999999", "nonsense"]) == []
+        assert any_queue.counts()["pending"] == 1
+
+    def test_resubmit_dead_does_not_revive_cancelled(self, any_queue):
+        ids = any_queue.submit(payloads(2), max_attempts=1)
+        task = any_queue.claim("w", lease_seconds=30)
+        any_queue.fail(task.task_id, "w", "boom")  # -> dead
+        any_queue.cancel_pending(ids)  # -> the other one cancelled
+        revived = any_queue.resubmit_dead()
+        assert revived == [task.task_id]
+        assert any_queue.counts()["cancelled"] == 1
 
 
 class TestLeases:

@@ -23,6 +23,7 @@ from repro.engine import (
     AnalysisRequest,
     AnalysisSession,
     InMemoryStore,
+    NamespacedStore,
     SqliteStore,
     StoreError,
     model_fingerprint,
@@ -141,6 +142,59 @@ class TestRoundTrip:
         summary = any_store.summary()
         assert summary["entries"] == 1
         assert summary["schema_version"] == STORE_SCHEMA_VERSION
+
+
+class TestNamespacing:
+    """Tenant isolation through :class:`NamespacedStore` views."""
+
+    def test_namespaces_do_not_share_results(self, any_store):
+        request = AnalysisRequest(Problem.CDPF)
+        result = factory_result(request)
+        fingerprint = model_fingerprint(factory())
+        acme = NamespacedStore(any_store, "acme")
+        globex = NamespacedStore(any_store, "globex")
+        acme.put(fingerprint, request, result)
+        # Same model, same request: the other tenant still misses.
+        assert globex.get(fingerprint, request) is None
+        assert acme.get(fingerprint, request) is not None
+        # And the raw fingerprint is not readable outside a namespace.
+        assert any_store.get(fingerprint, request) is None
+
+    def test_poisoned_namespace_row_is_not_served(self, any_store):
+        # A result written under tenant A's namespace cannot be replayed
+        # to tenant B even by re-keying: the embedded-identity guard sees
+        # the namespaced fingerprint mismatch and refuses.
+        request = AnalysisRequest(Problem.CDPF)
+        result = factory_result(request)
+        fingerprint = model_fingerprint(factory())
+        NamespacedStore(any_store, "acme").put(fingerprint, request, result)
+        # Replaying acme's row under globex's key is a miss, never a hit.
+        assert any_store.get(f"globex/{fingerprint}", request) is None
+
+    def test_prune_is_scoped_to_the_namespace(self, any_store):
+        request = AnalysisRequest(Problem.CDPF)
+        result = factory_result(request)
+        fingerprint = model_fingerprint(factory())
+        acme = NamespacedStore(any_store, "acme")
+        globex = NamespacedStore(any_store, "globex")
+        acme.put(fingerprint, request, result)
+        globex.put(fingerprint, request, result)
+        assert acme.prune(fingerprint) == 1
+        assert globex.get(fingerprint, request) is not None
+
+    def test_prune_everything_is_refused_through_a_view(self, any_store):
+        view = NamespacedStore(any_store, "acme")
+        with pytest.raises(StoreError, match="namespaced view"):
+            view.prune()
+
+    def test_invalid_namespace_is_rejected(self, any_store):
+        for bad in ("", "a/b", "../escape", "x" * 65, None):
+            with pytest.raises(StoreError, match="namespace"):
+                NamespacedStore(any_store, bad)
+
+    def test_summary_carries_the_namespace(self, any_store):
+        view = NamespacedStore(any_store, "acme")
+        assert view.summary()["namespace"] == "acme"
 
 
 class TestSqliteHardening:

@@ -1,0 +1,93 @@
+"""Tests for structured access logging on the broker and the service."""
+
+import io
+import json
+
+import pytest
+
+from repro.net import AccessLog, BrokerServer, HttpQueue, REQUEST_ID_HEADER
+from repro.net.accesslog import new_request_id
+
+
+class TestAccessLog:
+    def test_one_json_line_per_record(self):
+        stream = io.StringIO()
+        log = AccessLog(stream, clock=lambda: 1000.0)
+        log.record(method="GET", route="/ping", status=200,
+                   latency_ms=1.234, request_id="abc123", tenant=None)
+        log.record(method="POST", route="/v1/jobs", status=202,
+                   latency_ms=10.5, request_id="def456", tenant="acme")
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert lines == [
+            {"ts": 1000.0, "request_id": "abc123", "tenant": None,
+             "method": "GET", "route": "/ping", "status": 200,
+             "latency_ms": 1.23},
+            {"ts": 1000.0, "request_id": "def456", "tenant": "acme",
+             "method": "POST", "route": "/v1/jobs", "status": 202,
+             "latency_ms": 10.5},
+        ]
+
+    def test_broken_stream_never_raises(self):
+        class Broken:
+            def write(self, text):
+                raise OSError("disk full")
+
+            def flush(self):
+                raise OSError("disk full")
+
+        log = AccessLog(Broken())
+        log.record(method="GET", route="/ping", status=200,
+                   latency_ms=0.1, request_id="abc123")
+
+    def test_request_ids_are_fresh(self):
+        ids = {new_request_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(request_id) == 12 for request_id in ids)
+
+
+class TestBrokerAccessLog:
+    def test_every_request_is_logged_and_id_echoed(self, tmp_path):
+        stream = io.StringIO()
+        server = BrokerServer(
+            queue_path=str(tmp_path / "q.sqlite"),
+            access_log=AccessLog(stream),
+        )
+        server.start()
+        try:
+            with HttpQueue(server.url) as queue:
+                queue.ping()
+                queue.submit([{"kind": "t"}])
+                queue.counts()
+        finally:
+            server.close()
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        routes = [line["route"] for line in lines]
+        assert routes == ["/ping", "/queue/submit", "/queue/counts"]
+        assert all(line["status"] == 200 for line in lines)
+        assert all(line["latency_ms"] >= 0 for line in lines)
+        assert all(len(line["request_id"]) == 12 for line in lines)
+        # The broker has no tenants; the field is present but null.
+        assert all(line["tenant"] is None for line in lines)
+
+    def test_failed_requests_are_logged_too(self, tmp_path):
+        import urllib.error
+        import urllib.request
+
+        stream = io.StringIO()
+        server = BrokerServer(
+            queue_path=str(tmp_path / "q.sqlite"),
+            access_log=AccessLog(stream),
+        )
+        server.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{server.url}/nonsense", timeout=10)
+            assert excinfo.value.code == 404
+            # The response carries the id the log line recorded.
+            echoed = excinfo.value.headers[REQUEST_ID_HEADER]
+        finally:
+            server.close()
+        (line,) = [json.loads(l) for l in stream.getvalue().splitlines()]
+        assert line["status"] == 404
+        assert line["route"] == "/nonsense"
+        assert line["request_id"] == echoed

@@ -333,6 +333,7 @@ class TestRetrySafety:
         with HttpQueue(broker.url) as check:
             assert check.counts() == {
                 "pending": 4, "running": 0, "done": 0, "dead": 0,
+                "cancelled": 0,
             }
             assert [task.task_id for task in check.tasks()] == ids
 

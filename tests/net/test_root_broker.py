@@ -1,0 +1,166 @@
+"""Tests for multi-queue roots: QueueRoot, the --root broker, BrokerAdmin.
+
+A root broker hosts many named queues behind one port; these tests cover
+the name grammar (names are filenames *and* URL segments), the management
+verbs locally and over HTTP, strict 404s for unknown queue names, and the
+isolation between queues sharing one broker.
+"""
+
+import pytest
+
+from repro.distributed import QUEUE_FILE_SUFFIX, QueueError, QueueRoot
+from repro.net import BrokerAdmin, BrokerServer, HttpQueue, split_queue_url
+
+
+@pytest.fixture
+def root_path(tmp_path):
+    return str(tmp_path / "root")
+
+
+@pytest.fixture
+def root_broker(root_path):
+    server = BrokerServer(root=root_path)
+    server.start()
+    yield server
+    server.close()
+
+
+class TestQueueRoot:
+    def test_create_list_drop_round_trip(self, root_path):
+        with QueueRoot(root_path) as root:
+            assert root.names() == []
+            assert root.create("alpha") is True
+            assert root.create("alpha") is False  # idempotent
+            assert root.create("beta") is True
+            assert root.names() == ["alpha", "beta"]
+            assert root.drop("alpha") is True
+            assert root.drop("alpha") is False
+            assert root.names() == ["beta"]
+
+    def test_invalid_names_are_rejected(self, root_path):
+        with QueueRoot(root_path) as root:
+            for bad in ("", "../escape", "a/b", ".hidden", "-flag",
+                        "x" * 65, "sp ace"):
+                with pytest.raises(QueueError, match="queue name"):
+                    root.open(bad)
+            # Nothing leaked onto disk while rejecting.
+            assert root.names() == []
+
+    def test_queues_are_isolated(self, root_path):
+        with QueueRoot(root_path) as root:
+            alpha = root.open("alpha")
+            beta = root.open("beta")
+            alpha.submit([{"kind": "t", "i": 0}])
+            assert beta.counts()["pending"] == 0
+            assert alpha.counts()["pending"] == 1
+
+    def test_open_must_exist_refuses_typos(self, root_path):
+        with QueueRoot(root_path) as root:
+            with pytest.raises(QueueError, match="no queue named"):
+                root.open("absent", must_exist=True)
+
+    def test_drop_closes_the_cached_handle(self, root_path):
+        with QueueRoot(root_path) as root:
+            queue = root.open("alpha")
+            queue.submit([{"kind": "t"}])
+            assert root.drop("alpha")
+            with pytest.raises(QueueError):
+                queue.submit([{"kind": "t"}])
+            # Recreating starts from an empty queue, not a resurrected one.
+            assert root.open("alpha").counts()["pending"] == 0
+
+    def test_root_path_collision_with_file_raises(self, tmp_path):
+        path = tmp_path / "not-a-dir"
+        path.write_text("occupied")
+        with pytest.raises(QueueError, match="not a directory"):
+            QueueRoot(str(path))
+
+    def test_foreign_files_are_not_listed(self, root_path):
+        with QueueRoot(root_path) as root:
+            root.create("alpha")
+            from pathlib import Path
+
+            (Path(root_path) / f"stray{QUEUE_FILE_SUFFIX}x").write_text("")
+            assert root.names() == ["alpha"]
+
+
+class TestSplitQueueUrl:
+    def test_bare_and_named_urls(self):
+        assert split_queue_url("http://h:1") == ("http://h:1", None)
+        assert split_queue_url("http://h:1/queues/alpha") == (
+            "http://h:1", "alpha"
+        )
+
+    def test_rejects_garbage_paths(self):
+        for bad in ("http://h:1/queue/alpha", "http://h:1/queues",
+                    "http://h:1/queues/a/b", "http://h:1/queues/bad name"):
+            with pytest.raises(QueueError):
+                split_queue_url(bad)
+
+
+class TestRootBroker:
+    def test_admin_verbs_over_http(self, root_broker):
+        with BrokerAdmin(root_broker.url) as admin:
+            assert admin.ping()["root"] is True
+            assert admin.create_queue("alpha") is True
+            assert admin.create_queue("alpha") is False
+            rows = admin.list_queues()
+            assert [row["name"] for row in rows] == ["alpha"]
+            assert rows[0]["counts"]["pending"] == 0
+            assert admin.drop_queue("alpha") is True
+            assert admin.drop_queue("alpha") is False
+
+    def test_named_queue_operations_over_http(self, root_broker):
+        with BrokerAdmin(root_broker.url) as admin:
+            admin.create_queue("alpha")
+        with HttpQueue(f"{root_broker.url}/queues/alpha") as queue:
+            ids = queue.submit([{"kind": "t", "i": i} for i in range(2)])
+            task = queue.claim("w", lease_seconds=30)
+            assert queue.complete(task.task_id, "w", {"ok": True})
+            assert queue.cancel_pending(ids) == [ids[1]]
+            counts = queue.counts()
+            assert counts["done"] == 1 and counts["cancelled"] == 1
+
+    def test_unknown_queue_name_is_404_not_conjured(self, root_broker):
+        with HttpQueue(f"{root_broker.url}/queues/absent") as queue:
+            with pytest.raises(QueueError, match="queue create"):
+                queue.counts()
+        # And nothing was created by the failed operations.
+        with BrokerAdmin(root_broker.url) as admin:
+            assert admin.list_queues() == []
+
+    def test_two_queues_behind_one_broker_are_isolated(self, root_broker):
+        with BrokerAdmin(root_broker.url) as admin:
+            admin.create_queue("alpha")
+            admin.create_queue("beta")
+        with HttpQueue(f"{root_broker.url}/queues/alpha") as alpha, \
+                HttpQueue(f"{root_broker.url}/queues/beta") as beta:
+            alpha.submit([{"kind": "t"}])
+            alpha.set_meta("run", "alpha-run")
+            assert beta.counts()["pending"] == 0
+            assert beta.get_meta("run") is None
+
+    def test_unnamed_client_against_root_broker_fails_ping(self, root_broker):
+        with HttpQueue(root_broker.url) as queue:
+            with pytest.raises(QueueError, match="queues/<name>"):
+                queue.ping()
+
+    def test_named_client_against_single_queue_broker_fails(self, tmp_path):
+        server = BrokerServer(queue_path=str(tmp_path / "q.sqlite"))
+        server.start()
+        try:
+            with HttpQueue(f"{server.url}/queues/alpha") as queue:
+                with pytest.raises(QueueError, match="no named queues"):
+                    queue.ping()
+        finally:
+            server.close()
+
+    def test_admin_against_single_queue_broker_fails(self, tmp_path):
+        server = BrokerServer(queue_path=str(tmp_path / "q.sqlite"))
+        server.start()
+        try:
+            with BrokerAdmin(server.url) as admin:
+                with pytest.raises(QueueError, match="no queue root"):
+                    admin.ping()
+        finally:
+            server.close()

@@ -1,0 +1,307 @@
+"""Tests for the HTTP surface of the analysis service.
+
+Every test drives a real :class:`ServiceServer` over an in-memory queue
+with plain ``urllib`` — the same path an external client walks.  Where a
+job must make progress, a background :class:`Worker` thread drains the
+queue exactly as ``atcd dist worker`` would.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.attacktree import serialization
+from repro.attacktree.catalog import factory
+from repro.distributed import InMemoryQueue, Worker
+from repro.service import (
+    API_KEY_HEADER,
+    SERVICE_NAME,
+    SERVICE_VERSION,
+    ServiceServer,
+    Tenant,
+    TenantRegistry,
+)
+
+MODEL = serialization.to_dict(factory())
+
+ACME_KEY = "acme-key-12345678"
+GLOBEX_KEY = "globex-key-12345678"
+
+
+@pytest.fixture
+def server():
+    registry = TenantRegistry([
+        Tenant(name="acme", key=ACME_KEY),
+        Tenant(name="globex", key=GLOBEX_KEY, max_in_flight=2),
+    ])
+    with ServiceServer(
+        InMemoryQueue(), registry, poll_seconds=0.01,
+    ) as service:
+        service.start()
+        yield service
+
+
+@pytest.fixture
+def worker(server):
+    """A live worker attached to the server's queue, like a fleet member."""
+    runner = Worker(
+        server.queue, worker_id="w", poll_seconds=0.01,
+        exit_when_drained=False,
+    )
+    thread = threading.Thread(target=runner.run, daemon=True)
+    thread.start()
+    yield runner
+    runner.stop()
+    thread.join(timeout=10.0)
+
+
+def call(server, route, method="GET", key=ACME_KEY, body=None, raw=None):
+    """One HTTP round trip; returns (status, headers, parsed body)."""
+    data = raw
+    if body is not None:
+        data = json.dumps(body).encode("utf-8")
+    if data is not None and method == "GET":
+        method = "POST"
+    request = urllib.request.Request(
+        server.url + route, data=data, method=method,
+    )
+    if key is not None:
+        request.add_header(API_KEY_HEADER, key)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return (
+                response.status,
+                dict(response.headers),
+                json.loads(response.read().decode("utf-8")),
+            )
+    except urllib.error.HTTPError as error:
+        payload = error.read().decode("utf-8")
+        return error.code, dict(error.headers), json.loads(payload)
+
+
+def submit(server, key=ACME_KEY, requests=None, **fields):
+    body = {
+        "model": MODEL,
+        "requests": requests
+        if requests is not None
+        else [{"problem": "cdpf"}, {"problem": "dgc", "budget": 2.0}],
+    }
+    body.update(fields)
+    return call(server, "/v1/jobs", method="POST", key=key, body=body)
+
+
+def await_state(server, job_id, want, key=ACME_KEY, tries=500):
+    for _ in range(tries):
+        status, _, doc = call(server, f"/v1/jobs/{job_id}", key=key)
+        assert status == 200
+        if doc["job"]["state"] == want:
+            return doc["job"]
+    raise AssertionError(f"job never reached {want!r}: {doc}")
+
+
+class TestAuth:
+    def test_ping_needs_no_key(self, server):
+        status, _, doc = call(server, "/ping", key=None)
+        assert status == 200
+        assert doc["server"] == SERVICE_NAME
+        assert doc["service_version"] == SERVICE_VERSION
+
+    def test_missing_key_is_401(self, server):
+        status, _, doc = call(server, "/v1/jobs", key=None)
+        assert status == 401
+        assert doc["kind"] == "unauthorized"
+        assert API_KEY_HEADER in doc["error"]
+
+    def test_unknown_key_is_403(self, server):
+        status, _, doc = call(server, "/v1/jobs", key="wrong-key-12345678")
+        assert status == 403
+        assert doc["kind"] == "forbidden"
+
+    def test_prefix_of_a_real_key_is_403(self, server):
+        status, _, doc = call(server, "/v1/jobs", key=ACME_KEY[:-1])
+        assert status == 403
+
+
+class TestValidationAtTheEdge:
+    def test_non_json_body_is_400(self, server):
+        status, _, doc = call(
+            server, "/v1/jobs", method="POST", raw=b"{not json",
+        )
+        assert status == 400
+        assert doc["kind"] == "bad-request"
+
+    def test_non_object_body_is_400(self, server):
+        status, _, doc = call(server, "/v1/jobs", method="POST", body=[1, 2])
+        assert status == 400
+        assert "JSON object" in doc["error"]
+
+    def test_unknown_job_fields_are_400(self, server):
+        status, _, doc = submit(server, priority="high")
+        assert status == 400
+        assert doc["kind"] == "validation"
+        assert "priority" in doc["error"]
+
+    def test_bad_request_in_batch_names_the_index(self, server):
+        status, _, doc = submit(
+            server, requests=[{"problem": "cdpf"}, {"problem": "dgc"}],
+        )
+        assert status == 400
+        assert doc["kind"] == "validation"
+        assert doc["index"] == 1
+        assert "budget" in doc["error"]
+
+    def test_bad_model_is_400_with_field(self, server):
+        status, _, doc = call(
+            server, "/v1/jobs", method="POST",
+            body={"model": 7, "requests": [{"problem": "cdpf"}]},
+        )
+        assert status == 400
+        assert doc["field"] == "model"
+
+    def test_rejected_batch_leaves_no_job_behind(self, server):
+        submit(server, requests=[{"problem": "nonsense"}])
+        status, _, doc = call(server, "/v1/jobs")
+        assert status == 200
+        assert doc["jobs"] == []
+
+    def test_unknown_endpoint_is_404(self, server):
+        for route, method in (
+            ("/v1/nonsense", "GET"),
+            ("/v1/jobs/x/nonsense", "GET"),
+            ("/v1/jobs/x/results/extra", "GET"),
+            ("/v1/nonsense", "POST"),
+        ):
+            status, _, doc = call(server, route, method=method)
+            assert status == 404
+            assert doc["kind"] == "not-found"
+
+
+class TestJobLifecycle:
+    def test_submit_poll_results(self, server, worker):
+        status, _, doc = submit(server)
+        assert status == 202
+        assert doc["ok"] is True
+        job = doc["job"]
+        assert job["state"] in ("queued", "running", "done")
+        assert job["count"] == 2
+
+        final = await_state(server, job["job_id"], "done")
+        assert final["completed"] == 2
+
+        status, _, doc = call(server, f"/v1/jobs/{job['job_id']}/results")
+        assert status == 200
+        rows = doc["results"]
+        assert [row["index"] for row in rows] == [0, 1]
+        assert all(row["state"] == "done" for row in rows)
+        assert rows[1]["result"]["value"] == 200.0
+
+    def test_jobs_are_listed_in_submission_order(self, server):
+        ids = [submit(server, name=f"j{i}")[2]["job"]["job_id"]
+               for i in range(3)]
+        status, _, doc = call(server, "/v1/jobs")
+        assert status == 200
+        assert [job["job_id"] for job in doc["jobs"]] == ids
+        assert [job["name"] for job in doc["jobs"]] == ["j0", "j1", "j2"]
+
+    def test_cancel_is_effective_and_idempotent(self, server):
+        _, _, doc = submit(server)
+        job_id = doc["job"]["job_id"]
+        status, _, doc = call(
+            server, f"/v1/jobs/{job_id}/cancel", method="POST",
+        )
+        assert status == 200
+        assert doc["job"]["state"] == "cancelled"
+        status, _, doc = call(
+            server, f"/v1/jobs/{job_id}/cancel", method="POST",
+        )
+        assert status == 200
+        assert doc["job"]["state"] == "cancelled"
+
+    def test_stream_emits_results_then_an_end_line(self, server, worker):
+        _, _, doc = submit(server)
+        job_id = doc["job"]["job_id"]
+        request = urllib.request.Request(
+            f"{server.url}/v1/jobs/{job_id}/stream",
+        )
+        request.add_header(API_KEY_HEADER, ACME_KEY)
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == "application/x-ndjson"
+            lines = [
+                json.loads(line)
+                for line in response.read().decode("utf-8").splitlines()
+            ]
+        assert lines[-1]["event"] == "end"
+        assert lines[-1]["state"] == "done"
+        results = [line for line in lines if line["event"] == "result"]
+        assert sorted(line["index"] for line in results) == [0, 1]
+
+    def test_stream_of_unknown_job_is_404(self, server):
+        status, _, doc = call(server, "/v1/jobs/nope/stream")
+        assert status == 404
+
+
+class TestTenancyOverHttp:
+    def test_foreign_job_ids_do_not_exist(self, server):
+        _, _, doc = submit(server, key=ACME_KEY)
+        job_id = doc["job"]["job_id"]
+        for route, method in (
+            (f"/v1/jobs/{job_id}", "GET"),
+            (f"/v1/jobs/{job_id}/results", "GET"),
+            (f"/v1/jobs/{job_id}/stream", "GET"),
+            (f"/v1/jobs/{job_id}/cancel", "POST"),
+        ):
+            status, _, doc = call(server, route, method=method,
+                                  key=GLOBEX_KEY)
+            assert status == 404, route
+            assert doc["kind"] == "not-found"
+        status, _, doc = call(server, "/v1/jobs", key=GLOBEX_KEY)
+        assert doc["jobs"] == []
+
+    def test_in_flight_cap_answers_429_with_retry_after(self, server):
+        # globex is capped at 2 in-flight requests.
+        status, _, _ = submit(
+            server, key=GLOBEX_KEY,
+            requests=[{"problem": "cdpf"}, {"problem": "cdpf"}],
+        )
+        assert status == 202
+        status, headers, doc = submit(
+            server, key=GLOBEX_KEY, requests=[{"problem": "cdpf"}],
+        )
+        assert status == 429
+        assert doc["kind"] == "quota"
+        assert int(headers["Retry-After"]) >= 1
+        assert doc["retry_after_seconds"] > 0
+        # acme is unaffected by globex's cap.
+        assert submit(server, key=ACME_KEY)[0] == 202
+
+    def test_cancelling_frees_the_cap(self, server):
+        _, _, doc = submit(
+            server, key=GLOBEX_KEY,
+            requests=[{"problem": "cdpf"}, {"problem": "cdpf"}],
+        )
+        call(server, f"/v1/jobs/{doc['job']['job_id']}/cancel",
+             method="POST", key=GLOBEX_KEY)
+        status, _, _ = submit(
+            server, key=GLOBEX_KEY, requests=[{"problem": "cdpf"}],
+        )
+        assert status == 202
+
+    def test_rate_limited_tenant_gets_429(self):
+        registry = TenantRegistry([
+            Tenant(name="acme", key=ACME_KEY, rate_per_second=0.001,
+                   burst=2.0),
+        ])
+        with ServiceServer(InMemoryQueue(), registry) as service:
+            service.start()
+            assert submit(service, requests=[{"problem": "cdpf"}] * 2)[0] \
+                == 202
+            status, headers, doc = submit(
+                service, requests=[{"problem": "cdpf"}],
+            )
+            assert status == 429
+            assert doc["kind"] == "rate-limit"
+            assert "Retry-After" in headers

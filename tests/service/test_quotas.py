@@ -1,0 +1,92 @@
+"""Tests for admission control: token buckets and in-flight caps.
+
+Every timing-sensitive case drives an injected clock — no sleeps.
+"""
+
+import pytest
+
+from repro.service import QuotaExceeded, QuotaManager, Tenant, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends_down(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_second=1.0, burst=3.0, clock=clock)
+        assert bucket.try_acquire(3.0) is None
+        retry = bucket.try_acquire(1.0)
+        assert retry == pytest.approx(1.0)
+
+    def test_refills_continuously_up_to_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_second=2.0, burst=4.0, clock=clock)
+        bucket.try_acquire(4.0)
+        clock.advance(1.0)  # +2 tokens
+        assert bucket.try_acquire(2.0) is None
+        clock.advance(100.0)  # caps at burst, not 200 tokens
+        assert bucket.tokens == pytest.approx(4.0)
+
+    def test_requests_over_burst_report_full_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_second=1.0, burst=2.0, clock=clock)
+        # 5 tokens can never fit in a burst-2 bucket; the hint is the
+        # full-refill time, not infinity.
+        assert bucket.try_acquire(5.0) == pytest.approx(2.0)
+
+
+class TestQuotaManager:
+    def tenant(self, **kwargs):
+        return Tenant(name="acme", key="acme-key-12345678", **kwargs)
+
+    def test_unthrottled_tenant_is_always_admitted(self):
+        manager = QuotaManager(clock=FakeClock())
+        manager.admit(self.tenant(), batch_size=10_000, in_flight=10_000)
+
+    def test_in_flight_cap_rejects_whole_batches(self):
+        manager = QuotaManager(clock=FakeClock())
+        tenant = self.tenant(max_in_flight=4)
+        manager.admit(tenant, batch_size=4, in_flight=0)
+        with pytest.raises(QuotaExceeded) as excinfo:
+            manager.admit(tenant, batch_size=2, in_flight=3)
+        assert excinfo.value.kind == "quota"
+        assert excinfo.value.retry_after_seconds is not None
+
+    def test_rate_limit_charges_per_request(self):
+        clock = FakeClock()
+        manager = QuotaManager(clock=clock)
+        tenant = self.tenant(rate_per_second=1.0, burst=3.0)
+        manager.admit(tenant, batch_size=3, in_flight=0)
+        with pytest.raises(QuotaExceeded) as excinfo:
+            manager.admit(tenant, batch_size=1, in_flight=0)
+        assert excinfo.value.kind == "rate-limit"
+        clock.advance(1.0)
+        manager.admit(tenant, batch_size=1, in_flight=0)  # refilled
+
+    def test_capped_batch_does_not_drain_the_bucket(self):
+        # The cap check runs first: a tenant hammering an over-cap batch
+        # must not starve itself of rate tokens for when the cap frees up.
+        clock = FakeClock()
+        manager = QuotaManager(clock=clock)
+        tenant = self.tenant(max_in_flight=2, rate_per_second=1.0, burst=2.0)
+        for _ in range(5):
+            with pytest.raises(QuotaExceeded):
+                manager.admit(tenant, batch_size=2, in_flight=2)
+        manager.admit(tenant, batch_size=2, in_flight=0)  # bucket still full
+
+    def test_default_burst_is_one_second_of_rate(self):
+        clock = FakeClock()
+        manager = QuotaManager(clock=clock)
+        tenant = self.tenant(rate_per_second=5.0)  # no burst configured
+        manager.admit(tenant, batch_size=5, in_flight=0)
+        with pytest.raises(QuotaExceeded):
+            manager.admit(tenant, batch_size=1, in_flight=0)

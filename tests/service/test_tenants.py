@@ -1,0 +1,89 @@
+"""Tests for tenant identity: key validation, registry, authentication."""
+
+import json
+
+import pytest
+
+from repro.service import MIN_KEY_LENGTH, Tenant, TenantRegistry
+
+
+def tenant(name="acme", key="acme-key-12345678", **kwargs):
+    return Tenant(name=name, key=key, **kwargs)
+
+
+class TestTenant:
+    def test_minimal_tenant_is_unthrottled(self):
+        t = tenant()
+        assert t.max_in_flight is None
+        assert t.rate_per_second is None
+
+    def test_bad_names_are_rejected(self):
+        for bad in ("", "a/b", "../up", ".dot", "-dash", "x" * 65, "sp ace",
+                    None, 7):
+            with pytest.raises(ValueError, match="tenant name"):
+                tenant(name=bad)
+
+    def test_short_keys_are_rejected(self):
+        with pytest.raises(ValueError, match="api key"):
+            tenant(key="x" * (MIN_KEY_LENGTH - 1))
+
+    def test_bad_quota_values_are_rejected(self):
+        for field, bad in (
+            ("max_in_flight", 0), ("max_in_flight", -1),
+            ("max_in_flight", 2.5), ("max_in_flight", True),
+            ("rate_per_second", 0), ("rate_per_second", -1.0),
+            ("burst", 0), ("burst", False),
+        ):
+            with pytest.raises(ValueError):
+                tenant(**{field: bad})
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown tenant fields"):
+            Tenant.from_dict({"name": "a1", "key": "k" * 8, "admin": True})
+        with pytest.raises(ValueError, match="'name' and 'key'"):
+            Tenant.from_dict({"name": "a1"})
+
+
+class TestRegistry:
+    def test_duplicate_names_and_keys_are_rejected(self):
+        with pytest.raises(ValueError, match="duplicate tenant names"):
+            TenantRegistry([tenant(), tenant(key="other-key-12345678")])
+        with pytest.raises(ValueError, match="duplicate tenant api keys"):
+            TenantRegistry([tenant(), tenant(name="globex")])
+
+    def test_empty_registry_is_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            TenantRegistry([])
+
+    def test_authenticate_maps_key_to_tenant(self):
+        registry = TenantRegistry([
+            tenant(), tenant(name="globex", key="globex-key-12345678"),
+        ])
+        assert registry.authenticate("acme-key-12345678").name == "acme"
+        assert registry.authenticate("globex-key-12345678").name == "globex"
+        assert registry.authenticate("unknown-key-12345") is None
+        assert registry.authenticate("") is None
+        assert registry.authenticate(None) is None
+        # A prefix of a real key is not a match.
+        assert registry.authenticate("acme-key-1234567") is None
+
+    def test_from_file_round_trip(self, tmp_path):
+        path = tmp_path / "keys.json"
+        path.write_text(json.dumps({"tenants": [
+            {"name": "acme", "key": "acme-key-12345678", "max_in_flight": 4},
+        ]}))
+        registry = TenantRegistry.from_file(str(path))
+        assert registry.names() == ["acme"]
+        assert registry.get("acme").max_in_flight == 4
+
+    def test_from_file_failures_are_one_line_errors(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            TenantRegistry.from_file(str(tmp_path / "absent.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            TenantRegistry.from_file(str(bad))
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps(["not", "an", "object"]))
+        with pytest.raises(ValueError, match="'tenants' list"):
+            TenantRegistry.from_file(str(wrong))
