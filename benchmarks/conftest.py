@@ -8,7 +8,6 @@ each module documents how to scale it up to the paper's full workload.
 
 from __future__ import annotations
 
-import random
 
 import pytest
 

@@ -12,7 +12,6 @@ treelike ATs, BILP ≪ enumerative on DAGs, and probabilistic bottom-up slower
 than deterministic bottom-up.
 """
 
-import pytest
 
 from repro.core.bilp import pareto_front_bilp
 from repro.core.bottom_up import pareto_front_treelike

@@ -15,10 +15,10 @@ helper gates carry zero damage so that the cost/damage semantics of every
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from .attributes import CostDamageAT, CostDamageProbAT
-from .node import Node, NodeType
+from .node import Node
 from .tree import AttackTree
 
 __all__ = ["binarize_tree", "binarize_cd", "binarize_cdp", "is_binary"]

@@ -21,7 +21,7 @@ The running example of the paper (Fig. 1) is written as::
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .attributes import CostDamageAT, CostDamageProbAT
 from .node import Node, NodeType

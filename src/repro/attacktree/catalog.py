@@ -326,7 +326,6 @@ def _synthetic_block(name: str, size: int, treelike: bool, seed: int) -> AttackT
             None,
         )
         if receiver_gate is not None:
-            from .node import Node  # local import to avoid a cycle at module load
 
             nodes = dict(tree.nodes)
             original = nodes[receiver_gate]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..milp.highs import default_solver
 from ..milp.model import ConstraintSense, LinearExpression

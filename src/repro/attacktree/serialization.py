@@ -26,7 +26,7 @@ The JSON schema is intentionally simple::
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Union
 
 from .attributes import CostDamageAT, CostDamageProbAT
 from .node import Node, NodeType

@@ -20,7 +20,7 @@ harness and by tests:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional
 
 from .attributes import CostDamageAT, CostDamageProbAT
 from .node import Node, NodeType

@@ -24,8 +24,7 @@ the budget/threshold as an extra linear constraint.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import FrozenSet, Optional, Tuple
 
 from ..attacktree.attributes import CostDamageAT
 from ..attacktree.node import NodeType

@@ -19,27 +19,65 @@ The paper presents the recursion for binary trees "purely to simplify
 notation"; here gates of any arity are folded child by child, which is
 equivalent because the combination operators are associative and preserve
 the DTrip order (Lemma 3), so intermediate pruning remains sound.
+
+Kernel representation
+---------------------
+Internally the solver never builds per-candidate objects.  A node's front is
+a pair of *quadrants* split on the reached bit — ``N`` (not reached) and
+``R`` (reached) — each stored as three parallel lists ``(costs, damages,
+masks)`` sorted so that costs and damages are strictly increasing (an exact
+2-D Pareto staircase).  Witness attacks are integer bitsets over the node's
+local BAS universe (child masks are shifted and OR-ed when folding a gate),
+so combining two partial attacks is one integer OR instead of a frozenset
+union.  Because the bit of ``R`` strictly beats the bit of ``N``, the DTrip
+minimisation reduces to: staircase each quadrant, then drop ``N`` entries
+weakly dominated by an ``R`` entry (a single merge scan).  Structurally
+identical subtrees (same gate types, decorations and child order) are
+detected by an interned fingerprint and computed once.  Masks are
+materialised back to ``frozenset[str]`` — and the paper's ε-tolerant
+``min_U`` is applied — only at the public API boundary, so exact internal
+pruning keeps a superset of every ε-pruned front and remains sound.
+
+When numpy is installed, ``accelerator="numpy"`` vectorises the gate-fold
+inner loops (outer sums, budget filter and staircase); survivor masks are
+still combined as Python integers, so results are bit-identical to the pure
+Python path.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..attacktree.attributes import CostDamageAT
 from ..attacktree.node import NodeType
-from ..attacktree.tree import AttackTree
 from ..pareto.front import ParetoFront, ParetoPoint
 from ..pareto.poset import EPSILON, pareto_minimal_pairs, pareto_minimal_triples
 
+try:  # optional accelerator for the gate-fold inner loops
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised where numpy is absent
+    _np = None
+
 __all__ = [
     "AttributedAttack",
+    "numpy_available",
     "node_pareto_front",
     "pareto_front_treelike",
     "max_damage_given_cost_treelike",
     "min_cost_given_damage_treelike",
 ]
+
+#: Candidate batches smaller than this are folded in pure Python even when
+#: the numpy accelerator is requested — below it, array setup costs more
+#: than the loop it replaces.  Both paths produce identical survivors.
+_NUMPY_CUTOFF = 64
+
+
+def numpy_available() -> bool:
+    """Whether the optional numpy fold accelerator can be used."""
+    return _np is not None
 
 
 @dataclass(frozen=True)
@@ -69,66 +107,369 @@ class AttributedAttack:
         return (self.cost, self.damage, 1.0 if self.reached else 0.0)
 
 
-def _prune(
-    candidates: Iterable[AttributedAttack],
-    budget: float,
-    track_reachability: bool,
-) -> List[AttributedAttack]:
-    """The paper's ``min_U``: budget filter plus Pareto filter on DTrip.
+# A quadrant front: parallel (costs, damages, masks) lists forming an exact
+# 2-D staircase — costs strictly increasing, damages strictly increasing.
+_Front = Tuple[List[float], List[float], List[int]]
 
-    ``track_reachability=False`` drops the third dimension from the order —
-    this reproduces the *incorrect* naive propagation that the paper warns
-    about (Example 4) and is exposed only for the ablation study.
+_EMPTY_FRONT: _Front = ([], [], [])
+
+
+def _staircase(buffer: List[Tuple[float, float, int]]) -> _Front:
+    """Exact 2-D Pareto staircase of ``(cost, damage, mask)`` candidates.
+
+    Sorts by (cost asc, damage desc) — stable, so ties keep generation
+    order — and keeps a candidate iff its damage strictly exceeds every
+    cheaper-or-equal one.  The result has strictly increasing costs *and*
+    damages.
     """
-    affordable = [c for c in candidates if c.cost <= budget + EPSILON]
-    if track_reachability:
-        return pareto_minimal_triples(affordable, key=lambda a: a.triple)
-    return pareto_minimal_pairs(affordable, key=lambda a: (a.cost, a.damage))
+    buffer.sort(key=lambda entry: (entry[0], -entry[1]))
+    costs: List[float] = []
+    damages: List[float] = []
+    masks: List[int] = []
+    best = -math.inf
+    for cost, damage, mask in buffer:
+        if damage > best:
+            costs.append(cost)
+            damages.append(damage)
+            masks.append(mask)
+            best = damage
+    return costs, damages, masks
 
 
-def _bas_front(
-    cdat: CostDamageAT, name: str, budget: float
-) -> List[AttributedAttack]:
-    """``C^D_U`` at a BAS: not attacking, and attacking if affordable."""
-    idle = AttributedAttack(cost=0.0, damage=0.0, reached=False, attack=frozenset())
-    cost = cdat.cost[name]
-    if cost > budget + EPSILON:
-        return [idle]
-    active = AttributedAttack(
-        cost=cost, damage=cdat.damage[name], reached=True, attack=frozenset({name})
-    )
-    return [idle, active]
+def _combine_py(
+    products: List[Tuple[_Front, _Front, int]], limit: float
+) -> List[Tuple[float, float, int]]:
+    """Cross-combine staircase fronts: costs/damages add, masks OR-merge.
 
-
-def _combine_gate(
-    accumulated: List[AttributedAttack],
-    child_front: List[AttributedAttack],
-    gate_type: NodeType,
-    budget: float,
-    track_reachability: bool,
-) -> List[AttributedAttack]:
-    """Fold one more child into the running combination for a gate.
-
-    The damage contribution ``d(v)`` of the gate itself is *not* added here;
-    it is applied once after all children have been folded (see
-    :func:`node_pareto_front`), which keeps the fold associative.
+    Right-hand costs ascend, so the inner loop stops at the first partner
+    that would blow the budget (the paper's early ``min_U`` pruning).
     """
-    combined: List[AttributedAttack] = []
-    for left in accumulated:
-        for right in child_front:
-            if gate_type is NodeType.AND:
-                reached = left.reached and right.reached
-            else:
-                reached = left.reached or right.reached
-            combined.append(
-                AttributedAttack(
-                    cost=left.cost + right.cost,
-                    damage=left.damage + right.damage,
-                    reached=reached,
-                    attack=left.attack | right.attack,
-                )
+    buffer: List[Tuple[float, float, int]] = []
+    append = buffer.append
+    for (lc, ld, lm), (rc, rd, rm), shift in products:
+        for i in range(len(lc)):
+            ci = lc[i]
+            di = ld[i]
+            mi = lm[i]
+            for j in range(len(rc)):
+                cost = ci + rc[j]
+                if cost > limit:
+                    break
+                append((cost, di + rd[j], mi | (rm[j] << shift)))
+    return buffer
+
+
+def _combine_np(products: List[Tuple[_Front, _Front, int]], limit: float) -> _Front:
+    """Numpy fold: outer sums, budget filter and staircase, vectorised.
+
+    Tie-breaking matches :func:`_combine_py` + :func:`_staircase` exactly:
+    candidates are generated in the same (product-major, left-major) order
+    and ``np.lexsort`` is stable, so the surviving masks are identical.
+    """
+    cost_parts = []
+    damage_parts = []
+    provenance = []  # (start, left_masks, right_masks, shift, right_len)
+    start = 0
+    for (lc, ld, lm), (rc, rd, rm), shift in products:
+        if not lc or not rc:
+            continue
+        cost_block = _np.add.outer(
+            _np.asarray(lc, dtype=_np.float64), _np.asarray(rc, dtype=_np.float64)
+        ).ravel()
+        damage_block = _np.add.outer(
+            _np.asarray(ld, dtype=_np.float64), _np.asarray(rd, dtype=_np.float64)
+        ).ravel()
+        cost_parts.append(cost_block)
+        damage_parts.append(damage_block)
+        provenance.append((start, lm, rm, shift, len(rc)))
+        start += cost_block.shape[0]
+    if not cost_parts:
+        return ([], [], [])
+    costs = _np.concatenate(cost_parts)
+    damages = _np.concatenate(damage_parts)
+    if math.isfinite(limit):
+        affordable = _np.nonzero(costs <= limit)[0]
+        costs = costs[affordable]
+        damages = damages[affordable]
+    else:
+        affordable = None
+    if costs.shape[0] == 0:
+        return ([], [], [])
+    order = _np.lexsort((-damages, costs))
+    ordered_damages = damages[order]
+    keep = _np.empty(order.shape[0], dtype=bool)
+    keep[0] = True
+    keep[1:] = ordered_damages[1:] > _np.maximum.accumulate(ordered_damages)[:-1]
+    survivors = order[keep]
+    out_costs = costs[survivors].tolist()
+    out_damages = damages[survivors].tolist()
+    starts = [entry[0] for entry in provenance]
+    out_masks: List[int] = []
+    for position in survivors.tolist():
+        flat = position if affordable is None else int(affordable[position])
+        # Locate the product block this flat index came from.
+        block = len(starts) - 1
+        while starts[block] > flat:
+            block -= 1
+        begin, left_masks, right_masks, shift, right_len = provenance[block]
+        i, j = divmod(flat - begin, right_len)
+        out_masks.append(left_masks[i] | (right_masks[j] << shift))
+    return out_costs, out_damages, out_masks
+
+
+def _combine(
+    products: List[Tuple[_Front, _Front, int]], limit: float, use_numpy: bool
+) -> _Front:
+    """Fold the given quadrant products into one staircase front."""
+    if use_numpy:
+        total = sum(
+            len(left[0]) * len(right[0]) for left, right, _ in products
+        )
+        if total >= _NUMPY_CUTOFF:
+            return _combine_np(products, limit)
+    return _staircase(_combine_py(products, limit))
+
+
+def _filter_not_reached(n_front: _Front, r_front: _Front) -> _Front:
+    """Drop ``N`` entries weakly dominated by an ``R`` entry.
+
+    The reached bit of ``R`` strictly beats ``N``'s, so weak (cost, damage)
+    domination is already strict DTrip domination.  Both staircases ascend
+    in cost and damage, so a single merge scan suffices.
+    """
+    rc, rd, _ = r_front
+    nc, nd, nm = n_front
+    if not rc or not nc:
+        return n_front
+    out_costs: List[float] = []
+    out_damages: List[float] = []
+    out_masks: List[int] = []
+    last = -1  # index of the most damaging R entry with cost <= current N cost
+    for i in range(len(nc)):
+        cost = nc[i]
+        while last + 1 < len(rc) and rc[last + 1] <= cost:
+            last += 1
+        if last >= 0 and rd[last] >= nd[i]:
+            continue
+        out_costs.append(cost)
+        out_damages.append(nd[i])
+        out_masks.append(nm[i])
+    return out_costs, out_damages, out_masks
+
+
+def _mask_to_attack(mask: int, names: Tuple[str, ...]) -> FrozenSet[str]:
+    """Materialise a local bitset back to a frozenset of BAS names."""
+    selected = []
+    while mask:
+        low = mask & -mask
+        selected.append(names[low.bit_length() - 1])
+        mask ^= low
+    return frozenset(selected)
+
+
+class _TripleKernel:
+    """Reachability-tracking bottom-up fold over (N, R) quadrant fronts.
+
+    One instance per solver call: the memo caches each structural
+    fingerprint's computed quadrants, so decoration-identical subtrees
+    (common in generated workloads) are folded once.  Memoised fronts are
+    shared read-only; masks live in the subtree-local bit universe, so a hit
+    is valid for every occurrence regardless of the actual BAS names.
+    """
+
+    def __init__(self, cdat: CostDamageAT, limit: float, use_numpy: bool) -> None:
+        self.cdat = cdat
+        self.limit = limit
+        self.use_numpy = use_numpy
+        self.fingerprints: Dict[object, int] = {}
+        self.memo: Dict[int, Tuple[_Front, _Front, int]] = {}
+
+    def _intern(self, key: object) -> int:
+        return self.fingerprints.setdefault(key, len(self.fingerprints))
+
+    def compute(self, target: str) -> Tuple[_Front, _Front, Tuple[str, ...]]:
+        """Return ``(n_front, r_front, bas_names)`` for the target's subtree.
+
+        Iterative post-order (reversed pre-order) so deep chains do not hit
+        the interpreter recursion limit.
+        """
+        tree = self.cdat.tree
+        order: List[str] = []
+        stack = [target]
+        while stack:
+            name = stack.pop()
+            order.append(name)
+            stack.extend(tree.node(name).children)
+        # name -> (n_front, r_front, bas_names, fingerprint id)
+        done: Dict[str, Tuple[_Front, _Front, Tuple[str, ...], int]] = {}
+        for name in reversed(order):
+            node = tree.node(name)
+            if node.is_bas:
+                cost = self.cdat.cost[name]
+                damage = self.cdat.damage[name]
+                fingerprint = self._intern(("B", cost, damage))
+                cached = self.memo.get(fingerprint)
+                if cached is None:
+                    if cost > self.limit:
+                        cached = (([0.0], [0.0], [0]), _EMPTY_FRONT, 1)
+                    else:
+                        cached = (([0.0], [0.0], [0]), ([cost], [damage], [1]), 1)
+                    self.memo[fingerprint] = cached
+                done[name] = (cached[0], cached[1], (name,), fingerprint)
+                continue
+            child_results = [done[child] for child in node.children]
+            names: Tuple[str, ...] = ()
+            for _, _, child_names, _ in child_results:
+                names += child_names
+            gate_damage = self.cdat.damage[name]
+            fingerprint = self._intern(
+                (node.type.value, gate_damage, tuple(r[3] for r in child_results))
             )
-    return _prune(combined, budget, track_reachability)
+            cached = self.memo.get(fingerprint)
+            if cached is not None:
+                done[name] = (cached[0], cached[1], names, fingerprint)
+                continue
+            n_front, r_front, _, _ = child_results[0]
+            width = len(child_results[0][2])
+            for child_n, child_r, child_names, _ in child_results[1:]:
+                n_front, r_front = self._fold(
+                    n_front, r_front, child_n, child_r, node.type, width
+                )
+                width += len(child_names)
+            if gate_damage != 0.0 and r_front[0]:
+                r_front = (
+                    r_front[0],
+                    [value + gate_damage for value in r_front[1]],
+                    r_front[2],
+                )
+                n_front = _filter_not_reached(n_front, r_front)
+            self.memo[fingerprint] = (n_front, r_front, len(names))
+            done[name] = (n_front, r_front, names, fingerprint)
+        n_front, r_front, names, _ = done[target]
+        return n_front, r_front, names
+
+    def _fold(
+        self,
+        acc_n: _Front,
+        acc_r: _Front,
+        child_n: _Front,
+        child_r: _Front,
+        gate_type: NodeType,
+        shift: int,
+    ) -> Tuple[_Front, _Front]:
+        """Fold one child into the running combination (Equations (4)–(5))."""
+        if gate_type is NodeType.AND:
+            r_products = [(acc_r, child_r, shift)]
+            n_products = [
+                (acc_n, child_n, shift),
+                (acc_r, child_n, shift),
+                (acc_n, child_r, shift),
+            ]
+        else:
+            r_products = [
+                (acc_r, child_r, shift),
+                (acc_r, child_n, shift),
+                (acc_n, child_r, shift),
+            ]
+            n_products = [(acc_n, child_n, shift)]
+        r_front = _combine(r_products, self.limit, self.use_numpy)
+        n_front = _combine(n_products, self.limit, self.use_numpy)
+        return _filter_not_reached(n_front, r_front), r_front
+
+
+class _PairKernel:
+    """The ablation kernel: 2-D pruning that ignores the reached bit.
+
+    This reproduces the *incorrect* naive propagation the paper warns about
+    (Example 4) and is exposed only for the ablation study.  Each node's
+    front is a single staircase of ``(cost, damage, reached, mask)`` rows;
+    the reached flag rides along (it decides gate-damage application) but
+    takes no part in domination.
+    """
+
+    def __init__(self, cdat: CostDamageAT, limit: float) -> None:
+        self.cdat = cdat
+        self.limit = limit
+        self.fingerprints: Dict[object, int] = {}
+        self.memo: Dict[int, Tuple[list, int]] = {}
+
+    def _intern(self, key: object) -> int:
+        return self.fingerprints.setdefault(key, len(self.fingerprints))
+
+    @staticmethod
+    def _staircase(buffer: list) -> list:
+        buffer.sort(key=lambda entry: (entry[0], -entry[1]))
+        kept = []
+        best = -math.inf
+        for entry in buffer:
+            if entry[1] > best:
+                kept.append(entry)
+                best = entry[1]
+        return kept
+
+    def compute(self, target: str) -> Tuple[list, Tuple[str, ...]]:
+        tree = self.cdat.tree
+        order: List[str] = []
+        stack = [target]
+        while stack:
+            name = stack.pop()
+            order.append(name)
+            stack.extend(tree.node(name).children)
+        done: Dict[str, Tuple[list, Tuple[str, ...], int]] = {}
+        for name in reversed(order):
+            node = tree.node(name)
+            if node.is_bas:
+                cost = self.cdat.cost[name]
+                damage = self.cdat.damage[name]
+                fingerprint = self._intern(("B", cost, damage))
+                cached = self.memo.get(fingerprint)
+                if cached is None:
+                    front = [(0.0, 0.0, False, 0)]
+                    if cost <= self.limit:
+                        front = self._staircase(front + [(cost, damage, True, 1)])
+                    cached = (front, 1)
+                    self.memo[fingerprint] = cached
+                done[name] = (cached[0], (name,), fingerprint)
+                continue
+            child_results = [done[child] for child in node.children]
+            names: Tuple[str, ...] = ()
+            for _, child_names, _ in child_results:
+                names += child_names
+            gate_damage = self.cdat.damage[name]
+            fingerprint = self._intern(
+                (node.type.value, gate_damage, tuple(r[2] for r in child_results))
+            )
+            cached = self.memo.get(fingerprint)
+            if cached is not None:
+                done[name] = (cached[0], names, fingerprint)
+                continue
+            conjunctive = node.type is NodeType.AND
+            front = child_results[0][0]
+            width = len(child_results[0][1])
+            for child_front, child_names, _ in child_results[1:]:
+                buffer = []
+                for lc, ld, lr, lmask in front:
+                    for rc, rd, rr, rmask in child_front:
+                        cost = lc + rc
+                        if cost > self.limit:
+                            break
+                        reached = (lr and rr) if conjunctive else (lr or rr)
+                        buffer.append(
+                            (cost, ld + rd, reached, lmask | (rmask << width))
+                        )
+                front = self._staircase(buffer)
+                width += len(child_names)
+            if gate_damage != 0.0:
+                front = self._staircase(
+                    [
+                        (cost, damage + gate_damage if reached else damage, reached, mask)
+                        for cost, damage, reached, mask in front
+                    ]
+                )
+            self.memo[fingerprint] = (front, len(names))
+            done[name] = (front, names, fingerprint)
+        front, names, _ = done[target]
+        return front, names
 
 
 def node_pareto_front(
@@ -136,8 +477,9 @@ def node_pareto_front(
     node: Optional[str] = None,
     budget: float = math.inf,
     track_reachability: bool = True,
+    accelerator: Optional[str] = None,
 ) -> List[AttributedAttack]:
-    """Compute the incomplete Pareto front ``C^D_U(v)`` for every node.
+    """Compute the incomplete Pareto front ``C^D_U(v)`` of a node.
 
     Parameters
     ----------
@@ -151,6 +493,10 @@ def node_pareto_front(
         Keep the third (reached) dimension in the Pareto order, as the paper
         requires.  Setting this to ``False`` reproduces the naive two
         dimensional propagation that loses optimal attacks (ablation only).
+    accelerator:
+        ``None`` for the pure-Python fold, ``"numpy"`` to vectorise the
+        gate-fold inner loops (requires numpy; results are identical).
+        Ignored by the ablation (``track_reachability=False``) path.
 
     Returns
     -------
@@ -172,43 +518,52 @@ def node_pareto_front(
         )
     if budget < 0:
         raise ValueError("the cost budget must be non-negative")
+    if accelerator not in (None, "numpy"):
+        raise ValueError(f"unknown accelerator {accelerator!r}; use None or 'numpy'")
+    if accelerator == "numpy" and _np is None:
+        raise ValueError("accelerator 'numpy' requested but numpy is not installed")
     target = node if node is not None else tree.root
     if target not in tree.nodes:
         raise KeyError(f"no node named {target!r} in this attack tree")
 
-    fronts: Dict[str, List[AttributedAttack]] = {}
-    for name in tree.node_names:  # children before parents
-        current = tree.node(name)
-        if current.is_bas:
-            fronts[name] = _bas_front(cdat, name, budget)
-            continue
-        accumulated = fronts[current.children[0]]
-        for child in current.children[1:]:
-            accumulated = _combine_gate(
-                accumulated, fronts[child], current.type, budget, track_reachability
-            )
-        if len(current.children) == 1:
-            # A unary gate behaves as the identity on its child's front.
-            accumulated = list(accumulated)
-        gate_damage = cdat.damage[name]
-        with_gate_damage = [
+    limit = budget + EPSILON
+    if track_reachability:
+        kernel = _TripleKernel(cdat, limit, accelerator == "numpy")
+        n_front, r_front, names = kernel.compute(target)
+        items = [
             AttributedAttack(
-                cost=item.cost,
-                damage=item.damage + (gate_damage if item.reached else 0.0),
-                reached=item.reached,
-                attack=item.attack,
+                cost=cost, damage=damage, reached=False,
+                attack=_mask_to_attack(mask, names),
             )
-            for item in accumulated
+            for cost, damage, mask in zip(*n_front)
         ]
-        fronts[name] = _prune(with_gate_damage, budget, track_reachability)
+        items += [
+            AttributedAttack(
+                cost=cost, damage=damage, reached=True,
+                attack=_mask_to_attack(mask, names),
+            )
+            for cost, damage, mask in zip(*r_front)
+        ]
+        # The paper's ε-tolerant min_U is applied once, at the boundary.
+        return pareto_minimal_triples(items, key=lambda item: item.triple)
 
-    return fronts[target]
+    pair_kernel = _PairKernel(cdat, limit)
+    front, names = pair_kernel.compute(target)
+    items = [
+        AttributedAttack(
+            cost=cost, damage=damage, reached=reached,
+            attack=_mask_to_attack(mask, names),
+        )
+        for cost, damage, reached, mask in front
+    ]
+    return pareto_minimal_pairs(items, key=lambda item: (item.cost, item.damage))
 
 
 def pareto_front_treelike(
     cdat: CostDamageAT,
     budget: float = math.inf,
     track_reachability: bool = True,
+    accelerator: Optional[str] = None,
 ) -> ParetoFront:
     """Solve CDPF for a treelike cd-AT bottom-up (Theorem 4).
 
@@ -218,7 +573,11 @@ def pareto_front_treelike(
     (Theorem 3).
     """
     root_front = node_pareto_front(
-        cdat, cdat.tree.root, budget=budget, track_reachability=track_reachability
+        cdat,
+        cdat.tree.root,
+        budget=budget,
+        track_reachability=track_reachability,
+        accelerator=accelerator,
     )
     points = [
         ParetoPoint(cost=item.cost, damage=item.damage, attack=item.attack,
@@ -229,23 +588,30 @@ def pareto_front_treelike(
 
 
 def max_damage_given_cost_treelike(
-    cdat: CostDamageAT, budget: float
+    cdat: CostDamageAT, budget: float, accelerator: Optional[str] = None
 ) -> Tuple[float, Optional[FrozenSet[str]]]:
     """Solve DgC for a treelike cd-AT (Theorem 3).
 
     Propagates the budget ``U`` through the bottom-up recursion so that
     partial attacks exceeding the budget are discarded early, then returns
-    the most damaging affordable triple at the root.
+    the most damaging affordable triple at the root.  Damage ties are broken
+    towards the least cost, then the fewest activated BASs, so the witness
+    is never needlessly expensive.
     """
     if budget < 0:
         return 0.0, None
-    root_front = node_pareto_front(cdat, cdat.tree.root, budget=budget)
-    best = max(root_front, key=lambda item: item.damage)
+    root_front = node_pareto_front(
+        cdat, cdat.tree.root, budget=budget, accelerator=accelerator
+    )
+    best = max(
+        root_front,
+        key=lambda item: (item.damage, -item.cost, -len(item.attack)),
+    )
     return best.damage, best.attack
 
 
 def min_cost_given_damage_treelike(
-    cdat: CostDamageAT, threshold: float
+    cdat: CostDamageAT, threshold: float, accelerator: Optional[str] = None
 ) -> Tuple[Optional[float], Optional[FrozenSet[str]]]:
     """Solve CgD for a treelike cd-AT.
 
@@ -254,7 +620,7 @@ def min_cost_given_damage_treelike(
     still exceed it at an ancestor — so the full Pareto front is computed
     and the answer read off via Equation (2).
     """
-    front = pareto_front_treelike(cdat)
+    front = pareto_front_treelike(cdat, accelerator=accelerator)
     point = front.cheapest_attack_given_damage(threshold)
     if point is None:
         return None, None

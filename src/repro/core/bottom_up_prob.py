@@ -23,18 +23,34 @@ A notable practical difference (Example 10): in the probabilistic setting it
 can be Pareto-optimal to attempt *more* BASs than strictly necessary, because
 redundant attempts raise the reach probability; root fronts are therefore
 typically larger than their deterministic counterparts.
+
+Kernel representation
+---------------------
+As in the deterministic kernel, candidates are rows of parallel lists —
+``(cost, expected damage, reach probability, bitset mask)`` — instead of
+per-candidate dataclasses, and witness attacks are integer bitsets over the
+subtree-local BAS universe.  Because the reach probability is continuous the
+front cannot be split into reached/not-reached quadrants; instead pruning is
+an exact 3-D sweep: rows are sorted by (cost asc, damage desc, probability
+desc) and checked against a monotone (damage, probability) skyline of the
+rows kept so far, which makes each insertion ``O(log k)`` amortised instead
+of the former ``O(k)`` window scan.  Structurally identical subtrees are
+memoised by interned fingerprint; masks are materialised to
+``frozenset[str]`` and the paper's ε-tolerant ``min_U`` applied only at the
+API boundary.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..attacktree.attributes import CostDamageProbAT
 from ..attacktree.node import NodeType
 from ..pareto.front import ParetoFront, ParetoPoint
-from ..pareto.poset import EPSILON, pareto_minimal_pairs, pareto_minimal_triples
+from ..pareto.poset import EPSILON, pareto_minimal_triples
 
 __all__ = [
     "ProbabilisticAttributedAttack",
@@ -78,67 +94,156 @@ class ProbabilisticAttributedAttack:
         return (self.cost, self.expected_damage, self.reach_probability)
 
 
-def _prune(
-    candidates: Iterable[ProbabilisticAttributedAttack],
-    budget: float,
-) -> List[ProbabilisticAttributedAttack]:
-    """The paper's ``min_U`` on PTrip: budget filter plus Pareto filter."""
-    affordable = [c for c in candidates if c.cost <= budget + EPSILON]
-    return pareto_minimal_triples(affordable, key=lambda a: a.triple)
+# A row-sorted front: parallel (costs, damages, probabilities, masks) lists,
+# exactly Pareto-minimal, sorted by (cost asc, damage desc, probability desc).
+_Rows = Tuple[List[float], List[float], List[float], List[int]]
 
 
-def _bas_front(
-    cdpat: CostDamageProbAT, name: str, budget: float
-) -> List[ProbabilisticAttributedAttack]:
-    """``C^P_U`` at a BAS (Equation (11)).
+def _prune3(buffer: List[Tuple[float, float, float, int]]) -> _Rows:
+    """Exact 3-D Pareto minimisation of ``(cost, damage, prob, mask)`` rows.
 
-    Attempting the BAS reaches it with probability ``p(v)`` and therefore
-    contributes ``p(v)·d(v)`` expected damage.
+    Rows are processed in (cost asc, damage desc, prob desc) order, so every
+    kept row costs at most as much as the candidate; the candidate is
+    dominated iff some kept row also has damage ≥ and probability ≥ its own.
+    The kept rows' undominated (damage, probability) pairs form a skyline —
+    damages strictly decreasing, probabilities strictly increasing — queried
+    and maintained by binary search.  Equal-valued duplicates are dropped
+    (the front is a set of attribute values; the first witness is kept).
     """
-    idle = ProbabilisticAttributedAttack(
-        cost=0.0, expected_damage=0.0, reach_probability=0.0, attack=frozenset()
-    )
-    cost = cdpat.cost[name]
-    if cost > budget + EPSILON:
-        return [idle]
-    probability = cdpat.probability[name]
-    active = ProbabilisticAttributedAttack(
-        cost=cost,
-        expected_damage=probability * cdpat.damage[name],
-        reach_probability=probability,
-        attack=frozenset({name}),
-    )
-    return [idle, active]
+    buffer.sort(key=lambda row: (row[0], -row[1], -row[2]))
+    costs: List[float] = []
+    damages: List[float] = []
+    probabilities: List[float] = []
+    masks: List[int] = []
+    sky_keys: List[float] = []  # negated damages, ascending (for bisect)
+    sky_probs: List[float] = []  # probabilities, strictly increasing
+    for cost, damage, probability, mask in buffer:
+        hi = bisect_right(sky_keys, -damage)
+        if hi > 0 and sky_probs[hi - 1] >= probability:
+            continue  # weakly dominated by a kept row (or a duplicate)
+        lo = bisect_left(sky_keys, -damage)
+        while lo < len(sky_keys) and sky_probs[lo] <= probability:
+            del sky_keys[lo]
+            del sky_probs[lo]
+        sky_keys.insert(lo, -damage)
+        sky_probs.insert(lo, probability)
+        costs.append(cost)
+        damages.append(damage)
+        probabilities.append(probability)
+        masks.append(mask)
+    return costs, damages, probabilities, masks
 
 
-def _combine_gate(
-    accumulated: List[ProbabilisticAttributedAttack],
-    child_front: List[ProbabilisticAttributedAttack],
-    gate_type: NodeType,
-    budget: float,
-) -> List[ProbabilisticAttributedAttack]:
-    """Fold one more child into the running combination for a gate.
+class _ProbKernel:
+    """Bottom-up PTrip fold with fingerprint memoisation.
 
-    As in the deterministic solver, the gate's own damage is applied after
-    the last child has been folded, keeping the fold associative (the ⋆ and
-    product operators are associative on [0, 1]).
+    One instance per solver call; see :class:`repro.core.bottom_up._TripleKernel`
+    for the memo discipline (fronts are shared read-only, masks live in the
+    subtree-local bit universe).
     """
-    combined: List[ProbabilisticAttributedAttack] = []
-    for left in accumulated:
-        for right in child_front:
-            if gate_type is NodeType.AND:
-                reach = left.reach_probability * right.reach_probability
-            else:
-                reach = probabilistic_or(left.reach_probability, right.reach_probability)
-            combined.append(
-                ProbabilisticAttributedAttack(
-                    cost=left.cost + right.cost,
-                    expected_damage=left.expected_damage + right.expected_damage,
-                    reach_probability=reach,
-                    attack=left.attack | right.attack,
-                )
+
+    def __init__(self, cdpat: CostDamageProbAT, limit: float) -> None:
+        self.cdpat = cdpat
+        self.limit = limit
+        self.fingerprints: Dict[object, int] = {}
+        self.memo: Dict[int, Tuple[_Rows, int]] = {}
+
+    def _intern(self, key: object) -> int:
+        return self.fingerprints.setdefault(key, len(self.fingerprints))
+
+    def compute(self, target: str) -> Tuple[_Rows, Tuple[str, ...]]:
+        tree = self.cdpat.tree
+        order: List[str] = []
+        stack = [target]
+        while stack:
+            name = stack.pop()
+            order.append(name)
+            stack.extend(tree.node(name).children)
+        done: Dict[str, Tuple[_Rows, Tuple[str, ...], int]] = {}
+        for name in reversed(order):
+            node = tree.node(name)
+            if node.is_bas:
+                cost = self.cdpat.cost[name]
+                damage = self.cdpat.damage[name]
+                probability = self.cdpat.probability[name]
+                fingerprint = self._intern(("B", cost, damage, probability))
+                cached = self.memo.get(fingerprint)
+                if cached is None:
+                    if cost > self.limit:
+                        front: _Rows = ([0.0], [0.0], [0.0], [0])
+                    else:
+                        front = _prune3(
+                            [
+                                (0.0, 0.0, 0.0, 0),
+                                (cost, probability * damage, probability, 1),
+                            ]
+                        )
+                    cached = (front, 1)
+                    self.memo[fingerprint] = cached
+                done[name] = (cached[0], (name,), fingerprint)
+                continue
+            child_results = [done[child] for child in node.children]
+            names: Tuple[str, ...] = ()
+            for _, child_names, _ in child_results:
+                names += child_names
+            gate_damage = self.cdpat.damage[name]
+            fingerprint = self._intern(
+                (node.type.value, gate_damage, tuple(r[2] for r in child_results))
             )
-    return _prune(combined, budget)
+            cached = self.memo.get(fingerprint)
+            if cached is not None:
+                done[name] = (cached[0], names, fingerprint)
+                continue
+            conjunctive = node.type is NodeType.AND
+            front = child_results[0][0]
+            width = len(child_results[0][1])
+            for child_front, child_names, _ in child_results[1:]:
+                front = self._fold(front, child_front, conjunctive, width)
+                width += len(child_names)
+            if gate_damage != 0.0:
+                fc, fd, fp, fm = front
+                front = _prune3(
+                    [
+                        (fc[i], fd[i] + fp[i] * gate_damage, fp[i], fm[i])
+                        for i in range(len(fc))
+                    ]
+                )
+            self.memo[fingerprint] = (front, len(names))
+            done[name] = (front, names, fingerprint)
+        front, names, _ = done[target]
+        return front, names
+
+    def _fold(
+        self, left: _Rows, right: _Rows, conjunctive: bool, shift: int
+    ) -> _Rows:
+        """Fold one child in (Equations (12)–(13)), budget-pruned early."""
+        lc, ld, lp, lm = left
+        rc, rd, rp, rm = right
+        limit = self.limit
+        buffer: List[Tuple[float, float, float, int]] = []
+        append = buffer.append
+        for i in range(len(lc)):
+            ci = lc[i]
+            di = ld[i]
+            pi = lp[i]
+            mi = lm[i]
+            for j in range(len(rc)):
+                cost = ci + rc[j]
+                if cost > limit:
+                    break  # right-hand costs ascend: nothing further fits
+                pj = rp[j]
+                reach = pi * pj if conjunctive else pi + pj - pi * pj
+                append((cost, di + rd[j], reach, mi | (rm[j] << shift)))
+        return _prune3(buffer)
+
+
+def _mask_to_attack(mask: int, names: Tuple[str, ...]) -> FrozenSet[str]:
+    selected = []
+    while mask:
+        low = mask & -mask
+        selected.append(names[low.bit_length() - 1])
+        mask ^= low
+    return frozenset(selected)
 
 
 def node_pareto_front_probabilistic(
@@ -165,29 +270,19 @@ def node_pareto_front_probabilistic(
     if target not in tree.nodes:
         raise KeyError(f"no node named {target!r} in this attack tree")
 
-    fronts: Dict[str, List[ProbabilisticAttributedAttack]] = {}
-    for name in tree.node_names:  # children before parents
-        current = tree.node(name)
-        if current.is_bas:
-            fronts[name] = _bas_front(cdpat, name, budget)
-            continue
-        accumulated = fronts[current.children[0]]
-        for child in current.children[1:]:
-            accumulated = _combine_gate(accumulated, fronts[child], current.type, budget)
-        gate_damage = cdpat.damage[name]
-        with_gate_damage = [
-            ProbabilisticAttributedAttack(
-                cost=item.cost,
-                expected_damage=item.expected_damage
-                + item.reach_probability * gate_damage,
-                reach_probability=item.reach_probability,
-                attack=item.attack,
-            )
-            for item in accumulated
-        ]
-        fronts[name] = _prune(with_gate_damage, budget)
-
-    return fronts[target]
+    kernel = _ProbKernel(cdpat, budget + EPSILON)
+    (costs, damages, probabilities, masks), names = kernel.compute(target)
+    items = [
+        ProbabilisticAttributedAttack(
+            cost=costs[i],
+            expected_damage=damages[i],
+            reach_probability=probabilities[i],
+            attack=_mask_to_attack(masks[i], names),
+        )
+        for i in range(len(costs))
+    ]
+    # The paper's ε-tolerant min_U is applied once, at the boundary.
+    return pareto_minimal_triples(items, key=lambda item: item.triple)
 
 
 def pareto_front_treelike_probabilistic(
@@ -210,11 +305,18 @@ def pareto_front_treelike_probabilistic(
 def max_expected_damage_given_cost_treelike(
     cdpat: CostDamageProbAT, budget: float
 ) -> Tuple[float, Optional[FrozenSet[str]]]:
-    """Solve EDgC for a treelike cdp-AT (Theorem 8)."""
+    """Solve EDgC for a treelike cdp-AT (Theorem 8).
+
+    Expected-damage ties are broken towards the least cost, then the fewest
+    attempted BASs, mirroring the deterministic DgC solver.
+    """
     if budget < 0:
         return 0.0, None
     root_front = node_pareto_front_probabilistic(cdpat, cdpat.tree.root, budget=budget)
-    best = max(root_front, key=lambda item: item.expected_damage)
+    best = max(
+        root_front,
+        key=lambda item: (item.expected_damage, -item.cost, -len(item.attack)),
+    )
     return best.expected_damage, best.attack
 
 

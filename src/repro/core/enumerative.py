@@ -10,15 +10,30 @@ settings and for the single-objective problems DgC/CgD/EDgC/CgED.
 It is exponential by construction; it exists as the correctness oracle for
 tests and as the comparison baseline in the timing experiments (Table III
 and Fig. 7).
+
+Kernel representation
+---------------------
+Attacks are indexed as integer bitsets over the sorted BAS universe.  Costs
+and damages for *all* ``2^n`` attacks are tabulated with a subset DP; node
+reachability is evaluated once per node as a ``2^n``-bit bitmap (gates are a
+single big-int AND/OR over their children's bitmaps), which also works for
+DAG-like trees since every node is evaluated exactly once.  In the
+probabilistic setting, expected damages for all attacks are obtained from
+the deterministic damage table by a per-BAS zeta transform
+(``E[m] = p·E[m] + (1−p)·E[m \\ {i}]``), turning the former
+per-attack actualization sum — exponential on DAGs — into an ``O(n·2^n)``
+sweep.  Universes beyond :data:`_TABLE_LIMIT` BASs fall back to the
+original per-attack evaluation to bound table memory.
 """
 
 from __future__ import annotations
 
-import math
-from typing import FrozenSet, Iterable, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..attacktree.attributes import CostDamageAT, CostDamageProbAT
+from ..attacktree.node import NodeType
 from ..pareto.front import ParetoFront, ParetoPoint
+from ..pareto.poset import EPSILON
 from ..probability.actualization import expected_damage
 from .semantics import Attack, all_attacks, attack_cost, evaluate_attack
 
@@ -31,6 +46,145 @@ __all__ = [
     "enumerate_min_cost_given_expected_damage",
 ]
 
+#: Largest BAS universe the table-based evaluation is used for; the tables
+#: take ``O(2^n)`` memory, so bigger models use per-attack evaluation (which
+#: would be the only part of the baseline still feasible there anyway).
+_TABLE_LIMIT = 16
+
+
+def _evaluation_tables(
+    model,
+) -> Tuple[List[str], dict, List[float], List[float], bytes]:
+    """Tabulate cost, damage and root reachability for all ``2^n`` attacks.
+
+    Returns ``(bas, index, costs, damages, root_bitmap)`` where lists are
+    indexed by attack bitset over the sorted BAS universe and
+    ``root_bitmap`` packs the root's reach bit for every attack.
+    """
+    tree = model.tree
+    bas = sorted(tree.basic_attack_steps)
+    n = len(bas)
+    size = 1 << n
+    index = {name: i for i, name in enumerate(bas)}
+    bit_cost = [model.cost[name] for name in bas]
+    bit_damage = [model.damage[name] for name in bas]
+    costs = [0.0] * size
+    damages = [0.0] * size
+    for mask in range(1, size):
+        low = mask & -mask
+        rest = mask ^ low
+        i = low.bit_length() - 1
+        costs[mask] = costs[rest] + bit_cost[i]
+        damages[mask] = damages[rest] + bit_damage[i]
+
+    # Reachability bitmaps: bit m of ``reached[v]`` says whether attack m
+    # reaches node v.  A BAS's bitmap is the periodic "bit i set" pattern;
+    # gates combine children with one big-int AND/OR each.
+    bas_bitmap = []
+    for i in range(n):
+        stride = 1 << i
+        block = ((1 << stride) - 1) << stride
+        pattern = 0
+        for start in range(0, size, stride << 1):
+            pattern |= block << start
+        bas_bitmap.append(pattern)
+    all_ones = (1 << size) - 1
+    reached = {}
+    for name in tree.node_names:  # children before parents
+        node = tree.node(name)
+        if node.is_bas:
+            reached[name] = bas_bitmap[index[name]]
+        elif node.type is NodeType.AND:
+            bitmap = all_ones
+            for child in node.children:
+                bitmap &= reached[child]
+            reached[name] = bitmap
+        else:
+            bitmap = 0
+            for child in node.children:
+                bitmap |= reached[child]
+            reached[name] = bitmap
+        gate_damage = 0.0 if node.is_bas else model.damage[name]
+        if gate_damage != 0.0:
+            data = reached[name].to_bytes((size + 7) // 8, "little")
+            for byte_index, byte in enumerate(data):
+                if not byte:
+                    continue
+                base = byte_index << 3
+                while byte:
+                    low = byte & -byte
+                    damages[base + low.bit_length() - 1] += gate_damage
+                    byte ^= low
+    root_bitmap = reached[tree.root].to_bytes((size + 7) // 8, "little")
+    return bas, index, costs, damages, root_bitmap
+
+
+def _expected_damage_table(
+    cdpat: CostDamageProbAT, bas: List[str], damages: List[float]
+) -> List[float]:
+    """Expected damages for all attacks via a per-BAS zeta transform.
+
+    One pass per BAS replaces the damage of every attack containing it by
+    the probability mix of "attempt succeeded" and "attempt failed", so
+    after ``n`` passes entry ``m`` holds ``d̂_E`` of attack ``m`` — summing
+    over actualizations without enumerating them (valid for DAGs too, as no
+    independence between nodes is assumed).
+    """
+    expected = list(damages)
+    size = len(expected)
+    for i, name in enumerate(bas):
+        success = cdpat.probability[name]
+        failure = 1.0 - success
+        bit = 1 << i
+        for mask in range(bit, size):
+            if mask & bit:
+                expected[mask] = (
+                    success * expected[mask] + failure * expected[mask ^ bit]
+                )
+    return expected
+
+
+def _evaluated_deterministic(
+    cdat: CostDamageAT,
+) -> Iterator[Tuple[Attack, float, float, bool]]:
+    """Yield ``(attack, cost, damage, reaches_root)`` for every attack,
+    in the canonical (size, lexicographic) order of :func:`all_attacks`."""
+    if len(cdat.tree.basic_attack_steps) > _TABLE_LIMIT:
+        for attack in all_attacks(cdat):
+            cost, damage, reaches_root = evaluate_attack(cdat, attack)
+            yield attack, cost, damage, reaches_root
+        return
+    _, index, costs, damages, root_bitmap = _evaluation_tables(cdat)
+    for attack in all_attacks(cdat):
+        mask = 0
+        for name in attack:
+            mask |= 1 << index[name]
+        reaches_root = bool(root_bitmap[mask >> 3] >> (mask & 7) & 1)
+        yield attack, costs[mask], damages[mask], reaches_root
+
+
+def _evaluated_probabilistic(
+    cdpat: CostDamageProbAT,
+) -> Iterator[Tuple[Attack, float, float, bool]]:
+    """Yield ``(attack, cost, expected_damage, reaches_root)`` per attack."""
+    if len(cdpat.tree.basic_attack_steps) > _TABLE_LIMIT:
+        for attack in all_attacks(cdpat):
+            yield (
+                attack,
+                attack_cost(cdpat, attack),
+                expected_damage(cdpat, attack),
+                cdpat.tree.is_successful(attack),
+            )
+        return
+    bas, index, costs, damages, root_bitmap = _evaluation_tables(cdpat)
+    expected = _expected_damage_table(cdpat, bas, damages)
+    for attack in all_attacks(cdpat):
+        mask = 0
+        for name in attack:
+            mask |= 1 << index[name]
+        reaches_root = bool(root_bitmap[mask >> 3] >> (mask & 7) & 1)
+        yield attack, costs[mask], expected[mask], reaches_root
+
 
 def enumerate_pareto_front(cdat: CostDamageAT) -> ParetoFront:
     """Solve CDPF by full enumeration of all attacks.
@@ -39,32 +193,26 @@ def enumerate_pareto_front(cdat: CostDamageAT) -> ParetoFront:
     the non-dominated ``(cost, damage)`` values together with a witness
     attack each.
     """
-    points = []
-    for attack in all_attacks(cdat):
-        cost, damage, reaches_root = evaluate_attack(cdat, attack)
-        points.append(
-            ParetoPoint(cost=cost, damage=damage, attack=attack,
-                        reaches_root=reaches_root)
-        )
+    points = [
+        ParetoPoint(cost=cost, damage=damage, attack=attack,
+                    reaches_root=reaches_root)
+        for attack, cost, damage, reaches_root in _evaluated_deterministic(cdat)
+    ]
     return ParetoFront(points)
 
 
 def enumerate_pareto_front_probabilistic(cdpat: CostDamageProbAT) -> ParetoFront:
-    """Solve CEDPF by full enumeration (doubly exponential for DAGs).
+    """Solve CEDPF by full enumeration.
 
-    For every attack the exact expected damage is computed; for treelike
-    trees that inner computation is linear, for DAG-like trees it enumerates
-    actualizations, matching the naive approach the paper compares against.
+    The expected damage of every attack is exact (the zeta transform sums
+    over all actualizations), including for DAG-like trees — the cell the
+    paper leaves open.
     """
-    points = []
-    for attack in all_attacks(cdpat):
-        cost = attack_cost(cdpat, attack)
-        damage = expected_damage(cdpat, attack)
-        reaches_root = cdpat.tree.is_successful(attack)
-        points.append(
-            ParetoPoint(cost=cost, damage=damage, attack=attack,
-                        reaches_root=reaches_root)
-        )
+    points = [
+        ParetoPoint(cost=cost, damage=damage, attack=attack,
+                    reaches_root=reaches_root)
+        for attack, cost, damage, reaches_root in _evaluated_probabilistic(cdpat)
+    ]
     return ParetoFront(points)
 
 
@@ -77,13 +225,12 @@ def enumerate_max_damage_given_cost(
     ``d_opt ≥ 0`` and the witness is never ``None`` for non-negative budgets;
     a negative budget returns ``(0.0, None)`` for robustness.
     """
-    best_damage = 0.0
-    best_attack: Optional[Attack] = frozenset() if budget >= 0 else None
-    if best_attack is None:
+    if budget < 0:
         return 0.0, None
-    for attack in all_attacks(cdat):
-        cost, damage, _ = evaluate_attack(cdat, attack)
-        if cost <= budget + 1e-9 and damage > best_damage + 1e-9:
+    best_damage = 0.0
+    best_attack: Optional[Attack] = frozenset()
+    for attack, cost, damage, _ in _evaluated_deterministic(cdat):
+        if cost <= budget + EPSILON and damage > best_damage + EPSILON:
             best_damage = damage
             best_attack = attack
     return best_damage, best_attack
@@ -99,9 +246,10 @@ def enumerate_min_cost_given_damage(
     """
     best_cost: Optional[float] = None
     best_attack: Optional[Attack] = None
-    for attack in all_attacks(cdat):
-        cost, damage, _ = evaluate_attack(cdat, attack)
-        if damage + 1e-9 >= threshold and (best_cost is None or cost < best_cost - 1e-9):
+    for attack, cost, damage, _ in _evaluated_deterministic(cdat):
+        if damage + EPSILON >= threshold and (
+            best_cost is None or cost < best_cost - EPSILON
+        ):
             best_cost = cost
             best_attack = attack
     return best_cost, best_attack
@@ -111,16 +259,12 @@ def enumerate_max_expected_damage_given_cost(
     cdpat: CostDamageProbAT, budget: float
 ) -> Tuple[float, Optional[Attack]]:
     """Solve EDgC by enumeration: max expected damage under a cost budget."""
-    best_damage = 0.0
-    best_attack: Optional[Attack] = frozenset() if budget >= 0 else None
-    if best_attack is None:
+    if budget < 0:
         return 0.0, None
-    for attack in all_attacks(cdpat):
-        cost = attack_cost(cdpat, attack)
-        if cost > budget + 1e-9:
-            continue
-        damage = expected_damage(cdpat, attack)
-        if damage > best_damage + 1e-9:
+    best_damage = 0.0
+    best_attack: Optional[Attack] = frozenset()
+    for attack, cost, damage, _ in _evaluated_probabilistic(cdpat):
+        if cost <= budget + EPSILON and damage > best_damage + EPSILON:
             best_damage = damage
             best_attack = attack
     return best_damage, best_attack
@@ -132,12 +276,10 @@ def enumerate_min_cost_given_expected_damage(
     """Solve CgED by enumeration: min cost achieving expected damage ≥ L."""
     best_cost: Optional[float] = None
     best_attack: Optional[Attack] = None
-    for attack in all_attacks(cdpat):
-        damage = expected_damage(cdpat, attack)
-        if damage + 1e-9 < threshold:
+    for attack, cost, damage, _ in _evaluated_probabilistic(cdpat):
+        if damage + EPSILON < threshold:
             continue
-        cost = attack_cost(cdpat, attack)
-        if best_cost is None or cost < best_cost - 1e-9:
+        if best_cost is None or cost < best_cost - EPSILON:
             best_cost = cost
             best_attack = attack
     return best_cost, best_attack

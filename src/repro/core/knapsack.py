@@ -24,15 +24,13 @@ that they can be tested and reused:
 from __future__ import annotations
 
 import itertools
-import math
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..attacktree.attributes import CostDamageAT
 from ..attacktree.builder import AttackTreeBuilder
-from ..pareto.front import ParetoFront
-from .bottom_up import pareto_front_treelike
-from .semantics import attack_cost, attack_damage
+from ..pareto.poset import EPSILON
+from .bottom_up import max_damage_given_cost_treelike, pareto_front_treelike
 
 __all__ = [
     "KnapsackInstance",
@@ -94,21 +92,19 @@ def cost_damage_decision(
     """Solve the cost-damage decision problem (CDDP).
 
     "Is there an attack ``x`` with ``ĉ(x) ≤ U`` and ``d̂(x) ≥ L``?"  The
-    answer is read off the Pareto front restricted to the budget: such an
-    attack exists iff the most damaging affordable attack reaches ``L``.
+    answer exists iff the most damaging affordable attack reaches ``L``.
+    The budget is ε-filtered exactly once, inside the DgC solver — querying
+    a budget-restricted front a second time would widen the effective
+    tolerance to 2ε.
     """
-    front = pareto_front_treelike(cdat, budget=cost_bound) if cdat.tree.is_treelike else None
-    if front is None:
+    if cdat.tree.is_treelike:
+        damage, witness = max_damage_given_cost_treelike(cdat, cost_bound)
+    else:
         from .bilp import max_damage_given_cost_bilp
 
         damage, witness = max_damage_given_cost_bilp(cdat, cost_bound)
-        return damage + 1e-9 >= damage_bound, witness if damage + 1e-9 >= damage_bound else None
-    point = front.best_attack_given_cost(cost_bound)
-    if point is None:
-        return False, None
-    if point.damage + 1e-9 >= damage_bound:
-        return True, point.attack
-    return False, None
+    feasible = damage + EPSILON >= damage_bound
+    return feasible, (witness if feasible else None)
 
 
 def solve_knapsack_via_cdat(instance: KnapsackInstance) -> Tuple[float, FrozenSet[int]]:

@@ -17,7 +17,7 @@ The probabilistic counterparts (``PS``, ``d̂_E``) live in
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Set, Tuple
+from typing import FrozenSet, Iterable, Iterator, Tuple
 
 from ..attacktree.attributes import CostDamageAT, CostDamageProbAT
 from ..attacktree.tree import AttackTree

@@ -37,13 +37,13 @@ from .backend import (
     Shape,
     as_deterministic,
     cells,
-    model_shape,
     require_probabilistic,
 )
 from .requests import AnalysisRequest
 
 __all__ = [
     "BottomUpBackend",
+    "BottomUpNumpyBackend",
     "BilpBackend",
     "EnumerativeBackend",
     "GeneticBackend",
@@ -121,6 +121,69 @@ class BottomUpBackend(BaseBackend):
         cdpat = require_probabilistic(model, request.problem)
         value, witness = bottom_up_prob.min_cost_given_expected_damage_treelike(
             cdpat, request.threshold
+        )
+        return BackendOutput(value=value, witness=witness)
+
+
+class BottomUpNumpyBackend(BaseBackend):
+    """Numpy-accelerated bottom-up fold (deterministic treelike cells).
+
+    Produces bit-identical results to ``bottom-up`` — the gate-fold inner
+    loops (outer sums, budget filter, staircase pruning) are vectorised
+    while witness bitsets stay exact Python integers.  Only registered by
+    :func:`standard_backends` when numpy is importable, and kept at a lower
+    priority than the pure-Python reference so auto-selection is unchanged;
+    the differential suite pits the two against each other.
+    """
+
+    name = "bottom-up-numpy"
+    exact = True
+    priority = 95
+    capabilities = cells(
+        DETERMINISTIC_PROBLEMS, (Shape.TREE,), Setting.DETERMINISTIC
+    )
+
+    def __init__(self) -> None:
+        self.handlers = {
+            Problem.CDPF: self._cdpf,
+            Problem.DGC: self._dgc,
+            Problem.CGD: self._cgd,
+        }
+
+    def unsupported_reason(
+        self, problem: Problem, shape: Shape, setting: Setting
+    ) -> Optional[str]:
+        if shape is Shape.DAG:
+            return (
+                "the bottom-up method requires a treelike AT (shared subtrees "
+                "break the recursion, Section VI); use bilp or enumerative"
+            )
+        if setting is Setting.PROBABILISTIC:
+            return (
+                "the numpy fast path only covers the deterministic problems; "
+                "use bottom-up for the probabilistic treelike cells"
+            )
+        return None
+
+    def cell_label(self, shape: Shape, setting: Setting) -> str:
+        return "bottom-up (Theorem 4, numpy fold)"
+
+    def _cdpf(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        return BackendOutput(
+            front=bottom_up.pareto_front_treelike(
+                as_deterministic(model), accelerator="numpy"
+            )
+        )
+
+    def _dgc(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        value, witness = bottom_up.max_damage_given_cost_treelike(
+            as_deterministic(model), request.budget, accelerator="numpy"
+        )
+        return BackendOutput(value=value, witness=witness)
+
+    def _cgd(self, model: Model, request: AnalysisRequest) -> BackendOutput:
+        value, witness = bottom_up.min_cost_given_damage_treelike(
+            as_deterministic(model), request.threshold, accelerator="numpy"
         )
         return BackendOutput(value=value, witness=witness)
 
@@ -448,8 +511,13 @@ class MonteCarloBackend(BaseBackend):
 
 
 def standard_backends() -> List[BaseBackend]:
-    """Fresh instances of every built-in backend."""
-    return [
+    """Fresh instances of every built-in backend.
+
+    The numpy fast path is an optional capability: it joins the roster only
+    when numpy is importable, so environments without it see exactly the
+    classic backend set.
+    """
+    backends: List[BaseBackend] = [
         BottomUpBackend(),
         BilpBackend(),
         EnumerativeBackend(),
@@ -457,3 +525,6 @@ def standard_backends() -> List[BaseBackend]:
         ProbDagBackend(),
         MonteCarloBackend(),
     ]
+    if bottom_up.numpy_available():
+        backends.insert(1, BottomUpNumpyBackend())
+    return backends

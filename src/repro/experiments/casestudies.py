@@ -16,7 +16,7 @@ them point by point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..attacktree import catalog
 from ..core.bilp import pareto_front_bilp

@@ -9,7 +9,7 @@ plots — so results can be diffed, archived, and quoted in EXPERIMENTS.md.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from ..pareto.front import ParetoFront
 

@@ -32,14 +32,12 @@ polynomial-sized instead of the ``2^|x|`` actualization enumeration used by
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional
 
 from ..attacktree.attributes import CostDamageProbAT
 from ..attacktree.node import NodeType
 from ..attacktree.tree import AttackTree
-from ..core.semantics import Attack, all_attacks, attack_cost, normalize_attack
+from ..core.semantics import all_attacks, attack_cost, normalize_attack
 from ..pareto.front import ParetoFront, ParetoPoint
 
 __all__ = [

@@ -22,7 +22,7 @@ documented as an extension beyond the paper's claims.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Mapping, Optional, Tuple, Union
+from typing import FrozenSet, Mapping, Optional, Tuple, Union
 
 from ..attacktree.attributes import CostDamageAT
 from ..attacktree.tree import AttackTree

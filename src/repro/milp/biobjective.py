@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from .highs import default_solver
 from .model import (
@@ -37,7 +37,7 @@ from .model import (
     Objective,
     ObjectiveSense,
 )
-from .solution import MilpSolution, SolveStatus
+from .solution import SolveStatus
 
 __all__ = ["BiobjectivePoint", "BiobjectiveResult", "EpsilonConstraintSolver",
            "infer_step"]

@@ -17,7 +17,6 @@ import sys
 import threading
 from typing import Iterator, Optional
 
-import numpy as np
 
 from .model import IntegerProgram, Objective
 from .solution import MilpSolution, SolveStatus

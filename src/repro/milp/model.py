@@ -25,9 +25,8 @@ or two linear objectives) while staying readable.
 from __future__ import annotations
 
 import enum
-import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -13,13 +13,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from .poset import (
     EPSILON,
     is_antichain_pairs,
     pareto_minimal_pairs,
-    strictly_dominates_pair,
 )
 
 __all__ = ["ParetoPoint", "ParetoFront"]
@@ -200,13 +199,18 @@ class ParetoFront:
         return ParetoFront(p for p in self._points if p.cost <= budget + EPSILON)
 
     def is_consistent(self) -> bool:
-        """Check the antichain and sortedness invariants (used by tests)."""
+        """Check the antichain and strict-sortedness invariants (used by tests).
+
+        Consecutive points must be *strictly* separated by more than
+        :data:`EPSILON` in both coordinates — equal-cost or equal-damage
+        neighbours mean one of them is redundant or dominated.
+        """
         values = self.values()
         if not is_antichain_pairs(values):
             return False
         return all(
-            values[i][0] < values[i + 1][0] + EPSILON
-            and values[i][1] < values[i + 1][1] + EPSILON
+            values[i][0] + EPSILON < values[i + 1][0]
+            and values[i][1] + EPSILON < values[i + 1][1]
             for i in range(len(values) - 1)
         )
 
@@ -232,7 +236,6 @@ class ParetoFront:
         if cost_bound is None:
             cost_bound = max(p.cost for p in self._points)
         area = 0.0
-        previous_cost = None
         # Walk points in decreasing cost; each step contributes a rectangle.
         points = [p for p in self._points if p.cost <= cost_bound + EPSILON]
         if not points:

@@ -12,8 +12,7 @@ as ``·``.
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List
 
 from .front import ParetoFront
 

@@ -21,7 +21,7 @@ applies the cost-budget filter ``min_U``.
 from __future__ import annotations
 
 import math
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
 
 __all__ = [
     "dominates_pair",
@@ -47,18 +47,26 @@ EPSILON = 1e-9
 
 
 def _leq(a: float, b: float) -> bool:
-    """Return ``a ≤ b`` up to :data:`EPSILON`."""
-    return a <= b + EPSILON
+    """Return ``a ≤ b`` up to :data:`EPSILON`.
+
+    All three tolerant comparisons are computed on the *difference* ``a - b``:
+    floating-point subtraction of nearby values is exact (Sterbenz) or
+    accurate to an ulp of the tiny result, whereas the ``a <= b + EPSILON``
+    form is only accurate to an ulp of ``b`` — orders of magnitude coarser
+    than ε — which makes ``_leq``/``_eq`` disagree on boundary points and
+    admits pairs that strictly dominate each other.
+    """
+    return a - b <= EPSILON
 
 
 def _geq(a: float, b: float) -> bool:
-    """Return ``a ≥ b`` up to :data:`EPSILON`."""
-    return a + EPSILON >= b
+    """Return ``a ≥ b`` up to :data:`EPSILON` (see :func:`_leq`)."""
+    return b - a <= EPSILON
 
 
 def _eq(a: float, b: float) -> bool:
-    """Return ``a ≈ b`` up to :data:`EPSILON`."""
-    return math.isclose(a, b, rel_tol=0.0, abs_tol=EPSILON)
+    """Return ``a ≈ b`` up to :data:`EPSILON` (see :func:`_leq`)."""
+    return abs(a - b) <= EPSILON
 
 
 def dominates_pair(left: CostDamage, right: CostDamage) -> bool:
@@ -108,30 +116,64 @@ def pareto_minimal_pairs(
 ) -> List[T]:
     """Return the Pareto-minimal items under the attribute-pair order.
 
-    Among items whose key is equal (up to tolerance) a single representative
-    is kept — the first one encountered — matching the paper's treatment of
-    the Pareto front as a set of attribute values.
+    Implements the paper's ``min X = {x ∈ X | ∀x' ∈ X. x' ⊄ x}`` with the
+    :data:`EPSILON`-tolerant strict order: an item is dropped exactly when
+    *some input item* strictly dominates it.  Quantifying over all inputs
+    (rather than over previously kept items) matters because ε-domination is
+    not transitive: a chain of points each within tolerance of the next can
+    otherwise leave a dominated point on the "front".
 
-    The implementation sorts by (cost asc, damage desc) and sweeps once,
-    which is ``O(k log k)`` for ``k`` items instead of the naive ``O(k²)``.
+    Among surviving items whose values are ε-equal in both coordinates a
+    single representative is kept, matching the paper's treatment of the
+    front as a set of attribute values.  The result is sorted by
+    (cost, damage) and any two kept values differ by more than ε in both
+    coordinates, so the front is a strictly separated antichain.
+
+    The sweep sorts once; dominators with cost beyond ε of the candidate are
+    summarised by a monotone prefix maximum, and only the few points *within*
+    ε of the candidate's cost are checked pairwise — ``O(k log k + k·w)``
+    where ``w`` is the size of that ε-cost window (``w ≪ k`` in practice).
     """
-    indexed = [(key(item), item) for item in items]
-    indexed.sort(key=lambda pair: (pair[0][0], -pair[0][1]))
+    indexed = []
+    for position, item in enumerate(items):
+        cost, damage = key(item)
+        indexed.append((cost, damage, position, item))
+    if not indexed:
+        return []
+    indexed.sort(key=lambda row: (row[0], row[1], row[2]))
+    n = len(indexed)
     result: List[T] = []
-    kept_values: List[CostDamage] = []
-    best_damage = -math.inf
-    for value, item in indexed:
-        if kept_values and _eq(value[0], kept_values[-1][0]) and _eq(value[1], kept_values[-1][1]):
-            continue  # duplicate attribute value
-        if value[1] > best_damage + EPSILON:
-            if kept_values and _leq(value[0], kept_values[-1][0]):
-                # Same cost (up to tolerance) but strictly more damage: the
-                # previously kept point is dominated — replace it.
-                kept_values.pop()
-                result.pop()
-            result.append(item)
-            kept_values.append(value)
-            best_damage = value[1]
+    last_kept: CostDamage = (-math.inf, -math.inf)
+    have_kept = False
+    # ``behind`` consumes points strictly cheaper by more than ε (they
+    # dominate anything with at most their damage + ε); points between
+    # ``behind`` and ``ahead`` are within ε of the candidate's cost and are
+    # checked with the exact pairwise predicate so the filter agrees with
+    # :func:`strictly_dominates_pair` bit-for-bit.  Both windows advance
+    # monotonically because costs are processed in sorted order.
+    ahead = behind = 0
+    max_damage_far = -math.inf
+    for i in range(n):
+        cost, damage, _position, item = indexed[i]
+        while ahead < n and indexed[ahead][0] - cost <= EPSILON:
+            ahead += 1
+        while behind < n and cost - indexed[behind][0] > EPSILON:
+            if indexed[behind][1] > max_damage_far:
+                max_damage_far = indexed[behind][1]
+            behind += 1
+        if damage - max_damage_far <= EPSILON:
+            continue  # strictly cheaper input with at least this damage
+        value = (cost, damage)
+        if any(
+            strictly_dominates_pair((indexed[j][0], indexed[j][1]), value)
+            for j in range(behind, ahead)
+        ):
+            continue  # dominated from within the ε-cost window
+        if have_kept and _eq(cost, last_kept[0]) and _eq(damage, last_kept[1]):
+            continue  # duplicate attribute value (up to tolerance)
+        result.append(item)
+        last_kept = value
+        have_kept = True
     return result
 
 
@@ -141,26 +183,42 @@ def pareto_minimal_triples(
 ) -> List[T]:
     """Return the Pareto-minimal items under the DTrip/PTrip order.
 
-    With three objectives a single sweep no longer suffices; we sort by cost
-    and keep a staircase of undominated (damage, activation) pairs.  This is
-    ``O(k·f)`` where ``f`` is the front size — the dominant cost in practice
-    is ``f ≪ k``.
+    As with :func:`pareto_minimal_pairs`, an item is dropped exactly when
+    some *input* item strictly ε-dominates it (the paper's ``min``), and a
+    single representative is kept among ε-equal survivors.  Dominators can
+    only have cost ≤ the candidate's cost + ε, so sorting by cost bounds the
+    scan; this is ``O(k·w)`` where ``w`` is the size of that cost window
+    (``w ≪ k`` in practice).
     """
     indexed = [(key(item), item) for item in items]
-    # Sort by cost ascending, then damage descending, then activation descending
-    # so that earlier items can only dominate later ones.
+    # Sort by cost ascending, then damage descending, then activation
+    # descending so potential dominators precede the points they dominate.
     indexed.sort(key=lambda pair: (pair[0][0], -pair[0][1], -pair[0][2]))
+    values = [value for value, _ in indexed]
+    n = len(values)
     kept_values: List[Triple] = []
     result: List[T] = []
-    for value, item in indexed:
+    for i, (value, item) in enumerate(indexed):
         dominated = False
-        for kept in kept_values:
-            if dominates_triple(kept, value):
+        for j in range(n):
+            if values[j][0] - value[0] > EPSILON:
+                break  # sorted by cost: no later point can dominate
+            if j != i and strictly_dominates_triple(values[j], value):
                 dominated = True
                 break
-        if not dominated:
-            kept_values.append(value)
-            result.append(item)
+        if dominated:
+            continue
+        duplicate = False
+        for kept in reversed(kept_values):
+            if value[0] - kept[0] > EPSILON:
+                break
+            if _eq(kept[0], value[0]) and _eq(kept[1], value[1]) and _eq(kept[2], value[2]):
+                duplicate = True
+                break
+        if duplicate:
+            continue
+        kept_values.append(value)
+        result.append(item)
     return result
 
 

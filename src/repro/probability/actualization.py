@@ -19,7 +19,7 @@ ground truth for the Monte-Carlo estimator in
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Tuple
+from typing import Dict, Iterable, Iterator, Tuple
 
 from ..attacktree.attributes import CostDamageProbAT
 from ..attacktree.node import NodeType

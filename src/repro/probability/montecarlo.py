@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 from ..attacktree.attributes import CostDamageProbAT
 from ..core.semantics import Attack, attack_damage, normalize_attack

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Tuple, Union
 
 from ..attacktree import catalog
 from ..attacktree.attributes import CostDamageAT, CostDamageProbAT

@@ -16,7 +16,7 @@ same convention as :class:`repro.engine.AnalysisRequest`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 __all__ = ["DecorationRanges", "ScenarioSpec", "SHAPES", "SETTINGS"]
 

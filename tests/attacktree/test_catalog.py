@@ -117,7 +117,6 @@ class TestBuildingBlocks:
         assert all(block.is_treelike for block in blocks)
 
     def test_non_treelike_blocks_are_dags(self):
-        all_blocks = {len(b): b for b in catalog.building_blocks()}
         dag_blocks = [b for b in catalog.building_blocks() if not b.is_treelike]
         assert dag_blocks, "the catalogue must contain DAG building blocks"
 

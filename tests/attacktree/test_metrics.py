@@ -1,6 +1,5 @@
 """Tests for the classic single-metric AT analyses."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for BENCH artifact building, validation and comparison."""
 
-import dataclasses
 import json
 
 import pytest
@@ -134,7 +133,7 @@ class TestComparison:
 
     def test_missing_and_added_runs_reported(self, artifact):
         smaller = json.loads(json.dumps(artifact))
-        dropped = smaller["runs"].pop()
+        smaller["runs"].pop()
         report = compare_artifacts(artifact, smaller)
         assert report.ok  # informational, not a failure
         assert len(report.missing) == 1

@@ -1,6 +1,5 @@
 """Tests for the deterministic bottom-up solver (Section VI, Theorems 3–5)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings
@@ -76,6 +75,31 @@ class TestWitnesses:
         cost, witness = min_cost_given_damage_treelike(model, 300)
         assert cost == 5
         assert attack_damage(model, witness) >= 300
+
+
+class TestDgCTieBreak:
+    """Damage ties must break towards the least-cost (then smallest) witness."""
+
+    @staticmethod
+    def _tied_model():
+        """AND root: {a} and {a, b} both deal damage 10, at costs 1 and 3."""
+        from repro.attacktree.builder import AttackTreeBuilder
+
+        builder = AttackTreeBuilder()
+        builder.bas("a", cost=1.0, damage=10.0)
+        builder.bas("b", cost=2.0, damage=0.0)
+        builder.and_gate("root", ["a", "b"], damage=0.0)
+        return builder.build_cd(root="root")
+
+    def test_tie_broken_towards_cheapest_witness(self):
+        model = self._tied_model()
+        # The root front holds (1, 10, not-reached) and (3, 10, reached);
+        # DgC must not return the needlessly expensive reached witness.
+        assert max_damage_given_cost_treelike(model, 5) == (10.0, frozenset({"a"}))
+
+    def test_tie_break_stable_under_tight_budget(self):
+        model = self._tied_model()
+        assert max_damage_given_cost_treelike(model, 1) == (10.0, frozenset({"a"}))
 
 
 class TestBudgetPruning:

@@ -1,6 +1,5 @@
 """Tests for the probabilistic bottom-up solver (Section IX, Theorems 8–9)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

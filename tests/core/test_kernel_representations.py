@@ -1,0 +1,133 @@
+"""Tests for the compact kernel representations.
+
+The bottom-up solver stores fronts as parallel lists, witnesses as integer
+bitsets and memoises structurally identical subtrees; an optional numpy
+path vectorises the gate-fold inner loops.  These tests pin the contracts
+those representations must keep: witnesses materialise back to attacks that
+actually have the claimed attributes, memo hits never change results, the
+numpy path is bit-identical to the pure-Python fold, and accelerator
+selection fails loudly on bad input.
+"""
+
+import pytest
+
+import repro.core.bottom_up as bottom_up
+from repro.attacktree.builder import AttackTreeBuilder
+from repro.core.bottom_up import (
+    _TripleKernel,
+    max_damage_given_cost_treelike,
+    node_pareto_front,
+    numpy_available,
+    pareto_front_treelike,
+)
+from repro.core.enumerative import enumerate_pareto_front
+from repro.core.semantics import evaluate_attack
+
+from ..conftest import make_random_tree
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy accelerator not installed"
+)
+
+
+def _twin_subtree_model():
+    """An OR root over two decoration-identical AND subtrees."""
+    builder = AttackTreeBuilder()
+    for suffix in ("1", "2"):
+        builder.bas(f"a{suffix}", cost=1.0, damage=2.0)
+        builder.bas(f"b{suffix}", cost=3.0, damage=4.0)
+        builder.and_gate(f"g{suffix}", [f"a{suffix}", f"b{suffix}"], damage=5.0)
+    builder.or_gate("root", ["g1", "g2"], damage=0.0)
+    return builder.build_cd(root="root")
+
+
+class TestAcceleratorValidation:
+    def test_unknown_accelerator_rejected(self):
+        model = make_random_tree(0, treelike=True).deterministic()
+        with pytest.raises(ValueError, match="unknown accelerator"):
+            node_pareto_front(model, accelerator="cuda")
+
+    def test_numpy_requested_without_numpy(self, monkeypatch):
+        model = make_random_tree(0, treelike=True).deterministic()
+        monkeypatch.setattr(bottom_up, "_np", None)
+        with pytest.raises(ValueError, match="numpy is not installed"):
+            node_pareto_front(model, accelerator="numpy")
+
+    def test_accelerator_none_never_touches_numpy(self, monkeypatch):
+        monkeypatch.setattr(bottom_up, "_np", None)
+        model = make_random_tree(1, treelike=True).deterministic()
+        assert pareto_front_treelike(model).values() == \
+            enumerate_pareto_front(model).values()
+
+
+class TestBitsetWitnesses:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_root_witnesses_evaluate_to_their_triples(self, seed):
+        model = make_random_tree(seed, treelike=True).deterministic()
+        for item in node_pareto_front(model):
+            cost, damage, reached = evaluate_attack(model, item.attack)
+            assert cost == pytest.approx(item.cost)
+            assert damage == pytest.approx(item.damage)
+            assert reached is item.reached
+
+    def test_witnesses_are_frozensets_of_bas_names(self):
+        model = _twin_subtree_model()
+        universe = model.tree.basic_attack_steps
+        for item in node_pareto_front(model):
+            assert isinstance(item.attack, frozenset)
+            assert item.attack <= set(universe)
+
+
+class TestStructuralMemoization:
+    def test_twin_subtrees_fold_once(self):
+        model = _twin_subtree_model()
+        kernel = _TripleKernel(model, limit=float("inf"), use_numpy=False)
+        kernel.compute(model.tree.root)
+        # 7 nodes, but only 4 distinct structures: the two BAS decorations,
+        # the AND subtree and the OR root.
+        assert len(kernel.memo) == 4
+
+    def test_memo_hits_do_not_change_results(self):
+        model = _twin_subtree_model()
+        assert pareto_front_treelike(model).values() == \
+            enumerate_pareto_front(model).values()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_memoised_front_matches_enumeration(self, seed):
+        model = make_random_tree(seed, max_bas=5, treelike=True).deterministic()
+        assert pareto_front_treelike(model).values() == \
+            enumerate_pareto_front(model).values()
+
+
+@needs_numpy
+class TestNumpyPathIdentity:
+    """The numpy fold must be bit-identical to the pure-Python fold —
+    values *and* witnesses — so the backends are interchangeable."""
+
+    @pytest.fixture(autouse=True)
+    def _force_numpy_path(self, monkeypatch):
+        # Small trees rarely cross the size cutoff; drop it so the numpy
+        # code path actually runs for every fold in these tests.
+        monkeypatch.setattr(bottom_up, "_NUMPY_CUTOFF", 1)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_front_identical(self, seed):
+        model = make_random_tree(seed, treelike=True).deterministic()
+        python = node_pareto_front(model)
+        numpy = node_pareto_front(model, accelerator="numpy")
+        assert [item.triple for item in python] == [item.triple for item in numpy]
+        assert [item.attack for item in python] == [item.attack for item in numpy]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_dgc_identical_across_budgets(self, seed):
+        model = make_random_tree(seed, treelike=True).deterministic()
+        for budget in (0.0, 3.0, 7.0, 15.0, float("inf")):
+            assert max_damage_given_cost_treelike(model, budget) == \
+                max_damage_given_cost_treelike(model, budget, accelerator="numpy")
+
+    def test_budget_pruning_identical(self):
+        model = make_random_tree(7, treelike=True).deterministic()
+        for budget in (0.0, 2.0, 5.0, 9.0):
+            python = pareto_front_treelike(model, budget=budget)
+            numpy = pareto_front_treelike(model, budget=budget, accelerator="numpy")
+            assert python.values() == numpy.values()

@@ -13,7 +13,7 @@ from repro.core.knapsack import (
     nondecreasing_function_to_cdat,
     solve_knapsack_via_cdat,
 )
-from repro.core.semantics import all_attacks, attack_damage
+from repro.core.semantics import attack_damage
 
 
 def brute_force_knapsack(instance: KnapsackInstance) -> float:
@@ -99,6 +99,42 @@ class TestTheorem1Reduction:
         )
         value, _ = solve_knapsack_via_cdat(instance)
         assert value == pytest.approx(brute_force_knapsack(instance))
+
+
+class TestDecisionPredicate:
+    """The CDDP predicate: one shared-EPSILON comparison, evaluated once."""
+
+    @staticmethod
+    def _cdat():
+        instance = KnapsackInstance(values=(10, 7), weights=(4, 3), capacity=7)
+        return knapsack_to_cdat(instance)
+
+    def test_bound_within_epsilon_is_feasible(self):
+        from repro.pareto.poset import EPSILON
+
+        cdat = self._cdat()
+        # Best damage at cost bound 7 is exactly 17; a bound within EPSILON
+        # above it must still be declared feasible (ε-tolerance, applied once).
+        feasible, witness = cost_damage_decision(cdat, 7, 17 + EPSILON / 2)
+        assert feasible and witness == frozenset({"item_0", "item_1"})
+
+    def test_bound_beyond_epsilon_is_infeasible(self):
+        cdat = self._cdat()
+        feasible, witness = cost_damage_decision(cdat, 7, 17 + 1e-6)
+        assert not feasible and witness is None
+
+    def test_zero_damage_bound_always_feasible(self):
+        feasible, witness = cost_damage_decision(self._cdat(), 0, 0)
+        assert feasible and witness == frozenset()
+
+    def test_witness_respects_cost_bound(self):
+        from repro.core.semantics import attack_cost
+
+        cdat = self._cdat()
+        feasible, witness = cost_damage_decision(cdat, 4, 10)
+        assert feasible
+        assert attack_cost(cdat, witness) <= 4
+        assert attack_damage(cdat, witness) >= 10
 
 
 class TestTheorem2Construction:

@@ -15,13 +15,7 @@ import pytest
 from repro.attacktree import serialization
 from repro.attacktree.catalog import factory
 from repro.bench.harness import execute_specs
-from repro.distributed import (
-    Coordinator,
-    InMemoryQueue,
-    QueueError,
-    TaskState,
-    Worker,
-)
+from repro.distributed import Coordinator, InMemoryQueue, QueueError, Worker
 from repro.engine import AnalysisRequest, AnalysisSession
 from repro.workloads import ScenarioSpec
 
@@ -194,7 +188,6 @@ class TestFaultTolerance:
         doomed = queue.claim("doomed", lease_seconds=0.05)
         execute_task_payload(doomed.payload, store=store)  # result persisted
         time.sleep(0.1)
-        writes_after_crash = store.stats.writes
         run_workers(queue, 1, store=store)
         coordinator.wait(timeout=30)
         report = coordinator.gather()

@@ -101,6 +101,8 @@ def _scalar_parameters(front_values):
 
 def _capable_exact_backends(model, probabilistic):
     """The exact backends covering this model, per Table I capabilities."""
+    from repro.core.bottom_up import numpy_available
+
     if probabilistic:
         backends = ["enumerative", "prob-dag"]
         if model.tree.is_treelike:
@@ -109,6 +111,8 @@ def _capable_exact_backends(model, probabilistic):
         backends = ["enumerative", "bilp"]
         if model.tree.is_treelike:
             backends.append("bottom-up")
+            if numpy_available():
+                backends.append("bottom-up-numpy")
     return backends
 
 

@@ -3,13 +3,7 @@
 import pytest
 
 from repro.attacktree.builder import AttackTreeBuilder
-from repro.attacktree.catalog import (
-    data_server,
-    factory,
-    factory_probabilistic,
-    panda_iot,
-)
-from repro.attacktree.transform import with_unit_probabilities
+from repro.attacktree.catalog import data_server, factory, panda_iot
 from repro.core.problems import Problem
 from repro.engine import AnalysisRequest, AnalysisSession, model_fingerprint
 

@@ -1,6 +1,5 @@
 """Tests for the case-study experiment drivers (Figures 3 and 6)."""
 
-import pytest
 
 from repro.experiments.casestudies import (
     PAPER_FIG3_FRONT,

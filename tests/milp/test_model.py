@@ -1,6 +1,5 @@
 """Unit tests for the ILP model layer."""
 
-import numpy as np
 import pytest
 
 from repro.milp.model import (

@@ -5,7 +5,6 @@ it checks.  Where the computed value deviates from a printed value, the test
 documents why (see also EXPERIMENTS.md).
 """
 
-import math
 
 import pytest
 

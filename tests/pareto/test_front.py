@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.pareto.front import ParetoFront, ParetoPoint
+from repro.pareto.poset import strictly_dominates_pair
 
 from ..conftest import cost_damage_pairs
 
@@ -129,6 +130,18 @@ class TestIndicatorsAndDisplay:
     def test_consistency_check(self):
         assert example_front().is_consistent()
 
+    def test_two_equal_cost_points_are_inconsistent(self):
+        # Constructors always collapse equal-cost points, so build the
+        # degenerate front by hand: two points at the same cost whose damages
+        # are within tolerance slip past the antichain check, and only the
+        # strict-separation clause of ``is_consistent`` can reject them.
+        front = ParetoFront([])
+        front._points = (
+            ParetoPoint(cost=1.0, damage=5.0),
+            ParetoPoint(cost=1.0, damage=5.0 + 0.5e-9),
+        )
+        assert not front.is_consistent()
+
     def test_point_str(self):
         point = ParetoPoint(cost=1, damage=200, attack=frozenset({"ca"}))
         assert "ca" in str(point)
@@ -143,10 +156,16 @@ class TestProperties:
 
     @settings(max_examples=100, deadline=None)
     @given(points=cost_damage_pairs(size=10))
-    def test_front_dominates_every_input_point(self, points):
+    def test_front_is_the_undominated_inputs(self, points):
+        """The front is the paper's ``min``: exactly the inputs that no
+        input strictly dominates (ε-dominance is not transitive, so
+        "every input is dominated *by the front*" is not attainable)."""
         front = ParetoFront.from_values(points)
-        for cost, damage in points:
-            assert front.dominates_point(cost, damage)
+        for value in front.values():
+            assert not any(strictly_dominates_pair(p, value) for p in points)
+        for point in points:
+            if not any(strictly_dominates_pair(p, point) for p in points):
+                assert front.dominates_point(*point)
 
     @settings(max_examples=50, deadline=None)
     @given(points=cost_damage_pairs(size=10))

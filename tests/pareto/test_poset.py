@@ -1,6 +1,5 @@
 """Unit and property tests for the partial orders and Pareto filters."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -86,10 +85,55 @@ class TestParetoMinimalPairs:
 
     @settings(max_examples=100, deadline=None)
     @given(points=cost_damage_pairs())
-    def test_every_input_dominated_by_front(self, points):
+    def test_front_is_exactly_the_undominated_inputs(self, points):
+        """The paper's ``min X = {x | ∀x' ∈ X. x' ⊄ x}``: no front member is
+        strictly dominated by *any* input, and every undominated input is
+        represented on the front (up to ε-equality dedup).  The older claim
+        "every input is weakly dominated by the front" is unattainable:
+        ε-dominance is not transitive, so a dropped chain can end further
+        than ε from its surviving dominator."""
         front = pareto_minimal_pairs(points, key=lambda v: v)
+        for member in front:
+            assert not any(strictly_dominates_pair(p, member) for p in points)
         for point in points:
-            assert any(dominates_pair(f, point) for f in front)
+            if not any(strictly_dominates_pair(p, point) for p in points):
+                assert any(dominates_pair(f, point) for f in front)
+
+    def test_epsilon_chain_regression(self):
+        """A chain of points pairwise within ε used to leave a dominated
+        point on the front: (0.2, …8) strictly dominates (2.0, …15) but was
+        itself dropped as an ε-duplicate of (0.0, 5.0)."""
+        points = [(0.0, 5.0), (0.2, 5.0 + 0.8e-9), (2.0, 5.0 + 1.5e-9)]
+        front = pareto_minimal_pairs(points, key=lambda v: v)
+        assert front == [(0.0, 5.0)]
+
+    @settings(max_examples=200, deadline=None, derandomize=True)
+    @given(data=st.data())
+    def test_no_front_member_dominated_with_epsilon_spaced_costs(self, data):
+        """Regression for the ε-chain sweep bug: costs and damages spaced in
+        sub-ε increments must never leave a strictly dominated point kept."""
+        from repro.pareto.poset import EPSILON
+
+        count = data.draw(st.integers(2, 8), label="count")
+        base_cost = data.draw(st.floats(0, 10, allow_nan=False), label="base_cost")
+        base_damage = data.draw(
+            st.floats(0, 10, allow_nan=False), label="base_damage"
+        )
+        points = []
+        for _ in range(count):
+            cost_steps = data.draw(st.integers(0, 40), label="cost_steps")
+            damage_steps = data.draw(st.integers(0, 40), label="damage_steps")
+            points.append(
+                (
+                    base_cost + cost_steps * (EPSILON / 10),
+                    base_damage + damage_steps * (EPSILON / 10),
+                )
+            )
+        front = pareto_minimal_pairs(points, key=lambda v: v)
+        assert front, "front of a nonempty set is nonempty"
+        for member in front:
+            assert not any(strictly_dominates_pair(p, member) for p in points)
+        assert is_antichain_pairs(front)
 
     @settings(max_examples=50, deadline=None)
     @given(points=cost_damage_pairs())

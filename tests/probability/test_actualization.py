@@ -1,6 +1,5 @@
 """Tests for the probabilistic semantics (Definitions 5–6, Equations (8)–(10))."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

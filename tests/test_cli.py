@@ -392,7 +392,6 @@ class TestStoreEvictionCLI:
         assert "evicted 0 results" in out and "ttl 3600s" in out
 
     def test_prune_max_bytes_evicts_until_fit(self, tmp_path, capsys):
-        import os
 
         path = self._seeded_store(tmp_path)
         assert main(["store", "prune", path, "--max-bytes", "1"]) == 0
