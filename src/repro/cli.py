@@ -104,7 +104,14 @@ _CATALOG = {
 #: queue file or broker URL, zero workers).
 _ENGINE_COMMANDS = frozenset(
     {"pareto", "dgc", "cgd", "batch", "bench", "store", "dist", "serve",
-     "queue", "api"}
+     "queue", "api", "obs"}
+)
+
+#: Shared help text for every ``--trace-out`` flag.
+_TRACE_OUT_HELP = (
+    "append finished spans as NDJSON to this file ('-' for stderr); "
+    "trace ids propagate across submit -> queue -> worker, so files from "
+    "several processes join on trace_id"
 )
 
 
@@ -298,6 +305,8 @@ def build_parser() -> argparse.ArgumentParser:
                              metavar="S",
                              help="sleep before executing each claimed task "
                                   "(fault-injection/chaos testing)")
+    dist_worker.add_argument("--trace-out", default=None, metavar="PATH|-",
+                             help=_TRACE_OUT_HELP)
 
     dist_run = dist_sub.add_parser(
         "run", help="single-host run: coordinator + N local worker processes"
@@ -329,6 +338,9 @@ def build_parser() -> argparse.ArgumentParser:
     dist_run.add_argument("--timeout", type=float, default=None, metavar="S",
                           help="fail if the run has not drained after this "
                                "many seconds")
+    dist_run.add_argument("--trace-out", default=None, metavar="PATH|-",
+                          help=_TRACE_OUT_HELP + " (shared with the local "
+                               "worker processes)")
 
     dist_status = dist_sub.add_parser(
         "status", help="task states, workers and retries of a queue"
@@ -385,6 +397,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append one structured JSON line per request "
                             "(request id, route, status, latency-ms) to "
                             "this file, or stderr for '-'")
+    serve.add_argument("--trace-out", default=None, metavar="PATH|-",
+                       help=_TRACE_OUT_HELP)
 
     queue_cmd = subparsers.add_parser(
         "queue", help="manage the named queues of a multi-queue root"
@@ -409,6 +423,19 @@ def build_parser() -> argparse.ArgumentParser:
     queue_drop.add_argument("target", metavar="DIR|URL",
                             help="queue-root directory or broker URL")
     queue_drop.add_argument("name", help="queue name to delete")
+    queue_prune = queue_sub.add_parser(
+        "prune", help="garbage-collect finished tasks and orphaned job "
+                      "descriptors from one queue"
+    )
+    queue_prune.add_argument("target", metavar="DB|URL",
+                             help="work-queue sqlite file (must exist) or "
+                                  "broker queue URL "
+                                  "(http://host:port[/queues/<name>])")
+    queue_prune.add_argument("--ttl", type=float, required=True, metavar="S",
+                             help="delete done/cancelled tasks finished more "
+                                  "than this many seconds ago (0 deletes "
+                                  "all finished tasks); dead tasks are "
+                                  "always kept")
 
     api = subparsers.add_parser(
         "api", help="serve the multi-tenant analysis API (jobs over HTTP)"
@@ -443,6 +470,27 @@ def build_parser() -> argparse.ArgumentParser:
                           "to this file (default: stderr)")
     api.add_argument("--verbose", action="store_true",
                      help="additionally log http.server lines to stderr")
+    api.add_argument("--trace-out", default=None, metavar="PATH|-",
+                     help=_TRACE_OUT_HELP + " (shared with --workers "
+                          "processes)")
+
+    obs_cmd = subparsers.add_parser(
+        "obs", help="inspect a live server's metrics"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    obs_dump = obs_sub.add_parser(
+        "dump", help="scrape GET /metrics from a running broker or "
+                     "analysis service and print it"
+    )
+    obs_dump.add_argument("url", metavar="URL",
+                          help="base URL of a running 'atcd serve' or "
+                               "'atcd api' (http://host:port)")
+    obs_dump.add_argument("--json", action="store_true",
+                          help="parse the exposition and print it as JSON "
+                               "instead of raw Prometheus text")
+    obs_dump.add_argument("--token", default=None,
+                          help="bearer token for a token-protected broker "
+                               "(default: $ATCD_BROKER_TOKEN if set)")
 
     catalog_cmd = subparsers.add_parser("catalog", help="export a built-in model")
     catalog_cmd.add_argument("name", choices=sorted(_CATALOG))
@@ -812,6 +860,7 @@ def _dist_worker(args: argparse.Namespace) -> int:
     from .distributed import Worker, open_queue, signal_shutdown
 
     store = None
+    close_trace = _open_trace_output(args.trace_out)
     try:
         with open_queue(args.queue, must_exist=True) as queue:
             # The store is opened only after the queue checked out: a
@@ -835,6 +884,7 @@ def _dist_worker(args: argparse.Namespace) -> int:
     finally:
         if store is not None:
             store.close()
+        close_trace()
     print(
         f"worker {report.worker_id}: {report.completed} completed, "
         f"{report.failed} failed",
@@ -894,6 +944,7 @@ def _dist_run(args: argparse.Namespace) -> int:
         )
     specs = bench.profile(args.profile)
     temp_dir = None
+    close_trace = _open_trace_output(args.trace_out)
     if args.queue is None:
         temp_dir = tempfile.mkdtemp(prefix="atcd-dist-")
         queue_path = os.path.join(temp_dir, "queue.sqlite")
@@ -914,6 +965,7 @@ def _dist_run(args: argparse.Namespace) -> int:
                 args.workers,
                 store_path=args.store,
                 lease_seconds=args.lease,
+                trace_out=args.trace_out,
             ) as fleet:
                 fleet.start()
                 coordinator.wait(timeout=args.timeout, on_poll=fleet.supervise)
@@ -922,6 +974,7 @@ def _dist_run(args: argparse.Namespace) -> int:
                 distributed={"workers": args.workers, "store": args.store}
             )
     finally:
+        close_trace()
         if temp_dir is not None:
             shutil.rmtree(temp_dir, ignore_errors=True)
     return _dist_emit(args, report)
@@ -944,6 +997,26 @@ def _open_access_log(spec: Optional[str]):
     return AccessLog(handle), handle.close
 
 
+def _open_trace_output(spec: Optional[str]):
+    """Register a ``--trace-out`` span exporter; returns a closer.
+
+    The closer deregisters the exporter as well as closing its file, so
+    in-process callers of :func:`main` (tests) do not leak exporters into
+    the process-global registry.
+    """
+    if spec is None:
+        return lambda: None
+    from .obs.trace import open_trace_output, remove_exporter
+
+    exporter = open_trace_output(spec)
+
+    def close() -> None:
+        remove_exporter(exporter)
+        exporter.close()
+
+    return close
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     # Lazy import, like the dist stack: only this verb needs the broker.
     import signal as signal_module
@@ -957,6 +1030,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         )
     token = args.token or os.environ.get(TOKEN_ENV_VAR) or None
     access_log, close_log = _open_access_log(args.access_log)
+    close_trace = _open_trace_output(args.trace_out)
     try:
         server = BrokerServer(
             queue_path=args.queue,
@@ -972,11 +1046,13 @@ def _command_serve(args: argparse.Namespace) -> int:
         # Port in use, privileged port, unbindable address: user errors,
         # reported on the same one-line exit-2 contract as bad paths.
         close_log()
+        close_trace()
         raise ValueError(
             f"cannot serve on {args.host}:{args.port}: {error}"
         ) from error
     except Exception:
         close_log()
+        close_trace()
         raise
     served = [
         f"{kind} {path}"
@@ -1015,10 +1091,22 @@ def _command_serve(args: argparse.Namespace) -> int:
         signal_module.signal(signal_module.SIGTERM, previous)
         server.close()
         close_log()
+        close_trace()
     return 0
 
 
 def _command_queue(args: argparse.Namespace) -> int:
+    if args.queue_command == "prune":
+        from .distributed import open_queue
+
+        with open_queue(args.target, must_exist=True) as queue:
+            pruned = queue.prune(args.ttl)
+        print(
+            f"pruned {pruned['tasks']} finished tasks and "
+            f"{pruned['descriptors']} orphaned job descriptors "
+            f"from {args.target}"
+        )
+        return 0
     def render_rows(rows) -> None:
         if not rows:
             print("(no queues)")
@@ -1074,6 +1162,7 @@ def _command_api(args: argparse.Namespace) -> int:
 
     registry = TenantRegistry.from_file(args.keys)
     access_log, close_log = _open_access_log(args.access_log)
+    close_trace = _open_trace_output(args.trace_out)
     fleet = None
     supervisor = None
     try:
@@ -1096,12 +1185,13 @@ def _command_api(args: argparse.Namespace) -> int:
             ) from error
     except Exception:
         close_log()
+        close_trace()
         raise
     try:
         if args.workers:
             fleet = LocalFleet(
                 args.queue, args.workers, store_path=args.store,
-                keep_alive=True,
+                keep_alive=True, trace_out=args.trace_out,
             )
             fleet.start()
 
@@ -1145,6 +1235,49 @@ def _command_api(args: argparse.Namespace) -> int:
         if supervisor is not None:
             supervisor.join(timeout=5.0)
         close_log()
+        close_trace()
+    return 0
+
+
+def _command_obs(args: argparse.Namespace) -> int:
+    import urllib.error
+    import urllib.request
+
+    from .net.wire import AUTH_HEADER, TOKEN_ENV_VAR
+    from .obs.promtext import parse as parse_promtext
+
+    if not args.url.startswith(("http://", "https://")):
+        raise ValueError(f"not an http(s) URL: {args.url!r}")
+    url = args.url.rstrip("/") + "/metrics"
+    token = args.token or os.environ.get(TOKEN_ENV_VAR) or None
+    request = urllib.request.Request(url)
+    if token:
+        request.add_header(AUTH_HEADER, f"Bearer {token}")
+    try:
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            text = response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        raise ValueError(
+            f"{url} answered {error.code} {error.reason}"
+            + (" (pass --token?)" if error.code == 401 else "")
+        ) from error
+    except (urllib.error.URLError, OSError) as error:
+        raise ValueError(f"cannot reach {url}: {error}") from error
+    if args.json:
+        document = {
+            name: {
+                "type": family.type,
+                "help": family.help,
+                "samples": [
+                    {"name": sample_name, "labels": labels, "value": value}
+                    for sample_name, labels, value in family.samples
+                ],
+            }
+            for name, family in sorted(parse_promtext(text).items())
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(text, end="")
     return 0
 
 
@@ -1198,6 +1331,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _command_serve,
         "queue": _command_queue,
         "api": _command_api,
+        "obs": _command_obs,
         "catalog": _command_catalog,
         "experiments": _command_experiments,
     }

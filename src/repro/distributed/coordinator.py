@@ -24,9 +24,25 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..obs.trace import inject_context
+from ..obs.trace import span as trace_span
 from .queue import QueueError, Task, TaskState, WorkQueue
 
 __all__ = ["Coordinator", "GatherReport", "RUN_META_KEY"]
+
+
+def _stamp_trace(payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Embed the ambient trace context into each task payload.
+
+    Workers parent their ``worker.task`` spans under it, so one submit's
+    fan-out shows up as a single trace across every host that executed a
+    piece of it.  No ambient trace → payloads pass through untouched.
+    """
+    carrier = inject_context()
+    if carrier is not None:
+        for payload in payloads:
+            payload["trace"] = dict(carrier)
+    return payloads
 
 #: Queue metadata key under which the run descriptor is stored.
 RUN_META_KEY = "run"
@@ -141,16 +157,21 @@ class Coordinator:
             payload = case_payload(spec, case, repeats, trace_memory=trace_memory)
             payload["kind"] = "bench-case"
             payloads.append(payload)
-        self._record_run({
-            "kind": "bench",
-            "name": name,
-            "specs": [spec.to_dict() for spec in specs],
-            "repeats": repeats,
-            "trace_memory": trace_memory,
-            "max_attempts": max_attempts,
-            "created_unix": self._clock(),
-        }, max_attempts)
-        return self.queue.submit(payloads, max_attempts=max_attempts)
+        with trace_span(
+            "coordinator.submit",
+            attrs={"kind": "bench", "run": name, "tasks": len(payloads)},
+        ):
+            _stamp_trace(payloads)
+            self._record_run({
+                "kind": "bench",
+                "name": name,
+                "specs": [spec.to_dict() for spec in specs],
+                "repeats": repeats,
+                "trace_memory": trace_memory,
+                "max_attempts": max_attempts,
+                "created_unix": self._clock(),
+            }, max_attempts)
+            return self.queue.submit(payloads, max_attempts=max_attempts)
 
     def submit_requests(
         self,
@@ -177,13 +198,18 @@ class Coordinator:
             {"kind": "request", "model": model_payload, "request": dict(entry)}
             for entry in request_payloads
         ]
-        self._record_run({
-            "kind": "batch",
-            "name": name,
-            "max_attempts": max_attempts,
-            "created_unix": self._clock(),
-        }, max_attempts)
-        return self.queue.submit(payloads, max_attempts=max_attempts)
+        with trace_span(
+            "coordinator.submit",
+            attrs={"kind": "batch", "run": name, "tasks": len(payloads)},
+        ):
+            _stamp_trace(payloads)
+            self._record_run({
+                "kind": "batch",
+                "name": name,
+                "max_attempts": max_attempts,
+                "created_unix": self._clock(),
+            }, max_attempts)
+            return self.queue.submit(payloads, max_attempts=max_attempts)
 
     # ------------------------------------------------------------------ #
     # tracking

@@ -33,12 +33,15 @@ def worker_command(
     poll_seconds: float = 0.2,
     worker_id: Optional[str] = None,
     keep_alive: bool = False,
+    trace_out: Optional[str] = None,
 ) -> List[str]:
     """The argv for one local ``atcd dist worker`` subprocess.
 
     ``keep_alive`` workers poll for new work indefinitely instead of
     exiting once the queue drains — the fleet mode behind a long-lived
     service, where an idle queue means "no jobs right now", not "done".
+    ``trace_out`` forwards ``--trace-out``: workers append whole NDJSON
+    lines, so one shared file collects the entire fleet's spans.
     """
     command = [
         sys.executable, "-m", "repro.cli", "dist", "worker",
@@ -52,6 +55,8 @@ def worker_command(
         command += ["--worker-id", worker_id]
     if keep_alive:
         command.append("--keep-alive")
+    if trace_out:
+        command += ["--trace-out", trace_out]
     return command
 
 
@@ -103,6 +108,7 @@ class LocalFleet:
         poll_seconds: float = 0.2,
         respawn_budget: Optional[int] = None,
         keep_alive: bool = False,
+        trace_out: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(
@@ -115,6 +121,7 @@ class LocalFleet:
         self.poll_seconds = poll_seconds
         self.respawn_budget = workers if respawn_budget is None else respawn_budget
         self.keep_alive = keep_alive
+        self.trace_out = trace_out
         self._spawned = 0
         self._processes: List[subprocess.Popen] = []
         self._dead_with_work_polls = 0
@@ -129,6 +136,7 @@ class LocalFleet:
                 poll_seconds=self.poll_seconds,
                 worker_id=f"local-{os.getpid()}-w{self._spawned}",
                 keep_alive=self.keep_alive,
+                trace_out=self.trace_out,
             ),
             env=worker_environment(),
             stdout=subprocess.DEVNULL,  # workers report on stderr only

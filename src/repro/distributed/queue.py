@@ -71,7 +71,9 @@ import sqlite3
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, runtime_checkable
+from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Set, Tuple, runtime_checkable
+
+from ..obs import families as obs_families
 
 __all__ = [
     "DEFAULT_LEASE_GRACE",
@@ -223,6 +225,19 @@ class WorkQueue(Protocol):
         """
         ...
 
+    def prune(self, ttl_seconds: float) -> Dict[str, int]:
+        """Retention sweep: delete finished work past its keep horizon.
+
+        Removes ``done``/``cancelled`` tasks whose last state change is
+        older than ``ttl_seconds``, then job descriptors (plus their
+        submit-dedupe records and tenant-index entries) every one of
+        whose tasks is gone — dead tasks keep their descriptor alive, so
+        failures stay inspectable until explicitly resubmitted or the
+        tasks themselves are dealt with.  Returns
+        ``{"tasks": n, "descriptors": m}``.
+        """
+        ...
+
     def counts(self) -> Dict[str, int]:
         """Task counts per state name (every state always present)."""
         ...
@@ -271,6 +286,76 @@ def _dedupe_meta_key(dedupe_key: str) -> str:
     return f"submit-dedupe:{dedupe_key}"
 
 
+def _record_op(op: str, amount: int = 1) -> None:
+    """Count one queue lifecycle event in the process-wide registry."""
+    if amount > 0:
+        obs_families.queue_ops_total().inc(amount, op=op)
+
+
+def _record_pruned(kind: str, amount: int) -> None:
+    if amount > 0:
+        obs_families.queue_pruned_total().inc(amount, kind=kind)
+
+
+# The service layer's job bookkeeping conventions (repro.service.jobs)
+# — mirrored here rather than imported so the dependency keeps pointing
+# service -> distributed.  prune() must understand them to collect
+# descriptors whose tasks are gone.
+_JOB_META_PREFIX = "job:"
+
+
+def _job_index_key(tenant: str) -> str:
+    return f"jobs:{tenant}"
+
+
+#: Queue-meta key holding the lowest seq the next submit may use; written
+#: by SqliteQueue.prune so deleting the highest-seq rows can never make
+#: MAX(seq)+1 go backwards and recycle task ids.
+_SEQ_FLOOR_META_KEY = "task-seq-floor"
+
+
+def _orphaned_descriptor(
+    raw: str, existing_task_ids: Set[str]
+) -> Optional[Tuple[str, str]]:
+    """Parse one ``job:<tenant>:<id>`` descriptor; return ``(tenant,
+    job_id)`` when every task it references is gone from the queue, else
+    ``None`` (including for undecodable values — never delete what we
+    don't understand)."""
+    try:
+        descriptor = json.loads(raw)
+        tenant = descriptor["tenant"]
+        job_id = descriptor["job_id"]
+        task_ids = descriptor["task_ids"]
+    except (ValueError, TypeError, KeyError):
+        return None
+    if not isinstance(task_ids, list):
+        return None
+    if any(task_id in existing_task_ids for task_id in task_ids):
+        return None
+    return str(tenant), str(job_id)
+
+
+def _shrink_job_indexes(
+    get_meta: Callable[[str], Optional[str]],
+    set_meta: Callable[[str, str], None],
+    dropped: Dict[str, Set[str]],
+) -> None:
+    """Remove pruned job ids from each tenant's ``jobs:<tenant>`` index."""
+    for tenant, job_ids in dropped.items():
+        raw = get_meta(_job_index_key(tenant))
+        if raw is None:
+            continue
+        try:
+            index = json.loads(raw)
+        except ValueError:
+            continue
+        if not isinstance(index, list):
+            continue
+        kept = [job_id for job_id in index if job_id not in job_ids]
+        if len(kept) != len(index):
+            set_meta(_job_index_key(tenant), json.dumps(kept))
+
+
 def _summary_payload(
     kind: str, counts: Dict[str, int], tasks: List[Task]
 ) -> Dict[str, Any]:
@@ -313,6 +398,12 @@ class InMemoryQueue:
         self._lock = threading.Lock()
         self._tasks: Dict[str, Task] = {}
         self._meta: Dict[str, str] = {}
+        #: task_id -> when it reached a prunable (done/cancelled) state;
+        #: the sqlite twin reads its ``updated_unix`` column instead.
+        self._finished: Dict[str, float] = {}
+        #: Monotonic submission counter.  Deliberately not len(_tasks):
+        #: prune() deletes rows, and a reused seq would reuse task ids.
+        self._seq = 0
 
     def submit(
         self,
@@ -329,8 +420,9 @@ class InMemoryQueue:
             if dedupe_key is not None:
                 recorded = self._meta.get(_dedupe_meta_key(dedupe_key))
                 if recorded is not None:
+                    _record_op("duplicate")
                     return json.loads(recorded)
-            seq = len(self._tasks)
+            seq = self._seq
             for payload in payloads:
                 task_id = f"task-{seq:06d}"
                 self._tasks[task_id] = Task(
@@ -343,8 +435,10 @@ class InMemoryQueue:
                 )
                 ids.append(task_id)
                 seq += 1
+            self._seq = seq
             if dedupe_key is not None:
                 self._meta[_dedupe_meta_key(dedupe_key)] = json.dumps(ids)
+        _record_op("submit", len(ids))
         return ids
 
     def _expire_locked(self, now: float) -> int:
@@ -365,6 +459,9 @@ class InMemoryQueue:
                     worker_id=None, lease_expires_unix=None,
                 )
                 released += 1
+                if state is TaskState.DEAD:
+                    _record_op("dead-letter")
+        _record_op("lease-expire", released)
         return released
 
     def expire_leases(self) -> int:
@@ -388,7 +485,8 @@ class InMemoryQueue:
                 worker_id=worker_id, lease_expires_unix=now + lease_seconds,
             )
             self._tasks[task.task_id] = claimed
-            return claimed
+        _record_op("claim")
+        return claimed
 
     def _owned_running(self, task_id: str, worker_id: str) -> Optional[Task]:
         task = self._tasks.get(task_id)
@@ -408,11 +506,13 @@ class InMemoryQueue:
             self._tasks[task_id] = dataclasses.replace(
                 task, lease_expires_unix=now + lease_seconds,
             )
-            return True
+        _record_op("heartbeat")
+        return True
 
     def complete(self, task_id: str, worker_id: str, result: Dict[str, Any]) -> bool:
+        now = self._clock()
         with self._lock:
-            self._expire_locked(self._clock())
+            self._expire_locked(now)
             task = self._owned_running(task_id, worker_id)
             if task is None:
                 return self._completed_by(task_id, worker_id)
@@ -420,7 +520,9 @@ class InMemoryQueue:
                 task, state=TaskState.DONE, lease_expires_unix=None,
                 result=json.loads(json.dumps(result)), error=None,
             )
-            return True
+            self._finished[task_id] = now
+        _record_op("complete")
+        return True
 
     def _completed_by(self, task_id: str, worker_id: str) -> bool:
         """Replay check: is the task already done by this very worker?"""
@@ -437,14 +539,19 @@ class InMemoryQueue:
             task = self._owned_running(task_id, worker_id)
             if task is None:
                 return False
+            next_state = _next_state(task.attempts, task.max_attempts)
             self._tasks[task_id] = dataclasses.replace(
-                task, state=_next_state(task.attempts, task.max_attempts),
+                task, state=next_state,
                 worker_id=None, lease_expires_unix=None, error=str(error),
             )
-            return True
+        _record_op(
+            "dead-letter" if next_state is TaskState.DEAD else "retry"
+        )
+        return True
 
     def cancel_pending(self, task_ids: Sequence[str]) -> List[str]:
         wanted = set(task_ids)
+        now = self._clock()
         with self._lock:
             cancelled = sorted(
                 (task for task in self._tasks.values()
@@ -455,7 +562,9 @@ class InMemoryQueue:
                 self._tasks[task.task_id] = dataclasses.replace(
                     task, state=TaskState.CANCELLED, error="cancelled",
                 )
-            return [task.task_id for task in cancelled]
+                self._finished[task.task_id] = now
+        _record_op("cancel", len(cancelled))
+        return [task.task_id for task in cancelled]
 
     def resubmit_dead(self) -> List[str]:
         with self._lock:
@@ -469,7 +578,46 @@ class InMemoryQueue:
                     task, state=TaskState.PENDING, attempts=0,
                     worker_id=None, lease_expires_unix=None, error=None,
                 )
-            return [task.task_id for task in dead]
+        _record_op("resubmit", len(dead))
+        return [task.task_id for task in dead]
+
+    def prune(self, ttl_seconds: float) -> Dict[str, int]:
+        if not isinstance(ttl_seconds, (int, float)) or ttl_seconds < 0:
+            raise QueueError(
+                f"ttl_seconds must be a non-negative number, got {ttl_seconds!r}"
+            )
+        cutoff = self._clock() - ttl_seconds
+        with self._lock:
+            doomed = [
+                task_id for task_id, task in self._tasks.items()
+                if task.state in (TaskState.DONE, TaskState.CANCELLED)
+                and self._finished.get(task_id, 0.0) < cutoff
+            ]
+            for task_id in doomed:
+                del self._tasks[task_id]
+                self._finished.pop(task_id, None)
+            existing = set(self._tasks)
+            dropped: Dict[str, Set[str]] = {}
+            descriptors = 0
+            for key in [
+                k for k in self._meta if k.startswith(_JOB_META_PREFIX)
+            ]:
+                orphan = _orphaned_descriptor(self._meta[key], existing)
+                if orphan is None:
+                    continue
+                tenant, job_id = orphan
+                del self._meta[key]
+                self._meta.pop(
+                    _dedupe_meta_key(f"job:{tenant}:{job_id}"), None
+                )
+                dropped.setdefault(tenant, set()).add(job_id)
+                descriptors += 1
+            _shrink_job_indexes(
+                self._meta.get, self._meta.__setitem__, dropped
+            )
+        _record_pruned("task", len(doomed))
+        _record_pruned("descriptor", descriptors)
+        return {"tasks": len(doomed), "descriptors": descriptors}
 
     def counts(self) -> Dict[str, int]:
         with self._lock:
@@ -735,9 +883,21 @@ class SqliteQueue:
                     (_dedupe_meta_key(dedupe_key),),
                 ).fetchone()
                 if row is not None:
+                    _record_op("duplicate")
                     return json.loads(row[0])
             row = connection.execute("SELECT MAX(seq) FROM tasks").fetchone()
             seq = (row[0] + 1) if row[0] is not None else 0
+            # prune() may have deleted the highest-seq rows; the recorded
+            # floor keeps seq (and task ids) monotonic regardless.
+            floor_row = connection.execute(
+                "SELECT value FROM queue_meta WHERE key = ?",
+                (_SEQ_FLOOR_META_KEY,),
+            ).fetchone()
+            if floor_row is not None:
+                try:
+                    seq = max(seq, int(floor_row[0]))
+                except (TypeError, ValueError):
+                    pass
             for payload in payloads:
                 task_id = f"task-{seq:06d}"
                 connection.execute(
@@ -754,6 +914,7 @@ class SqliteQueue:
                     "INSERT INTO queue_meta (key, value) VALUES (?, ?)",
                     (_dedupe_meta_key(dedupe_key), json.dumps(ids)),
                 )
+        _record_op("submit", len(ids))
         return ids
 
     def _expire_sql(self, connection: sqlite3.Connection, now: float) -> int:
@@ -773,6 +934,7 @@ class SqliteQueue:
             " AND lease_expires_unix IS NOT NULL AND lease_expires_unix < ?",
             (now, now - self._grace),
         )
+        _record_op("lease-expire", cursor.rowcount)
         return cursor.rowcount
 
     def expire_leases(self) -> int:
@@ -803,6 +965,7 @@ class SqliteQueue:
             task_row = connection.execute(
                 _TASK_SELECT + " WHERE task_id = ?", (task_id,)
             ).fetchone()
+        _record_op("claim")
         return _task_from_row(task_row)
 
     def heartbeat(self, task_id: str, worker_id: str, lease_seconds: float) -> bool:
@@ -815,7 +978,10 @@ class SqliteQueue:
                 (now + lease_seconds, now, task_id, worker_id,
                  TaskState.RUNNING.value),
             )
-            return cursor.rowcount == 1
+            extended = cursor.rowcount == 1
+        if extended:
+            _record_op("heartbeat")
+        return extended
 
     def complete(self, task_id: str, worker_id: str, result: Dict[str, Any]) -> bool:
         now = self._clock()
@@ -829,6 +995,7 @@ class SqliteQueue:
                  now, task_id, worker_id, TaskState.RUNNING.value),
             )
             if cursor.rowcount == 1:
+                _record_op("complete")
                 return True
             # Replay check (see the protocol docstring): already done by
             # this very worker — an earlier complete whose response was
@@ -857,7 +1024,18 @@ class SqliteQueue:
                 " WHERE task_id = ? AND worker_id = ? AND state = ?",
                 (str(error), now, task_id, worker_id, TaskState.RUNNING.value),
             )
-            return cursor.rowcount == 1
+            failed = cursor.rowcount == 1
+            next_state = None
+            if failed:
+                row = connection.execute(
+                    "SELECT state FROM tasks WHERE task_id = ?", (task_id,)
+                ).fetchone()
+                next_state = row[0] if row is not None else None
+        if failed:
+            _record_op(
+                "dead-letter" if next_state == TaskState.DEAD.value else "retry"
+            )
+        return failed
 
     def cancel_pending(self, task_ids: Sequence[str]) -> List[str]:
         now = self._clock()
@@ -881,6 +1059,7 @@ class SqliteQueue:
                     (TaskState.CANCELLED.value, now,
                      TaskState.PENDING.value, *ids),
                 )
+        _record_op("cancel", len(cancelled))
         return cancelled
 
     def resubmit_dead(self) -> List[str]:
@@ -899,7 +1078,68 @@ class SqliteQueue:
                     " error = NULL, updated_unix = ? WHERE state = ?",
                     (TaskState.PENDING.value, now, TaskState.DEAD.value),
                 )
+        _record_op("resubmit", len(ids))
         return ids
+
+    def prune(self, ttl_seconds: float) -> Dict[str, int]:
+        if not isinstance(ttl_seconds, (int, float)) or ttl_seconds < 0:
+            raise QueueError(
+                f"ttl_seconds must be a non-negative number, got {ttl_seconds!r}"
+            )
+        cutoff = self._clock() - ttl_seconds
+        with self._transaction() as connection:
+            # Pin the seq floor before deleting: MAX(seq) may drop.
+            row = connection.execute("SELECT MAX(seq) FROM tasks").fetchone()
+            if row[0] is not None:
+                connection.execute(
+                    "INSERT OR REPLACE INTO queue_meta (key, value)"
+                    " VALUES (?, ?)",
+                    (_SEQ_FLOOR_META_KEY, str(int(row[0]) + 1)),
+                )
+            cursor = connection.execute(
+                "DELETE FROM tasks WHERE state IN (?, ?) AND updated_unix < ?",
+                (TaskState.DONE.value, TaskState.CANCELLED.value, cutoff),
+            )
+            tasks_dropped = cursor.rowcount
+            existing = {
+                task_id for (task_id,) in connection.execute(
+                    "SELECT task_id FROM tasks"
+                ).fetchall()
+            }
+            dropped: Dict[str, Set[str]] = {}
+            descriptors = 0
+            for key, value in connection.execute(
+                "SELECT key, value FROM queue_meta WHERE key LIKE ?",
+                (_JOB_META_PREFIX + "%",),
+            ).fetchall():
+                orphan = _orphaned_descriptor(value, existing)
+                if orphan is None:
+                    continue
+                tenant, job_id = orphan
+                connection.execute(
+                    "DELETE FROM queue_meta WHERE key IN (?, ?)",
+                    (key, _dedupe_meta_key(f"job:{tenant}:{job_id}")),
+                )
+                dropped.setdefault(tenant, set()).add(job_id)
+                descriptors += 1
+
+            def get_meta_tx(meta_key: str) -> Optional[str]:
+                row = connection.execute(
+                    "SELECT value FROM queue_meta WHERE key = ?", (meta_key,)
+                ).fetchone()
+                return row[0] if row is not None else None
+
+            def set_meta_tx(meta_key: str, value: str) -> None:
+                connection.execute(
+                    "INSERT OR REPLACE INTO queue_meta (key, value)"
+                    " VALUES (?, ?)",
+                    (meta_key, value),
+                )
+
+            _shrink_job_indexes(get_meta_tx, set_meta_tx, dropped)
+        _record_pruned("task", tasks_dropped)
+        _record_pruned("descriptor", descriptors)
+        return {"tasks": tasks_dropped, "descriptors": descriptors}
 
     def counts(self) -> Dict[str, int]:
         counts = {state.value: 0 for state in TaskState}

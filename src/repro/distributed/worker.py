@@ -36,6 +36,7 @@ worker exits with a report marking the interruption.
 from __future__ import annotations
 
 import contextlib
+import json
 import os
 import signal
 import socket
@@ -48,9 +49,15 @@ from typing import Any, Callable, Dict, Iterator, Optional
 from ..bench.harness import execute_serialized_case
 from ..engine.session import run_serialized_request
 from ..engine.store import NamespacedStore, ResultStore
+from ..obs import families as obs_families
+from ..obs.metrics import get_registry
+from ..obs.scrape import WORKER_METRICS_META_PREFIX
+from ..obs.trace import activate_context, extract_context
+from ..obs.trace import span as trace_span
 from .queue import Task, TaskState, WorkQueue
 
 __all__ = [
+    "WORKER_METRICS_META_PREFIX",
     "Worker",
     "WorkerReport",
     "WorkerShutdown",
@@ -58,7 +65,6 @@ __all__ = [
     "execute_task_payload",
     "signal_shutdown",
 ]
-
 
 class WorkerShutdown(BaseException):
     """A shutdown signal arrived; unwind the worker loop.
@@ -195,6 +201,7 @@ class _LeaseKeeper(threading.Thread):
                 continue
             if not renewed:
                 return
+            obs_families.worker_heartbeats_total().inc()
 
     def stop(self) -> None:
         self._stop_event.set()
@@ -278,8 +285,32 @@ class Worker:
             self.queue, task.task_id, self.worker_id, self.lease_seconds
         )
         keeper.start()
+        kind = (
+            task.payload.get("kind", "bench-case")
+            if isinstance(task.payload, dict) else "unknown"
+        )
+        started = time.perf_counter()
         try:
-            result = self._execute(task)
+            # The payload's "trace" stanza (if the submitter embedded one)
+            # parents this span under the coordinator/service span that
+            # created the task — one trace across process and host hops.
+            context = (
+                extract_context(task.payload.get("trace"))
+                if isinstance(task.payload, dict) else None
+            )
+            with contextlib.ExitStack() as stack:
+                if context is not None:
+                    stack.enter_context(activate_context(context))
+                stack.enter_context(trace_span(
+                    "worker.task",
+                    attrs={
+                        "task_id": task.task_id,
+                        "kind": kind,
+                        "worker_id": self.worker_id,
+                        "attempt": task.attempts,
+                    },
+                ))
+                result = self._execute(task)
         except WorkerShutdown:
             # A shutdown signal mid-task: stop renewing and let run()
             # fail the task back to the queue on the way out.
@@ -287,22 +318,33 @@ class Worker:
             raise
         except Exception as error:
             keeper.stop()
+            obs_families.worker_task_seconds().observe(
+                time.perf_counter() - started, kind=kind
+            )
             message = "".join(
                 traceback.format_exception_only(type(error), error)
             ).strip()
             self.queue.fail(task.task_id, self.worker_id, message)
             report.failed += 1
             report.failures.append(task.task_id)
+            obs_families.worker_tasks_total().inc(outcome="failed")
+            self.publish_metrics()
             return
         keeper.stop()
+        obs_families.worker_task_seconds().observe(
+            time.perf_counter() - started, kind=kind
+        )
         if self.queue.complete(task.task_id, self.worker_id, result):
             report.completed += 1
+            obs_families.worker_tasks_total().inc(outcome="completed")
         else:
             # Our lease lapsed mid-run and the task went elsewhere.  The
             # computation is not wasted if a store is attached (the result
             # was written through), but it is not ours to report as done.
             report.failed += 1
             report.failures.append(task.task_id)
+            obs_families.worker_tasks_total().inc(outcome="lost-lease")
+        self.publish_metrics()
 
     def run(self) -> WorkerReport:
         """Claim and execute until drained/stopped/signalled; returns the
@@ -352,9 +394,27 @@ class Worker:
                     ):
                         report.failed += 1
                         report.failures.append(task.task_id)
+                        obs_families.worker_interrupted_total().inc()
             except BaseException:
                 # The queue is unreachable, or a stray signal hit the
                 # fail-back itself; the lease will expire and recover the
                 # task the slow way.
                 pass
+        self.publish_metrics()
         return report
+
+    def publish_metrics(self) -> None:
+        """Publish this process's metrics snapshot into queue metadata.
+
+        Written under ``worker-metrics:<worker_id>`` after every task and
+        on loop exit; the broker/service merge these at scrape time so a
+        single ``GET /metrics`` covers the whole fleet.  Best-effort —
+        telemetry must never fail the work it observes.
+        """
+        try:
+            self.queue.set_meta(
+                WORKER_METRICS_META_PREFIX + self.worker_id,
+                json.dumps(get_registry().snapshot()),
+            )
+        except Exception:
+            pass

@@ -37,6 +37,8 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from ..attacktree import serialization
 from ..core.problems import Problem
+from ..obs import families as obs_families
+from ..obs.trace import span as trace_span
 from .backend import Model, model_shape, problem_setting
 from .registry import BackendRegistry, shared_registry
 from .requests import AnalysisRequest, AnalysisResult
@@ -87,8 +89,15 @@ def run_request(
     backend = registry.resolve(request.problem, model, backend=request.backend)
     backend.validate_options(request)
     started = time.perf_counter()
-    output = backend.solve(model, request)
+    with trace_span(
+        "solve",
+        attrs={"backend": backend.name, "problem": request.problem.value},
+    ):
+        output = backend.solve(model, request)
     elapsed = time.perf_counter() - started
+    obs_families.solve_seconds().observe(
+        elapsed, backend=backend.name, problem=request.problem.value
+    )
     return AnalysisResult(
         request=request,
         backend=backend.name,
@@ -257,6 +266,7 @@ class AnalysisSession:
             if cached is not None:
                 self.stats.hits += 1
         if cached is not None:
+            obs_families.session_cache_total().inc(result="hit")
             # The extras deep-copy in as_cache_hit is O(result size); do it
             # outside the lock so parallel batches don't serialize on hits
             # (the stored entry is never mutated, so this is safe).
@@ -273,6 +283,7 @@ class AnalysisSession:
                 key, replace(result, extras=copy.deepcopy(result.extras))
             )
             self.stats.misses += 1
+        obs_families.session_cache_total().inc(result="miss")
         self._store_put(request, result)
         return result
 
@@ -318,6 +329,7 @@ class AnalysisSession:
             if count_hit:
                 self.stats.hits += 1
             self.stats.store_hits += 1
+        obs_families.session_cache_total().inc(result="store_hit")
         return detached
 
     def run_batch(
@@ -389,6 +401,7 @@ class AnalysisSession:
         outputs: List[Optional[AnalysisResult]] = [None] * len(requests)
         pending: Dict[Tuple, "Future[Dict[str, Any]]"] = {}
         pending_indices: Dict[Tuple, List[int]] = {}
+        store_answers = 0
         with self._lock:
             cached = {
                 index: self._cache.get(self._key(request))
@@ -408,6 +421,8 @@ class AnalysisSession:
                     entry = self._cache.get(self._key(request))
                 if entry is None:
                     entry = self._from_store(request, count_hit=False)
+                    if entry is not None:
+                        store_answers += 1
                 cached[index] = entry
         misses = [
             (index, request)
@@ -421,6 +436,13 @@ class AnalysisSession:
         with self._lock:
             self.stats.hits += len(requests) - unique_misses
             self.stats.misses += unique_misses
+        # Counter events stay disjoint: store answers already counted
+        # themselves as result="store_hit" inside _from_store.
+        hit_events = len(requests) - unique_misses - store_answers
+        if hit_events > 0:
+            obs_families.session_cache_total().inc(hit_events, result="hit")
+        if unique_misses > 0:
+            obs_families.session_cache_total().inc(unique_misses, result="miss")
         if misses:
             model_payload = serialization.to_dict(self.model)
             workers = max_workers or min(len(misses), 8)

@@ -44,6 +44,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Protocol, Tuple, runtime_checkable
 
+from ..obs import families as obs_families
 from .requests import AnalysisRequest, AnalysisResult
 
 __all__ = [
@@ -113,6 +114,23 @@ class StoreStats:
     #: did not match the key (tampering/corruption) or the payload did not
     #: parse.  Rejected lookups also count as misses.
     rejected: int = 0
+
+
+# Process-wide counters beside the per-instance StoreStats: every store in
+# this process (memory or sqlite; NamespacedStore delegates, so wrapped
+# stores count once) feeds the same exposition families.
+def _record_lookup(result: str) -> None:
+    obs_families.store_lookups_total().inc(result=result)
+
+
+def _record_write(payload_bytes: int) -> None:
+    obs_families.store_writes_total().inc()
+    obs_families.store_written_bytes_total().inc(payload_bytes)
+
+
+def _record_evictions(count: int, reason: str) -> None:
+    if count > 0:
+        obs_families.store_evictions_total().inc(count, reason=reason)
 
 
 def _encode_record(
@@ -239,13 +257,16 @@ class InMemoryStore:
         payload = entry[0] if entry is not None else None
         if payload is None:
             self.stats.misses += 1
+            _record_lookup("miss")
             return None
         result = _decode_record(payload, fingerprint, key)
         if result is None:
             self.stats.rejected += 1
             self.stats.misses += 1
+            _record_lookup("rejected")
             return None
         self.stats.hits += 1
+        _record_lookup("hit")
         return result
 
     def put(
@@ -256,6 +277,7 @@ class InMemoryStore:
         with self._lock:
             self._rows[(fingerprint, key)] = (payload, time.time())
         self.stats.writes += 1
+        _record_write(len(payload))
 
     def prune(self, fingerprint: Optional[str] = None) -> int:
         with self._lock:
@@ -286,17 +308,21 @@ class InMemoryStore:
                 for key in doomed:
                     del self._rows[key]
                 dropped += len(doomed)
+                _record_evictions(len(doomed), "ttl")
             if max_bytes is not None:
                 oldest_first = sorted(
                     self._rows.items(), key=lambda item: item[1][1]
                 )
                 total = sum(len(payload) for _, (payload, _) in oldest_first)
+                size_dropped = 0
                 for key, (payload, _) in oldest_first:
                     if total <= max_bytes:
                         break
                     del self._rows[key]
                     total -= len(payload)
-                    dropped += 1
+                    size_dropped += 1
+                dropped += size_dropped
+                _record_evictions(size_dropped, "size")
         return dropped
 
     def __len__(self) -> int:
@@ -534,19 +560,23 @@ class SqliteStore:
         ).fetchone()
         if row is None:
             self.stats.misses += 1
+            _record_lookup("miss")
             return None
         result = _decode_record(row[0], fingerprint, key)
         if result is None:
             self.stats.rejected += 1
             self.stats.misses += 1
+            _record_lookup("rejected")
             return None
         self.stats.hits += 1
+        _record_lookup("hit")
         return result
 
     def put(
         self, fingerprint: str, request: AnalysisRequest, result: AnalysisResult
     ) -> None:
         key = request_key(request)
+        payload = _encode_record(fingerprint, key, result)
         self._execute(
             "INSERT OR REPLACE INTO results "
             "(fingerprint, request_key, problem, backend, payload, created_unix) "
@@ -556,11 +586,12 @@ class SqliteStore:
                 key,
                 request.problem.value,
                 result.backend,
-                _encode_record(fingerprint, key, result),
+                payload,
                 time.time(),
             ),
         )
         self.stats.writes += 1
+        _record_write(len(payload))
 
     def prune(self, fingerprint: Optional[str] = None) -> int:
         if fingerprint is None:
@@ -613,10 +644,13 @@ class SqliteStore:
         dropped = 0
         if ttl_seconds is not None:
             cutoff = time.time() - ttl_seconds
-            dropped += self._execute(
+            ttl_dropped = self._execute(
                 "DELETE FROM results WHERE created_unix < ?", (cutoff,)
             ).rowcount
+            dropped += ttl_dropped
+            _record_evictions(ttl_dropped, "ttl")
         if max_bytes is not None:
+            size_dropped = 0
             while True:
                 self._vacuum()
                 try:
@@ -637,7 +671,9 @@ class SqliteStore:
                 )
                 if cursor.rowcount == 0:
                     break
-                dropped += cursor.rowcount
+                size_dropped += cursor.rowcount
+            dropped += size_dropped
+            _record_evictions(size_dropped, "size")
         elif dropped:
             self._vacuum()
         return dropped

@@ -9,9 +9,15 @@ produces exactly one line, machine-parseable and stable in shape::
 
 ``request_id`` is generated per request and echoed back to the client in
 the ``X-Request-Id`` response header, so a client-side error report can be
-joined against the server's log.  ``tenant`` is the authenticated tenant
-name (``null`` on the broker, whose auth is a single shared token, and on
-unauthenticated/rejected requests).
+joined against the server's log.  A *client-supplied* ``X-Request-Id`` is
+honoured instead (when it is hex-ish enough to be one, see
+:func:`repro.obs.trace.normalize_trace_id`) and doubles as a trace seed,
+so log lines, response headers and exported spans all join on one id —
+:func:`request_trace_seed` packages that decision for both servers.
+``tenant`` is the authenticated tenant name (``null`` on the broker,
+whose auth is a single shared token, and on unauthenticated/rejected
+requests).  ``trace_id`` appears whenever the request ran under a trace
+context, linking the access line to the span tree in ``--trace-out``.
 
 Lines are written atomically under a lock (the servers are threaded) and
 flushed immediately — an access log that loses its tail on a crash is
@@ -23,9 +29,22 @@ from __future__ import annotations
 import json
 import threading
 import uuid
-from typing import Any, Callable, Dict, Optional, TextIO
+from typing import Any, Callable, Dict, Mapping, Optional, TextIO, Tuple
 
-__all__ = ["AccessLog", "REQUEST_ID_HEADER", "new_request_id"]
+from ..obs.trace import (
+    TRACE_HEADER,
+    TraceContext,
+    new_span_id,
+    normalize_trace_id,
+    parse_traceparent,
+)
+
+__all__ = [
+    "AccessLog",
+    "REQUEST_ID_HEADER",
+    "new_request_id",
+    "request_trace_seed",
+]
 
 #: Response header echoing the server-assigned request id.
 REQUEST_ID_HEADER = "X-Request-Id"
@@ -34,6 +53,26 @@ REQUEST_ID_HEADER = "X-Request-Id"
 def new_request_id() -> str:
     """A fresh 12-hex-character request id."""
     return uuid.uuid4().hex[:12]
+
+
+def request_trace_seed(
+    headers: Mapping[str, str],
+) -> Tuple[str, Optional[TraceContext]]:
+    """The (request id, trace context) one incoming request runs under.
+
+    ``X-Trace-Context`` (a ``<trace_id>-<span_id>`` pair from a tracing
+    caller) wins; failing that, a plausible client ``X-Request-Id`` seeds
+    a fresh trace so pre-tracing clients still get linked spans; failing
+    both, the request gets a new id and no inherited context (handler
+    spans then root their own trace).  The returned request id is what
+    the server echoes back and logs.
+    """
+    context = parse_traceparent(headers.get(TRACE_HEADER))
+    incoming = normalize_trace_id(headers.get(REQUEST_ID_HEADER))
+    request_id = incoming if incoming is not None else new_request_id()
+    if context is None and incoming is not None:
+        context = TraceContext(trace_id=incoming, span_id=new_span_id())
+    return request_id, context
 
 
 class AccessLog:
@@ -62,6 +101,7 @@ class AccessLog:
         latency_ms: float,
         request_id: str,
         tenant: Optional[str] = None,
+        trace_id: Optional[str] = None,
         **extra: Any,
     ) -> None:
         """Write one access line (never raises: logging must not 500 a
@@ -75,6 +115,8 @@ class AccessLog:
             "status": status,
             "latency_ms": round(latency_ms, 2),
         }
+        if trace_id is not None:
+            entry["trace_id"] = trace_id
         entry.update(extra)
         line = json.dumps(entry, sort_keys=True)
         try:

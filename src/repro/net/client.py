@@ -343,6 +343,9 @@ class HttpQueue:
             "task_ids": list(task_ids),
         })["task_ids"]
 
+    def prune(self, ttl_seconds: float) -> Dict[str, int]:
+        return self._call("prune", {"ttl_seconds": ttl_seconds})["pruned"]
+
     def counts(self) -> Dict[str, int]:
         return self._call("counts")["counts"]
 

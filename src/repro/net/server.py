@@ -41,7 +41,12 @@ from ..distributed.queue import (
 from ..distributed.roots import QueueRoot, validate_queue_name
 from ..engine.requests import AnalysisRequest, AnalysisResult
 from ..engine.store import SqliteStore, StoreError
-from .accesslog import AccessLog, REQUEST_ID_HEADER, new_request_id
+from ..obs import families as obs_families
+from ..obs.promtext import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from ..obs.scrape import render_fleet_metrics
+from ..obs.trace import activate_context
+from ..obs.trace import span as trace_span
+from .accesslog import AccessLog, REQUEST_ID_HEADER, request_trace_seed
 from .wire import AUTH_HEADER, SERVER_NAME, WIRE_VERSION, task_to_wire
 
 __all__ = ["BrokerServer"]
@@ -50,6 +55,33 @@ __all__ = ["BrokerServer"]
 #: serialized models, so this is generous — but a broken or hostile client
 #: must not make the server buffer arbitrary amounts of memory.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: The operation names :func:`_queue_operation` / :func:`_store_operation`
+#: dispatch on.  Route *labels* on the request metrics are drawn only from
+#: these closed sets — an arbitrary client path must never mint a new
+#: label value (metric cardinality is a server resource).
+_QUEUE_OP_NAMES = frozenset({
+    "submit", "claim", "heartbeat", "complete", "fail", "expire_leases",
+    "resubmit_dead", "cancel_pending", "prune", "counts", "drained",
+    "tasks", "get_meta", "set_meta", "set_meta_if_absent", "summary",
+})
+_STORE_OP_NAMES = frozenset({"get", "put", "prune", "evict", "len", "summary"})
+
+
+def _route_template(path: str) -> str:
+    """Collapse one request path to a bounded-cardinality route label."""
+    parts = path.strip("/").split("/")
+    if path in ("/ping", "/metrics", "/queues"):
+        return path
+    if len(parts) == 2 and parts[0] == "queues" and parts[1] in ("create", "drop"):
+        return path
+    if len(parts) == 2 and parts[0] == "queue" and parts[1] in _QUEUE_OP_NAMES:
+        return path
+    if len(parts) == 3 and parts[0] == "queues" and parts[2] in _QUEUE_OP_NAMES:
+        return f"/queues/{{name}}/{parts[2]}"
+    if len(parts) == 2 and parts[0] == "store" and parts[1] in _STORE_OP_NAMES:
+        return path
+    return "other"
 
 
 def _queue_operation(
@@ -83,6 +115,8 @@ def _queue_operation(
         return {"task_ids": queue.resubmit_dead()}
     if op == "cancel_pending":
         return {"task_ids": queue.cancel_pending(list(args["task_ids"]))}
+    if op == "prune":
+        return {"pruned": queue.prune(float(args["ttl_seconds"]))}
     if op == "counts":
         return {"counts": queue.counts()}
     if op == "drained":
@@ -155,21 +189,46 @@ class _BrokerHandler(BaseHTTPRequestHandler):
     # plumbing
     # ------------------------------------------------------------------ #
     def _observed(self, method: str, handler: Any) -> None:
-        """Dispatch one request under a request id and an access-log line."""
-        self._request_id = new_request_id()
+        """Dispatch one request under a request id, trace context, request
+        metrics and an access-log line.
+
+        A tracing caller's ``X-Trace-Context`` (or a plausible
+        ``X-Request-Id``) becomes the ambient trace for the handler, so a
+        span exported here carries the caller's trace id — an untraced
+        request runs without a span at all, keeping the hot claim/
+        heartbeat polling loop free of per-request span exports.
+        """
+        self._request_id, context = request_trace_seed(self.headers)
         self._status = 0
+        route = _route_template(self.path)
         started = time.perf_counter()
         try:
-            handler()
+            if context is not None:
+                with activate_context(context), trace_span(
+                    "http.request",
+                    attrs={"server": "broker", "method": method,
+                           "route": route},
+                ):
+                    handler()
+            else:
+                handler()
         finally:
+            elapsed = time.perf_counter() - started
+            obs_families.http_requests_total().inc(
+                server="broker", route=route, status=str(self._status)
+            )
+            obs_families.http_request_seconds().observe(
+                elapsed, server="broker", route=route
+            )
             log = self.server.broker.access_log
             if log is not None:
                 log.record(
                     method=method,
                     route=self.path,
                     status=self._status,
-                    latency_ms=(time.perf_counter() - started) * 1000.0,
+                    latency_ms=elapsed * 1000.0,
                     request_id=self._request_id,
+                    trace_id=None if context is None else context.trace_id,
                 )
 
     def _reply(
@@ -187,6 +246,17 @@ class _BrokerHandler(BaseHTTPRequestHandler):
             self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
+
+    def _reply_text(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self._status = status
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        if self._request_id:
+            self.send_header(REQUEST_ID_HEADER, self._request_id)
+        self.end_headers()
+        self.wfile.write(payload)
 
     def _reply_error(
         self, status: int, message: str, kind: str, close: bool = False
@@ -302,6 +372,14 @@ class _BrokerHandler(BaseHTTPRequestHandler):
             if broker.root is not None:
                 document["queues"] = broker.root.names()
             self._reply(200, document)
+            return
+        if self.path == "/metrics":
+            # Same auth posture as every other broker endpoint (the
+            # bearer-token check above): metrics expose workload shape
+            # and tenant names, which a token-protected broker protects.
+            self._reply_text(
+                200, broker.metrics_body(), PROMETHEUS_CONTENT_TYPE
+            )
             return
         if self.path == "/queues":
             if broker.root is None:
@@ -528,6 +606,25 @@ class BrokerServer:
         self._http.broker = self
         self._http.verbose = verbose
         self.host, self.port = self._http.server_address[:2]
+        # Register every metric family up front so a scrape taken before
+        # the first request still shows the full catalog (at zero).
+        obs_families.ensure_all()
+
+    def metrics_body(self) -> str:
+        """The ``GET /metrics`` exposition body for this broker.
+
+        Covers the broker's own registry plus every worker snapshot
+        published into the served queue(s)' metadata, so one scrape
+        answers for the whole fleet behind this broker.
+        """
+        queues = []
+        if self.queue is not None:
+            queues.append(self.queue)
+        if self.root is not None:
+            for name in self.root.names():
+                with contextlib.suppress(QueueError):
+                    queues.append(self.root.open(name))
+        return render_fleet_metrics(queues=queues, store=self.store)
 
     @property
     def url(self) -> str:

@@ -1,0 +1,91 @@
+"""repro.obs — the stdlib-only observability layer.
+
+Three core pieces, wired through every runtime layer:
+
+* :mod:`repro.obs.metrics` — thread-safe labeled counters / gauges /
+  histograms in a process-local registry, with JSON snapshots that merge
+  across processes (workers publish theirs through queue metadata).
+* :mod:`repro.obs.trace` — span-based tracing on ``contextvars``; trace
+  ids propagate over HTTP headers and inside queue task payloads, and
+  finished spans export as NDJSON (``--trace-out PATH|-``).
+* :mod:`repro.obs.promtext` — Prometheus text-format (v0.0.4) exposition
+  of a snapshot, served as ``GET /metrics`` by ``atcd serve`` and
+  ``atcd api``, plus a small parser for reading scrapes back.
+
+:mod:`repro.obs.families` is the catalog of every metric name the
+runtime emits; see DESIGN.md's "Observability" section for the contract.
+"""
+
+from . import families  # noqa: F401  (re-exported as a namespace)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    merge_snapshots,
+    reset_registry,
+    set_registry,
+)
+from .promtext import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from .promtext import parse as parse_prometheus
+from .promtext import render as render_prometheus
+from .scrape import (
+    WORKER_METRICS_META_PREFIX,
+    render_fleet_metrics,
+    worker_snapshots,
+)
+from .trace import (
+    TRACE_HEADER,
+    NdjsonSpanExporter,
+    Span,
+    TraceContext,
+    activate_context,
+    add_exporter,
+    clear_exporters,
+    current_context,
+    extract_context,
+    inject_context,
+    new_trace_id,
+    normalize_trace_id,
+    open_trace_output,
+    parse_traceparent,
+    remove_exporter,
+    span,
+    traceparent_header,
+)
+
+__all__ = [
+    "families",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "reset_registry",
+    "merge_snapshots",
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
+    "parse_prometheus",
+    "WORKER_METRICS_META_PREFIX",
+    "render_fleet_metrics",
+    "worker_snapshots",
+    "TRACE_HEADER",
+    "TraceContext",
+    "Span",
+    "span",
+    "current_context",
+    "activate_context",
+    "new_trace_id",
+    "normalize_trace_id",
+    "inject_context",
+    "extract_context",
+    "traceparent_header",
+    "parse_traceparent",
+    "add_exporter",
+    "remove_exporter",
+    "clear_exporters",
+    "NdjsonSpanExporter",
+    "open_trace_output",
+]

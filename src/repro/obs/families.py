@@ -1,0 +1,270 @@
+"""The catalog of every metric family the runtime emits.
+
+One module owns all names, help strings and label sets so that (a) the
+DESIGN.md catalog has a single source of truth, (b) two layers can't
+register the same name with different shapes, and (c) servers can
+pre-register everything (:func:`ensure_all`) so ``GET /metrics`` exposes
+each family's ``# TYPE`` line even before the first event — scrapers and
+the CI smoke assertions see a stable schema from request one.
+
+Label cardinality rules (enforced by convention, documented here):
+values must come from *small closed sets* — backend names, task kinds,
+route templates, outcome enums, registered tenants.  Never label by
+task id, job id, request id or fingerprint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+
+__all__ = [
+    "ensure_all",
+    "solve_seconds",
+    "session_cache_total",
+    "store_lookups_total",
+    "store_writes_total",
+    "store_written_bytes_total",
+    "store_evictions_total",
+    "store_entries",
+    "store_bytes",
+    "queue_ops_total",
+    "queue_tasks",
+    "queue_pruned_total",
+    "worker_task_seconds",
+    "worker_tasks_total",
+    "worker_heartbeats_total",
+    "worker_interrupted_total",
+    "http_requests_total",
+    "http_request_seconds",
+    "service_jobs_total",
+    "service_requests_total",
+    "service_rejections_total",
+]
+
+# Sub-second HTTP handling up to multi-second MILP solves.
+_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def _registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    return registry if registry is not None else get_registry()
+
+
+# --- engine ---------------------------------------------------------------
+
+def solve_seconds(registry: Optional[MetricsRegistry] = None) -> Histogram:
+    """Backend solve latency (cache misses only — the actual compute)."""
+    return _registry(registry).histogram(
+        "atcd_solve_seconds",
+        "Wall-clock seconds spent inside backend.solve, per backend and problem.",
+        labelnames=("backend", "problem"),
+        buckets=_LATENCY_BUCKETS,
+    )
+
+
+def session_cache_total(registry: Optional[MetricsRegistry] = None) -> Counter:
+    """Session cache outcomes: result=hit|store_hit|miss."""
+    return _registry(registry).counter(
+        "atcd_session_cache_total",
+        "AnalysisSession cache lookups by outcome "
+        "(hit=in-memory, store_hit=shared store, miss=computed).",
+        labelnames=("result",),
+    )
+
+
+# --- result store ---------------------------------------------------------
+
+def store_lookups_total(registry: Optional[MetricsRegistry] = None) -> Counter:
+    """Store reads: result=hit|miss|rejected (rejected also counts as miss)."""
+    return _registry(registry).counter(
+        "atcd_store_lookups_total",
+        "Result-store lookups by outcome; rejected = failed round-trip "
+        "verification, served as a miss.",
+        labelnames=("result",),
+    )
+
+
+def store_writes_total(registry: Optional[MetricsRegistry] = None) -> Counter:
+    return _registry(registry).counter(
+        "atcd_store_writes_total",
+        "Result-store writes (first-write-wins inserts and overwrites).",
+    )
+
+
+def store_written_bytes_total(registry: Optional[MetricsRegistry] = None) -> Counter:
+    return _registry(registry).counter(
+        "atcd_store_written_bytes_total",
+        "Serialized result payload bytes handed to the store for writing.",
+    )
+
+
+def store_evictions_total(registry: Optional[MetricsRegistry] = None) -> Counter:
+    """Evictions by reason=ttl|size."""
+    return _registry(registry).counter(
+        "atcd_store_evictions_total",
+        "Result-store entries evicted by retention sweeps, by reason.",
+        labelnames=("reason",),
+    )
+
+
+def store_entries(registry: Optional[MetricsRegistry] = None) -> Gauge:
+    return _registry(registry).gauge(
+        "atcd_store_entries",
+        "Entries currently in the result store (refreshed at scrape).",
+    )
+
+
+def store_bytes(registry: Optional[MetricsRegistry] = None) -> Gauge:
+    return _registry(registry).gauge(
+        "atcd_store_bytes",
+        "Payload bytes currently in the result store (refreshed at scrape).",
+    )
+
+
+# --- work queue -----------------------------------------------------------
+
+def queue_ops_total(registry: Optional[MetricsRegistry] = None) -> Counter:
+    """Queue lifecycle events: op=submit|duplicate|claim|heartbeat|complete|
+    retry|dead-letter|lease-expire|resubmit|cancel."""
+    return _registry(registry).counter(
+        "atcd_queue_ops_total",
+        "Durable work-queue lifecycle events by operation.",
+        labelnames=("op",),
+    )
+
+
+def queue_tasks(registry: Optional[MetricsRegistry] = None) -> Gauge:
+    """Queue depth by state (refreshed from counts() at scrape time)."""
+    return _registry(registry).gauge(
+        "atcd_queue_tasks",
+        "Tasks currently in each queue state (refreshed at scrape).",
+        labelnames=("state",),
+    )
+
+
+def queue_pruned_total(registry: Optional[MetricsRegistry] = None) -> Counter:
+    """Retention sweep deletions: kind=task|descriptor."""
+    return _registry(registry).counter(
+        "atcd_queue_pruned_total",
+        "Rows deleted by queue retention sweeps (atcd queue prune).",
+        labelnames=("kind",),
+    )
+
+
+# --- workers --------------------------------------------------------------
+
+def worker_task_seconds(registry: Optional[MetricsRegistry] = None) -> Histogram:
+    return _registry(registry).histogram(
+        "atcd_worker_task_seconds",
+        "Wall-clock seconds a worker spent executing one task, by payload kind.",
+        labelnames=("kind",),
+        buckets=_LATENCY_BUCKETS,
+    )
+
+
+def worker_tasks_total(registry: Optional[MetricsRegistry] = None) -> Counter:
+    """Task outcomes as the worker saw them: outcome=completed|failed|lost-lease."""
+    return _registry(registry).counter(
+        "atcd_worker_tasks_total",
+        "Tasks a worker finished, by outcome (lost-lease = result ready but "
+        "the lease had already expired).",
+        labelnames=("outcome",),
+    )
+
+
+def worker_heartbeats_total(registry: Optional[MetricsRegistry] = None) -> Counter:
+    return _registry(registry).counter(
+        "atcd_worker_heartbeats_total",
+        "Lease-extension heartbeats sent while executing tasks.",
+    )
+
+
+def worker_interrupted_total(registry: Optional[MetricsRegistry] = None) -> Counter:
+    return _registry(registry).counter(
+        "atcd_worker_interrupted_total",
+        "Tasks failed back to the queue because the worker was interrupted "
+        "(SIGTERM/KeyboardInterrupt) mid-execution.",
+    )
+
+
+# --- HTTP servers ---------------------------------------------------------
+
+def http_requests_total(registry: Optional[MetricsRegistry] = None) -> Counter:
+    """Requests by server=broker|service, templated route, and status code."""
+    return _registry(registry).counter(
+        "atcd_http_requests_total",
+        "HTTP requests served, by server, templated route and status code.",
+        labelnames=("server", "route", "status"),
+    )
+
+
+def http_request_seconds(registry: Optional[MetricsRegistry] = None) -> Histogram:
+    return _registry(registry).histogram(
+        "atcd_http_request_seconds",
+        "HTTP request handling latency, by server and templated route.",
+        labelnames=("server", "route"),
+        buckets=_LATENCY_BUCKETS,
+    )
+
+
+# --- multi-tenant service -------------------------------------------------
+
+def service_jobs_total(registry: Optional[MetricsRegistry] = None) -> Counter:
+    return _registry(registry).counter(
+        "atcd_service_jobs_total",
+        "Jobs accepted per tenant (the unit of per-tenant usage accounting).",
+        labelnames=("tenant",),
+    )
+
+
+def service_requests_total(registry: Optional[MetricsRegistry] = None) -> Counter:
+    return _registry(registry).counter(
+        "atcd_service_requests_total",
+        "Analysis requests admitted inside accepted jobs, per tenant.",
+        labelnames=("tenant",),
+    )
+
+
+def service_rejections_total(registry: Optional[MetricsRegistry] = None) -> Counter:
+    """429s per tenant: kind=quota|rate-limit."""
+    return _registry(registry).counter(
+        "atcd_service_rejections_total",
+        "Job submissions rejected with 429, per tenant and rejection kind.",
+        labelnames=("tenant", "kind"),
+    )
+
+
+def ensure_all(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Register every family (with zero samples) in ``registry``.
+
+    Servers call this at startup so the exposition schema is complete
+    from the first scrape; it is idempotent.
+    """
+    registry = _registry(registry)
+    for factory in (
+        solve_seconds,
+        session_cache_total,
+        store_lookups_total,
+        store_writes_total,
+        store_written_bytes_total,
+        store_evictions_total,
+        store_entries,
+        store_bytes,
+        queue_ops_total,
+        queue_tasks,
+        queue_pruned_total,
+        worker_task_seconds,
+        worker_tasks_total,
+        worker_heartbeats_total,
+        worker_interrupted_total,
+        http_requests_total,
+        http_request_seconds,
+        service_jobs_total,
+        service_requests_total,
+        service_rejections_total,
+    ):
+        factory(registry)
+    return registry

@@ -1,0 +1,380 @@
+"""Process-local metrics: labeled counters, gauges and histograms.
+
+The registry is deliberately tiny and dependency-free — the repo's north
+star is a service that runs under real traffic, and the autoscaling /
+usage-accounting work both need an always-on measurement substrate that
+can't pull in a client library.  The model follows Prometheus:
+
+* a *metric family* has a name, a help string, a type and a fixed tuple
+  of label names;
+* each distinct label-value combination is one *sample* (a child);
+* counters only go up, gauges go anywhere, histograms count
+  observations into fixed buckets.
+
+Everything is safe to call from any thread.  Instrumented modules fetch
+their families through :meth:`MetricsRegistry.counter` & co., which are
+get-or-create — re-registering an existing family with the same type is
+a cheap lookup, so call sites don't need module-level caching that would
+go stale when tests swap the registry.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain JSON-serialisable
+dicts.  They are the unit of exchange across process boundaries: workers
+publish their snapshot into queue metadata and servers merge those into
+their own at scrape time (:func:`merge_snapshots`), so a single
+``GET /metrics`` answers for the whole fleet.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "reset_registry",
+    "merge_snapshots",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+# Solve / request latencies span sub-millisecond cache hits to multi-second
+# MILP solves; a coarse exponential ladder keeps the sample payload small.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def _validate_name(name: str) -> str:
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name: {name!r}")
+    return name
+
+
+def _validate_labelnames(labelnames: Sequence[str]) -> Tuple[str, ...]:
+    names = tuple(labelnames)
+    for label in names:
+        if not isinstance(label, str) or not _LABEL_RE.match(label):
+            raise ValueError(f"invalid label name: {label!r}")
+        if label == "le":
+            raise ValueError('label name "le" is reserved for histograms')
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate label names: {names!r}")
+    return names
+
+
+class _Metric:
+    """Shared machinery: one lock, one sample table keyed by label values."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str]) -> None:
+        self.name = _validate_name(name)
+        self.help = str(help)
+        self.labelnames = _validate_labelnames(labelnames)
+        self._lock = threading.Lock()
+        self._samples: Dict[Tuple[str, ...], object] = {}
+
+    def _key(self, labels: Mapping[str, object]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.labelnames!r}, "
+                f"got {tuple(sorted(labels))!r}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _label_dict(self, key: Tuple[str, ...]) -> Dict[str, str]:
+        return dict(zip(self.labelnames, key))
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (events, bytes, errors)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount  # type: ignore[operator]
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return float(self._samples.get(self._key(labels), 0.0))  # type: ignore[arg-type]
+
+    def _snapshot_samples(self) -> List[Dict[str, object]]:
+        with self._lock:
+            items = list(self._samples.items())
+        return [
+            {"labels": self._label_dict(key), "value": value}
+            for key, value in sorted(items)
+        ]
+
+
+class Gauge(_Metric):
+    """Point-in-time value (queue depth, live workers, bytes on disk)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount  # type: ignore[operator]
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return float(self._samples.get(self._key(labels), 0.0))  # type: ignore[arg-type]
+
+    def _snapshot_samples(self) -> List[Dict[str, object]]:
+        with self._lock:
+            items = list(self._samples.items())
+        return [
+            {"labels": self._label_dict(key), "value": value}
+            for key, value in sorted(items)
+        ]
+
+
+class Histogram(_Metric):
+    """Observation distribution over fixed, registration-time buckets.
+
+    Internally each sample keeps *per-bucket* counts (not cumulative);
+    exposition (`promtext.render`) accumulates them into the Prometheus
+    ``le`` convention.  Per-bucket counts merge across processes by plain
+    element-wise addition, which is why snapshots keep them raw.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"buckets must be sorted and unique: {buckets!r}")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        value = float(value)
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            sample = self._samples.get(key)
+            if sample is None:
+                sample = {
+                    "counts": [0] * (len(self.buckets) + 1),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+                self._samples[key] = sample
+            sample["counts"][index] += 1  # type: ignore[index]
+            sample["sum"] += value  # type: ignore[operator, index]
+            sample["count"] += 1  # type: ignore[operator, index]
+
+    def count(self, **labels: object) -> int:
+        with self._lock:
+            sample = self._samples.get(self._key(labels))
+            return int(sample["count"]) if sample else 0  # type: ignore[index, call-overload]
+
+    def _snapshot_samples(self) -> List[Dict[str, object]]:
+        with self._lock:
+            items = [
+                (key, {
+                    "counts": list(sample["counts"]),  # type: ignore[index, call-overload]
+                    "sum": sample["sum"],  # type: ignore[index, call-overload]
+                    "count": sample["count"],  # type: ignore[index, call-overload]
+                })
+                for key, sample in self._samples.items()
+            ]
+        return [
+            {"labels": self._label_dict(key), **sample}
+            for key, sample in sorted(items)
+        ]
+
+
+class MetricsRegistry:
+    """A named collection of metric families.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking for
+    an existing name with the matching type returns the existing family
+    (help/labels of the first registration win); a type mismatch raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls: type, name: str, help: str, **kwargs: object) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ValueError(
+                        f"metric {name} already registered as "
+                        f"{existing.kind}, not {cls.kind}"  # type: ignore[attr-defined]
+                    )
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames=labelnames)  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames=labelnames)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(  # type: ignore[return-value]
+            Histogram, name, help, labelnames=labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-serialisable view of every family and sample."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        out: Dict[str, Dict[str, object]] = {}
+        for name, metric in metrics:
+            family: Dict[str, object] = {
+                "type": metric.kind,
+                "help": metric.help,
+                "labelnames": list(metric.labelnames),
+                "samples": metric._snapshot_samples(),  # type: ignore[attr-defined]
+            }
+            if isinstance(metric, Histogram):
+                family["buckets"] = list(metric.buckets)
+            out[name] = family
+        return out
+
+
+def merge_snapshots(
+    *snapshots: Mapping[str, Mapping[str, object]],
+) -> Dict[str, Dict[str, object]]:
+    """Combine per-process snapshots into one fleet-wide view.
+
+    Counters and histogram bucket counts add; gauges keep the last
+    writer's value (snapshots are merged in argument order, so pass the
+    local snapshot last if its gauges should win).  Families present in
+    only some snapshots pass through; a family whose type or histogram
+    buckets disagree across snapshots keeps the first version and skips
+    the conflicting samples rather than producing corrupt sums.
+    """
+    merged: Dict[str, Dict[str, object]] = {}
+    for snapshot in snapshots:
+        for name, family in snapshot.items():
+            if name not in merged:
+                merged[name] = {
+                    "type": family["type"],
+                    "help": family["help"],
+                    "labelnames": list(family["labelnames"]),  # type: ignore[arg-type]
+                    "samples": [
+                        dict(sample, labels=dict(sample["labels"]))  # type: ignore[index, call-overload]
+                        for sample in family["samples"]  # type: ignore[union-attr]
+                    ],
+                }
+                if "buckets" in family:
+                    merged[name]["buckets"] = list(family["buckets"])  # type: ignore[arg-type]
+                continue
+            target = merged[name]
+            if target["type"] != family["type"]:
+                continue
+            if target["type"] == "histogram" and list(
+                target.get("buckets", [])
+            ) != list(family.get("buckets", [])):  # type: ignore[arg-type, call-overload]
+                continue
+            index = {
+                tuple(sorted(sample["labels"].items())): sample  # type: ignore[index, call-overload, union-attr]
+                for sample in target["samples"]  # type: ignore[union-attr]
+            }
+            for sample in family["samples"]:  # type: ignore[union-attr]
+                key = tuple(sorted(sample["labels"].items()))  # type: ignore[index, call-overload]
+                existing = index.get(key)
+                if existing is None:
+                    fresh = dict(sample, labels=dict(sample["labels"]))  # type: ignore[index, call-overload]
+                    target["samples"].append(fresh)  # type: ignore[union-attr]
+                    index[key] = fresh
+                elif target["type"] == "histogram":
+                    existing["counts"] = [
+                        a + b
+                        for a, b in zip(existing["counts"], sample["counts"])  # type: ignore[index, call-overload]
+                    ]
+                    existing["sum"] += sample["sum"]  # type: ignore[index, call-overload]
+                    existing["count"] += sample["count"]  # type: ignore[index, call-overload]
+                elif target["type"] == "counter":
+                    existing["value"] += sample["value"]  # type: ignore[index, call-overload]
+                else:  # gauge: last writer wins
+                    existing["value"] = sample["value"]  # type: ignore[index, call-overload]
+    for family in merged.values():
+        family["samples"] = sorted(  # type: ignore[assignment]
+            family["samples"],  # type: ignore[arg-type]
+            key=lambda sample: sorted(sample["labels"].items()),  # type: ignore[index, call-overload, union-attr]
+        )
+    return merged
+
+
+_default_lock = threading.Lock()
+_default_registry: Optional[MetricsRegistry] = None
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry (created on first use)."""
+    global _default_registry
+    with _default_lock:
+        if _default_registry is None:
+            _default_registry = MetricsRegistry()
+        return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global registry (tests); returns the previous one."""
+    global _default_registry
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+        return previous if previous is not None else MetricsRegistry()
+
+
+def reset_registry() -> MetricsRegistry:
+    """Replace the process-global registry with a fresh one and return it."""
+    global _default_registry
+    with _default_lock:
+        _default_registry = MetricsRegistry()
+        return _default_registry

@@ -1,0 +1,263 @@
+"""Prometheus text exposition (v0.0.4) for registry snapshots.
+
+:func:`render` turns a :meth:`MetricsRegistry.snapshot` dict (or a
+:func:`merge_snapshots` result) into the ``# HELP`` / ``# TYPE`` /
+sample-line format any Prometheus-compatible scraper understands — the
+payload behind ``GET /metrics`` on both ``atcd serve`` and ``atcd api``.
+
+:func:`parse` is the inverse, deliberately small: enough to read back
+what :func:`render` (or a real Prometheus client) produces so that
+``atcd obs dump --json``, the CI smoke assertions and the golden tests
+don't have to regex their way through the text format.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "CONTENT_TYPE",
+    "render",
+    "parse",
+    "ParseError",
+    "ParsedFamily",
+]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: Mapping[str, str], extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = [(name, str(value)) for name, value in labels.items()]
+    pairs.extend(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def _format_le(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    return _format_value(bound)
+
+
+def render(snapshot: Mapping[str, Mapping[str, object]]) -> str:
+    """Render a snapshot as Prometheus text format v0.0.4.
+
+    Families come out in sorted-name order, samples in the snapshot's
+    (already sorted) order; histogram buckets accumulate into the
+    cumulative ``le`` convention with the mandatory ``+Inf`` bucket,
+    ``_sum`` and ``_count`` series.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        kind = str(family["type"])
+        help_text = str(family.get("help", ""))
+        lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        samples = family.get("samples", [])
+        if kind == "histogram":
+            buckets = [float(b) for b in family.get("buckets", [])]  # type: ignore[arg-type]
+            for sample in samples:  # type: ignore[union-attr]
+                labels = sample["labels"]  # type: ignore[index, call-overload]
+                cumulative = 0
+                for bound, count in zip(buckets, sample["counts"]):  # type: ignore[index, call-overload]
+                    cumulative += count
+                    label_block = _format_labels(
+                        labels, (("le", _format_le(bound)),)
+                    )
+                    lines.append(
+                        f"{name}_bucket{label_block} {_format_value(cumulative)}"
+                    )
+                total = int(sample["count"])  # type: ignore[index, call-overload]
+                inf_block = _format_labels(labels, (("le", "+Inf"),))
+                lines.append(f"{name}_bucket{inf_block} {_format_value(total)}")
+                plain = _format_labels(labels)
+                lines.append(f"{name}_sum{plain} {_format_value(sample['sum'])}")  # type: ignore[index, call-overload, arg-type]
+                lines.append(f"{name}_count{plain} {_format_value(total)}")
+        else:
+            for sample in samples:  # type: ignore[union-attr]
+                label_block = _format_labels(sample["labels"])  # type: ignore[index, call-overload]
+                lines.append(
+                    f"{name}{label_block} {_format_value(sample['value'])}"  # type: ignore[index, call-overload, arg-type]
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class ParseError(ValueError):
+    """The text is not well-formed Prometheus exposition format."""
+
+
+@dataclass
+class ParsedFamily:
+    """One metric family read back from exposition text."""
+
+    name: str
+    type: str = "untyped"
+    help: str = ""
+    # label-tuple -> value, keyed by the *full* sample name (so histogram
+    # series land under name_bucket / name_sum / name_count).
+    samples: List[Tuple[str, Dict[str, str], float]] = field(default_factory=list)
+
+    def value(
+        self, sample_name: Optional[str] = None, **labels: str
+    ) -> Optional[float]:
+        """The first sample matching ``sample_name`` (default: the bare
+        family name) whose labels include every given pair."""
+        wanted = sample_name or self.name
+        for name, sample_labels, value in self.samples:
+            if name != wanted:
+                continue
+            if all(sample_labels.get(k) == v for k, v in labels.items()):
+                return value
+        return None
+
+    def total(self, sample_name: Optional[str] = None) -> float:
+        """Sum over every sample of ``sample_name`` (default: bare name)."""
+        wanted = sample_name or self.name
+        return sum(v for name, _, v in self.samples if name == wanted)
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+
+_SUFFIXES = ("_bucket", "_sum", "_count", "_total")
+
+
+def _parse_label_block(block: str, line_number: int) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i, n = 0, len(block)
+    while i < n:
+        match = re.match(r'\s*([a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"', block[i:])
+        if not match:
+            raise ParseError(f"line {line_number}: bad label block {block!r}")
+        name = match.group(1)
+        i += match.end()
+        value_chars: List[str] = []
+        while i < n:
+            ch = block[i]
+            if ch == "\\" and i + 1 < n:
+                escape = block[i + 1]
+                value_chars.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(escape, "\\" + escape)
+                )
+                i += 2
+                continue
+            if ch == '"':
+                i += 1
+                break
+            value_chars.append(ch)
+            i += 1
+        else:
+            raise ParseError(f"line {line_number}: unterminated label value")
+        labels[name] = "".join(value_chars)
+        rest = block[i:].lstrip()
+        if rest.startswith(","):
+            i = n - len(rest) + 1
+        elif rest:
+            raise ParseError(f"line {line_number}: junk after label {name!r}")
+        else:
+            break
+    return labels
+
+
+def _parse_value(text: str, line_number: int) -> float:
+    lowered = text.lower()
+    if lowered in ("+inf", "inf"):
+        return math.inf
+    if lowered == "-inf":
+        return -math.inf
+    if lowered == "nan":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise ParseError(f"line {line_number}: bad sample value {text!r}")
+
+
+def _family_of(sample_name: str, families: Mapping[str, "ParsedFamily"]) -> str:
+    """Which declared family a sample line belongs to.
+
+    Histogram series carry suffixes; prefer an exact family match (a
+    counter literally named ``x_total`` is its own family), then strip
+    one known suffix.
+    """
+    if sample_name in families:
+        return sample_name
+    for suffix in _SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families:
+                return base
+    return sample_name
+
+
+def parse(text: str) -> Dict[str, ParsedFamily]:
+    """Parse exposition text into ``{family_name: ParsedFamily}``.
+
+    Raises :class:`ParseError` on malformed lines; unknown sample names
+    (no preceding ``# TYPE``) become untyped families of their own.
+    """
+    families: Dict[str, ParsedFamily] = {}
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                name = parts[2]
+                family = families.setdefault(name, ParsedFamily(name=name))
+                family.type = parts[3].strip() if len(parts) > 3 else "untyped"
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                name = parts[2]
+                family = families.setdefault(name, ParsedFamily(name=name))
+                help_text = parts[3] if len(parts) > 3 else ""
+                family.help = help_text.replace("\\n", "\n").replace("\\\\", "\\")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ParseError(f"line {line_number}: bad sample line {raw!r}")
+        sample_name = match.group("name")
+        label_block = match.group("labels")
+        labels = (
+            _parse_label_block(label_block, line_number) if label_block else {}
+        )
+        value = _parse_value(match.group("value"), line_number)
+        family_name = _family_of(sample_name, families)
+        family = families.setdefault(
+            family_name, ParsedFamily(name=family_name)
+        )
+        family.samples.append((sample_name, labels, value))
+    return families

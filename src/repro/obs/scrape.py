@@ -1,0 +1,120 @@
+"""Scrape-time assembly of a server's ``GET /metrics`` answer.
+
+A process's own registry only knows what *this* process did — but solves
+happen on workers, which may be separate processes on separate hosts.
+Workers therefore publish their registry snapshot into queue metadata
+(under :data:`WORKER_METRICS_META_PREFIX` + worker id) after every task,
+and the serving process merges those snapshots into its own at scrape
+time.  One ``GET /metrics`` then answers for the whole fleet, with no
+push gateway and no extra wire protocol: the queue the fleet already
+shares is the transport.
+
+Gauges describe *current* state, not history, so they are refreshed here
+from the queue/store summaries rather than updated on every operation —
+and the local snapshot is merged *last* so its fresh gauge values win
+over anything a snapshot happens to carry (gauges merge last-writer).
+
+Caveat: merging assumes workers are separate processes.  A worker thread
+sharing this process's registry would publish the very numbers the
+server is about to snapshot, double-counting them — in-process tests
+should scrape a fresh registry or skip publishing.
+
+Everything here duck-types the queue/store (``counts()``, ``summary()``,
+``get_meta()``) so :mod:`repro.obs` stays importable before — and
+independent of — the rest of the package.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from . import families
+from .metrics import MetricsRegistry, get_registry, merge_snapshots
+from .promtext import render
+
+__all__ = [
+    "WORKER_METRICS_META_PREFIX",
+    "worker_snapshots",
+    "render_fleet_metrics",
+]
+
+#: Queue-meta key prefix under which each worker publishes its registry
+#: snapshot (JSON).  Defined here, not in the worker, so scraping needs
+#: nothing from :mod:`repro.distributed`.
+WORKER_METRICS_META_PREFIX = "worker-metrics:"
+
+
+def worker_snapshots(queue: Any) -> List[Dict[str, Any]]:
+    """Every worker-published registry snapshot found in ``queue``'s meta.
+
+    Worker ids come from the queue's own ``summary()["workers"]`` — any
+    worker that ever completed a task is listed there, so no separate
+    index is needed.  Unreadable or undecodable snapshots are skipped:
+    a scrape must report what it can, not fail on one stale worker.
+    """
+    try:
+        workers = queue.summary().get("workers") or []
+    except Exception:
+        return []
+    snapshots: List[Dict[str, Any]] = []
+    for worker_id in workers:
+        try:
+            raw = queue.get_meta(WORKER_METRICS_META_PREFIX + str(worker_id))
+            if raw is None:
+                continue
+            snapshot = json.loads(raw)
+        except Exception:
+            continue
+        if isinstance(snapshot, dict):
+            snapshots.append(snapshot)
+    return snapshots
+
+
+def _refresh_queue_gauge(
+    queues: Iterable[Any], registry: MetricsRegistry
+) -> None:
+    totals: Dict[str, int] = {}
+    for queue in queues:
+        try:
+            counts = queue.counts()
+        except Exception:
+            continue
+        for state, value in counts.items():
+            totals[state] = totals.get(state, 0) + int(value)
+    gauge = families.queue_tasks(registry)
+    for state, value in totals.items():
+        gauge.set(value, state=state)
+
+
+def _refresh_store_gauges(store: Any, registry: MetricsRegistry) -> None:
+    try:
+        summary = store.summary()
+    except Exception:
+        return
+    families.store_entries(registry).set(int(summary.get("entries", 0)))
+    families.store_bytes(registry).set(int(summary.get("size_bytes", 0)))
+
+
+def render_fleet_metrics(
+    queues: Iterable[Any] = (),
+    store: Optional[Any] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> str:
+    """The Prometheus text body for one ``GET /metrics``.
+
+    Refreshes the state gauges (task counts summed over ``queues``, store
+    entries/bytes), merges every worker snapshot found in the queues'
+    metadata under the process's own registry, and renders the result.
+    """
+    registry = registry if registry is not None else get_registry()
+    families.ensure_all(registry)
+    queues = list(queues)
+    _refresh_queue_gauge(queues, registry)
+    if store is not None:
+        _refresh_store_gauges(store, registry)
+    snapshots: List[Dict[str, Any]] = []
+    for queue in queues:
+        snapshots.extend(worker_snapshots(queue))
+    snapshots.append(registry.snapshot())
+    return render(merge_snapshots(*snapshots))

@@ -1,0 +1,302 @@
+"""Span-based tracing over ``contextvars``, with cross-host propagation.
+
+A *trace* is one logical operation (an ``atcd dist run``, a service job)
+identified by a 32-hex-char trace id; a *span* is one timed step inside
+it (a solve, an HTTP request, a worker task) with its own 16-hex-char
+span id and a parent span id.  The ambient trace context lives in a
+``contextvars.ContextVar``, so spans nest correctly across threads
+spawned with ``contextvars.copy_context`` and are simply absent where
+nothing installed one — every instrumentation point degrades to a no-op.
+
+Crossing process boundaries:
+
+* **HTTP**: clients send ``X-Trace-Context: <trace_id>-<span_id>``
+  (:func:`traceparent_header` / :func:`parse_traceparent`); servers also
+  accept a bare ``X-Request-Id`` as a trace seed so existing clients
+  participate without knowing about tracing.
+* **Queue payloads**: :func:`inject_context` returns a small dict that
+  coordinators/services embed under the task payload's ``"trace"`` key;
+  workers hand it to :func:`extract_context` so their spans parent the
+  submission that created them.
+
+Finished spans go to process-global exporters (:func:`add_exporter`);
+:class:`NdjsonSpanExporter` writes one JSON object per line, the
+``--trace-out PATH|-`` format consumed offline.  With no exporter
+installed, ``span()`` costs two ``ContextVar`` operations and a clock
+read.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import re
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, TextIO
+
+__all__ = [
+    "TRACE_HEADER",
+    "TraceContext",
+    "Span",
+    "span",
+    "current_context",
+    "activate_context",
+    "new_trace_id",
+    "new_span_id",
+    "normalize_trace_id",
+    "inject_context",
+    "extract_context",
+    "traceparent_header",
+    "parse_traceparent",
+    "add_exporter",
+    "remove_exporter",
+    "clear_exporters",
+    "NdjsonSpanExporter",
+    "open_trace_output",
+]
+
+TRACE_HEADER = "X-Trace-Context"
+
+_HEX_RE = re.compile(r"^[0-9a-f]{8,64}$")
+
+
+def new_trace_id() -> str:
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+def normalize_trace_id(value: object) -> Optional[str]:
+    """Coerce an externally supplied id (e.g. ``X-Request-Id``) to a
+    trace id, or ``None`` if it isn't plausibly one.
+
+    Anything hex-ish between 8 and 64 chars is accepted — request ids
+    are 12 hex chars and make perfectly good trace seeds, which is how
+    clients that only know about request ids still get linked traces.
+    """
+    if not isinstance(value, str):
+        return None
+    candidate = value.strip().lower()
+    if not _HEX_RE.match(candidate):
+        return None
+    return candidate
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The ambient (trace id, active span id) pair."""
+
+    trace_id: str
+    span_id: str
+
+
+_current: "contextvars.ContextVar[Optional[TraceContext]]" = contextvars.ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_context() -> Optional[TraceContext]:
+    return _current.get()
+
+
+@contextlib.contextmanager
+def activate_context(context: Optional[TraceContext]) -> Iterator[None]:
+    """Install a remote parent context (from a header or payload) for the
+    duration of the block; ``None`` deactivates tracing inside it."""
+    token = _current.set(context)
+    try:
+        yield
+    finally:
+        _current.reset(token)
+
+
+@dataclass
+class Span:
+    """One finished, timed step of a trace (exporters receive these)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start_unix: float
+    duration_seconds: float = 0.0
+    status: str = "ok"
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_unix": self.start_unix,
+            "duration_seconds": self.duration_seconds,
+            "status": self.status,
+        }
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+
+_exporters_lock = threading.Lock()
+_exporters: List[object] = []
+
+
+def add_exporter(exporter: object) -> None:
+    """Register a callable (or object with ``.export(span)``) that
+    receives every finished :class:`Span` in this process."""
+    with _exporters_lock:
+        _exporters.append(exporter)
+
+
+def remove_exporter(exporter: object) -> None:
+    with _exporters_lock:
+        try:
+            _exporters.remove(exporter)
+        except ValueError:
+            pass
+
+
+def clear_exporters() -> None:
+    with _exporters_lock:
+        _exporters.clear()
+
+
+def _export(finished: Span) -> None:
+    with _exporters_lock:
+        exporters = list(_exporters)
+    for exporter in exporters:
+        try:
+            export = getattr(exporter, "export", exporter)
+            export(finished)  # type: ignore[operator]
+        except Exception:
+            # Telemetry must never take down the operation it observes.
+            pass
+
+
+@contextlib.contextmanager
+def span(
+    name: str,
+    attrs: Optional[Mapping[str, object]] = None,
+) -> Iterator[Span]:
+    """Time a block as one span of the ambient trace.
+
+    Parents to the current context; with no ambient trace, starts a new
+    one (so top-level entry points — a CLI run, an HTTP request — root a
+    trace implicitly and everything beneath them nests).  The yielded
+    :class:`Span` is live: callers may add ``attrs`` to it.  An
+    exception inside the block marks ``status="error"`` (recording the
+    exception type) and re-raises.
+    """
+    parent = _current.get()
+    if parent is None:
+        trace_id, parent_id = new_trace_id(), None
+    else:
+        trace_id, parent_id = parent.trace_id, parent.span_id
+    current = Span(
+        trace_id=trace_id,
+        span_id=new_span_id(),
+        parent_id=parent_id,
+        name=str(name),
+        start_unix=time.time(),
+        attrs=dict(attrs) if attrs else {},
+    )
+    token = _current.set(TraceContext(trace_id, current.span_id))
+    started = time.perf_counter()
+    try:
+        yield current
+    except BaseException as error:
+        current.status = "error"
+        current.attrs.setdefault("error", type(error).__name__)
+        raise
+    finally:
+        current.duration_seconds = time.perf_counter() - started
+        _current.reset(token)
+        _export(current)
+
+
+def inject_context() -> Optional[Dict[str, str]]:
+    """The ambient context as a payload-embeddable dict (or ``None``)."""
+    context = _current.get()
+    if context is None:
+        return None
+    return {"trace_id": context.trace_id, "parent_span_id": context.span_id}
+
+
+def extract_context(carrier: object) -> Optional[TraceContext]:
+    """Rebuild a :class:`TraceContext` from :func:`inject_context` output
+    (tolerates arbitrary junk — returns ``None`` rather than raising)."""
+    if not isinstance(carrier, Mapping):
+        return None
+    trace_id = normalize_trace_id(carrier.get("trace_id"))
+    if trace_id is None:
+        return None
+    parent = carrier.get("parent_span_id")
+    span_id = normalize_trace_id(parent) or new_span_id()
+    return TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+def traceparent_header() -> Optional[str]:
+    """The ambient context as an ``X-Trace-Context`` value (or ``None``)."""
+    context = _current.get()
+    if context is None:
+        return None
+    return f"{context.trace_id}-{context.span_id}"
+
+
+def parse_traceparent(value: object) -> Optional[TraceContext]:
+    """Parse an ``X-Trace-Context`` header (``<trace_id>-<span_id>``)."""
+    if not isinstance(value, str) or "-" not in value:
+        return None
+    trace_part, _, span_part = value.strip().partition("-")
+    trace_id = normalize_trace_id(trace_part)
+    span_id = normalize_trace_id(span_part)
+    if trace_id is None or span_id is None:
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+class NdjsonSpanExporter:
+    """Write each finished span as one JSON line (thread-safe)."""
+
+    def __init__(self, stream: TextIO, close_stream: bool = False) -> None:
+        self._stream = stream
+        self._close_stream = close_stream
+        self._lock = threading.Lock()
+
+    def export(self, finished: Span) -> None:
+        line = json.dumps(finished.to_dict(), sort_keys=True, default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._close_stream:
+                self._stream.close()
+
+
+def open_trace_output(spec: str) -> NdjsonSpanExporter:
+    """Build (and register) an exporter for a ``--trace-out PATH|-`` spec.
+
+    ``-`` means stderr — stdout stays reserved for command output.  File
+    paths are opened in append mode so several worker processes sharing
+    one ``--trace-out`` file interleave whole lines instead of
+    truncating each other.
+    """
+    import sys
+
+    if spec == "-":
+        exporter = NdjsonSpanExporter(sys.stderr)
+    else:
+        exporter = NdjsonSpanExporter(
+            open(spec, "a", encoding="utf-8"), close_stream=True
+        )
+    add_exporter(exporter)
+    return exporter

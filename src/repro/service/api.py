@@ -56,7 +56,12 @@ from typing import Any, Callable, Dict, Optional
 
 from ..distributed.queue import QueueError, WorkQueue
 from ..engine.store import StoreError
-from ..net.accesslog import AccessLog, REQUEST_ID_HEADER, new_request_id
+from ..net.accesslog import AccessLog, REQUEST_ID_HEADER, request_trace_seed
+from ..obs import families as obs_families
+from ..obs.promtext import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from ..obs.scrape import render_fleet_metrics
+from ..obs.trace import activate_context
+from ..obs.trace import span as trace_span
 from .jobs import JobError, JobManager, JobValidationError, validate_batch
 from .quotas import QuotaExceeded, QuotaManager
 from .tenants import API_KEY_HEADER, Tenant, TenantRegistry
@@ -74,6 +79,27 @@ SERVICE_VERSION = 1
 #: so this is generous — but a hostile client must not make the service
 #: buffer unbounded memory.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def _route_template(path: str) -> str:
+    """Collapse one request path to a bounded-cardinality route label.
+
+    Job ids are per-job unique and must never become label values, so the
+    ``/v1/jobs/...`` shapes collapse to ``{id}`` templates; anything off
+    the wire schema is just ``other``.
+    """
+    if path in ("/ping", "/metrics", "/v1/jobs"):
+        return path
+    parts = path.strip("/").split("/")
+    if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+        return "/v1/jobs/{id}"
+    if (
+        len(parts) == 4
+        and parts[:2] == ["v1", "jobs"]
+        and parts[3] in ("results", "stream", "cancel")
+    ):
+        return f"/v1/jobs/{{id}}/{parts[3]}"
+    return "other"
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
@@ -94,22 +120,42 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     # plumbing (the broker's, plus tenant attribution)
     # ------------------------------------------------------------------ #
     def _observed(self, method: str, handler: Callable[[], None]) -> None:
-        self._request_id = new_request_id()
+        self._request_id, context = request_trace_seed(self.headers)
         self._status = 0
         self._tenant = None
+        route = _route_template(self.path)
         started = time.perf_counter()
         try:
-            handler()
+            if context is not None:
+                # A tracing caller's context becomes the ambient trace, so
+                # the job.submit span (and through the queue payload, every
+                # worker span) carries the caller's trace id.
+                with activate_context(context), trace_span(
+                    "http.request",
+                    attrs={"server": "service", "method": method,
+                           "route": route},
+                ):
+                    handler()
+            else:
+                handler()
         finally:
+            elapsed = time.perf_counter() - started
+            obs_families.http_requests_total().inc(
+                server="service", route=route, status=str(self._status)
+            )
+            obs_families.http_request_seconds().observe(
+                elapsed, server="service", route=route
+            )
             log = self.server.service.access_log
             if log is not None:
                 log.record(
                     method=method,
                     route=self.path,
                     status=self._status,
-                    latency_ms=(time.perf_counter() - started) * 1000.0,
+                    latency_ms=elapsed * 1000.0,
                     request_id=self._request_id,
                     tenant=None if self._tenant is None else self._tenant.name,
+                    trace_id=None if context is None else context.trace_id,
                 )
 
     def _reply(
@@ -232,6 +278,20 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 "server": SERVICE_NAME,
                 "service_version": SERVICE_VERSION,
             })
+            return
+        if self.path == "/metrics":
+            # Operator-facing like /ping, so it shares /ping's (open) auth
+            # posture: per-tenant API keys authenticate *tenants*, and a
+            # fleet-wide scrape belongs to no one tenant.
+            body = self.server.service.metrics_body()
+            payload = body.encode("utf-8")
+            self._status = 200
+            self.send_response(200)
+            self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(payload)))
+            self.send_header(REQUEST_ID_HEADER, self._request_id)
+            self.end_headers()
+            self.wfile.write(payload)
             return
         tenant = self._authenticate()
         if tenant is None:
@@ -360,6 +420,11 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._reply_error(400, str(error), "validation", **extra)
             return
         except QuotaExceeded as error:
+            # error.kind is "quota" or "rate-limit" — a closed set, so it
+            # is safe as a label value.
+            obs_families.service_rejections_total().inc(
+                tenant=tenant.name, kind=error.kind
+            )
             headers = {}
             extra = {}
             if error.retry_after_seconds is not None:
@@ -508,6 +573,19 @@ class ServiceServer:
         self._http.service = self
         self._http.verbose = verbose
         self.host, self.port = self._http.server_address[:2]
+        # Register every metric family up front so a scrape taken before
+        # the first request still shows the full catalog (at zero).
+        obs_families.ensure_all()
+
+    def metrics_body(self) -> str:
+        """The ``GET /metrics`` exposition body for this service.
+
+        Merges the workers' published snapshots (found in the shared
+        queue's metadata) under the service's own registry, so engine and
+        worker metrics show up here even though the service itself never
+        computes anything.
+        """
+        return render_fleet_metrics(queues=[self.queue])
 
     @property
     def url(self) -> str:

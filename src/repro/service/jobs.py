@@ -45,6 +45,9 @@ import uuid
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..distributed.queue import Task, TaskState, WorkQueue
+from ..obs import families as obs_families
+from ..obs.trace import inject_context
+from ..obs.trace import span as trace_span
 
 __all__ = [
     "JOB_STATES",
@@ -231,21 +234,31 @@ class JobManager:
         requests = list(request_payloads)
         validate_batch(model_payload, requests, self.max_requests)
         job_id = uuid.uuid4().hex[:12]
-        payloads = [
-            {
-                "kind": "request",
-                "model": model_payload,
-                "request": dict(entry),
-                "store_namespace": tenant,
-                "job": {"id": job_id, "tenant": tenant, "index": index},
-            }
-            for index, entry in enumerate(requests)
-        ]
-        task_ids = self.queue.submit(
-            payloads,
-            max_attempts=self.max_attempts,
-            dedupe_key=f"job:{tenant}:{job_id}",
-        )
+        with trace_span(
+            "job.submit", attrs={"tenant": tenant, "requests": len(requests)}
+        ):
+            # Each task carries the submission's trace context, so the
+            # worker spans executing this job parent under it (one trace
+            # per job, across the whole fleet).
+            carrier = inject_context()
+            payloads = [
+                {
+                    "kind": "request",
+                    "model": model_payload,
+                    "request": dict(entry),
+                    "store_namespace": tenant,
+                    "job": {"id": job_id, "tenant": tenant, "index": index},
+                    **({"trace": dict(carrier)} if carrier else {}),
+                }
+                for index, entry in enumerate(requests)
+            ]
+            task_ids = self.queue.submit(
+                payloads,
+                max_attempts=self.max_attempts,
+                dedupe_key=f"job:{tenant}:{job_id}",
+            )
+        obs_families.service_jobs_total().inc(tenant=tenant)
+        obs_families.service_requests_total().inc(len(task_ids), tenant=tenant)
         descriptor = {
             "job_id": job_id,
             "tenant": tenant,

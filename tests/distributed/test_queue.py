@@ -456,6 +456,101 @@ class TestResubmitDead:
         assert done.result == {"answer": 1}
 
 
+class TestPrune:
+    """Retention sweeps (``atcd queue prune``) across all three queues."""
+
+    def _finish(self, queue, task_id, worker="w"):
+        queue.complete(task_id, worker, {"ok": True})
+
+    def test_prunes_done_and_cancelled_past_ttl(self, any_queue):
+        ids = any_queue.submit(payloads(3))
+        task = any_queue.claim("w", lease_seconds=30)
+        self._finish(any_queue, task.task_id)
+        any_queue.cancel_pending([ids[1]])
+        time.sleep(0.01)
+        assert any_queue.prune(0.0) == {"tasks": 2, "descriptors": 0}
+        assert any_queue.counts() == {
+            "pending": 1, "running": 0, "done": 0, "dead": 0, "cancelled": 0,
+        }
+
+    def test_generous_ttl_keeps_fresh_finishes(self, any_queue):
+        any_queue.submit(payloads(1))
+        task = any_queue.claim("w", lease_seconds=30)
+        self._finish(any_queue, task.task_id)
+        assert any_queue.prune(3600.0) == {"tasks": 0, "descriptors": 0}
+        assert any_queue.counts()["done"] == 1
+
+    def test_pending_running_and_dead_tasks_survive(self, any_queue):
+        any_queue.submit(payloads(3), max_attempts=1)
+        any_queue.claim("w", lease_seconds=30)  # running
+        doomed = any_queue.claim("w", lease_seconds=30)
+        any_queue.fail(doomed.task_id, "w", "boom")  # dead
+        time.sleep(0.01)
+        assert any_queue.prune(0.0) == {"tasks": 0, "descriptors": 0}
+        counts = any_queue.counts()
+        assert counts == {
+            "pending": 1, "running": 1, "done": 0, "dead": 1, "cancelled": 0,
+        }
+
+    def test_orphaned_job_descriptors_are_collected(self, any_queue):
+        ids = any_queue.submit(payloads(2))
+        descriptor = {"tenant": "acme", "job_id": "j1", "task_ids": ids}
+        any_queue.set_meta("job:acme:j1", json.dumps(descriptor))
+        any_queue.set_meta_if_absent(
+            "submit-dedupe:job:acme:j1", json.dumps(ids)
+        )
+        any_queue.set_meta("jobs:acme", json.dumps(["j1"]))
+        for _ in ids:
+            task = any_queue.claim("w", lease_seconds=30)
+            self._finish(any_queue, task.task_id)
+        time.sleep(0.01)
+        # While any task is alive the descriptor stays; once pruned it goes
+        # along with its dedupe record and tenant-index entry.
+        assert any_queue.prune(0.0) == {"tasks": 2, "descriptors": 1}
+        assert any_queue.get_meta("job:acme:j1") is None
+        assert any_queue.get_meta("submit-dedupe:job:acme:j1") is None
+        assert json.loads(any_queue.get_meta("jobs:acme")) == []
+
+    def test_descriptor_with_a_live_task_is_kept(self, any_queue):
+        ids = any_queue.submit(payloads(2))
+        descriptor = {"tenant": "acme", "job_id": "j1", "task_ids": ids}
+        any_queue.set_meta("job:acme:j1", json.dumps(descriptor))
+        task = any_queue.claim("w", lease_seconds=30)
+        self._finish(any_queue, task.task_id)  # the other stays pending
+        time.sleep(0.01)
+        assert any_queue.prune(0.0) == {"tasks": 1, "descriptors": 0}
+        assert any_queue.get_meta("job:acme:j1") is not None
+
+    def test_dead_tasks_keep_their_descriptor_inspectable(self, any_queue):
+        ids = any_queue.submit(payloads(1), max_attempts=1)
+        descriptor = {"tenant": "acme", "job_id": "j1", "task_ids": ids}
+        any_queue.set_meta("job:acme:j1", json.dumps(descriptor))
+        task = any_queue.claim("w", lease_seconds=30)
+        any_queue.fail(task.task_id, "w", "boom")
+        time.sleep(0.01)
+        assert any_queue.prune(0.0) == {"tasks": 0, "descriptors": 0}
+        assert any_queue.get_meta("job:acme:j1") is not None
+
+    def test_undecodable_descriptors_are_never_deleted(self, any_queue):
+        any_queue.set_meta("job:acme:junk", "not json {")
+        assert any_queue.prune(0.0) == {"tasks": 0, "descriptors": 0}
+        assert any_queue.get_meta("job:acme:junk") == "not json {"
+
+    def test_task_ids_are_not_recycled_after_prune(self, any_queue):
+        first = any_queue.submit(payloads(2))
+        for _ in first:
+            task = any_queue.claim("w", lease_seconds=30)
+            self._finish(any_queue, task.task_id)
+        time.sleep(0.01)
+        any_queue.prune(0.0)
+        second = any_queue.submit(payloads(2))
+        assert not set(first) & set(second)
+
+    def test_negative_ttl_is_rejected(self, any_queue):
+        with pytest.raises(QueueError, match="ttl"):
+            any_queue.prune(-1.0)
+
+
 class TestClockAndGrace:
     """Lease expiry must run on the queue's injected clock, with a skew
     grace — an NTP step on one host must never double-execute a task."""

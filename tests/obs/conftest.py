@@ -1,0 +1,21 @@
+"""Observability tests run against a fresh process-global registry.
+
+The metrics registry and the span-exporter list are process-global by
+design (instrumented code must not thread a handle through every layer),
+which makes them shared mutable state between tests — so every test in
+this package gets both reset before and after it runs.
+"""
+
+import pytest
+
+from repro.obs.metrics import reset_registry
+from repro.obs.trace import clear_exporters
+
+
+@pytest.fixture(autouse=True)
+def fresh_observability():
+    reset_registry()
+    clear_exporters()
+    yield
+    reset_registry()
+    clear_exporters()

@@ -1,0 +1,168 @@
+"""Metrics registry semantics: types, labels, thread-safety, merging."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    merge_snapshots,
+    reset_registry,
+)
+
+
+class TestRegistryBasics:
+    def test_counter_accumulates_per_label_set(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", "events", ["kind"])
+        counter.inc(kind="a")
+        counter.inc(2, kind="a")
+        counter.inc(kind="b")
+        assert counter.value(kind="a") == 3
+        assert counter.value(kind="b") == 1
+        assert counter.value(kind="absent") == 0
+
+    def test_counter_rejects_negative_increment(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", "events", [])
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_sets_and_moves(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "depth", ["state"])
+        gauge.set(5, state="pending")
+        gauge.dec(2, state="pending")
+        gauge.inc(1, state="pending")
+        assert gauge.value(state="pending") == 4
+
+    def test_histogram_buckets_and_sum(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "latency_seconds", "latency", [], buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count() == 3
+        samples = registry.snapshot()["latency_seconds"]["samples"]
+        assert samples[0]["sum"] == pytest.approx(5.55)
+        # Per-bucket (non-cumulative) counts: one observation each in
+        # (<=0.1], (0.1, 1.0], and the overflow bucket.
+        assert samples[0]["counts"] == [1, 1, 1]
+
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "x", ["k"])
+        second = registry.counter("x_total", "x", ["k"])
+        assert first is second
+
+    def test_type_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "x", [])
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "x", [])
+
+    def test_invalid_names_and_labels_are_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad-name", "x", [])
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", "x", ["bad-label"])
+        counter = registry.counter("ok_total", "x", ["k"])
+        with pytest.raises(ValueError):
+            counter.inc(unknown="v")
+
+    def test_reset_registry_replaces_the_global(self):
+        before = get_registry()
+        before.counter("stale_total", "stale", []).inc()
+        after = reset_registry()
+        assert get_registry() is after
+        assert after is not before
+        assert "stale_total" not in after.snapshot()
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_and_histogram_updates_are_lossless(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "hits", ["worker"])
+        histogram = registry.histogram(
+            "work_seconds", "work", [], buckets=(0.5,)
+        )
+        threads_n, increments = 8, 2000
+        barrier = threading.Barrier(threads_n)
+
+        def hammer(worker_index):
+            barrier.wait()
+            for _ in range(increments):
+                counter.inc(worker=f"w{worker_index % 2}")
+                histogram.observe(0.25)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = counter.value(worker="w0") + counter.value(worker="w1")
+        assert total == threads_n * increments
+        assert histogram.count() == threads_n * increments
+
+
+class TestMergeSnapshots:
+    def _snap(self, build):
+        registry = MetricsRegistry()
+        build(registry)
+        return registry.snapshot()
+
+    def test_counters_add_and_gauges_take_last_writer(self):
+        first = self._snap(lambda r: (
+            r.counter("c_total", "c", ["k"]).inc(2, k="a"),
+            r.gauge("g", "g", []).set(1),
+        ))
+        second = self._snap(lambda r: (
+            r.counter("c_total", "c", ["k"]).inc(3, k="a"),
+            r.gauge("g", "g", []).set(7),
+        ))
+        merged = merge_snapshots(first, second)
+        (counter_sample,) = merged["c_total"]["samples"]
+        assert counter_sample["value"] == 5
+        (gauge_sample,) = merged["g"]["samples"]
+        assert gauge_sample["value"] == 7
+
+    def test_histograms_merge_elementwise(self):
+        def build(observations):
+            def inner(registry):
+                histogram = registry.histogram(
+                    "h_seconds", "h", [], buckets=(1.0, 2.0)
+                )
+                for value in observations:
+                    histogram.observe(value)
+            return inner
+
+        merged = merge_snapshots(
+            self._snap(build([0.5, 1.5])), self._snap(build([1.5, 5.0]))
+        )
+        (sample,) = merged["h_seconds"]["samples"]
+        assert sample["counts"] == [1, 2, 1]
+        assert sample["count"] == 4
+        assert sample["sum"] == pytest.approx(8.5)
+
+    def test_conflicting_types_keep_the_first_definition(self):
+        first = self._snap(lambda r: r.counter("m", "m", []).inc())
+        second = self._snap(lambda r: r.gauge("m", "m", []).set(9))
+        merged = merge_snapshots(first, second)
+        assert merged["m"]["type"] == "counter"
+        (sample,) = merged["m"]["samples"]
+        assert sample["value"] == 1
+
+    def test_snapshot_is_json_compatible(self):
+        import json
+
+        snapshot = self._snap(lambda r: (
+            r.counter("c_total", "c", ["k"]).inc(k="x"),
+            r.histogram("h_seconds", "h", [], buckets=(1.0,)).observe(2.0),
+        ))
+        assert json.loads(json.dumps(snapshot)) == snapshot

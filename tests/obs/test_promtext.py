@@ -1,0 +1,83 @@
+"""Prometheus text exposition: golden output and parse round-trips."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import CONTENT_TYPE, ParseError, parse, render
+
+#: Byte-for-byte expected exposition of the registry built by
+#: :func:`_build_registry` — the v0.0.4 text contract: HELP/TYPE pairs per
+#: family, label escaping (backslash, newline), cumulative ``le`` buckets
+#: ending in ``+Inf``, and ``_sum``/``_count`` series per histogram.
+GOLDEN = (
+    "# HELP jobs_total Jobs accepted.\n"
+    "# TYPE jobs_total counter\n"
+    'jobs_total{tenant="acme"} 2\n'
+    'jobs_total{tenant="zeta corp\\\\x\\n"} 1\n'
+    "# HELP queue_depth Tasks waiting.\n"
+    "# TYPE queue_depth gauge\n"
+    "queue_depth 4\n"
+    "# HELP solve_seconds Solve latency.\n"
+    "# TYPE solve_seconds histogram\n"
+    'solve_seconds_bucket{backend="bu",le="0.1"} 1\n'
+    'solve_seconds_bucket{backend="bu",le="1"} 2\n'
+    'solve_seconds_bucket{backend="bu",le="+Inf"} 3\n'
+    'solve_seconds_sum{backend="bu"} 3.55\n'
+    'solve_seconds_count{backend="bu"} 3\n'
+)
+
+
+def _build_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter("jobs_total", "Jobs accepted.", ["tenant"])
+    counter.inc(2, tenant="acme")
+    counter.inc(tenant="zeta corp\\x\n")
+    registry.gauge("queue_depth", "Tasks waiting.", []).set(4)
+    histogram = registry.histogram(
+        "solve_seconds", "Solve latency.", ["backend"], buckets=(0.1, 1.0)
+    )
+    for value in (0.05, 0.5, 3.0):
+        histogram.observe(value, backend="bu")
+    return registry
+
+
+class TestRender:
+    def test_golden_output(self):
+        assert render(_build_registry().snapshot()) == GOLDEN
+
+    def test_content_type_is_the_v004_text_format(self):
+        assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_empty_families_still_render_help_and_type(self):
+        registry = MetricsRegistry()
+        registry.counter("quiet_total", "never incremented", ["k"])
+        text = render(registry.snapshot())
+        assert "# HELP quiet_total never incremented\n" in text
+        assert "# TYPE quiet_total counter\n" in text
+        assert "quiet_total{" not in text
+
+
+class TestParse:
+    def test_round_trip_recovers_every_sample(self):
+        families = parse(GOLDEN)
+        jobs = families["jobs_total"]
+        assert jobs.type == "counter"
+        assert jobs.value(tenant="acme") == 2
+        assert jobs.total() == 3
+        assert families["queue_depth"].value() == 4
+        solve = families["solve_seconds"]
+        assert solve.type == "histogram"
+        assert solve.value("solve_seconds_count", backend="bu") == 3
+        assert solve.value("solve_seconds_sum", backend="bu") == pytest.approx(3.55)
+        assert solve.value("solve_seconds_bucket", backend="bu", le="+Inf") == 3
+
+    def test_render_parse_render_is_stable(self):
+        assert render is not None
+        first = render(_build_registry().snapshot())
+        # Parsing loses nothing needed to answer value queries, and a
+        # re-render of the same snapshot is byte-identical.
+        assert render(_build_registry().snapshot()) == first
+
+    def test_malformed_line_raises_parse_error(self):
+        with pytest.raises(ParseError):
+            parse("this is not { exposition")

@@ -350,6 +350,30 @@ class TestErrorPaths:
                      "--profile", "nope"]) == 2
         self._assert_one_line_error(capsys)
 
+    def test_queue_prune_reports_deletions(self, tmp_path, capsys):
+        from repro.distributed import SqliteQueue
+
+        path = str(tmp_path / "queue.sqlite")
+        with SqliteQueue(path) as queue:
+            queue.submit([{"kind": "test"}])
+            task = queue.claim("w", lease_seconds=30)
+            queue.complete(task.task_id, "w", {"ok": True})
+        assert main(["queue", "prune", path, "--ttl", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 finished tasks" in out
+
+    def test_queue_prune_negative_ttl_exits_2(self, tmp_path, capsys):
+        from repro.distributed import SqliteQueue
+
+        path = str(tmp_path / "queue.sqlite")
+        SqliteQueue(path).close()
+        assert main(["queue", "prune", path, "--ttl", "-1"]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_obs_dump_non_http_url_exits_2(self, capsys):
+        assert main(["obs", "dump", "not-a-url"]) == 2
+        self._assert_one_line_error(capsys)
+
     def test_store_prune_ttl_with_fingerprint_exits_2(self, tmp_path, capsys):
         from repro.engine import SqliteStore
 
