@@ -142,7 +142,9 @@ def validate_artifact(data: Any) -> Dict[str, Any]:
         try:
             ScenarioSpec.from_dict(spec)
         except (ValueError, TypeError) as error:
-            raise ValueError(f"specs[{index}] is not a valid scenario: {error}")
+            raise ValueError(
+                f"specs[{index}] is not a valid scenario: {error}"
+            ) from error
     return data
 
 

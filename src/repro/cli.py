@@ -65,6 +65,13 @@ Installed as the ``atcd`` console script.  Sub-commands:
 ``atcd experiments [--quick]``
     Run the paper's case-study experiments and print the comparison against
     the published fronts.
+``atcd check [PATHS ...] [--rule ID] [--json] [--baseline FILE]``
+    Run the project-invariant static analyzer
+    (see :mod:`repro.devtools.staticcheck`) — determinism, metrics
+    cardinality, transaction discipline, lock order, CLI exit codes and
+    broad-except hygiene.  Exits 1 on findings outside the baseline,
+    0 when clean; ``--write-baseline FILE`` grandfathers the current
+    findings.
 
 Models are the JSON documents produced by
 :mod:`repro.attacktree.serialization`.  Requests/results are the JSON
@@ -82,6 +89,7 @@ from typing import Optional, Sequence
 
 from .attacktree import catalog, serialization
 from .attacktree.attributes import CostDamageAT, CostDamageProbAT
+from .devtools.staticcheck import DEFAULT_BASELINE_NAME
 from .core.analysis import CostDamageAnalyzer
 from .core.problems import Method, Problem
 from .engine import AnalysisRequest, AnalysisSession, shared_registry
@@ -101,10 +109,11 @@ _CATALOG = {
 #: Subcommands whose ValueError/TypeError failures are user errors (bad
 #: backend name, uncovered cell, missing parameter, malformed request,
 #: unknown bench profile/executor, invalid artifact, unusable store or
-#: queue file or broker URL, zero workers).
+#: queue file or broker URL, zero workers, undecorated model, unknown
+#: staticcheck rule or unreadable baseline).
 _ENGINE_COMMANDS = frozenset(
-    {"pareto", "dgc", "cgd", "batch", "bench", "store", "dist", "serve",
-     "queue", "api", "obs"}
+    {"analyze", "pareto", "dgc", "cgd", "batch", "bench", "store", "dist",
+     "serve", "queue", "api", "obs", "check"}
 )
 
 #: Shared help text for every ``--trace-out`` flag.
@@ -501,13 +510,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument("--quick", action="store_true",
                              help="skip nothing here; accepted for symmetry")
+
+    check = subparsers.add_parser(
+        "check", help="run the project-invariant static analyzer"
+    )
+    check.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze (default: the installed "
+             "repro package)",
+    )
+    check.add_argument(
+        "--rule", action="append", metavar="ID",
+        help="run only this rule id (repeatable; default: all rules)",
+    )
+    check.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the report as JSON instead of file:line text",
+    )
+    check.add_argument(
+        "--baseline", metavar="FILE",
+        help="baseline of grandfathered findings to subtract "
+             f"(default: {DEFAULT_BASELINE_NAME} in the working "
+             "directory, when present)",
+    )
+    check.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="write the current findings to FILE as the new baseline "
+             "and exit 0",
+    )
     return parser
 
 
 def _load_model(path: str):
     model = serialization.load_json(path)
     if not isinstance(model, (CostDamageAT, CostDamageProbAT)):
-        raise SystemExit(
+        # ValueError lands in main()'s user-error net: one line, exit 2.
+        raise ValueError(
             f"{path} describes a bare attack tree without cost/damage decorations"
         )
     return model
@@ -1157,7 +1195,7 @@ def _command_api(args: argparse.Namespace) -> int:
     import threading
     import time as time_module
 
-    from .distributed import LocalFleet, open_queue
+    from .distributed import LocalFleet, QueueError, open_queue
     from .service import ServiceServer, TenantRegistry
 
     registry = TenantRegistry.from_file(args.keys)
@@ -1203,7 +1241,10 @@ def _command_api(args: argparse.Namespace) -> int:
                     time_module.sleep(2.0)
                     try:
                         fleet.supervise(server.queue.counts())
-                    except Exception:
+                    except (OSError, QueueError):
+                        # Dead fleet with no respawn budget, unreachable
+                        # queue, or a spawn failure: stop supervising; the
+                        # server keeps answering with whatever is left.
                         return
 
             supervisor = threading.Thread(
@@ -1306,12 +1347,78 @@ def _command_catalog(args: argparse.Namespace) -> int:
 def _command_experiments(args: argparse.Namespace) -> int:
     results = casestudies.run_all_case_studies()
     all_match = True
-    for key, result in results.items():
+    for result in results.values():
         print(result.render())
         print()
         all_match = all_match and result.exact_match
     print(f"all published points reproduced: {all_match}")
     return 0 if all_match else 1
+
+
+def _command_check(args: argparse.Namespace) -> int:
+    from .devtools import staticcheck
+
+    paths = list(args.paths)
+    if not paths:
+        # Default to the installed package itself, wherever the command
+        # runs from; relpath keeps finding paths (and therefore baseline
+        # fingerprints) stable when that is the usual repo-root checkout.
+        package_dir = os.path.dirname(os.path.abspath(__file__))
+        paths = [os.path.relpath(package_dir)]
+    project = staticcheck.Project.from_paths(paths)
+    rules = staticcheck.select_rules(args.rule)
+    report = staticcheck.run_check(project, rules)
+
+    if args.write_baseline:
+        staticcheck.write_baseline(args.write_baseline, report.findings)
+        print(
+            f"wrote {len(report.findings)} grandfathered finding(s) "
+            f"to {args.write_baseline}"
+        )
+        return 0
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE_NAME):
+        baseline_path = DEFAULT_BASELINE_NAME
+    grandfathered = 0
+    stale: list = []
+    findings = report.findings
+    if baseline_path is not None:
+        baseline = staticcheck.load_baseline(baseline_path)
+        findings, grandfathered, stale = staticcheck.apply_baseline(
+            report.findings, baseline
+        )
+
+    if args.as_json:
+        document = report.to_dict()
+        document["findings"] = [finding.to_dict() for finding in findings]
+        document["grandfathered"] = grandfathered
+        document["stale_baseline_entries"] = [
+            {"rule": rule, "path": path, "message": message}
+            for rule, path, message in stale
+        ]
+        document["baseline"] = baseline_path
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 1 if findings else 0
+
+    for finding in findings:
+        print(finding.render())
+    for rule, path, _message in stale:
+        print(
+            f"stale baseline entry ({rule} in {path}): the violation was "
+            f"fixed — remove it from {baseline_path}",
+            file=sys.stderr,
+        )
+    summary = (
+        f"checked {report.files_checked} file(s), "
+        f"{len(report.rules_run)} rule(s): {len(findings)} finding(s)"
+    )
+    if grandfathered:
+        summary += f", {grandfathered} grandfathered"
+    if report.suppressed:
+        summary += f", {report.suppressed} suppressed"
+    print(summary)
+    return 1 if findings else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -1334,6 +1441,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "obs": _command_obs,
         "catalog": _command_catalog,
         "experiments": _command_experiments,
+        "check": _command_check,
     }
     if args.command not in _ENGINE_COMMANDS:
         return handlers[args.command](args)

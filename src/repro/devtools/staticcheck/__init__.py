@@ -1,0 +1,67 @@
+"""``atcd check`` — the project-invariant static analyzer.
+
+The correctness story of this repo leans on invariants that unit tests
+only probe anecdotally: byte-identical solver results (so kernels must
+not read wall clocks or unseeded RNGs), bounded ``/metrics`` cardinality
+(so every metric name and label key must come from the closed catalog in
+:mod:`repro.obs.families`), atomic queue state transitions (so mutating
+SQL must run inside the ``BEGIN IMMEDIATE`` transaction helpers), lock
+hygiene (module state mutated under its lock, no lock-order cycles) and
+the CLI's exit-code contract (user errors exit 2).  This package turns
+each of those into an AST rule that CI runs on every push.
+
+Layout
+------
+``engine``
+    The visitor framework: :class:`SourceModule` (parse + comment map +
+    parent links + import resolution), :class:`Project` (the file set one
+    check run sees), :class:`Rule` (base class), :func:`run_check`.
+``baseline``
+    The committed-baseline workflow: grandfathered findings live in a
+    JSON file keyed by ``(rule, path, message)`` — line numbers drift,
+    messages don't — and ``atcd check --baseline`` subtracts them.
+``rules``
+    One module per invariant; see :data:`rules.ALL_RULES`.
+
+Suppression
+-----------
+A finding on a line carrying ``# staticcheck: disable=RULEID(reason)``
+is suppressed by the engine.  EXC001 additionally honours its dedicated
+``# staticcheck: allow-broad-except(reason)`` marker — the reason is
+mandatory, so every surviving broad handler documents why it is broad.
+"""
+
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .engine import (
+    CheckReport,
+    Finding,
+    Project,
+    Rule,
+    SourceModule,
+    StaticCheckError,
+    run_check,
+)
+from .rules import ALL_RULES, default_rules, rule_ids, select_rules
+
+__all__ = [
+    "ALL_RULES",
+    "CheckReport",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "Project",
+    "Rule",
+    "SourceModule",
+    "StaticCheckError",
+    "apply_baseline",
+    "default_rules",
+    "load_baseline",
+    "rule_ids",
+    "run_check",
+    "select_rules",
+    "write_baseline",
+]

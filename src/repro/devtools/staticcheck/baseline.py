@@ -1,0 +1,115 @@
+"""The committed-baseline workflow for grandfathered findings.
+
+A new rule landing on an old codebase usually finds violations that are
+real but not this PR's to fix.  Rather than weakening the rule or
+blocking the merge, those findings are *grandfathered*: written into a
+committed JSON baseline that ``atcd check --baseline`` subtracts from
+every run.  The gate then holds the line — no **new** finding may land —
+while the baseline only ever shrinks (fixing a grandfathered site makes
+its entry stale, and stale entries are reported so they get removed).
+
+Entries are keyed by :meth:`Finding.fingerprint` — ``(rule, path,
+message)``, no line numbers — so unrelated edits above a grandfathered
+site do not resurrect it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from .engine import Finding, StaticCheckError
+
+__all__ = [
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+BASELINE_VERSION = 1
+
+#: Where ``atcd check`` looks when ``--baseline`` is not given: the
+#: committed baseline at the repo root (used only if it exists).
+DEFAULT_BASELINE_NAME = "staticcheck-baseline.json"
+
+Fingerprint = Tuple[str, str, str]
+
+
+def load_baseline(path: str) -> List[Fingerprint]:
+    """Parse a baseline file into fingerprints; bad documents raise."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as error:
+        raise StaticCheckError(f"cannot read baseline {path!r}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise StaticCheckError(
+            f"baseline {path!r} is not valid JSON: {error}"
+        ) from error
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != BASELINE_VERSION
+        or not isinstance(document.get("findings"), list)
+    ):
+        raise StaticCheckError(
+            f"baseline {path!r} is not a version-{BASELINE_VERSION} "
+            "staticcheck baseline"
+        )
+    fingerprints: List[Fingerprint] = []
+    for entry in document["findings"]:
+        if not isinstance(entry, dict) or not all(
+            isinstance(entry.get(key), str) for key in ("rule", "path", "message")
+        ):
+            raise StaticCheckError(
+                f"baseline {path!r} has a malformed entry: {entry!r}"
+            )
+        fingerprints.append((entry["rule"], entry["path"], entry["message"]))
+    return fingerprints
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, line-free)."""
+    entries = sorted(
+        {finding.fingerprint() for finding in findings}
+    )
+    document = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"rule": rule, "path": file_path, "message": message}
+            for rule, file_path, message in entries
+        ],
+    }
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Sequence[Fingerprint]
+) -> Tuple[List[Finding], int, List[Fingerprint]]:
+    """Split findings into (new, grandfathered-count, stale entries).
+
+    A baseline entry may match several findings (two calls on one line
+    produce one fingerprint); every match is grandfathered.  Entries that
+    matched nothing are *stale* — the violation was fixed — and are
+    returned so the caller can tell the user to shrink the baseline.
+    """
+    allowed: Dict[Fingerprint, int] = {}
+    for fingerprint in baseline:
+        allowed[fingerprint] = 0
+    new: List[Finding] = []
+    grandfathered = 0
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if fingerprint in allowed:
+            allowed[fingerprint] += 1
+            grandfathered += 1
+        else:
+            new.append(finding)
+    stale = [fp for fp, hits in allowed.items() if hits == 0]
+    return new, grandfathered, stale

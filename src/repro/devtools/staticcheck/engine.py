@@ -1,0 +1,378 @@
+"""Core machinery of the static analyzer: modules, projects, rules.
+
+Everything is stdlib-only (``ast`` + ``tokenize``), mirroring the rest of
+the package: the analyzer must run in CI and pre-commit hooks without
+installing anything.
+
+The unit of analysis is a :class:`Project` — the set of parsed files one
+check run sees.  Rules get the whole project, not one file at a time,
+because several invariants are cross-file by nature: MET001 compares
+call sites against the catalog parsed out of ``obs/families.py``, and
+LCK001 builds the lock-nesting graph across every module before it can
+look for cycles.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import os
+import re
+import tokenize
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "SourceModule",
+    "Project",
+    "Rule",
+    "CheckReport",
+    "StaticCheckError",
+    "run_check",
+]
+
+#: Generic per-line suppression: ``# staticcheck: disable=RULEID(reason)``.
+#: The reason is part of the grammar on purpose — a suppression with no
+#: rationale is exactly the kind of prose-only invariant this tool
+#: replaces.
+DISABLE_MARKER = re.compile(
+    r"#\s*staticcheck:\s*disable=(?P<rule>[A-Z]+[0-9]+)\s*\((?P<reason>[^)]+)\)"
+)
+
+
+class StaticCheckError(ValueError):
+    """A check run that cannot proceed (bad path, unknown rule id).
+
+    Subclasses :class:`ValueError` so the CLI's user-error net reports it
+    as a one-line exit-2 message, per the contract CLI001 itself enforces.
+    """
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """The baseline identity: stable across unrelated edits.
+
+        Line and column are deliberately excluded — code above a
+        grandfathered finding moving it down a line must not un-baseline
+        it.
+        """
+        return (self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def _iter_python_files(path: str) -> Iterator[str]:
+    if os.path.isfile(path):
+        yield path
+        return
+    for dirpath, dirnames, filenames in os.walk(path):
+        dirnames[:] = sorted(
+            d for d in dirnames if d != "__pycache__" and not d.startswith(".")
+        )
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def _package_path(display_path: str) -> str:
+    """The ``repro/...``-relative form rules target files by.
+
+    ``src/repro/core/bottom_up.py`` and an absolute checkout path both
+    normalize to ``repro/core/bottom_up.py``; a file outside any
+    ``repro`` package keeps its given (posix) path, so the analyzer still
+    works on fixture trees in tests.
+    """
+    parts = display_path.replace(os.sep, "/").split("/")
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(parts[index:])
+    return "/".join(parts)
+
+
+class SourceModule:
+    """One parsed source file plus the lookup structures rules share.
+
+    Parsing, tokenizing and parent-linking happen once here; every rule
+    then reads the same tree.  ``display_path`` is what findings report
+    (as given on the command line); ``package_path`` is the normalized
+    ``repro/...`` form rules use to scope themselves to files.
+    """
+
+    def __init__(self, display_path: str, source: str) -> None:
+        self.display_path = display_path.replace(os.sep, "/")
+        self.package_path = _package_path(display_path)
+        self.source = source
+        try:
+            self.tree = ast.parse(source)
+        except SyntaxError as error:
+            raise StaticCheckError(
+                f"{display_path} does not parse: {error}"
+            ) from error
+        self.comments = self._collect_comments(source)
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self.imports = self._collect_imports(self.tree)
+
+    # -- construction helpers ------------------------------------------ #
+    @staticmethod
+    def _collect_comments(source: str) -> Dict[int, str]:
+        comments: Dict[int, str] = {}
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    comments[token.start[0]] = token.string
+        except tokenize.TokenizeError:  # pragma: no cover - ast parsed it
+            pass
+        return comments
+
+    @staticmethod
+    def _collect_imports(tree: ast.Module) -> Dict[str, str]:
+        """Local name -> dotted origin, for resolving call targets.
+
+        ``from time import time`` maps ``time -> time.time``;
+        ``from ..obs import families as obs_families`` maps
+        ``obs_families -> ..obs.families`` (relative levels kept as
+        leading dots — rules match on suffixes, not absolute packages).
+        """
+        mapping: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        mapping[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        mapping[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                prefix = "." * node.level + (node.module or "")
+                for alias in node.names:
+                    origin = f"{prefix}.{alias.name}" if prefix else alias.name
+                    mapping[alias.asname or alias.name] = origin
+        return mapping
+
+    # -- navigation ---------------------------------------------------- #
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.FunctionDef]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    # -- name resolution ----------------------------------------------- #
+    @staticmethod
+    def dotted_name(node: ast.AST) -> Optional[str]:
+        """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+
+    def resolve_name(self, node: ast.AST) -> Optional[str]:
+        """The dotted name with its head rewritten through the imports.
+
+        ``obs_families.queue_ops_total`` resolves to
+        ``..obs.families.queue_ops_total``; an unimported head stays as
+        written (locals resolve to themselves).
+        """
+        dotted = self.dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        origin = self.imports.get(head, head)
+        return f"{origin}.{rest}" if rest else origin
+
+    def finding(
+        self, node: ast.AST, rule: str, message: str
+    ) -> Finding:
+        return Finding(
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+class Project:
+    """The set of modules one check run analyzes."""
+
+    def __init__(self, modules: Sequence[SourceModule]) -> None:
+        self.modules = list(modules)
+        self._by_display = {m.display_path: m for m in self.modules}
+
+    @classmethod
+    def from_paths(cls, paths: Sequence[str]) -> "Project":
+        modules: List[SourceModule] = []
+        for path in paths:
+            if not os.path.exists(path):
+                raise StaticCheckError(f"no such file or directory: {path!r}")
+            for file_path in _iter_python_files(path):
+                with open(file_path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+                modules.append(SourceModule(os.path.relpath(file_path), source))
+        return cls(modules)
+
+    def module_by_display(self, display_path: str) -> Optional[SourceModule]:
+        return self._by_display.get(display_path)
+
+    def modules_matching(self, *suffixes: str) -> List[SourceModule]:
+        """Modules whose package path starts with any of ``suffixes``.
+
+        A suffix ending in ``/`` matches a directory subtree; otherwise it
+        must match the file exactly.
+        """
+        matched = []
+        for module in self.modules:
+            for suffix in suffixes:
+                if suffix.endswith("/"):
+                    if module.package_path.startswith(suffix):
+                        matched.append(module)
+                        break
+                elif module.package_path == suffix:
+                    matched.append(module)
+                    break
+        return matched
+
+
+class Rule:
+    """Base class: one machine-checked project invariant.
+
+    Subclasses set ``rule_id`` / ``title`` / ``rationale`` and implement
+    :meth:`check`, yielding findings over the whole project.  Rules take
+    their configuration as constructor arguments with production
+    defaults, so the fixture tests can retarget them at synthetic trees
+    without a config-file layer.
+    """
+
+    rule_id: str = "RULE000"
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.rule_id}>"
+
+
+@dataclasses.dataclass
+class CheckReport:
+    """What one run produced, before any baseline is applied."""
+
+    findings: List[Finding]
+    files_checked: int
+    rules_run: List[str]
+    suppressed: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "findings": [finding.to_dict() for finding in self.findings],
+            "files_checked": self.files_checked,
+            "rules_run": self.rules_run,
+            "suppressed": self.suppressed,
+        }
+
+
+def _is_disabled(project: Project, finding: Finding) -> bool:
+    module = project.module_by_display(finding.path)
+    if module is None:
+        return False
+    comment = module.comments.get(finding.line, "")
+    match = DISABLE_MARKER.search(comment)
+    return bool(match and match.group("rule") == finding.rule)
+
+
+def run_check(project: Project, rules: Sequence[Rule]) -> CheckReport:
+    """Run ``rules`` over ``project`` and return the surviving findings.
+
+    Findings on lines carrying a matching ``staticcheck: disable``
+    marker are dropped (counted in ``suppressed``); everything else comes
+    back sorted by location for stable output.
+    """
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        for finding in rule.check(project):
+            if _is_disabled(project, finding):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return CheckReport(
+        findings=sorted(set(findings)),
+        files_checked=len(project.modules),
+        rules_run=[rule.rule_id for rule in rules],
+        suppressed=suppressed,
+    )
+
+
+def iter_calls(module: SourceModule) -> Iterator[ast.Call]:
+    """Every call expression in the module (shared by most rules)."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def literal_str(node: ast.AST) -> Optional[str]:
+    """The value of a plain string literal (f-strings yield their static
+    prefix, which is enough to classify SQL verbs)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr) and node.values:
+        first = node.values[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+    return None
+
+
+def iter_with_items(
+    module: SourceModule, node: ast.AST
+) -> Iterator[ast.expr]:
+    """Context-manager expressions of every ``with`` enclosing ``node``."""
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            for item in ancestor.items:
+                yield item.context_expr

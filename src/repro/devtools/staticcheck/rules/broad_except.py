@@ -1,0 +1,97 @@
+"""EXC001 — broad exception handlers carry an explicit justification.
+
+``except Exception:`` swallows ``KeyError`` typos and wire-protocol bugs
+with equal enthusiasm.  Some sites genuinely need it — a worker running
+arbitrary backend code, a telemetry exporter that must never take down
+the operation it observes, an HTTP handler that must answer rather than
+hang — but those are *decisions*, and this rule makes each one visible:
+
+* a handler for ``Exception`` / ``BaseException`` / bare ``except:``
+  must carry ``# staticcheck: allow-broad-except(<reason>)`` on the
+  ``except`` line or the line above;
+* handlers whose body re-raises (a top-level bare ``raise``) are allowed
+  without a marker — catch-cleanup-reraise narrows nothing, since the
+  exception keeps propagating.
+
+The marker's reason is mandatory.  A broad handler that cannot say why
+it is broad should be narrowed to the exceptions it actually handles.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..engine import Finding, Project, Rule, SourceModule
+
+__all__ = ["BroadExceptRule", "ALLOW_MARKER"]
+
+ALLOW_MARKER = re.compile(
+    r"#\s*staticcheck:\s*allow-broad-except\s*\((?P<reason>[^)]+)\)"
+)
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _broad_name(node: ast.ExceptHandler) -> str:
+    """The broad exception this handler catches, or ``""``."""
+    if node.type is None:
+        return "bare except:"
+    names = []
+    if isinstance(node.type, ast.Tuple):
+        names = [e.id for e in node.type.elts if isinstance(e, ast.Name)]
+    elif isinstance(node.type, ast.Name):
+        names = [node.type.id]
+    for name in names:
+        if name in _BROAD_NAMES:
+            return f"except {name}"
+    return ""
+
+
+def _reraises(node: ast.ExceptHandler) -> bool:
+    """True when the handler's top-level body contains a bare ``raise``."""
+    for statement in node.body:
+        if isinstance(statement, ast.Raise) and statement.exc is None:
+            return True
+        # cleanup-then-reraise wrapped in try/finally still counts
+        if isinstance(statement, ast.Try):
+            for sub in statement.body + statement.finalbody:
+                if isinstance(sub, ast.Raise) and sub.exc is None:
+                    return True
+    return False
+
+
+def _has_marker(module: SourceModule, node: ast.ExceptHandler) -> bool:
+    for line in (node.lineno, node.lineno - 1):
+        comment = module.comments.get(line, "")
+        if ALLOW_MARKER.search(comment):
+            return True
+    return False
+
+
+class BroadExceptRule(Rule):
+    rule_id = "EXC001"
+    title = "broad except handlers are justified or narrowed"
+    rationale = (
+        "a broad handler is a decision, not a default: it must either "
+        "re-raise or say why it swallows everything"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                caught = _broad_name(node)
+                if not caught:
+                    continue
+                if _reraises(node) or _has_marker(module, node):
+                    continue
+                yield module.finding(
+                    node,
+                    self.rule_id,
+                    f"{caught} without `# staticcheck: "
+                    "allow-broad-except(reason)`: narrow it to the "
+                    "exceptions this site actually handles, or justify it",
+                )

@@ -1,0 +1,115 @@
+"""CLI001 — user-error paths in the CLI exit 2.
+
+Since PR 2 every subcommand reports user errors (bad paths, malformed
+requests, unknown backends, unusable queues) as one ``atcd: ...`` line
+with **exit code 2**; scripts and the CI jobs distinguish that from
+exit 1, which means "the command ran and the answer is negative" (a
+bench regression, a dead-lettered task, an unreached threshold).
+
+``raise SystemExit("message")`` silently exits **1** — Python prints the
+string and uses code 1 — so a SystemExit carrying a string, carrying
+nothing, or carrying a literal 1 in the CLI module is a contract
+violation waiting for a script to misread it.  Same for ``sys.exit``
+with those arguments.  The sanctioned patterns are:
+
+* ``return 2`` (or ``raise SystemExit(2)``) after printing one line, or
+* raising ``ValueError``/``TypeError`` so ``main()``'s user-error net
+  formats it and returns 2.
+
+``sys.exit(main())`` and other non-literal arguments are out of scope —
+the code is computed, and the computation is what the contract tests
+pin.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence
+
+from ..engine import Finding, Project, Rule, iter_calls
+
+__all__ = ["CliExitRule", "CLI_MODULES"]
+
+CLI_MODULES = ("repro/cli.py",)
+
+
+def _literal_exit_argument(node: ast.AST) -> Optional[object]:
+    if isinstance(node, ast.Constant):
+        return node.value
+    return None
+
+
+class CliExitRule(Rule):
+    rule_id = "CLI001"
+    title = "CLI user errors exit 2, not 1"
+    rationale = (
+        "the exit-code contract: 2 = user error (one-line message), "
+        "1 = negative domain answer, 0 = success; SystemExit(str) is a "
+        "hidden exit 1"
+    )
+
+    def __init__(self, cli_modules: Sequence[str] = CLI_MODULES) -> None:
+        self.cli_modules = tuple(cli_modules)
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules_matching(*self.cli_modules):
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Raise):
+                    yield from self._check_raise(module, node)
+            for call in iter_calls(module):
+                yield from self._check_sys_exit(module, call)
+
+    def _check_raise(self, module, node: ast.Raise) -> Iterator[Finding]:
+        exc = node.exc
+        if exc is None:
+            return  # bare re-raise
+        if isinstance(exc, ast.Name) and exc.id == "SystemExit":
+            yield module.finding(
+                node,
+                self.rule_id,
+                "naked `raise SystemExit` exits 0 — an error path that "
+                "reports success; user errors must exit 2 (raise ValueError "
+                "into main()'s net, or SystemExit(2))",
+            )
+            return
+        if (
+            isinstance(exc, ast.Call)
+            and isinstance(exc.func, ast.Name)
+            and exc.func.id == "SystemExit"
+        ):
+            yield from self._check_exit_args(module, node, exc, "raise SystemExit")
+
+    def _check_sys_exit(self, module, call: ast.Call) -> Iterator[Finding]:
+        resolved = module.resolve_name(call.func)
+        if resolved != "sys.exit":
+            return
+        yield from self._check_exit_args(module, call, call, "sys.exit")
+
+    def _check_exit_args(
+        self, module, node: ast.AST, call: ast.Call, what: str
+    ) -> Iterator[Finding]:
+        if not call.args:
+            yield module.finding(
+                node,
+                self.rule_id,
+                f"`{what}()` without a code exits 0 on raise-paths meant as "
+                "errors; user errors must exit 2 explicitly",
+            )
+            return
+        value = _literal_exit_argument(call.args[0])
+        if isinstance(call.args[0], ast.JoinedStr):
+            value = ""  # an f-string message is still a string exit
+        if isinstance(value, str):
+            yield module.finding(
+                node,
+                self.rule_id,
+                f"`{what}(<message>)` prints the string and exits 1; user "
+                "errors must exit 2 (raise ValueError into main()'s net)",
+            )
+        elif value == 1 and not isinstance(value, bool):
+            yield module.finding(
+                node,
+                self.rule_id,
+                f"`{what}(1)` in the CLI: exit 1 is reserved for negative "
+                "domain answers; user/argument errors must exit 2",
+            )

@@ -1,0 +1,333 @@
+"""LCK001 — module state mutated under its lock; no lock-order cycles.
+
+Ten-plus modules in this repo pair mutable state with a
+``threading.Lock``.  Two structural hazards recur in review:
+
+* **unguarded mutation** — a module-level global that exists *because*
+  several threads touch it (``_exporters``, ``_default_registry``,
+  ``_gag_depth``) gets a new mutation site outside ``with <lock>:``;
+* **lock-order inversion** — two locks acquired in opposite orders on
+  two paths, the classic ABBA deadlock.
+
+Both are invisible to unit tests (races don't reproduce on demand), so
+this rule checks them lexically:
+
+1. In every module that defines a module-level ``threading.Lock()`` /
+   ``RLock()``, each write to a module-level global (declared mutable by
+   assignment at module scope, or re-bound through ``global``) and each
+   mutating method call on one (``append``/``add``/``update``/…) must
+   sit inside a ``with <some module lock>:`` block.
+2. Across the whole project, every lexically nested ``with lockA: …
+   with lockB:`` pair adds an edge A→B to the lock-nesting graph; locks
+   are canonicalized as ``module.global_name`` or
+   ``module.Class.attr`` (instance locks created in ``__init__``).  Any
+   cycle — including a self-loop, which is a guaranteed deadlock on a
+   non-reentrant lock — is a finding.
+
+Lexical analysis cannot see locks held across function calls; the rule
+is a tripwire for the nesting the code actually writes, not a full
+happens-before prover (that is what the ROADMAP's sanitizer wiring is
+for).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..engine import Finding, Project, Rule, SourceModule
+
+__all__ = ["LockRule"]
+
+#: Method names that mutate the common mutable containers.
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "clear", "add",
+    "discard", "update", "setdefault", "popitem", "appendleft",
+}
+
+_LOCK_FACTORIES = {"threading.Lock", "threading.RLock"}
+
+
+def _is_lock_factory(module: SourceModule, node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    resolved = module.resolve_name(node.func)
+    return resolved in _LOCK_FACTORIES
+
+
+def _module_stem(module: SourceModule) -> str:
+    stem = module.package_path.rsplit("/", 1)[-1]
+    return stem[:-3] if stem.endswith(".py") else stem
+
+
+class _ModuleLocks:
+    """What one module contributes: its locks and guarded globals."""
+
+    def __init__(self, module: SourceModule) -> None:
+        self.module = module
+        self.stem = _module_stem(module)
+        self.global_locks: Set[str] = set()
+        self.instance_locks: Dict[Tuple[str, str], str] = {}
+        self.mutable_globals: Set[str] = set()
+        self._scan()
+
+    def _scan(self) -> None:
+        for statement in self.module.tree.body:
+            if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+                target = statement.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                if _is_lock_factory(self.module, statement.value):
+                    self.global_locks.add(target.id)
+                elif isinstance(
+                    statement.value, (ast.List, ast.Dict, ast.Set)
+                ) or self._is_scalar(statement.value):
+                    self.mutable_globals.add(target.id)
+            elif isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                if statement.value is not None and _is_lock_factory(
+                    self.module, statement.value
+                ):
+                    self.global_locks.add(statement.target.id)
+                elif statement.value is not None and (
+                    isinstance(statement.value, (ast.List, ast.Dict, ast.Set))
+                    or self._is_scalar(statement.value)
+                ):
+                    self.mutable_globals.add(statement.target.id)
+        # Instance locks: ``self.<attr> = threading.Lock()`` anywhere in a
+        # class body (usually __init__).
+        for node in ast.walk(self.module.tree):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Attribute)
+                and isinstance(node.targets[0].value, ast.Name)
+                and node.targets[0].value.id == "self"
+                and _is_lock_factory(self.module, node.value)
+            ):
+                enclosing = self.module.enclosing_class(node)
+                if enclosing is not None:
+                    attr = node.targets[0].attr
+                    self.instance_locks[(enclosing.name, attr)] = (
+                        f"{self.stem}.{enclosing.name}.{attr}"
+                    )
+
+    @staticmethod
+    def _is_scalar(node: ast.AST) -> bool:
+        """Module globals initialized to a rebindable scalar (None, 0)
+        count as guarded state too — refcounts and cached singletons."""
+        return isinstance(node, ast.Constant) and (
+            node.value is None or isinstance(node.value, (int, float))
+        )
+
+    # -------------------------------------------------------------- #
+    def canonical_lock(self, node: ast.AST) -> Optional[str]:
+        """The project-wide identity of a ``with <expr>:`` lock, if any."""
+        if isinstance(node, ast.Name) and node.id in self.global_locks:
+            return f"{self.stem}.{node.id}"
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            enclosing = self.module.enclosing_class(node)
+            if enclosing is not None:
+                return self.instance_locks.get((enclosing.name, node.attr))
+        return None
+
+
+class LockRule(Rule):
+    rule_id = "LCK001"
+    title = "lock-guarded module state and acyclic lock nesting"
+    rationale = (
+        "unguarded writes to shared module state and ABBA lock orders are "
+        "the race/deadlock classes unit tests cannot reproduce on demand"
+    )
+
+    def __init__(self, mutating_methods: Sequence[str] = ()) -> None:
+        self.mutating_methods = set(mutating_methods) or set(_MUTATING_METHODS)
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        per_module = [_ModuleLocks(module) for module in project.modules]
+        edges: Dict[str, Set[str]] = {}
+        edge_sites: Dict[Tuple[str, str], Tuple[SourceModule, ast.AST]] = {}
+        for info in per_module:
+            if info.global_locks and info.mutable_globals:
+                yield from self._check_guarded_globals(info)
+            self._collect_nesting(info, edges, edge_sites)
+        yield from self._report_cycles(edges, edge_sites)
+
+    # -- part 1: unguarded global mutation ------------------------- #
+    def _check_guarded_globals(self, info: _ModuleLocks) -> Iterator[Finding]:
+        module = info.module
+        for node in ast.walk(module.tree):
+            name, verb = self._global_mutation(info, node)
+            if name is None:
+                continue
+            if module.enclosing_function(node) is None:
+                continue  # module-scope initialization is single-threaded
+            if self._under_module_lock(info, node):
+                continue
+            yield module.finding(
+                node,
+                self.rule_id,
+                f"module global {name!r} {verb} outside `with <lock>:` in a "
+                f"module that guards its state with "
+                f"{sorted(info.global_locks)}",
+            )
+
+    def _global_mutation(
+        self, info: _ModuleLocks, node: ast.AST
+    ) -> Tuple[Optional[str], str]:
+        targets: List[ast.AST] = []
+        verb = "assigned"
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign,)):
+            targets = [node.target]
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in self.mutating_methods
+                and isinstance(func.value, ast.Name)
+                and func.value.id in info.mutable_globals
+            ):
+                return func.value.id, f"mutated via .{func.attr}()"
+            return None, verb
+        else:
+            return None, verb
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in info.mutable_globals:
+                if self._declares_global(info, node, target.id):
+                    return target.id, verb
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in info.mutable_globals
+            ):
+                return target.value.id, "item-assigned"
+        return None, verb
+
+    def _declares_global(
+        self, info: _ModuleLocks, node: ast.AST, name: str
+    ) -> bool:
+        """Only rebinding the *module* global counts — a local shadowing
+        the name is someone else's business."""
+        function = info.module.enclosing_function(node)
+        if function is None:
+            return False
+        for statement in ast.walk(function):
+            if isinstance(statement, ast.Global) and name in statement.names:
+                return True
+        return False
+
+    def _under_module_lock(self, info: _ModuleLocks, node: ast.AST) -> bool:
+        for ancestor in info.module.ancestors(node):
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                for item in ancestor.items:
+                    if (
+                        isinstance(item.context_expr, ast.Name)
+                        and item.context_expr.id in info.global_locks
+                    ):
+                        return True
+        return False
+
+    # -- part 2: lock-order cycles ---------------------------------- #
+    def _collect_nesting(
+        self,
+        info: _ModuleLocks,
+        edges: Dict[str, Set[str]],
+        edge_sites: Dict[Tuple[str, str], Tuple[SourceModule, ast.AST]],
+    ) -> None:
+        module = info.module
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            inner_locks = [
+                lock
+                for item in node.items
+                if (lock := info.canonical_lock(item.context_expr)) is not None
+            ]
+            if not inner_locks:
+                continue
+            held = self._locks_held_above(info, node)
+            # Multiple locks in one `with a, b:` statement nest left to
+            # right by language semantics.
+            ordered = held + inner_locks
+            for index, outer in enumerate(ordered):
+                for inner in ordered[index + 1:]:
+                    edges.setdefault(outer, set()).add(inner)
+                    edge_sites.setdefault((outer, inner), (module, node))
+
+    def _locks_held_above(
+        self, info: _ModuleLocks, node: ast.AST
+    ) -> List[str]:
+        held: List[str] = []
+        for ancestor in info.module.ancestors(node):
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                for item in ancestor.items:
+                    lock = info.canonical_lock(item.context_expr)
+                    if lock is not None:
+                        held.append(lock)
+        return held
+
+    def _report_cycles(
+        self,
+        edges: Dict[str, Set[str]],
+        edge_sites: Dict[Tuple[str, str], Tuple[SourceModule, ast.AST]],
+    ) -> Iterator[Finding]:
+        reported: Set[Tuple[str, ...]] = set()
+        for start in sorted(edges):
+            cycle = self._find_cycle(start, edges)
+            if cycle is None:
+                continue
+            canonical = self._canonical_cycle(cycle)
+            if canonical in reported:
+                continue
+            reported.add(canonical)
+            module, node = edge_sites[(cycle[0], cycle[1])]
+            yield module.finding(
+                node,
+                self.rule_id,
+                "lock-order cycle (deadlock hazard): "
+                + " -> ".join(cycle)
+                + "; acquire these locks in one global order",
+            )
+
+    @staticmethod
+    def _find_cycle(
+        start: str, edges: Dict[str, Set[str]]
+    ) -> Optional[List[str]]:
+        path: List[str] = []
+        on_path: Set[str] = set()
+        visited: Set[str] = set()
+
+        def visit(lock: str) -> Optional[List[str]]:
+            if lock in on_path:
+                index = path.index(lock)
+                return path[index:] + [lock]
+            if lock in visited:
+                return None
+            visited.add(lock)
+            path.append(lock)
+            on_path.add(lock)
+            for nxt in sorted(edges.get(lock, ())):
+                found = visit(nxt)
+                if found is not None:
+                    return found
+            path.pop()
+            on_path.discard(lock)
+            return None
+
+        return visit(start)
+
+    @staticmethod
+    def _canonical_cycle(cycle: List[str]) -> Tuple[str, ...]:
+        # cycle is [a, ..., a]; rotate the open form to its minimal
+        # element so every traversal of one cycle reports once.
+        open_form = cycle[:-1]
+        pivot = min(range(len(open_form)), key=lambda i: open_form[i])
+        rotated = open_form[pivot:] + open_form[:pivot]
+        return tuple(rotated)

@@ -1,0 +1,252 @@
+"""MET001 — every metric name and label key comes from the closed catalog.
+
+``/metrics`` cardinality stays bounded because label values are drawn
+from small closed sets and label *keys* and family names come from one
+place: :mod:`repro.obs.families`.  The runtime half of that defence is
+the route-template collapse in ``obs/scrape.py``; this rule is the
+static half.  It parses the catalog module's AST (names, types, label
+tuples), then checks every other module:
+
+* registering a family whose name starts with ``atcd_`` outside the
+  catalog module is a finding — new families are *declared* in the
+  catalog, then used;
+* calling ``.inc()`` / ``.observe()`` / ``.set()`` on a family fetched
+  through a catalog accessor must pass exactly the declared label keys —
+  a typo'd or invented label key is caught here instead of as a runtime
+  ``ValueError`` on a hot path (or worse, silent unbounded cardinality
+  if the registry ever got laxer).
+
+Receivers are recognized two ways: direct chains
+(``obs_families.queue_ops_total().inc(op="claim")``) and single-assign
+locals (``gauge = families.queue_tasks(registry)`` … ``gauge.set(v,
+state=s)``), which covers every call shape the codebase uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..engine import Finding, Project, Rule, SourceModule, iter_calls, literal_str
+
+__all__ = ["MetricsCatalogRule", "CATALOG_PATH"]
+
+#: Where the closed catalog lives.
+CATALOG_PATH = "repro/obs/families.py"
+
+#: The registry's family-registration method names.
+_REGISTRATION_METHODS = ("counter", "gauge", "histogram")
+
+#: Sample-update methods whose keyword arguments are label keys.
+_UPDATE_METHODS = ("inc", "observe", "set")
+
+
+class CatalogFamily:
+    def __init__(self, name: str, kind: str, labelnames: Tuple[str, ...]):
+        self.name = name
+        self.kind = kind
+        self.labelnames = labelnames
+
+
+def _parse_catalog(module: SourceModule) -> Tuple[Dict[str, CatalogFamily], Dict[str, str]]:
+    """(family name -> declaration, accessor function name -> family name).
+
+    The catalog module's shape is one accessor function per family, each
+    returning ``registry.counter("atcd_...", ..., labelnames=(...))`` —
+    this reads those calls straight out of the AST, so the rule needs no
+    import machinery and works on fixture catalogs in tests.
+    """
+    families: Dict[str, CatalogFamily] = {}
+    accessors: Dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            kind = _registration_kind(call)
+            if kind is None or not call.args:
+                continue
+            name = literal_str(call.args[0])
+            if name is None or not name.startswith("atcd_"):
+                continue
+            labelnames = _labelnames_literal(call)
+            families[name] = CatalogFamily(name, kind, labelnames or ())
+            accessors[node.name] = name
+    return families, accessors
+
+
+def _registration_kind(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Attribute) and call.func.attr in _REGISTRATION_METHODS:
+        return call.func.attr
+    return None
+
+
+def _labelnames_literal(call: ast.Call) -> Optional[Tuple[str, ...]]:
+    for keyword in call.keywords:
+        if keyword.arg == "labelnames" and isinstance(
+            keyword.value, (ast.Tuple, ast.List)
+        ):
+            names = []
+            for element in keyword.value.elts:
+                value = literal_str(element)
+                if value is None:
+                    return None
+                names.append(value)
+            return tuple(names)
+    return None
+
+
+class MetricsCatalogRule(Rule):
+    rule_id = "MET001"
+    title = "atcd_* metric names and label keys must come from the catalog"
+    rationale = (
+        "static cardinality safety: obs/families.py is the single closed "
+        "set of families and label keys the /metrics exposition can emit"
+    )
+
+    def __init__(self, catalog_path: str = CATALOG_PATH) -> None:
+        self.catalog_path = catalog_path
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        catalog_module = None
+        for module in project.modules:
+            if module.package_path == self.catalog_path:
+                catalog_module = module
+                break
+        if catalog_module is None:
+            # Nothing uses metrics in this file set (e.g. `atcd check
+            # some/dir`); without a catalog there is nothing to enforce.
+            return
+        families, accessors = _parse_catalog(catalog_module)
+        for module in project.modules:
+            if module is catalog_module:
+                continue
+            yield from self._check_module(module, families, accessors)
+
+    # -------------------------------------------------------------- #
+    def _check_module(
+        self,
+        module: SourceModule,
+        families: Dict[str, CatalogFamily],
+        accessors: Dict[str, str],
+    ) -> Iterator[Finding]:
+        local_families = self._local_accessor_vars(module, accessors)
+        for call in iter_calls(module):
+            yield from self._check_registration(module, call, families)
+            yield from self._check_update(
+                module, call, families, accessors, local_families
+            )
+
+    def _check_registration(
+        self,
+        module: SourceModule,
+        call: ast.Call,
+        families: Dict[str, CatalogFamily],
+    ) -> Iterator[Finding]:
+        kind = _registration_kind(call)
+        if kind is None or not call.args:
+            return
+        name = literal_str(call.args[0])
+        if name is None or not name.startswith("atcd_"):
+            return
+        declared = families.get(name)
+        if declared is None:
+            yield module.finding(
+                call,
+                self.rule_id,
+                f"metric {name!r} is registered outside the catalog: declare "
+                f"it in {self.catalog_path} and use the accessor",
+            )
+            return
+        labelnames = _labelnames_literal(call)
+        if labelnames is not None and labelnames != declared.labelnames:
+            yield module.finding(
+                call,
+                self.rule_id,
+                f"metric {name!r} re-registered with labels {labelnames!r}; "
+                f"the catalog declares {declared.labelnames!r}",
+            )
+
+    def _local_accessor_vars(
+        self, module: SourceModule, accessors: Dict[str, str]
+    ) -> Dict[str, str]:
+        """Variable name -> family name, for ``g = families.x()`` locals.
+
+        Name collisions across functions are resolved pessimistically:
+        a variable rebound to two different families is dropped rather
+        than guessed at.
+        """
+        mapping: Dict[str, str] = {}
+        poisoned = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            family = self._accessor_family(module, node.value, accessors)
+            if family is None:
+                if target.id in mapping:
+                    poisoned.add(target.id)
+                continue
+            if target.id in mapping and mapping[target.id] != family:
+                poisoned.add(target.id)
+            mapping[target.id] = family
+        for name in poisoned:
+            mapping.pop(name, None)
+        return mapping
+
+    @staticmethod
+    def _accessor_family(
+        module: SourceModule, node: ast.AST, accessors: Dict[str, str]
+    ) -> Optional[str]:
+        """Family name if ``node`` is a call of a catalog accessor."""
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            accessor = func.attr
+            origin = module.resolve_name(func.value) or ""
+            if not origin.split(".")[-1] == "families":
+                return None
+        elif isinstance(func, ast.Name):
+            origin = module.imports.get(func.id, "")
+            accessor = func.id
+            if not origin.endswith(f"families.{func.id}"):
+                return None
+        else:
+            return None
+        return accessors.get(accessor)
+
+    def _check_update(
+        self,
+        module: SourceModule,
+        call: ast.Call,
+        families: Dict[str, CatalogFamily],
+        accessors: Dict[str, str],
+        local_families: Dict[str, str],
+    ) -> Iterator[Finding]:
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _UPDATE_METHODS:
+            return
+        receiver = func.value
+        family_name = self._accessor_family(module, receiver, accessors)
+        if family_name is None and isinstance(receiver, ast.Name):
+            family_name = local_families.get(receiver.id)
+        if family_name is None:
+            return
+        declared = families.get(family_name)
+        if declared is None:  # pragma: no cover - accessor map is catalog-fed
+            return
+        label_keys = tuple(sorted(
+            keyword.arg for keyword in call.keywords if keyword.arg is not None
+        ))
+        declared_keys = tuple(sorted(declared.labelnames))
+        if label_keys != declared_keys:
+            yield module.finding(
+                call,
+                self.rule_id,
+                f"{func.attr}() on {family_name!r} passes label keys "
+                f"{label_keys!r}; the catalog declares {declared_keys!r}",
+            )

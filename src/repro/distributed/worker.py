@@ -54,7 +54,7 @@ from ..obs.metrics import get_registry
 from ..obs.scrape import WORKER_METRICS_META_PREFIX
 from ..obs.trace import activate_context, extract_context
 from ..obs.trace import span as trace_span
-from .queue import Task, TaskState, WorkQueue
+from .queue import QueueError, Task, TaskState, WorkQueue
 
 __all__ = [
     "WORKER_METRICS_META_PREFIX",
@@ -194,10 +194,11 @@ class _LeaseKeeper(threading.Thread):
                 renewed = self._queue.heartbeat(
                     self._task_id, self._worker_id, self._lease_seconds
                 )
-            except Exception:
+            except QueueError:
                 # A transient queue error (lock timeout) must not kill the
                 # keeper; the next tick retries, and the lease is sized to
-                # survive missed renewals.
+                # survive missed renewals.  Both queue flavours wrap their
+                # transport errors in QueueError, so that is the whole set.
                 continue
             if not renewed:
                 return
@@ -316,6 +317,7 @@ class Worker:
             # fail the task back to the queue on the way out.
             keeper.stop()
             raise
+        # staticcheck: allow-broad-except(task payloads run arbitrary backend code; any failure must dead-letter the task, not the worker)
         except Exception as error:
             keeper.stop()
             obs_families.worker_task_seconds().observe(
@@ -395,6 +397,7 @@ class Worker:
                         report.failed += 1
                         report.failures.append(task.task_id)
                         obs_families.worker_interrupted_total().inc()
+            # staticcheck: allow-broad-except(a stray shutdown signal can hit the fail-back itself; the lease expiring recovers the task)
             except BaseException:
                 # The queue is unreachable, or a stray signal hit the
                 # fail-back itself; the lease will expire and recover the
@@ -416,5 +419,5 @@ class Worker:
                 WORKER_METRICS_META_PREFIX + self.worker_id,
                 json.dumps(get_registry().snapshot()),
             )
-        except Exception:
+        except QueueError:
             pass

@@ -102,7 +102,7 @@ def format_scaling_series(
     rows: List[List[object]] = []
     for group in groups:
         row: List[object] = [group]
-        for method, points in series.items():
+        for points in series.values():
             match = next((y for x, y in points if x == group), None)
             row.append("n/a" if match is None else f"{match:.4f}")
         rows.append(row)

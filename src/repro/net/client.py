@@ -138,6 +138,7 @@ class _Transport:
         if connection is not None:
             try:
                 connection.close()
+            # staticcheck: allow-broad-except(already tearing down; a close failure has nothing left to corrupt)
             except Exception:  # noqa: BLE001 — already tearing down
                 pass
             self._local.connection = None

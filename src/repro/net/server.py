@@ -180,6 +180,8 @@ class _BrokerHandler(BaseHTTPRequestHandler):
 
     _request_id = ""
     _status = 0
+    _route = "other"
+    _counted = False
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if getattr(self.server, "verbose", False):
@@ -200,7 +202,8 @@ class _BrokerHandler(BaseHTTPRequestHandler):
         """
         self._request_id, context = request_trace_seed(self.headers)
         self._status = 0
-        route = _route_template(self.path)
+        self._counted = False
+        route = self._route = _route_template(self.path)
         started = time.perf_counter()
         try:
             if context is not None:
@@ -214,9 +217,11 @@ class _BrokerHandler(BaseHTTPRequestHandler):
                 handler()
         finally:
             elapsed = time.perf_counter() - started
-            obs_families.http_requests_total().inc(
-                server="broker", route=route, status=str(self._status)
-            )
+            if not self._counted:
+                # The reply methods count before flushing (a client that
+                # saw the response must find it on an immediate scrape);
+                # this covers handlers that crashed before replying.
+                self._count_request(self._status)
             obs_families.http_request_seconds().observe(
                 elapsed, server="broker", route=route
             )
@@ -231,11 +236,23 @@ class _BrokerHandler(BaseHTTPRequestHandler):
                     trace_id=None if context is None else context.trace_id,
                 )
 
+    def _count_request(self, status: int) -> None:
+        """Count the request *before* the reply is flushed.
+
+        A client that saw the response may scrape ``/metrics`` on its next
+        request; counting after the flush (the old shape) lost that race.
+        """
+        self._counted = True
+        obs_families.http_requests_total().inc(
+            server="broker", route=self._route, status=str(status)
+        )
+
     def _reply(
         self, status: int, document: Dict[str, Any], close: bool = False
     ) -> None:
         body = json.dumps(document, sort_keys=True).encode("utf-8")
         self._status = status
+        self._count_request(status)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -250,6 +267,7 @@ class _BrokerHandler(BaseHTTPRequestHandler):
     def _reply_text(self, status: int, body: str, content_type: str) -> None:
         payload = body.encode("utf-8")
         self._status = status
+        self._count_request(status)
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
@@ -520,6 +538,7 @@ class _BrokerHandler(BaseHTTPRequestHandler):
             self._reply_error(
                 400, f"bad {resource} request: {error}", "bad-request"
             )
+        # staticcheck: allow-broad-except(the broker must answer 500, not hang the client on an unexpected handler failure)
         except Exception as error:  # noqa: BLE001 — must answer, not hang
             self._reply_error(
                 500, f"internal broker error: {error}", "internal"

@@ -202,8 +202,10 @@ def _parse_value(text: str, line_number: int) -> float:
         return math.nan
     try:
         return float(text)
-    except ValueError:
-        raise ParseError(f"line {line_number}: bad sample value {text!r}")
+    except ValueError as error:
+        raise ParseError(
+            f"line {line_number}: bad sample value {text!r}"
+        ) from error
 
 
 def _family_of(sample_name: str, families: Mapping[str, "ParsedFamily"]) -> str:

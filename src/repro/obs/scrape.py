@@ -55,6 +55,7 @@ def worker_snapshots(queue: Any) -> List[Dict[str, Any]]:
     """
     try:
         workers = queue.summary().get("workers") or []
+    # staticcheck: allow-broad-except(queues are duck-typed here; a scrape reports what it can rather than failing)
     except Exception:
         return []
     snapshots: List[Dict[str, Any]] = []
@@ -64,6 +65,7 @@ def worker_snapshots(queue: Any) -> List[Dict[str, Any]]:
             if raw is None:
                 continue
             snapshot = json.loads(raw)
+        # staticcheck: allow-broad-except(one stale or undecodable worker snapshot must not fail the fleet scrape)
         except Exception:
             continue
         if isinstance(snapshot, dict):
@@ -78,6 +80,7 @@ def _refresh_queue_gauge(
     for queue in queues:
         try:
             counts = queue.counts()
+        # staticcheck: allow-broad-except(queues are duck-typed here; skip the one that cannot be counted)
         except Exception:
             continue
         for state, value in counts.items():
@@ -90,6 +93,7 @@ def _refresh_queue_gauge(
 def _refresh_store_gauges(store: Any, registry: MetricsRegistry) -> None:
     try:
         summary = store.summary()
+    # staticcheck: allow-broad-except(stores are duck-typed here; a scrape without store gauges beats no scrape)
     except Exception:
         return
     families.store_entries(registry).set(int(summary.get("entries", 0)))

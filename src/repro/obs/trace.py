@@ -175,8 +175,8 @@ def _export(finished: Span) -> None:
         try:
             export = getattr(exporter, "export", exporter)
             export(finished)  # type: ignore[operator]
+        # staticcheck: allow-broad-except(exporters are user-supplied callables; telemetry must never take down the operation it observes)
         except Exception:
-            # Telemetry must never take down the operation it observes.
             pass
 
 

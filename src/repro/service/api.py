@@ -110,6 +110,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     _request_id = ""
     _status = 0
+    _route = "other"
+    _counted = False
     _tenant: Optional[Tenant] = None
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
@@ -122,8 +124,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def _observed(self, method: str, handler: Callable[[], None]) -> None:
         self._request_id, context = request_trace_seed(self.headers)
         self._status = 0
+        self._counted = False
         self._tenant = None
-        route = _route_template(self.path)
+        route = self._route = _route_template(self.path)
         started = time.perf_counter()
         try:
             if context is not None:
@@ -140,9 +143,12 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 handler()
         finally:
             elapsed = time.perf_counter() - started
-            obs_families.http_requests_total().inc(
-                server="service", route=route, status=str(self._status)
-            )
+            if not self._counted:
+                # Normally _count_request ran before the reply bytes left
+                # the socket (so a scrape issued right after the response
+                # already sees this request); this fallback covers
+                # handlers that crashed before replying.
+                self._count_request(self._status)
             obs_families.http_request_seconds().observe(
                 elapsed, server="service", route=route
             )
@@ -158,6 +164,17 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                     trace_id=None if context is None else context.trace_id,
                 )
 
+    def _count_request(self, status: int) -> None:
+        """Count the request *before* the reply is flushed.
+
+        A client that saw the response may scrape ``/metrics`` on its next
+        request; counting after the flush (the old shape) lost that race.
+        """
+        self._counted = True
+        obs_families.http_requests_total().inc(
+            server="service", route=self._route, status=str(status)
+        )
+
     def _reply(
         self,
         status: int,
@@ -167,6 +184,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     ) -> None:
         body = json.dumps(document, sort_keys=True).encode("utf-8")
         self._status = status
+        self._count_request(status)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -286,6 +304,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             body = self.server.service.metrics_body()
             payload = body.encode("utf-8")
             self._status = 200
+            self._count_request(200)
             self.send_response(200)
             self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
             self.send_header("Content-Length", str(len(payload)))
@@ -457,6 +476,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._reply_job_not_found(job_id)
             return
         self._status = 200
+        self._count_request(200)
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header(REQUEST_ID_HEADER, self._request_id)

@@ -186,7 +186,7 @@ class CatalogFamily(WorkloadFamily):
                 models.append(("panda-iot", catalog.panda_iot()))
         else:
             models.append(("data-server", catalog.data_server()))
-        for index, (label, model) in enumerate(models):
+        for label, model in models:
             case_id = f"{spec.label()}-{label}"
             yield WorkloadCase(
                 case_id=case_id,

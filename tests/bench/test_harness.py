@@ -144,7 +144,7 @@ class TestTraceMemory:
         from repro.bench.harness import execute_serialized_case
 
         assert not tracemalloc.is_tracing()
-        with pytest.raises(Exception):
+        with pytest.raises(ValueError, match="nodes"):
             execute_serialized_case(
                 {"trace_memory": True, "model": {"broken": True},
                  "request": {"problem": "cdpf"}, "repeats": 1}

@@ -57,7 +57,7 @@ class TestRunSuiteTimings:
 class TestAggregation:
     def test_group_means_structure(self, small_tree_records):
         series = group_means(small_tree_records, group_width=10)
-        for method, points in series.items():
+        for points in series.values():
             groups = [group for group, _ in points]
             assert groups == sorted(groups)
             assert all(mean >= 0 for _, mean in points)

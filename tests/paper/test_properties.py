@@ -28,11 +28,11 @@ from repro.probability.actualization import expected_damage
 
 from ..conftest import make_random_tree
 
-COMMON_SETTINGS = dict(
-    max_examples=30,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
+COMMON_SETTINGS = {
+    "max_examples": 30,
+    "deadline": None,
+    "suppress_health_check": [HealthCheck.too_slow],
+}
 
 
 class TestSolverAgreement:

@@ -87,11 +87,14 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "all published points reproduced: True" in output
 
-    def test_bare_tree_model_rejected(self, tmp_path):
+    def test_bare_tree_model_rejected(self, tmp_path, capsys):
         path = tmp_path / "bare.json"
         serialization.save_json(catalog.factory().tree, str(path))
-        with pytest.raises(SystemExit, match="without cost/damage"):
-            main(["analyze", str(path)])
+        # User error: one `atcd:` line on stderr and exit 2, per the CLI
+        # exit-code contract (CLI001) — not a SystemExit masquerading as 1.
+        assert main(["analyze", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("atcd: ") and "without cost/damage" in err
 
 
 class TestBench:
